@@ -1,0 +1,14 @@
+"""Helpers shared by the experiment benchmarks."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.flow.report import format_table
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print one paper-style table (visible with ``pytest -s``)."""
+    print()
+    print(format_table(headers, rows, title=title))
+    sys.stdout.flush()

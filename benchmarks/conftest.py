@@ -1,0 +1,20 @@
+"""Shared pytest-benchmark configuration for the experiment harness.
+
+Every experiment runs exactly once per benchmark session (these are
+analysis workloads, not microbenchmarks), and its paper-style table is
+printed so ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+full evaluation section.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment a single time under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

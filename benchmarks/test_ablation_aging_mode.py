@@ -1,0 +1,81 @@
+"""Ablation — eq. (22) per-gate aging vs physically-finer per-edge aging.
+
+The paper applies eq. (22) to each gate's delay as a whole.  Physically,
+NBTI slows only the pull-up (rising) edge of a single-stage cell.  This
+ablation runs the Table 4 worst case both ways: the per-edge model
+roughly halves the circuit-level degradation (only ~half the arcs on a
+path are PMOS-driven), bounding the modeling-choice sensitivity of the
+published numbers.
+"""
+
+from _common import emit
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.netlist import iscas85
+from repro.sta import ALL_ZERO, AgingAnalyzer, analyze, gate_loads
+
+CIRCUITS = ("c432", "c880", "c1355")
+
+
+def run_ablation():
+    analyzer = AgingAnalyzer()
+    rows = []
+    for name in CIRCUITS:
+        circuit = iscas85.load(name)
+        profile = OperatingProfile.from_ras("1:9", t_standby=400.0)
+        loads = gate_loads(circuit)
+        shifts = analyzer.gate_shifts(circuit, profile, TEN_YEARS,
+                                      standby=ALL_ZERO)
+        fresh = analyze(circuit, loads=loads).circuit_delay
+        per_gate = analyze(circuit, delta_vth=shifts, loads=loads,
+                           aging_mode="per_gate").circuit_delay
+        per_edge = analyze(circuit, delta_vth=shifts, loads=loads,
+                           aging_mode="per_edge").circuit_delay
+        rows.append({
+            "name": name,
+            "per_gate": per_gate / fresh - 1.0,
+            "per_edge": per_edge / fresh - 1.0,
+        })
+    return rows
+
+
+def check(rows):
+    for r in rows:
+        assert 0 < r["per_edge"] <= r["per_gate"] + 1e-12
+        ratio = r["per_edge"] / r["per_gate"]
+        assert 0.2 < ratio <= 1.0, r
+    # The halving shows on single-stage-cell circuits: c1355 is all
+    # NAND/NOR (no internal stages to age on the falling edge).
+    c1355 = next(r for r in rows if r["name"] == "c1355")
+    assert c1355["per_edge"] / c1355["per_gate"] < 0.85
+
+
+def report(rows):
+    printable = [
+        [r["name"], f"{r['per_gate'] * 100:5.2f}",
+         f"{r['per_edge'] * 100:5.2f}",
+         f"{r['per_edge'] / r['per_gate']:.2f}"]
+        for r in rows
+    ]
+    emit("Ablation — worst-case 10-year degradation (%) by aging model "
+         "(RAS 1:9, T_standby 400 K)",
+         ["circuit", "per-gate (paper eq. 22)", "per-edge (physical)",
+          "ratio"],
+         printable)
+    print("The paper's per-gate application of eq. (22) is the "
+          "conservative choice.\nOn single-stage-cell netlists (c1355: "
+          "all NAND) rise-only aging roughly halves\nthe number; on "
+          "AND/OR-mapped netlists the internal inverting stages age "
+          "both\noutput edges anyway, so the two models nearly agree.")
+
+
+def test_ablation_aging_mode(run_once):
+    rows = run_once(run_ablation)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_ablation()
+    check(r)
+    report(r)

@@ -1,0 +1,62 @@
+"""Ablation A4 — dual-Vth assignment as a joint leakage/NBTI knob.
+
+Section 4.1 argues that a higher Vth reduces both leakage and NBTI
+degradation (eq. 23).  This ablation runs the greedy slack-driven
+dual-Vth assignment at several timing budgets and reports the joint
+benefit: fraction of gates swapped, leakage factor, and aged-delay
+degradation relative to the all-low-Vth design.
+"""
+
+from _common import emit
+from repro.flow import assign_dual_vth
+from repro.netlist import iscas85
+
+BUDGETS = (0.0, 0.05, 0.10)
+
+
+def run_ablation():
+    circuit = iscas85.load("c880")
+    return [assign_dual_vth(circuit, timing_budget=b) for b in BUDGETS]
+
+
+def check(results):
+    fractions = [r.hvt_fraction for r in results]
+    # More budget, more HVT gates.
+    assert fractions == sorted(fractions)
+    for r in results:
+        assert r.leakage_factor < 1.0
+        # The dual-Vth design ages no faster than the all-LVT one.
+        assert r.degradation_dual <= r.degradation_lvt + 1e-12
+    # A zero budget never slows the circuit.
+    assert results[0].fresh_delay_dual <= results[0].fresh_delay_lvt * (1 + 1e-9)
+
+
+def report(results):
+    rows = []
+    for budget, r in zip(BUDGETS, results):
+        rows.append([
+            f"{budget * 100:.0f} %",
+            f"{r.hvt_fraction * 100:5.1f}",
+            f"{r.leakage_factor:.3f}",
+            f"{r.degradation_lvt * 100:5.2f}",
+            f"{r.degradation_dual * 100:5.2f}",
+        ])
+    emit("Ablation A4 — dual-Vth on c880 (RAS 1:9, T_standby 330 K, 10 y)",
+         ["timing budget", "HVT gates (%)", "leakage factor",
+          "aging all-LVT (%)", "aging dual (%)"],
+         rows)
+    print("Higher Vth on slack-rich gates cuts subthreshold leakage "
+          "multiplicatively\nand slows their aging — the joint benefit "
+          "Sec. 4.1 predicts.")
+
+
+def test_ablation_dual_vth(run_once):
+    results = run_once(run_ablation)
+    check(results)
+    report(results)
+
+
+if __name__ == "__main__":
+    r = run_ablation()
+    check(r)
+    report(r)

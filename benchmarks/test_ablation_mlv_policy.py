@@ -1,0 +1,98 @@
+"""Ablation A5 — NBTI-aware MLV selection vs leakage-only selection.
+
+The paper's co-optimization picks, among near-minimum-leakage vectors,
+the one with the least aged delay.  This ablation measures what that
+buys over the plain leakage-only policy (take the single lowest-leakage
+vector, ignore aging), and against the worst member of the same MLV set
+— bounding how much the selection policy can matter at all.
+"""
+
+from _common import emit
+from repro.cells import LeakageTable, build_library
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.ivc import probability_based_mlv_search, select_mlv_for_nbti
+from repro.netlist import iscas85
+from repro.sta import AgingAnalyzer
+
+CIRCUITS = ("c432", "c880")
+#: Cool and hot standby: the paper predicts the MLV choice "will be
+#: larger with a higher standby mode temperature".
+PROFILES = {330.0: OperatingProfile.from_ras("1:5", t_standby=330.0),
+            400.0: OperatingProfile.from_ras("1:5", t_standby=400.0)}
+
+
+def run_ablation():
+    library = build_library()
+    table = LeakageTable.build(library, 400.0)
+    analyzer = AgingAnalyzer(library=library)
+    rows = []
+    for name in CIRCUITS:
+        circuit = iscas85.load(name)
+        mlv = probability_based_mlv_search(circuit, table, seed=23,
+                                           n_vectors=48, max_set_size=8,
+                                           library=library)
+        for tst, profile in PROFILES.items():
+            sel = select_mlv_for_nbti(circuit, mlv, profile, TEN_YEARS,
+                                      analyzer)
+            # Leakage-only policy: the plain minimum-leakage vector.
+            leakage_only = next(r for r in sel.records
+                                if r.bits == mlv.best.bits)
+            rows.append({
+                "name": name,
+                "tst": tst,
+                "aware": sel.chosen.relative_degradation,
+                "leakage_only": leakage_only.relative_degradation,
+                "worst_in_set": sel.worst_in_set.relative_degradation,
+                "spread": sel.mlv_delay_spread,
+            })
+    return rows
+
+
+def check(rows):
+    for r in rows:
+        # The aware policy never loses to leakage-only...
+        assert r["aware"] <= r["leakage_only"] + 1e-12
+        # ...and its possible benefit is bounded by the set spread,
+        # which the paper (and we) find small at cool standby.
+        assert r["leakage_only"] - r["aware"] <= r["spread"] + 1e-12
+        assert r["spread"] < 0.02
+    # Hot standby raises the absolute degradation of every policy while
+    # the tiny MLV-to-MLV spread persists: the near-minimum vectors park
+    # the critical path almost identically at either temperature, so
+    # even where the paper expects the IVC lever to grow with T_standby,
+    # the *policy choice among MLVs* stays second-order.
+    by_circuit = {}
+    for r in rows:
+        by_circuit.setdefault(r["name"], {})[r["tst"]] = r
+    for name, pair in by_circuit.items():
+        assert pair[400.0]["aware"] > pair[330.0]["aware"], name
+
+
+def report(rows):
+    printable = [
+        [r["name"], f"{r['tst']:.0f} K", f"{r['aware'] * 100:5.3f}",
+         f"{r['leakage_only'] * 100:5.3f}",
+         f"{r['worst_in_set'] * 100:5.3f}",
+         f"{r['spread'] * 100:6.4f}"]
+        for r in rows
+    ]
+    emit("Ablation A5 — degradation (%) by MLV selection policy (RAS 1:5)",
+         ["circuit", "T_standby", "NBTI-aware", "leakage-only",
+          "worst in set", "set spread"],
+         printable)
+    print("At cool standby the policies nearly tie — consistent with the "
+          "paper's\nconclusion that IVC is a weak NBTI knob; the aware "
+          "policy costs nothing\nand is never worse.")
+
+
+def test_ablation_mlv_policy(run_once):
+    rows = run_once(run_ablation)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_ablation()
+    check(r)
+    report(r)

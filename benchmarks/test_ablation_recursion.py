@@ -1,0 +1,65 @@
+"""Ablation A2 — closed-form S_n vs the exact eq. (10) recursion.
+
+The library evaluates the multicycle model through the asymptotic
+closed form; this ablation quantifies the approximation error against
+the cycle-exact recursion across duty cycles and cycle counts, and
+reports how many cycles each duty needs to converge within 1 %.
+"""
+
+from _common import emit
+from repro.core import cycles_to_converge, s_closed_form, s_sequence
+
+DUTIES = (0.1, 0.3, 0.5, 0.7, 0.9)
+CHECKPOINTS = (10, 100, 1000, 10000)
+
+
+def run_ablation():
+    table = {}
+    for duty in DUTIES:
+        seq = s_sequence(duty, max(CHECKPOINTS))
+        errors = {}
+        for n in CHECKPOINTS:
+            closed = s_closed_form(duty, n)
+            errors[n] = abs(seq[n - 1] - closed) / closed
+        table[duty] = {
+            "errors": errors,
+            "converge": cycles_to_converge(duty, rel_tol=0.01),
+        }
+    return table
+
+
+def check(table):
+    for duty, entry in table.items():
+        errs = [entry["errors"][n] for n in CHECKPOINTS]
+        # Error shrinks with cycle count and is tiny by 10k cycles.
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < 0.01
+        # A 10-year lifetime at a 1 s macro-period is ~3e8 cycles:
+        # comfortably past convergence for every duty.
+        assert entry["converge"] < 1e6
+
+
+def report(table):
+    rows = []
+    for duty, entry in table.items():
+        rows.append([f"{duty:.1f}"]
+                    + [f"{entry['errors'][n] * 100:7.3f}" for n in CHECKPOINTS]
+                    + [entry["converge"]])
+    emit("Ablation A2 — closed-form error vs exact recursion (%)",
+         ["duty"] + [f"n={n}" for n in CHECKPOINTS] + ["cycles to 1%"],
+         rows)
+    print("Conclusion: at lifetime scales (~3e8 macro-cycles) the closed "
+          "form is exact\nto well under 0.1 %, justifying its use "
+          "throughout the library.")
+
+
+def test_ablation_recursion(run_once):
+    table = run_once(run_ablation)
+    check(table)
+    report(table)
+
+
+if __name__ == "__main__":
+    t = run_ablation()
+    check(t)
+    report(t)

@@ -1,0 +1,103 @@
+"""Extension — how much of the Table 4 potential is *realizable*?
+
+Table 4's internal-node-control potential assumes every PMOS can be
+parked at Vgs = 0 for free.  This experiment inserts actual control
+points (OR-with-SLEEP forcing gates, per [9], [10]) and measures:
+
+* the aged critical-path delay (greedy insertion on the critical path),
+* the device-level stressed-PMOS census (selective high-fanout forcing),
+* the fresh-delay and area overheads.
+
+Measured finding: the delay-metric potential is NOT realizable by
+output-forcing — a net held at 1 is held by an ON PMOS whose gate is 0,
+so each forcing gate absorbs the stress it removes — while the
+device-census *does* improve.  This quantifies why the paper reports
+the potential only as a reference ceiling.
+"""
+
+from _common import emit
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.ivc import (
+    count_stressed_devices,
+    greedy_census_points,
+    greedy_control_points,
+)
+from repro.netlist import iscas85
+from repro.sim import constant_vector
+
+CIRCUITS = ("c432", "c880")
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=400.0)
+
+
+def run_ext():
+    rows = []
+    for name in CIRCUITS:
+        circuit = iscas85.load(name)
+        greedy = greedy_control_points(circuit, PROFILE, TEN_YEARS,
+                                       max_points=8)
+        # Census experiment: verified greedy stressed-device reduction.
+        vec0 = constant_vector(circuit, 0)
+        selected, census_base, census_after = greedy_census_points(
+            circuit, vec0, max_points=12)
+        rows.append({
+            "name": name,
+            "base": greedy.base_degradation,
+            "achieved": greedy.achieved_degradation,
+            "bound": greedy.best_bound,
+            "realized": greedy.potential_realized,
+            "overhead": greedy.fresh_overhead,
+            "census_base": census_base,
+            "census_after": census_after,
+            "census_points": len(selected),
+        })
+    return rows
+
+
+def check(rows):
+    for r in rows:
+        # Delay metric: essentially none of the bound is realizable.
+        assert r["realized"] < 0.25, r["name"]
+        assert r["achieved"] >= r["bound"] - 1e-12
+        # Device census: selective forcing genuinely reduces stress.
+        assert r["census_after"] < r["census_base"], r["name"]
+
+
+def report(rows):
+    printable = [
+        [r["name"], f"{r['base'] * 100:5.2f}", f"{r['achieved'] * 100:5.2f}",
+         f"{r['bound'] * 100:5.2f}", f"{r['realized'] * 100:5.1f}",
+         f"{r['overhead'] * 100:5.2f}"]
+        for r in rows
+    ]
+    emit("Extension — greedy control points on the aged critical path "
+         "(8 points)",
+         ["circuit", "base (%)", "achieved (%)", "Table4 bound (%)",
+          "realized (%)", "fresh overhead (%)"],
+         printable)
+    printable = [
+        [r["name"], r["census_base"], r["census_after"],
+         f"{(1 - r['census_after'] / r['census_base']) * 100:5.1f}",
+         r["census_points"]]
+        for r in rows
+    ]
+    emit("Extension — stressed-PMOS census with verified greedy forcing "
+         "(<= 12 points)",
+         ["circuit", "stressed (base)", "stressed (forced)",
+          "reduction (%)", "control points"],
+         printable)
+    print("Delay potential is a ceiling (forcing gates absorb the stress "
+          "they remove);\nthe device-level stress census, and hence "
+          "margin on non-critical paths,\ndoes improve.")
+
+
+def test_ext_control_points(run_once):
+    rows = run_once(run_ext)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_ext()
+    check(r)
+    report(r)

@@ -1,0 +1,81 @@
+"""Extension — the standby-vector leakage/aging trade-off, both ends.
+
+The paper's co-selection picks the best-aging vector inside the
+minimum-leakage set.  Here both single-objective optima are searched
+directly (the Fig. 7 loop with each objective) and scored on both axes,
+at cool and hot standby — measuring how much aging the leakage-optimal
+vector gives away and what the aging-optimal vector costs in leakage.
+"""
+
+from _common import emit
+from repro.cells import LeakageTable, build_library
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.ivc import leakage_aging_tradeoff
+from repro.netlist import iscas85
+from repro.sta import AgingAnalyzer
+
+CIRCUIT = "c432"
+T_STANDBY = (330.0, 400.0)
+
+
+def run_ext():
+    library = build_library()
+    table = LeakageTable.build(library, 400.0)
+    analyzer = AgingAnalyzer(library=library)
+    circuit = iscas85.load(CIRCUIT)
+    rows = []
+    for tst in T_STANDBY:
+        profile = OperatingProfile.from_ras("1:9", t_standby=tst)
+        points = leakage_aging_tradeoff(circuit, profile, table, TEN_YEARS,
+                                        analyzer=analyzer, seed=5)
+        rows.append({"tst": tst, "points": points})
+    return rows
+
+
+def check(rows):
+    for r in rows:
+        leak_opt, aging_opt = r["points"]
+        assert leak_opt.leakage <= aging_opt.leakage + 1e-15
+        assert aging_opt.degradation <= leak_opt.degradation + 1e-12
+        # The whole lever is small relative to the degradation itself —
+        # the paper's "not that effective" verdict on IVC.
+        gap = leak_opt.degradation - aging_opt.degradation
+        assert gap < 0.01
+    # Hot standby: larger absolute degradation at both corners.
+    assert (rows[1]["points"][0].degradation
+            > rows[0]["points"][0].degradation)
+
+
+def report(rows):
+    printable = []
+    for r in rows:
+        for p in r["points"]:
+            printable.append([
+                f"{r['tst']:.0f} K", p.label,
+                f"{p.leakage * 1e6:7.2f}", f"{p.degradation * 100:6.3f}"])
+    emit(f"Extension — {CIRCUIT} standby-vector trade-off corners "
+         "(RAS 1:9, 10 years)",
+         ["T_standby", "optimum", "leakage (uA)", "degradation (%)"],
+         printable)
+    for r in rows:
+        leak_opt, aging_opt = r["points"]
+        gap = (leak_opt.degradation - aging_opt.degradation) * 100
+        cost = (aging_opt.leakage / leak_opt.leakage - 1) * 100
+        print(f"T_standby {r['tst']:.0f} K: aging-optimal buys "
+              f"{gap:.3f} pp of degradation for +{cost:.2f} % leakage")
+    print("Even unconstrained, the vector lever moves degradation by "
+          "well under a point\n— input-state control is a weak NBTI "
+          "knob, the paper's central IVC verdict.")
+
+
+def test_ext_tradeoff(run_once):
+    rows = run_once(run_ext)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_ext()
+    check(r)
+    report(r)

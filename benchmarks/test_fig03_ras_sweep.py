@@ -1,0 +1,69 @@
+"""Fig. 3 — dVth vs time for different active:standby ratios (RAS).
+
+Paper setting: T_active = 400 K, active-mode signal probability 0.5,
+standby input 0 (worst case).  The top curve is the isothermal
+T_standby = T_active = 400 K case; the others hold T_standby = 330 K,
+where a larger standby share *reduces* degradation.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.constants import TEN_YEARS, seconds_to_years
+from repro.core import DEFAULT_MODEL, OperatingProfile
+
+TIMES = np.logspace(5, np.log10(TEN_YEARS), 10)
+RAS_LIST = ("1:1", "1:5", "1:9")
+
+
+def run_fig03():
+    model = DEFAULT_MODEL
+    curves = {}
+    hot = OperatingProfile.from_ras("1:1", t_standby=400.0)
+    curves["1:1 (T_st=400K)"] = model.delta_vth_series(
+        hot, _worst(), TIMES, 0.22)
+    for ras in RAS_LIST:
+        profile = OperatingProfile.from_ras(ras, t_standby=330.0)
+        curves[f"{ras} (T_st=330K)"] = model.delta_vth_series(
+            profile, _worst(), TIMES, 0.22)
+    return {"times": TIMES, "curves": curves}
+
+
+def _worst():
+    from repro.core import WORST_CASE_DEVICE
+    return WORST_CASE_DEVICE
+
+
+def check(data):
+    curves = data["curves"]
+    # The isothermal 400 K curve dominates everything at 330 K standby.
+    top = curves["1:1 (T_st=400K)"]
+    for label, series in curves.items():
+        assert np.all(np.diff(series) >= 0), label
+        if label != "1:1 (T_st=400K)":
+            assert np.all(series <= top + 1e-12), label
+    # At cold standby, more standby time means less degradation.
+    assert curves["1:1 (T_st=330K)"][-1] > curves["1:5 (T_st=330K)"][-1]
+    assert curves["1:5 (T_st=330K)"][-1] > curves["1:9 (T_st=330K)"][-1]
+
+
+def report(data):
+    labels = list(data["curves"])
+    rows = []
+    for k, t in enumerate(data["times"]):
+        rows.append([f"{seconds_to_years(t):8.3f}"]
+                    + [f"{data['curves'][l][k] * 1e3:6.2f}" for l in labels])
+    emit("Fig. 3 — dVth (mV) vs time for different RAS",
+         ["years"] + labels, rows)
+
+
+def test_fig03_ras_sweep(run_once):
+    data = run_once(run_fig03)
+    check(data)
+    report(data)
+
+
+if __name__ == "__main__":
+    d = run_fig03()
+    check(d)
+    report(d)

@@ -1,0 +1,59 @@
+"""Fig. 4 — dVth vs time for different standby temperatures.
+
+Paper setting: RAS = 1:5, active SP = 0.5, standby input 0.  Higher
+T_standby accelerates the standby-mode stress (the diffusivity ratio of
+eq. 17), so the curves order by temperature.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.constants import TEN_YEARS, seconds_to_years
+from repro.core import DEFAULT_MODEL, WORST_CASE_DEVICE, OperatingProfile
+
+TIMES = np.logspace(5, np.log10(TEN_YEARS), 10)
+T_STANDBY = (330.0, 350.0, 370.0, 400.0)
+
+
+def run_fig04():
+    model = DEFAULT_MODEL
+    curves = {}
+    for tst in T_STANDBY:
+        profile = OperatingProfile.from_ras("1:5", t_standby=tst)
+        curves[tst] = model.delta_vth_series(profile, WORST_CASE_DEVICE,
+                                             TIMES, 0.22)
+    return {"times": TIMES, "curves": curves}
+
+
+def check(data):
+    curves = data["curves"]
+    for tst, series in curves.items():
+        assert np.all(np.diff(series) >= 0)
+    finals = [curves[t][-1] for t in T_STANDBY]
+    # Monotone in standby temperature ("degradation is faster ... under
+    # higher temperature").
+    assert finals == sorted(finals)
+    # 10-year span between 330 K and 400 K is mV-scale, as in Fig. 4.
+    assert 3e-3 < finals[-1] - finals[0] < 25e-3
+
+
+def report(data):
+    rows = []
+    for k, t in enumerate(data["times"]):
+        rows.append([f"{seconds_to_years(t):8.3f}"]
+                    + [f"{data['curves'][tst][k] * 1e3:6.2f}"
+                       for tst in T_STANDBY])
+    emit("Fig. 4 — dVth (mV) vs time, RAS 1:5, varying T_standby",
+         ["years"] + [f"{t:.0f}K" for t in T_STANDBY], rows)
+
+
+def test_fig04_tstandby_sweep(run_once):
+    data = run_once(run_fig04)
+    check(data)
+    report(data)
+
+
+if __name__ == "__main__":
+    d = run_fig04()
+    check(d)
+    report(d)

@@ -1,0 +1,73 @@
+"""Fig. 5 — C432 performance degradation vs PMOS dVth degradation.
+
+Paper setting: worst-case standby (all internal nodes 0), several
+standby temperatures.  Two published observations to reproduce:
+
+* circuit delay degradation (percent) is much smaller than the relative
+  device dVth degradation at the same instant, and
+* the standby temperature difference produces a clearly visible circuit
+  delay difference.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.constants import TEN_YEARS, seconds_to_years
+from repro.core import DEFAULT_MODEL, WORST_CASE_DEVICE, OperatingProfile
+from repro.netlist import iscas85
+from repro.sta import ALL_ZERO, AgingAnalyzer
+from repro.tech import PTM90
+
+TIMES = np.logspace(6, np.log10(TEN_YEARS), 8)
+T_STANDBY = (330.0, 370.0, 400.0)
+
+
+def run_fig05():
+    circuit = iscas85.load("c432")
+    analyzer = AgingAnalyzer()
+    curves = {}
+    for tst in T_STANDBY:
+        profile = OperatingProfile.from_ras("1:9", t_standby=tst)
+        series = []
+        for t in TIMES:
+            res = analyzer.aged_timing(circuit, profile, t, standby=ALL_ZERO)
+            series.append(res.relative_degradation)
+        curves[tst] = series
+    # Reference device curve: relative Vth degradation at 330 K standby.
+    profile = OperatingProfile.from_ras("1:9", t_standby=330.0)
+    vth_rel = [DEFAULT_MODEL.delta_vth(profile, WORST_CASE_DEVICE, t, 0.22)
+               / PTM90.pmos.vth0 for t in TIMES]
+    return {"times": TIMES, "curves": curves, "vth_rel": vth_rel}
+
+
+def check(data):
+    for tst, series in data["curves"].items():
+        assert all(b >= a for a, b in zip(series, series[1:]))
+    # Circuit degradation << device degradation at matching condition.
+    assert data["curves"][330.0][-1] < data["vth_rel"][-1]
+    # Hotter standby -> visibly more delay degradation.
+    assert data["curves"][400.0][-1] > data["curves"][330.0][-1] * 1.3
+
+
+def report(data):
+    rows = []
+    for k, t in enumerate(data["times"]):
+        rows.append(
+            [f"{seconds_to_years(t):8.3f}"]
+            + [f"{data['curves'][tst][k] * 100:5.2f}" for tst in T_STANDBY]
+            + [f"{data['vth_rel'][k] * 100:5.2f}"])
+    emit("Fig. 5 — c432 delay degradation (%) vs device dVth/Vth0 (%)",
+         ["years"] + [f"delay@{t:.0f}K" for t in T_STANDBY]
+         + ["dVth/Vth0@330K"], rows)
+
+
+def test_fig05_c432_degradation(run_once):
+    data = run_once(run_fig05)
+    check(data)
+    report(data)
+
+
+if __name__ == "__main__":
+    d = run_fig05()
+    check(d)
+    report(d)

@@ -1,0 +1,43 @@
+"""Fig. 9 — sleep-transistor Delta(W/L) vs initial Vth and RAS (eq. 31).
+
+Published anchors: the largest upsizing is 3.94 % at Vth0 = 0.20 V,
+RAS = 9:1; the smallest 1.13 % at Vth0 = 0.40 V, RAS = 1:9.
+"""
+
+from _common import emit
+from repro.sleep import FIG8_RAS_VALUES, FIG8_VTH_VALUES, fig9_grid
+
+
+def run_fig09():
+    return fig9_grid()
+
+
+def check(grid):
+    assert abs(grid[(0.20, "9:1")] - 0.0394) < 5e-4
+    assert abs(grid[(0.40, "1:9")] - 0.0113) < 5e-4
+    # More aging -> more upsizing: monotone in the active share.
+    for vth in FIG8_VTH_VALUES:
+        row = [grid[(vth, r)] for r in FIG8_RAS_VALUES]
+        assert row == sorted(row)
+
+
+def report(grid):
+    rows = []
+    for vth in FIG8_VTH_VALUES:
+        rows.append([f"{vth:.2f} V"]
+                    + [f"{grid[(vth, r)] * 100:5.2f}" for r in FIG8_RAS_VALUES])
+    emit("Fig. 9 — NBTI-aware ST upsizing Delta(W/L)/(W/L) (%)",
+         ["Vth0 \\ RAS"] + list(FIG8_RAS_VALUES), rows)
+    print("paper anchors: 3.94 % at (0.20 V, 9:1); 1.13 % at (0.40 V, 1:9)")
+
+
+def test_fig09_st_sizing(run_once):
+    grid = run_once(run_fig09)
+    check(grid)
+    report(grid)
+
+
+if __name__ == "__main__":
+    g = run_fig09()
+    check(g)
+    report(g)

@@ -1,0 +1,65 @@
+"""Table 1 — dVth (mV) under different active:standby ratios.
+
+Paper setting: total time 3.15e8 s, active SP = 0.5, standby input 0,
+T_active = 400 K.  The published structure:
+
+* T_standby = 400 K: dVth *increases* as the standby share grows (more
+  total stress time);
+* T_standby = 330 K: dVth *decreases* (more time spent cold);
+* T_standby ~ 370 K: nearly RAS-insensitive (the crossover);
+* the largest 330-vs-400 gap sits at RAS = 1:9 (paper: ~9.4 mV).
+"""
+
+from _common import emit
+from repro.constants import TEN_YEARS
+from repro.core import DEFAULT_MODEL, WORST_CASE_DEVICE, OperatingProfile
+
+RAS_LIST = ("9:1", "5:1", "1:1", "1:5", "1:9")
+T_STANDBY = (330.0, 350.0, 370.0, 400.0)
+
+
+def run_table1():
+    model = DEFAULT_MODEL
+    grid = {}
+    for tst in T_STANDBY:
+        for ras in RAS_LIST:
+            profile = OperatingProfile.from_ras(ras, t_standby=tst)
+            grid[(tst, ras)] = model.delta_vth(profile, WORST_CASE_DEVICE,
+                                               TEN_YEARS, 0.22)
+    return grid
+
+
+def check(grid):
+    hot = [grid[(400.0, r)] for r in RAS_LIST]
+    cold = [grid[(330.0, r)] for r in RAS_LIST]
+    mid = [grid[(370.0, r)] for r in RAS_LIST]
+    assert hot == sorted(hot)                    # rises with standby share
+    assert cold == sorted(cold, reverse=True)    # falls with standby share
+    spread_mid = (max(mid) - min(mid)) / max(mid)
+    assert spread_mid < 0.08                     # ~insensitive near 370 K
+    gap = grid[(400.0, "1:9")] - grid[(330.0, "1:9")]
+    assert 5e-3 < gap < 20e-3                    # paper: ~9.4 mV
+
+
+def report(grid):
+    rows = []
+    for tst in T_STANDBY:
+        rows.append([f"{tst:.0f} K"]
+                    + [f"{grid[(tst, r)] * 1e3:6.2f}" for r in RAS_LIST])
+    emit("Table 1 — dVth (mV) at 10 years, T_active = 400 K",
+         ["T_standby \\ RAS"] + list(RAS_LIST), rows)
+    gap = (grid[(400.0, '1:9')] - grid[(330.0, '1:9')]) * 1e3
+    print(f"largest 330K-vs-400K gap (RAS 1:9): {gap:.1f} mV "
+          "(paper: ~9.4 mV)")
+
+
+def test_table1_vth_grid(run_once):
+    grid = run_once(run_table1)
+    check(grid)
+    report(grid)
+
+
+if __name__ == "__main__":
+    g = run_table1()
+    check(g)
+    report(g)

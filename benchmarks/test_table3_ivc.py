@@ -1,0 +1,89 @@
+"""Table 3 — impact of the IVC technique on circuit performance degradation.
+
+Paper setting: RAS = 1:5, T_standby = 330 K, 10-year horizon; the MLV
+set comes from the Fig. 7 probability-based search with the leakage
+window at 4 %.  Published structure:
+
+* the minimized degradation with IVC is a few percent of the circuit
+  delay (paper average ~4.3 %);
+* the spread between different MLVs ("MLV diff") is tiny — ~0.14 % of
+  the original delay — i.e. IVC is *not* an effective NBTI mitigation
+  knob at cool standby, one of the paper's main conclusions;
+* every MLV beats the all-internal-nodes-0 worst case.
+"""
+
+from _common import emit
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.flow import AnalysisPlatform
+from repro.netlist import iscas85
+from repro.sta import ALL_ZERO
+
+CIRCUITS = ("c432", "c499", "c880", "c1355")
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+
+def run_table3():
+    platform = AnalysisPlatform()
+    rows = []
+    for name in CIRCUITS:
+        circuit = iscas85.load(name)
+        co = platform.co_optimize(circuit, PROFILE, TEN_YEARS,
+                                  n_vectors=48, max_set_size=6, seed=17)
+        worst = platform.analyzer.aged_timing(circuit, PROFILE, TEN_YEARS,
+                                              standby=ALL_ZERO)
+        rows.append({
+            "name": name,
+            "fresh_delay": co.selection.fresh_delay,
+            "min_degradation": co.chosen_degradation,
+            "mlv_diff": co.mlv_delay_spread,
+            "worst_degradation": worst.relative_degradation,
+            "leakage_reduction": co.leakage_reduction,
+            "set_size": len(co.selection.records),
+        })
+    return rows
+
+
+def check(rows):
+    for row in rows:
+        # Minimized degradation is a few percent (paper avg ~4.3 %).
+        assert 0.01 < row["min_degradation"] < 0.10, row["name"]
+        # MLV diff is far smaller than the degradation itself
+        # (paper: ~0.14 % of delay).
+        assert row["mlv_diff"] < 0.02, row["name"]
+        assert row["mlv_diff"] < row["min_degradation"], row["name"]
+        # IVC beats the worst bounding case.
+        assert row["min_degradation"] <= row["worst_degradation"] + 1e-12
+    mean_deg = sum(r["min_degradation"] for r in rows) / len(rows)
+    assert 0.02 < mean_deg < 0.08  # paper average: 4.3 %
+
+
+def report(rows):
+    printable = [
+        [r["name"], f"{r['fresh_delay'] * 1e9:7.4f}",
+         f"{r['min_degradation'] * 100:5.2f}",
+         f"{r['mlv_diff'] * 100:6.3f}",
+         f"{r['worst_degradation'] * 100:5.2f}",
+         f"{r['leakage_reduction'] * 100:5.2f}",
+         r["set_size"]]
+        for r in rows
+    ]
+    emit("Table 3 — IVC impact (RAS 1:5, T_standby 330 K, 10 years)",
+         ["circuit", "delay (ns)", "min dDelay (%)", "MLV diff (%)",
+          "worst-case (%)", "leak saved (%)", "|MLV set|"],
+         printable)
+    mean_deg = sum(r["min_degradation"] for r in rows) / len(rows) * 100
+    print(f"average minimized degradation: {mean_deg:.2f} % "
+          "(paper: ~4.3 %)")
+
+
+def test_table3_ivc(run_once):
+    rows = run_once(run_table3)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_table3()
+    check(r)
+    report(r)

@@ -1,0 +1,92 @@
+"""Table 4 — ISCAS85 delay degradation and internal-node-control potential.
+
+Paper setting: RAS = 1:9, 10-year horizon, T_standby swept 330-400 K.
+Published anchors (suite averages):
+
+* worst-case degradation (all internal nodes 0) grows from ~4.05 % at
+  330 K to ~7.35 % at 400 K;
+* best-case (all PMOS driven 1) stays ~3.32 % at every temperature
+  ("temperature has negligible effect on NBTI relaxation phase");
+* the internal-node-control potential grows from ~18.1 % to ~54.9 %.
+"""
+
+from _common import emit
+from repro.constants import TEN_YEARS
+from repro.ivc import potential_sweep
+from repro.netlist import iscas85
+from repro.sta import AgingAnalyzer
+
+CIRCUITS = iscas85.NAMES
+T_STANDBY = (330.0, 350.0, 370.0, 400.0)
+
+
+def run_table4():
+    analyzer = AgingAnalyzer()
+    rows = {}
+    for name in CIRCUITS:
+        circuit = iscas85.load(name)
+        rows[name] = potential_sweep(circuit, T_STANDBY, ras="1:9",
+                                     t_total=TEN_YEARS, analyzer=analyzer)
+    return rows
+
+
+def check(rows):
+    for name, sweep in rows.items():
+        worst = [r.worst_degradation for r in sweep]
+        best = [r.best_degradation for r in sweep]
+        pots = [r.potential for r in sweep]
+        assert worst == sorted(worst), name          # rises with T_st
+        assert max(best) - min(best) < 1e-9, name    # best is flat
+        assert pots == sorted(pots), name            # potential rises
+    # Suite averages near the paper's anchors.
+    n = len(rows)
+    avg_worst_330 = sum(r[0].worst_degradation for r in rows.values()) / n
+    avg_worst_400 = sum(r[-1].worst_degradation for r in rows.values()) / n
+    avg_best = sum(r[0].best_degradation for r in rows.values()) / n
+    avg_pot_330 = sum(r[0].potential for r in rows.values()) / n
+    avg_pot_400 = sum(r[-1].potential for r in rows.values()) / n
+    assert 0.025 < avg_worst_330 < 0.06     # paper: 4.05 %
+    assert 0.05 < avg_worst_400 < 0.10      # paper: 7.35 %
+    assert 0.02 < avg_best < 0.05           # paper: ~3.32 %
+    assert 0.10 < avg_pot_330 < 0.30        # paper: 18.1 %
+    assert 0.40 < avg_pot_400 < 0.70        # paper: 54.9 %
+
+
+def report(rows):
+    printable = []
+    for name, sweep in rows.items():
+        printable.append(
+            [name, f"{sweep[0].fresh_delay * 1e9:7.4f}",
+             f"{sweep[0].best_degradation * 100:5.2f}"]
+            + [f"{r.worst_degradation * 100:5.2f}" for r in sweep]
+            + [f"{r.potential * 100:5.1f}" for r in sweep])
+    emit("Table 4 — degradation (%) and internal-node-control potential "
+         "(%), RAS 1:9",
+         ["circuit", "delay (ns)", "best"]
+         + [f"worst@{t:.0f}K" for t in T_STANDBY]
+         + [f"pot@{t:.0f}K" for t in T_STANDBY],
+         printable)
+    n = len(rows)
+    print(f"suite averages: worst 330K "
+          f"{sum(r[0].worst_degradation for r in rows.values()) / n * 100:.2f}% "
+          f"(paper 4.05%), worst 400K "
+          f"{sum(r[-1].worst_degradation for r in rows.values()) / n * 100:.2f}% "
+          f"(paper 7.35%), best "
+          f"{sum(r[0].best_degradation for r in rows.values()) / n * 100:.2f}% "
+          f"(paper ~3.32%), potential 330K "
+          f"{sum(r[0].potential for r in rows.values()) / n * 100:.1f}% "
+          f"(paper 18.1%), potential 400K "
+          f"{sum(r[-1].potential for r in rows.values()) / n * 100:.1f}% "
+          f"(paper 54.9%)")
+
+
+def test_table4_internal_node(run_once):
+    rows = run_once(run_table4)
+    check(rows)
+    report(rows)
+
+
+if __name__ == "__main__":
+    r = run_table4()
+    check(r)
+    report(r)

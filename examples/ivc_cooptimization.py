@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Leakage/NBTI co-optimization with input vector control (Sec. 4.3).
+
+Scenario: a block spends most of its life in standby.  Picking the
+standby input vector controls *both* the leakage (transistor stacking)
+and which PMOS devices sit under NBTI stress for years.  This example:
+
+1. searches for a minimum-leakage-vector (MLV) set with the paper's
+   Fig. 7 probability-based algorithm,
+2. evaluates the 10-year aged delay of each candidate,
+3. co-selects the vector minimizing degradation at near-minimum leakage,
+4. compares single-vector parking against Abella-style MLV alternation,
+5. shows the internal-node-control headroom beyond any input vector.
+
+Run:  python examples/ivc_cooptimization.py
+"""
+
+from repro import AnalysisPlatform, OperatingProfile, iscas85
+from repro.constants import TEN_YEARS
+from repro.flow import format_table, ns, pct, ua
+from repro.ivc import compare_alternation, internal_node_potential
+
+
+def main() -> None:
+    platform = AnalysisPlatform()
+    circuit = iscas85.load("c432")
+    profile = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+    print(f"Co-optimizing {circuit.name}: RAS {profile.ras_label()}, "
+          f"T_standby {profile.t_standby:.0f} K, horizon 10 years\n")
+
+    report = platform.co_optimize(circuit, profile, TEN_YEARS,
+                                  n_vectors=64, max_set_size=6, seed=1)
+
+    rows = []
+    for rec in report.selection.records:
+        marker = " <- chosen" if rec.bits == report.selection.chosen.bits else ""
+        rows.append([ua(rec.leakage), ns(rec.aged_delay),
+                     pct(rec.relative_degradation) + marker])
+    print(format_table(["leakage (uA)", "aged delay (ns)", "degradation"],
+                       rows, title="MLV set (near-minimum leakage)"))
+    print(f"\nexpected (unparked) leakage : {ua(report.expected_leakage)} uA")
+    print(f"chosen MLV leakage          : {ua(report.chosen_leakage)} uA "
+          f"({pct(report.leakage_reduction)} saved)")
+    print(f"chosen MLV degradation      : {pct(report.chosen_degradation)}")
+    print(f"MLV-to-MLV delay spread     : {pct(report.mlv_delay_spread, 3)} "
+          "of fresh delay")
+    print("\nAs the paper observes, the spread is small at a low standby "
+          "temperature:\nIVC alone barely moves the NBTI needle.")
+
+    # Abella-style alternation: rotate the best vector and its complement.
+    best = report.selection.chosen.bits
+    complement = tuple(1 - b for b in best)
+    cmp = compare_alternation(circuit, [best, complement], profile, TEN_YEARS,
+                              platform.analyzer)
+    print(f"\nAlternating 2 vectors: worst device shift "
+          f"{cmp.single_max_shift * 1e3:.2f} mV -> "
+          f"{cmp.alternating_max_shift * 1e3:.2f} mV "
+          f"({pct(cmp.shift_benefit)} flatter)")
+
+    # The internal-node-control ceiling.
+    pot = internal_node_potential(circuit, profile, TEN_YEARS,
+                                  platform.analyzer)
+    print(f"\nInternal-node-control potential at "
+          f"{profile.t_standby:.0f} K: {pct(pot.potential)} "
+          f"(worst {pct(pot.worst_degradation)} -> "
+          f"best {pct(pot.best_degradation)})")
+
+
+if __name__ == "__main__":
+    main()

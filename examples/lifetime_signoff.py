@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""End-to-end lifetime sign-off: margin, sizing, or gating?
+
+A design team must guarantee 10-year operation.  This example walks the
+three levers the library provides and prices each one on the same
+circuit and scenario:
+
+1. **guard-band** — accept aging, reserve delay margin (lifetime solver),
+2. **size for aging** — spend area on the critical cone instead,
+3. **power-gate** — a sleep transistor removes the standby stress and
+   the leakage in one move (priced with the sampled peak-current
+   estimator rather than a flat simultaneity guess).
+
+Run:  python examples/lifetime_signoff.py
+"""
+
+from repro import OperatingProfile, iscas85
+from repro.constants import TEN_YEARS, seconds_to_years
+from repro.core import WORST_CASE_DEVICE, guard_band, time_to_degradation
+from repro.flow import format_table, pct, size_for_aging
+from repro.sleep import (
+    SleepStyle,
+    design_sleep_transistor,
+    estimate_peak_current,
+    gated_aged_delay,
+    st_vth_shift,
+)
+from repro.sta import ALL_ZERO, AgingAnalyzer
+
+
+def main() -> None:
+    circuit = iscas85.load("c880")
+    profile = OperatingProfile.from_ras("1:9", t_standby=400.0)
+    analyzer = AgingAnalyzer()
+    aged = analyzer.aged_timing(circuit, profile, TEN_YEARS,
+                                standby=ALL_ZERO)
+    print(f"{circuit.name}, RAS {profile.ras_label()}, hot standby "
+          f"({profile.t_standby:.0f} K):")
+    print(f"  measured 10-year worst-case degradation: "
+          f"{pct(aged.relative_degradation)}\n")
+
+    # Option 1 — guard-band.
+    gb = guard_band(profile, WORST_CASE_DEVICE, vth0=0.22)
+    print(f"option 1, guard-band: {gb.summary()}")
+    half_life = time_to_degradation(gb.delay_margin / 2, profile,
+                                    WORST_CASE_DEVICE, vth0=0.22)
+    print(f"  (half that margin would be eaten in "
+          f"{seconds_to_years(half_life):.2f} years — the t^1/4 law "
+          "front-loads the wear)\n")
+
+    # Option 2 — NBTI-aware sizing.
+    sized = size_for_aging(circuit, profile, TEN_YEARS)
+    print(f"option 2, size for aging: met={sized.met}, "
+          f"{pct(sized.area_overhead)} area on "
+          f"{len(sized.sizes)} gates\n")
+
+    # Option 3 — power gating with honest current sizing.
+    est = estimate_peak_current(circuit, n_pairs=128, seed=4)
+    margin = st_vth_shift(0.22, profile.ras_label())
+    design = design_sleep_transistor(circuit, SleepStyle.HEADER, beta=0.01,
+                                     nbti_margin=margin)
+    point = gated_aged_delay(circuit, design, profile, TEN_YEARS)
+    fresh = aged.fresh_delay
+    print("option 3, power gating (beta = 1% header, NBTI-aware):")
+    print(f"  sampled peak block current {est.peak * 1e3:.1f} mA "
+          f"(effective simultaneity {est.effective_simultaneity:.1f}, vs "
+          "the flat 0.2 guess)")
+    print(f"  10-year delay vs fresh: "
+          f"{pct(point.circuit_delay / fresh - 1)} — and the standby "
+          "leakage is gated off entirely\n")
+
+    rows = [
+        ["guard-band", pct(gb.delay_margin), "none", "none"],
+        ["size for aging", pct(0.0), pct(sized.area_overhead), "none"],
+        ["power gating",
+         pct(point.circuit_delay / fresh - 1),
+         f"ST (W/L) {design.aspect_ratio:.0f}",
+         "standby leakage ~0"],
+    ]
+    print(format_table(["lever", "delay cost @10y", "area cost",
+                        "leakage benefit"], rows,
+                       title="Sign-off options compared"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""NBTI-aware sleep-transistor sign-off (Sec. 4.4).
+
+A power-gated block must meet timing for 10 years.  The PMOS header is
+itself the most-stressed device in the design (gate at 0 whenever the
+block runs), so a header sized only for the fresh Vth slowly starves the
+block of supply.  This example:
+
+1. sizes a header per the paper's eqs. (28)-(30) for several delay
+   budgets beta,
+2. projects the header's 10-year threshold drift (Fig. 8) and the
+   resulting virtual-rail droop,
+3. applies the NBTI-aware upsizing of eq. (31) and re-checks,
+4. compares footer vs header styles and against no gating at all.
+
+Run:  python examples/sleep_transistor_signoff.py
+"""
+
+from repro import OperatingProfile, iscas85
+from repro.constants import TEN_YEARS
+from repro.flow import format_table, mv, ns, pct
+from repro.sleep import (
+    SleepStyle,
+    design_sleep_transistor,
+    gated_aged_delay,
+    st_vth_shift,
+)
+from repro.sta import ALL_ZERO, AgingAnalyzer
+
+
+def main() -> None:
+    circuit = iscas85.load("c880")
+    analyzer = AgingAnalyzer()
+    ras = "1:9"
+    profile = OperatingProfile.from_ras(ras, t_standby=400.0)
+    fresh = analyzer.aged_timing(circuit, profile, 0.0).fresh_delay
+    print(f"Block: {circuit!r}")
+    print(f"Fresh delay {ns(fresh)} ns; scenario RAS {ras}, hot standby "
+          f"({profile.t_standby:.0f} K)\n")
+
+    no_st = analyzer.aged_timing(circuit, profile, TEN_YEARS,
+                                 standby=ALL_ZERO)
+    print(f"Without gating, worst-case 10-year degradation: "
+          f"{pct(no_st.relative_degradation)}\n")
+
+    st_vth0 = 0.22
+    margin = st_vth_shift(st_vth0, ras)
+    print(f"Projected header dVth over 10 years at RAS {ras}: "
+          f"{mv(margin)} mV\n")
+
+    rows = []
+    for beta in (0.05, 0.03, 0.01):
+        plain = design_sleep_transistor(circuit, SleepStyle.HEADER, beta,
+                                        vth_st=st_vth0)
+        aware = design_sleep_transistor(circuit, SleepStyle.HEADER, beta,
+                                        vth_st=st_vth0, nbti_margin=margin)
+        t0 = gated_aged_delay(circuit, plain, profile, 0.0)
+        t10_plain = gated_aged_delay(circuit, plain, profile, TEN_YEARS)
+        t10_aware = gated_aged_delay(circuit, aware, profile, TEN_YEARS)
+        rows.append([
+            pct(beta, 0),
+            f"{plain.aspect_ratio:.0f}",
+            f"{aware.aspect_ratio:.0f} (+{pct(aware.aspect_ratio / plain.aspect_ratio - 1)})",
+            pct(t0.circuit_delay / fresh - 1),
+            pct(t10_plain.circuit_delay / fresh - 1),
+            pct(t10_aware.circuit_delay / fresh - 1),
+        ])
+    print(format_table(
+        ["beta", "(W/L)", "(W/L) NBTI-aware", "penalty t=0",
+         "10y plain", "10y aware"],
+        rows, title="Header sizing sign-off"))
+
+    # Style comparison at beta = 3 %.
+    print()
+    rows = []
+    for style in (SleepStyle.FOOTER, SleepStyle.HEADER, SleepStyle.BOTH):
+        d = design_sleep_transistor(circuit, style, 0.03, vth_st=st_vth0)
+        pt = gated_aged_delay(circuit, d, profile, TEN_YEARS)
+        rows.append([style.value, mv(pt.st_delta_vth) + " mV",
+                     mv(pt.v_st) + " mV",
+                     pct(pt.circuit_delay / fresh - 1)])
+    print(format_table(
+        ["style", "ST dVth @10y", "rail drop @10y", "10y delay vs fresh"],
+        rows, title="Gating style comparison (beta = 3%)"))
+    print(f"\nReference: ungated worst case was "
+          f"{pct(no_st.relative_degradation)} — gating both saves leakage "
+          "and beats it on aging, the paper's Fig. 11 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

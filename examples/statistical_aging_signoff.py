@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Variation-aware aging sign-off (the paper's Fig. 12 discussion).
+
+With process variation, circuit delay is a distribution; with NBTI, the
+whole distribution drifts upward over the product lifetime.  A correct
+timing guard-band covers the aged upper tail, not the fresh one.  This
+example:
+
+1. Monte-Carlo samples per-gate Vth variation over a benchmark,
+2. ages every sample to 3 and 10 years (low-Vth devices age faster,
+   which *compresses* the spread — the [51] compensation effect),
+3. reports mu/sigma per lifetime point and checks the paper's Fig. 12
+   observation: the aged lower 3-sigma bound can exceed the fresh upper
+   3-sigma bound,
+4. derives the guard-band a designer should actually sign off against.
+
+Run:  python examples/statistical_aging_signoff.py
+"""
+
+from repro import OperatingProfile, VariationModel, iscas85, statistical_aging
+from repro.constants import TEN_YEARS, years
+from repro.flow import format_table, ns, pct
+
+
+def main() -> None:
+    circuit = iscas85.load("c880")
+    profile = OperatingProfile.from_ras("1:9", t_standby=400.0)
+    variation = VariationModel(sigma_local=0.010)
+    times = (0.0, years(3.0), TEN_YEARS)
+
+    print(f"Circuit {circuit.name}, RAS {profile.ras_label()}, "
+          f"T_standby {profile.t_standby:.0f} K, "
+          f"sigma(Vth) = {variation.sigma_local * 1e3:.0f} mV local\n")
+
+    result = statistical_aging(circuit, profile, times=times,
+                               n_samples=150, variation=variation, seed=11)
+
+    rows = []
+    labels = ["fresh", "3 years", "10 years"]
+    for k, label in enumerate(labels):
+        rows.append([
+            label,
+            ns(result.mean()[k]),
+            f"{result.std()[k] * 1e12:.2f}",
+            ns(result.lower_3sigma()[k]),
+            ns(result.upper_3sigma()[k]),
+        ])
+    print(format_table(
+        ["lifetime", "mean (ns)", "sigma (ps)", "mu-3s (ns)", "mu+3s (ns)"],
+        rows, title="Delay distribution vs lifetime"))
+
+    aged_idx = 1  # 3 years, as in the paper's Fig. 12 anecdote
+    if result.aging_dominates_variation(0, aged_idx):
+        print("\nFig. 12 reproduced: the 3-year mu-3sigma delay already "
+              "exceeds the fresh\nmu+3sigma delay — aging dominates "
+              "process variation; a fresh-silicon\nguard-band is unsafe.")
+    else:
+        print("\nAging does not yet dominate variation at 3 years in this "
+              "configuration.")
+
+    compression = result.variance_compression(0, -1)
+    print(f"\nSpread compression over 10 years: sigma ratio "
+          f"{compression:.2f} (< 1: fast, low-Vth dies age hardest and "
+          "regress toward the mean, per [51]).")
+
+    guard = result.upper_3sigma()[-1] / result.mean()[0] - 1.0
+    print(f"\nRecommended sign-off guard-band vs fresh mean delay: "
+          f"{pct(guard)} (aged 10-year mu+3sigma).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""From watts to wear-out: thermal profiling feeding the aging model.
+
+The paper's key modeling point is that aging depends on the *pair* of
+mode temperatures, not a single worst-case number.  This example derives
+those temperatures from first principles instead of assuming them:
+
+1. build a processor-class task set (10-130 W, the paper's Fig. 2 band),
+2. run it through the lumped-RC air-cooling model and report the
+   temperature swing,
+3. derive steady-state T_active / T_standby from the mode power draws,
+4. sweep the duty ratio (RAS) and show how the naive worst-case-
+   temperature analysis overestimates the 10-year degradation.
+
+Run:  python examples/thermal_aging_scenario.py
+"""
+
+from repro import OperatingProfile, iscas85
+from repro.constants import TEN_YEARS, kelvin_to_celsius
+from repro.flow import format_table, pct
+from repro.sta import ALL_ZERO, AgingAnalyzer
+from repro.thermal import (
+    ThermalRC,
+    mode_temperatures,
+    random_task_set,
+    task_set_trace,
+    trace_statistics,
+)
+
+
+def main() -> None:
+    rc = ThermalRC()
+    print(f"Thermal network: R = {rc.r_th} K/W, C = {rc.c_th} J/K, "
+          f"ambient {kelvin_to_celsius(rc.t_ambient):.0f} C, "
+          f"settles in ~{rc.settling_time() * 1e3:.0f} ms\n")
+
+    tasks = random_task_set(n_tasks=25, seed=7)
+    _, temps = task_set_trace(tasks, rc)
+    stats = trace_statistics(temps)
+    print(f"Task set of {len(tasks)} tasks "
+          f"({min(t.power for t in tasks):.0f}-"
+          f"{max(t.power for t in tasks):.0f} W): die swings "
+          f"{stats['min_c']:.0f}-{stats['max_c']:.0f} C "
+          "(the paper's Fig. 2 corridor)\n")
+
+    t_active, t_standby = mode_temperatures(active_power=170.0,
+                                            standby_power=4.0, rc=rc)
+    print(f"Mode steady states: active {t_active:.0f} K, "
+          f"standby {t_standby:.0f} K\n")
+
+    circuit = iscas85.load("c1355")
+    analyzer = AgingAnalyzer()
+    rows = []
+    for ras in ("9:1", "1:1", "1:9"):
+        realistic = OperatingProfile.from_ras(ras, t_active=t_active,
+                                              t_standby=t_standby)
+        pessimistic = OperatingProfile.from_ras(ras, t_active=t_active,
+                                                t_standby=t_active)
+        real = analyzer.aged_timing(circuit, realistic, TEN_YEARS,
+                                    standby=ALL_ZERO)
+        pess = analyzer.aged_timing(circuit, pessimistic, TEN_YEARS,
+                                    standby=ALL_ZERO)
+        margin = pess.relative_degradation - real.relative_degradation
+        rows.append([ras, pct(real.relative_degradation),
+                     pct(pess.relative_degradation), pct(margin)])
+    print(format_table(
+        ["RAS", "temperature-aware", "worst-case-temp", "overdesign"],
+        rows,
+        title=f"{circuit.name}: 10-year degradation, two analysis styles"))
+    print("\nThe worst-case-temperature assumption (pre-paper practice) "
+          "overstates the\nguard-band most when the circuit is mostly in "
+          "cool standby — exactly the\npaper's motivation for "
+          "temperature-aware NBTI modeling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — temperature-aware NBTI modeling and standby-leakage mitigation.
+
+A full Python reproduction of Wang et al., "Temperature-aware NBTI
+modeling and the impact of input vector control on performance
+degradation" (DATE 2007; TDSC 2011 extended version), including every
+substrate the paper depends on: PTM-90nm device models, a transistor-
+level standard-cell library, an ISCAS85-profile netlist suite, logic
+simulation and signal probabilities, static timing analysis, a lumped
+thermal model, leakage tables with the stacking effect, input vector
+control, sleep-transistor insertion, and statistical aging.
+
+Quickstart::
+
+    from repro import AnalysisPlatform, OperatingProfile, iscas85
+    from repro.constants import TEN_YEARS
+
+    platform = AnalysisPlatform()
+    circuit = iscas85.load("c432")
+    profile = OperatingProfile.from_ras("1:9", t_standby=330.0)
+    report = platform.analyze_scenario(circuit, profile, TEN_YEARS)
+    print(report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro import constants
+from repro.cells import LeakageTable, Library, build_library
+from repro.core import (
+    DEFAULT_CALIBRATION,
+    DEFAULT_MODEL,
+    DeviceStress,
+    NbtiCalibration,
+    NbtiModel,
+    OperatingProfile,
+)
+from repro.flow import AnalysisPlatform, assign_dual_vth
+from repro.ivc import (
+    compare_alternation,
+    exhaustive_mlv_search,
+    internal_node_potential,
+    probability_based_mlv_search,
+    select_mlv_for_nbti,
+)
+from repro.leakage import expected_leakage, leakage_for_vector
+from repro.netlist import Circuit, Gate, iscas85, load_bench, parse_bench
+from repro.sim import evaluate, propagate_probabilities
+from repro.sleep import (
+    SleepStyle,
+    design_sleep_transistor,
+    fig8_grid,
+    fig9_grid,
+    gated_aged_delay,
+)
+from repro.sta import ALL_ONE, ALL_ZERO, AgingAnalyzer, analyze
+from repro.tech import PTM90, PTM90_HVT, PTM90_LP, Technology
+from repro.thermal import ThermalRC, random_task_set, task_set_trace
+from repro.variation import VariationModel, statistical_aging
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "LeakageTable", "Library", "build_library",
+    "DEFAULT_CALIBRATION", "DEFAULT_MODEL", "DeviceStress",
+    "NbtiCalibration", "NbtiModel", "OperatingProfile",
+    "AnalysisPlatform", "assign_dual_vth",
+    "compare_alternation", "exhaustive_mlv_search",
+    "internal_node_potential", "probability_based_mlv_search",
+    "select_mlv_for_nbti",
+    "expected_leakage", "leakage_for_vector",
+    "Circuit", "Gate", "iscas85", "load_bench", "parse_bench",
+    "evaluate", "propagate_probabilities",
+    "SleepStyle", "design_sleep_transistor", "fig8_grid", "fig9_grid",
+    "gated_aged_delay",
+    "ALL_ONE", "ALL_ZERO", "AgingAnalyzer", "analyze",
+    "PTM90", "PTM90_HVT", "PTM90_LP", "Technology",
+    "ThermalRC", "random_task_set", "task_set_trace",
+    "VariationModel", "statistical_aging",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Transistor-level standard-cell substrate (S2).
+
+Cells are described as series-parallel pull-up/pull-down transistor
+networks, from which logic functions, per-vector leakage (with the
+stacking effect), per-PMOS NBTI stress conditions, and alpha-power delay
+arcs are all derived consistently.
+"""
+
+from repro.cells.network import (
+    Dev,
+    Series,
+    Parallel,
+    SPNode,
+    conducts,
+    devices,
+    network_leakage,
+    stressed_pmos,
+    stress_probabilities,
+    max_series_depth,
+)
+from repro.cells.cell import Cell, Stage
+from repro.cells.library import Library, build_library
+from repro.cells.leakage import LeakageTable, cell_leakage
+from repro.cells.stress import (
+    stress_under_vector,
+    stress_probabilities_for_cell,
+    max_stress_probability,
+    worst_case_vector,
+    best_case_vector,
+)
+
+__all__ = [
+    "Dev", "Series", "Parallel", "SPNode",
+    "conducts", "devices", "network_leakage",
+    "stressed_pmos", "stress_probabilities", "max_series_depth",
+    "Cell", "Stage",
+    "Library", "build_library",
+    "LeakageTable", "cell_leakage",
+    "stress_under_vector", "stress_probabilities_for_cell",
+    "max_stress_probability", "worst_case_vector", "best_case_vector",
+]

@@ -1,0 +1,204 @@
+"""Standard-cell data model: stages, logic evaluation, delay arcs.
+
+A :class:`Cell` is one or more static CMOS :class:`Stage` objects.  Simple
+gates (INV, NAND, NOR, AOI/OAI) are one stage; composed gates (BUF, AND,
+OR, XOR) chain stages through named internal nets.  Keeping the stage
+structure explicit — instead of only a truth table — is what lets the
+library compute per-PMOS NBTI stress, per-vector leakage with stacking,
+and pull-up-network delay arcs from the same description, mirroring how
+the paper characterizes its cells from SPICE netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cells.network import (
+    Bit,
+    SPNode,
+    conducts,
+    devices,
+    max_series_depth,
+)
+from repro.tech.mosfet import Mosfet, alpha_power_delay, threshold_at_temperature
+from repro.tech.ptm import Technology
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One static CMOS stage (complementary pull-up / pull-down pair).
+
+    Attributes:
+        output: name of the net this stage drives.
+        pull_up: PMOS series-parallel network (rail = Vdd).
+        pull_down: NMOS series-parallel network (rail = GND).
+    """
+
+    output: str
+    pull_up: SPNode
+    pull_down: SPNode
+
+    def input_pins(self) -> List[str]:
+        """Gate pins referenced by this stage, in first-seen order."""
+        seen: List[str] = []
+        for m in devices(self.pull_up) + devices(self.pull_down):
+            if m.gate_pin not in seen:
+                seen.append(m.gate_pin)
+        return seen
+
+    def evaluate(self, values: Dict[str, Bit]) -> Bit:
+        """Logic value of the stage output; checks CMOS complementarity."""
+        up = conducts(self.pull_up, values)
+        down = conducts(self.pull_down, values)
+        if up == down:
+            state = "float" if not up else "short"
+            raise RuntimeError(
+                f"stage {self.output!r} is not complementary under {values} ({state})"
+            )
+        return 1 if up else 0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A library cell.
+
+    Attributes:
+        name: library name, e.g. ``"NAND2"``.
+        inputs: ordered external pin names.
+        output: external output pin name (the last stage's output).
+        stages: evaluation-ordered stages; earlier stage outputs may feed
+            later stage gate pins.
+        function: human-readable logic expression, for documentation.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    stages: Tuple[Stage, ...]
+    function: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError(f"cell {self.name}: needs at least one stage")
+        if self.stages[-1].output != self.output:
+            raise ValueError(
+                f"cell {self.name}: last stage drives {self.stages[-1].output!r}, "
+                f"not the declared output {self.output!r}"
+            )
+        internal = {s.output for s in self.stages[:-1]}
+        known = set(self.inputs) | internal
+        for stage in self.stages:
+            missing = [p for p in stage.input_pins() if p not in known]
+            if missing:
+                raise ValueError(
+                    f"cell {self.name}: stage {stage.output!r} references "
+                    f"undriven pins {missing}"
+                )
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, bits: Sequence[Bit]) -> Bit:
+        """Cell output for an input vector (ordered like ``self.inputs``)."""
+        return self.node_values(bits)[self.output]
+
+    def node_values(self, bits: Sequence[Bit]) -> Dict[str, Bit]:
+        """Logic value of every pin and internal net for an input vector."""
+        if len(bits) != len(self.inputs):
+            raise ValueError(
+                f"cell {self.name} expects {len(self.inputs)} inputs, got {len(bits)}"
+            )
+        values: Dict[str, Bit] = dict(zip(self.inputs, bits))
+        for stage in self.stages:
+            values[stage.output] = stage.evaluate(values)
+        return values
+
+    def truth_table(self) -> Dict[Tuple[Bit, ...], Bit]:
+        """Exhaustive truth table (cells are small; 2^n rows)."""
+        table: Dict[Tuple[Bit, ...], Bit] = {}
+        for index in range(2 ** self.n_inputs):
+            vec = tuple((index >> k) & 1 for k in range(self.n_inputs))
+            table[vec] = self.evaluate(vec)
+        return table
+
+    def all_vectors(self) -> List[Tuple[Bit, ...]]:
+        """All input vectors in ascending binary order (bit 0 = first pin)."""
+        return [
+            tuple((index >> k) & 1 for k in range(self.n_inputs))
+            for index in range(2 ** self.n_inputs)
+        ]
+
+    def pmos_devices(self) -> List[Mosfet]:
+        """All PMOS transistors across stages."""
+        result = []
+        for stage in self.stages:
+            result.extend(m for m in devices(stage.pull_up) if m.polarity == "pmos")
+        return result
+
+    def input_capacitance(self, tech: Technology, pin: str) -> float:
+        """Input pin capacitance: sum of gate caps of transistors on ``pin``."""
+        if pin not in self.inputs:
+            raise ValueError(f"cell {self.name} has no input pin {pin!r}")
+        total = 0.0
+        for stage in self.stages:
+            for m in devices(stage.pull_up) + devices(stage.pull_down):
+                if m.gate_pin == pin:
+                    total += tech.gate_cap_per_width * m.w
+        if total == 0.0:
+            raise ValueError(f"cell {self.name}: pin {pin!r} drives no transistor")
+        return total
+
+    def _stage_edge_delay(self, stage: Stage, tech: Technology, load_cap: float,
+                          edge: str, delta_vth_pmos: float,
+                          supply_drop: float, temperature: float) -> float:
+        """Delay of one stage for an output ``edge`` ("rise" or "fall").
+
+        Rising outputs are driven by the pull-up network, so only they see
+        the NBTI Vth shift (eq. 22's mechanism); the sleep-transistor
+        virtual-rail drop (eq. 26) applies to both edges.
+        """
+        if edge == "rise":
+            net, polarity, aged = stage.pull_up, "pmos", delta_vth_pmos
+        elif edge == "fall":
+            net, polarity, aged = stage.pull_down, "nmos", 0.0
+        else:
+            raise ValueError(f"edge must be 'rise' or 'fall', got {edge!r}")
+        ds = devices(net)
+        width = sum(m.w for m in ds) / len(ds)
+        length = ds[0].l
+        vth = threshold_at_temperature(
+            tech.params(polarity), temperature, tech.reference_temperature
+        ) + aged
+        return alpha_power_delay(
+            tech, polarity, load_cap=load_cap, w=width, l=length, vth=vth,
+            series_stack=max_series_depth(net), supply_drop=supply_drop,
+        )
+
+    def delay(self, tech: Technology, load_cap: float, edge: str, *,
+              delta_vth_pmos: float = 0.0, supply_drop: float = 0.0,
+              temperature: float = 300.0, internal_load_cap: float = 2e-16) -> float:
+        """Pin-to-output propagation delay for an output ``edge``.
+
+        Multi-stage cells alternate edge polarity stage by stage; internal
+        stages see a small fixed internal load, the last stage sees
+        ``load_cap``.  ``delta_vth_pmos`` is the worst aged PMOS shift in
+        the cell — the paper takes the largest ΔVth in a gate (Sec. 3.3).
+        """
+        n = len(self.stages)
+        total = 0.0
+        stage_edge = edge
+        # Work backwards: the final stage produces `edge`; each earlier
+        # stage (inverting) produced the opposite edge.
+        edges: List[str] = []
+        for _ in range(n):
+            edges.append(stage_edge)
+            stage_edge = "fall" if stage_edge == "rise" else "rise"
+        edges.reverse()
+        for i, stage in enumerate(self.stages):
+            cap = load_cap if i == n - 1 else internal_load_cap
+            total += self._stage_edge_delay(
+                stage, tech, cap, edges[i], delta_vth_pmos, supply_drop, temperature
+            )
+        return total

@@ -1,0 +1,341 @@
+"""Series-parallel transistor networks and stacking-effect leakage solving.
+
+A static CMOS cell stage is a pull-up PMOS network and a pull-down NMOS
+network, each a series-parallel (SP) composition of transistors.  This
+module provides:
+
+* the SP algebra (:class:`Dev`, :class:`Series`, :class:`Parallel`),
+* logic-level conduction queries (:func:`conducts`),
+* the numerical solver for subthreshold leakage through a *blocking*
+  network (:func:`network_leakage`), which resolves intermediate node
+  voltages so the transistor-stacking effect — the physical basis of
+  input vector control [34], [35] — emerges from the device equations
+  rather than being tabulated.
+
+Voltage convention: all solving happens in "drop space" measured from the
+network's rail.  For a pull-down network the rail is GND and a drop ``x``
+means an absolute node voltage of ``x``; for a pull-up network the rail is
+Vdd and a drop ``x`` means an absolute voltage of ``Vdd - x``.  Series
+children are listed **from the rail toward the output node**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Union
+
+from repro.tech.mosfet import Mosfet, subthreshold_current
+from repro.tech.ptm import Technology
+
+#: Logic levels used throughout: ints 0/1.
+Bit = int
+
+#: Relative tolerance for the series current bisection.
+_SOLVE_TOL = 1e-4
+_MAX_BISECTIONS = 80
+
+
+@dataclass(frozen=True)
+class Dev:
+    """A leaf: one transistor."""
+
+    mosfet: Mosfet
+
+
+@dataclass(frozen=True)
+class Series:
+    """Series composition; ``children`` ordered from rail to output."""
+
+    children: tuple
+
+    def __init__(self, children: Sequence["SPNode"]):
+        if len(children) < 1:
+            raise ValueError("Series requires at least one child")
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Parallel composition of two or more branches."""
+
+    children: tuple
+
+    def __init__(self, children: Sequence["SPNode"]):
+        if len(children) < 1:
+            raise ValueError("Parallel requires at least one child")
+        object.__setattr__(self, "children", tuple(children))
+
+
+SPNode = Union[Dev, Series, Parallel]
+
+
+def devices(node: SPNode) -> List[Mosfet]:
+    """All transistors in the network, in rail-to-output order."""
+    if isinstance(node, Dev):
+        return [node.mosfet]
+    result: List[Mosfet] = []
+    for child in node.children:
+        result.extend(devices(child))
+    return result
+
+
+def _device_on(mosfet: Mosfet, gate_bits: Dict[str, Bit]) -> bool:
+    """Logic-level ON test: NMOS on at gate=1, PMOS on at gate=0."""
+    try:
+        bit = gate_bits[mosfet.gate_pin]
+    except KeyError:
+        raise KeyError(
+            f"no logic value for pin {mosfet.gate_pin!r} driving {mosfet.name}"
+        ) from None
+    if bit not in (0, 1):
+        raise ValueError(f"logic value for {mosfet.gate_pin!r} must be 0/1, got {bit!r}")
+    return bit == 1 if mosfet.polarity == "nmos" else bit == 0
+
+
+def conducts(node: SPNode, gate_bits: Dict[str, Bit]) -> bool:
+    """True when the network provides a fully-ON path rail-to-output."""
+    if isinstance(node, Dev):
+        return _device_on(node.mosfet, gate_bits)
+    if isinstance(node, Series):
+        return all(conducts(c, gate_bits) for c in node.children)
+    return any(conducts(c, gate_bits) for c in node.children)
+
+
+def _gate_abs_voltage(mosfet: Mosfet, gate_bits: Dict[str, Bit], vdd: float) -> float:
+    return vdd if gate_bits[mosfet.gate_pin] == 1 else 0.0
+
+
+def _device_current(mosfet: Mosfet, gate_bits: Dict[str, Bit], tech: Technology,
+                    temperature: float, x_source: float, x_drain: float,
+                    delta_vth: float) -> float:
+    """Subthreshold current of one OFF device given drop-space terminals.
+
+    ``x_source`` is the drop at the rail-side terminal, ``x_drain`` at the
+    output-side terminal, ``x_drain >= x_source``.  The gate-source bias
+    naturally becomes negative as the rail-side node drifts off the rail,
+    which is the stacking effect.
+    """
+    params = tech.params(mosfet.polarity)
+    gate_abs = _gate_abs_voltage(mosfet, gate_bits, tech.vdd)
+    if mosfet.polarity == "nmos":
+        # Absolute source voltage equals the drop.
+        vgs = gate_abs - x_source
+    else:
+        # Pull-up rail is Vdd; absolute source voltage is Vdd - x_source.
+        vgs = (tech.vdd - x_source) - gate_abs
+    vds = x_drain - x_source
+    return subthreshold_current(
+        params, w=mosfet.w, l=mosfet.l, vgs=vgs, vds=vds,
+        temperature=temperature, reference_temperature=tech.reference_temperature,
+        delta_vth=delta_vth,
+    )
+
+
+def _current(node: SPNode, gate_bits: Dict[str, Bit], tech: Technology,
+             temperature: float, x_source: float, x_drain: float,
+             delta_vth: float) -> float:
+    """Current through ``node`` with given terminal drops.
+
+    ON devices are ideal shorts; a fully-ON node must not be queried here
+    (callers collapse shorts first), so an ON leaf raises.
+    """
+    if x_drain < x_source:
+        raise ValueError("drop-space terminals inverted")
+    if isinstance(node, Dev):
+        if _device_on(node.mosfet, gate_bits):
+            raise RuntimeError(
+                f"leakage query on conducting device {node.mosfet.name}"
+            )
+        return _device_current(node.mosfet, gate_bits, tech, temperature,
+                               x_source, x_drain, delta_vth)
+    if isinstance(node, Parallel):
+        total = 0.0
+        for child in node.children:
+            if conducts(child, gate_bits):
+                raise RuntimeError("leakage query on conducting parallel branch")
+            total += _current(child, gate_bits, tech, temperature,
+                              x_source, x_drain, delta_vth)
+        return total
+    # Series: ON children drop ~0 V; distribute the rest by current balance.
+    blocking = [c for c in node.children if not conducts(c, gate_bits)]
+    if not blocking:
+        raise RuntimeError("leakage query on conducting series chain")
+    if len(blocking) == 1:
+        return _current(blocking[0], gate_bits, tech, temperature,
+                        x_source, x_drain, delta_vth)
+    return _solve_series(blocking, gate_bits, tech, temperature,
+                         x_source, x_drain, delta_vth)
+
+
+def _drop_for_current(node: SPNode, gate_bits: Dict[str, Bit], tech: Technology,
+                      temperature: float, x_source: float, target: float,
+                      x_max: float, delta_vth: float) -> float:
+    """Invert a child's I(V): smallest drain drop carrying ``target`` amps.
+
+    The child current is monotone non-decreasing in the drain drop, so a
+    plain bisection in ``[x_source, x_max]`` suffices.  If even the full
+    available drop cannot carry ``target``, returns ``x_max`` (the outer
+    bisection interprets the overshoot).
+    """
+    hi_current = _current(node, gate_bits, tech, temperature, x_source, x_max, delta_vth)
+    if hi_current <= target:
+        return x_max
+    lo, hi = x_source, x_max
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (lo + hi)
+        if _current(node, gate_bits, tech, temperature, x_source, mid, delta_vth) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-9:
+            break
+    return 0.5 * (lo + hi)
+
+
+def _solve_series(blocking: List[SPNode], gate_bits: Dict[str, Bit],
+                  tech: Technology, temperature: float, x_source: float,
+                  x_drain: float, delta_vth: float) -> float:
+    """Current through >= 2 blocking elements in series.
+
+    Outer bisection on the chain current I: walking the chain from the
+    rail and stacking each element's drop-for-I, the terminal drop is
+    monotone increasing in I; find I where it meets ``x_drain``.
+    """
+    span = x_drain - x_source
+    if span <= 0:
+        return 0.0
+    # Upper bound: no element can carry more than it would with the whole
+    # span to itself (its I(V) is non-decreasing and its companions only
+    # steal voltage).
+    i_hi = min(
+        _current(c, gate_bits, tech, temperature, x_source, x_drain, delta_vth)
+        for c in blocking
+    )
+    if i_hi <= 0.0:
+        return 0.0
+    i_lo = 0.0
+
+    def terminal_drop(i: float) -> float:
+        x = x_source
+        for child in blocking:
+            x = _drop_for_current(child, gate_bits, tech, temperature,
+                                  x, i, x_drain, delta_vth)
+            if x >= x_drain:
+                return x
+        return x
+
+    for _ in range(_MAX_BISECTIONS):
+        mid = 0.5 * (i_lo + i_hi)
+        if terminal_drop(mid) < x_drain:
+            i_lo = mid
+        else:
+            i_hi = mid
+        if i_hi - i_lo <= _SOLVE_TOL * i_hi:
+            break
+    return 0.5 * (i_lo + i_hi)
+
+
+def network_leakage(node: SPNode, gate_bits: Dict[str, Bit], tech: Technology,
+                    temperature: float, *, delta_vth: float = 0.0) -> float:
+    """Subthreshold leakage through a blocking network with full Vdd across.
+
+    Args:
+        node: the blocking (non-conducting) pull-up or pull-down network.
+        gate_bits: logic value per gate pin.
+        tech: technology providing device parameters and Vdd.
+        temperature: kelvin.
+        delta_vth: aged threshold shift applied to every device
+            (used in leakage-vs-aging coupling studies).
+
+    Raises:
+        RuntimeError: if the network actually conducts under ``gate_bits``
+            (a static CMOS consistency violation).
+    """
+    if conducts(node, gate_bits):
+        raise RuntimeError("network_leakage called on a conducting network")
+    return _current(node, gate_bits, tech, temperature, 0.0, tech.vdd, delta_vth)
+
+
+def stressed_pmos(node: SPNode, gate_bits: Dict[str, Bit]) -> Set[str]:
+    """Names of PMOS devices under full NBTI stress for this input state.
+
+    A PMOS is stressed when its gate is at 0 **and** its source is held at
+    Vdd — i.e. the rail-side path up to the device conducts.  Devices whose
+    source has floated away from Vdd (blocked further up the stack) are
+    treated as unstressed, the same worst/best-case dichotomy the paper
+    uses.
+    """
+    stressed: Set[str] = set()
+    _walk_stress(node, gate_bits, True, stressed)
+    return stressed
+
+
+def _walk_stress(node: SPNode, gate_bits: Dict[str, Bit], src_hot: bool,
+                 out: Set[str]) -> bool:
+    """Recursive helper; returns whether ``node`` conducts."""
+    if isinstance(node, Dev):
+        on = _device_on(node.mosfet, gate_bits)
+        if node.mosfet.polarity == "pmos" and src_hot and gate_bits[node.mosfet.gate_pin] == 0:
+            out.add(node.mosfet.name)
+        return on
+    if isinstance(node, Series):
+        hot = src_hot
+        all_on = True
+        for child in node.children:
+            child_on = _walk_stress(child, gate_bits, hot, out)
+            hot = hot and child_on
+            all_on = all_on and child_on
+        return all_on
+    any_on = False
+    for child in node.children:
+        any_on |= _walk_stress(child, gate_bits, src_hot, out)
+    return any_on
+
+
+def stress_probabilities(node: SPNode, pin_zero_prob: Dict[str, float]) -> Dict[str, float]:
+    """Per-PMOS stress probability given P(pin = 0) for each input pin.
+
+    Inputs are assumed independent (the standard signal-probability
+    approximation); a stacked PMOS is stressed only when the rail-side
+    chain conducts *and* its own gate is 0, so its probability is the
+    product along the stack.
+    """
+    result: Dict[str, float] = {}
+    _walk_stress_prob(node, pin_zero_prob, 1.0, result)
+    return result
+
+
+def _walk_stress_prob(node: SPNode, pin_zero_prob: Dict[str, float],
+                      p_hot: float, out: Dict[str, float]) -> float:
+    """Returns P(node conducts); accumulates PMOS stress probabilities."""
+    if isinstance(node, Dev):
+        p0 = pin_zero_prob[node.mosfet.gate_pin]
+        if not 0.0 <= p0 <= 1.0:
+            raise ValueError(f"probability for {node.mosfet.gate_pin!r} out of range")
+        if node.mosfet.polarity == "pmos":
+            out[node.mosfet.name] = p_hot * p0
+            return p0
+        return 1.0 - p0
+    if isinstance(node, Series):
+        hot = p_hot
+        p_all = 1.0
+        for child in node.children:
+            p_on = _walk_stress_prob(child, pin_zero_prob, hot, out)
+            hot *= p_on
+            p_all *= p_on
+        return p_all
+    p_none_on = 1.0
+    for child in node.children:
+        p_on = _walk_stress_prob(child, pin_zero_prob, p_hot, out)
+        p_none_on *= 1.0 - p_on
+    return 1.0 - p_none_on
+
+
+def max_series_depth(node: SPNode) -> int:
+    """Worst-case number of series devices between rail and output."""
+    if isinstance(node, Dev):
+        return 1
+    if isinstance(node, Series):
+        return sum(max_series_depth(c) for c in node.children)
+    return max(max_series_depth(c) for c in node.children)

@@ -1,0 +1,94 @@
+"""Per-cell NBTI stress extraction.
+
+NBTI stresses a PMOS whenever its gate sits at 0 with its source at Vdd
+(Vgs = -Vdd).  Two views are needed:
+
+* **Standby** — the circuit holds one static state; each PMOS is either
+  fully stressed or fully relaxed (:func:`stress_under_vector`).
+* **Active** — inputs toggle; each PMOS is stressed for a *fraction* of
+  the time equal to the probability its gate input is 0 (and, for
+  stacked devices, that its source is held at Vdd), which becomes the
+  stress duty cycle of the multicycle AC model
+  (:func:`stress_probabilities_for_cell`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.cells.cell import Cell
+from repro.cells.network import (
+    Bit,
+    stress_probabilities,
+    stressed_pmos,
+    _walk_stress_prob,
+)
+
+
+def stress_under_vector(cell: Cell, bits: Sequence[Bit]) -> Set[str]:
+    """Names of PMOS devices stressed when ``cell`` holds ``bits``."""
+    values = cell.node_values(bits)
+    stressed: Set[str] = set()
+    for stage in cell.stages:
+        stressed |= stressed_pmos(stage.pull_up, values)
+    return stressed
+
+
+def worst_case_vector(cell: Cell) -> Sequence[Bit]:
+    """The input vector stressing the most PMOS devices (ties: lowest)."""
+    best_vec = None
+    best_count = -1
+    for vec in cell.all_vectors():
+        count = len(stress_under_vector(cell, vec))
+        if count > best_count:
+            best_count = count
+            best_vec = vec
+    return best_vec
+
+
+def best_case_vector(cell: Cell) -> Sequence[Bit]:
+    """The input vector stressing the fewest PMOS devices (ties: lowest)."""
+    best_vec = None
+    best_count = None
+    for vec in cell.all_vectors():
+        count = len(stress_under_vector(cell, vec))
+        if best_count is None or count < best_count:
+            best_count = count
+            best_vec = vec
+    return best_vec
+
+
+def stress_probabilities_for_cell(
+        cell: Cell, pin_one_prob: Dict[str, float]) -> Dict[str, float]:
+    """Stress probability of every PMOS in ``cell`` during active mode.
+
+    Args:
+        cell: the library cell.
+        pin_one_prob: P(pin = 1) for each *external* input pin.
+
+    Internal stage outputs get their signal probability from the stage's
+    pull-up conduction probability under the independence assumption, the
+    same approximation the paper's flow uses for internal-node signal
+    probabilities.
+    """
+    p_one: Dict[str, float] = dict(pin_one_prob)
+    missing = [p for p in cell.inputs if p not in p_one]
+    if missing:
+        raise ValueError(f"cell {cell.name}: missing probabilities for {missing}")
+    result: Dict[str, float] = {}
+    for stage in cell.stages:
+        zero_prob = {pin: 1.0 - p_one[pin] for pin in stage.input_pins()}
+        result.update(stress_probabilities(stage.pull_up, zero_prob))
+        # Stage output signal probability = P(pull-up conducts).
+        scratch: Dict[str, float] = {}
+        p_out_one = _walk_stress_prob(stage.pull_up, zero_prob, 0.0, scratch)
+        # Clamp float drift before it feeds the next stage.
+        p_one[stage.output] = min(1.0, max(0.0, p_out_one))
+    return result
+
+
+def max_stress_probability(cell: Cell, pin_one_prob: Dict[str, float]) -> float:
+    """Largest per-PMOS stress probability in the cell (paper Sec. 3.3:
+    the gate's degradation uses its worst device)."""
+    probs = stress_probabilities_for_cell(cell, pin_one_prob)
+    return max(probs.values()) if probs else 0.0

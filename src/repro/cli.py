@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the paper's main analyses a shell-friendly surface:
+
+* ``info``      — netlist statistics and cell mix,
+* ``age``       — temperature-aware aged timing of a circuit,
+* ``mlv``       — leakage/NBTI co-optimized standby vector search,
+* ``sleep``     — sleep-transistor sizing and aged gated timing,
+* ``guardband`` — device-level lifetime guard-band,
+* ``table1``    — the paper's Table 1 dVth grid,
+* ``paths``     — K longest (optionally aged) paths,
+* ``table4``    — internal-node-control potential sweep.
+
+Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
+(``c17``), or a ``.bench`` file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.constants import TEN_YEARS, years
+from repro.core import (
+    DEFAULT_MODEL,
+    WORST_CASE_DEVICE,
+    OperatingProfile,
+    guard_band,
+)
+from repro.flow.report import format_table, mv, ns, pct, ua
+from repro.netlist import iscas85, load_bench, load_packaged
+from repro.netlist.circuit import Circuit
+
+
+def resolve_circuit(name: str) -> Circuit:
+    """Map a CLI circuit argument onto a loaded netlist."""
+    if name in iscas85.SPECS:
+        return iscas85.load(name)
+    try:
+        return load_packaged(name)
+    except FileNotFoundError:
+        pass
+    path = Path(name)
+    if path.exists():
+        return load_bench(path)
+    known = ", ".join(list(iscas85.NAMES) + ["c17"])
+    raise SystemExit(f"error: unknown circuit {name!r} "
+                     f"(known benchmarks: {known}; or pass a .bench path)")
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ras", default="1:9",
+                        help="active:standby ratio (default 1:9)")
+    parser.add_argument("--t-active", type=float, default=400.0,
+                        help="active temperature in K (default 400)")
+    parser.add_argument("--t-standby", type=float, default=330.0,
+                        help="standby temperature in K (default 330)")
+    parser.add_argument("--years", type=float, default=10.0,
+                        help="lifetime horizon in years (default 10)")
+
+
+def _profile_from(args) -> OperatingProfile:
+    return OperatingProfile.from_ras(args.ras, t_active=args.t_active,
+                                     t_standby=args.t_standby)
+
+
+def cmd_info(args) -> int:
+    """``info``: netlist statistics and cell mix."""
+    circuit = resolve_circuit(args.circuit)
+    stats = circuit.stats()
+    print(f"{circuit.name}: {stats['inputs']} inputs, "
+          f"{stats['outputs']} outputs, {stats['gates']} gates, "
+          f"depth {stats['depth']}")
+    rows = [[cell, count] for cell, count in circuit.cell_histogram().items()]
+    print(format_table(["cell", "count"], rows))
+    return 0
+
+
+def cmd_age(args) -> int:
+    """``age``: temperature-aware aged timing of one circuit."""
+    from repro.sta import ALL_ONE, ALL_ZERO, AgingAnalyzer
+    circuit = resolve_circuit(args.circuit)
+    profile = _profile_from(args)
+    analyzer = AgingAnalyzer()
+    standby = {"worst": ALL_ZERO, "best": ALL_ONE}[args.standby]
+    res = analyzer.aged_timing(circuit, profile, years(args.years),
+                               standby=standby)
+    print(f"circuit        : {circuit.name}")
+    print(f"scenario       : RAS {profile.ras_label()}, "
+          f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
+          f"{args.years:g} years, {args.standby}-case standby")
+    print(f"fresh delay    : {ns(res.fresh_delay)} ns")
+    print(f"aged delay     : {ns(res.aged_delay)} ns")
+    print(f"degradation    : {pct(res.relative_degradation)}")
+    print(f"worst gate dVth: {mv(res.max_shift)} mV")
+    return 0
+
+
+def cmd_mlv(args) -> int:
+    """``mlv``: leakage/NBTI co-optimized standby vector."""
+    from repro.flow import AnalysisPlatform
+    circuit = resolve_circuit(args.circuit)
+    profile = _profile_from(args)
+    platform = AnalysisPlatform()
+    report = platform.co_optimize(circuit, profile, years(args.years),
+                                  n_vectors=args.vectors, seed=args.seed,
+                                  max_set_size=args.set_size)
+    chosen = report.selection.chosen
+    bits = "".join(str(b) for b in chosen.bits)
+    print(f"circuit            : {circuit.name}")
+    print(f"chosen MLV         : {bits}")
+    print(f"standby leakage    : {ua(chosen.leakage)} uA "
+          f"({pct(report.leakage_reduction)} below expected)")
+    print(f"aged degradation   : {pct(report.chosen_degradation)}")
+    print(f"MLV set spread     : {pct(report.mlv_delay_spread, 3)} of delay")
+    print(f"vectors evaluated  : {report.search.evaluated}")
+    return 0
+
+
+def cmd_sleep(args) -> int:
+    """``sleep``: sleep-transistor sizing and aged gated timing."""
+    from repro.sleep import (SleepStyle, design_sleep_transistor,
+                             gated_aged_delay, st_vth_shift)
+    from repro.sta import AgingAnalyzer
+    circuit = resolve_circuit(args.circuit)
+    profile = _profile_from(args)
+    style = SleepStyle(args.style)
+    margin = st_vth_shift(args.vth_st, args.ras) if args.nbti_aware else 0.0
+    design = design_sleep_transistor(circuit, style, args.beta,
+                                     vth_st=args.vth_st, nbti_margin=margin)
+    fresh = AgingAnalyzer().aged_timing(circuit, profile, 0.0).fresh_delay
+    t0 = gated_aged_delay(circuit, design, profile, 0.0)
+    t_end = gated_aged_delay(circuit, design, profile, years(args.years))
+    print(f"circuit        : {circuit.name}")
+    print(f"style          : {style.value}, beta {pct(args.beta, 0)}"
+          + (", NBTI-aware sizing" if args.nbti_aware else ""))
+    print(f"(W/L)          : {design.aspect_ratio:.0f}")
+    print(f"rail drop      : {mv(design.v_st)} mV (design), "
+          f"{mv(t_end.v_st)} mV at {args.years:g} years")
+    print(f"delay penalty  : {pct(t0.circuit_delay / fresh - 1)} at t=0, "
+          f"{pct(t_end.circuit_delay / fresh - 1)} at {args.years:g} years")
+    if style.has_header:
+        print(f"header dVth    : {mv(t_end.st_delta_vth)} mV")
+    return 0
+
+
+def cmd_guardband(args) -> int:
+    """``guardband``: device-level lifetime margin."""
+    profile = _profile_from(args)
+    gb = guard_band(profile, WORST_CASE_DEVICE, lifetime=years(args.years),
+                    vth0=args.vth0)
+    print(f"scenario: RAS {profile.ras_label()}, "
+          f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
+          f"Vth0 {args.vth0:g} V")
+    print(gb.summary())
+    return 0
+
+
+def cmd_paths(args) -> int:
+    """``paths``: K longest (optionally aged) paths."""
+    from repro.sta import ALL_ZERO, AgingAnalyzer, enumerate_paths
+    circuit = resolve_circuit(args.circuit)
+    delta = None
+    if args.aged:
+        profile = _profile_from(args)
+        delta = AgingAnalyzer().gate_shifts(circuit, profile,
+                                            years(args.years),
+                                            standby=ALL_ZERO)
+    paths = enumerate_paths(circuit, args.k, delta_vth=delta)
+    rows = []
+    for i, path in enumerate(paths):
+        first, last = path.nodes[0][0], path.nodes[-1][0]
+        rows.append([i + 1, ns(path.delay), len(path.gates),
+                     f"{first} -> {last}"])
+    title = (f"{circuit.name}: {args.k} longest paths"
+             + (" (aged)" if args.aged else " (fresh)"))
+    print(format_table(["#", "delay (ns)", "gates", "endpoints"], rows,
+                       title=title))
+    return 0
+
+
+def cmd_table4(args) -> int:
+    """``table4``: internal-node-control potential sweep."""
+    from repro.ivc import potential_sweep
+    circuit = resolve_circuit(args.circuit)
+    rows = potential_sweep(circuit, (330.0, 350.0, 370.0, 400.0),
+                           ras=args.ras, t_total=years(args.years))
+    printable = [[f"{r.t_standby:.0f} K", pct(r.worst_degradation),
+                  pct(r.best_degradation), pct(r.potential, 1)]
+                 for r in rows]
+    print(format_table(
+        ["T_standby", "worst-case", "best-case", "potential"], printable,
+        title=f"{circuit.name}: internal-node-control potential "
+              f"(RAS {args.ras}, {args.years:g} years)"))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """``table1``: the paper's Table 1 dVth grid."""
+    rows = []
+    ras_list = ("9:1", "5:1", "1:1", "1:5", "1:9")
+    for tst in (330.0, 350.0, 370.0, 400.0):
+        row = [f"{tst:.0f} K"]
+        for ras in ras_list:
+            profile = OperatingProfile.from_ras(ras, t_standby=tst)
+            dv = DEFAULT_MODEL.worst_case_shift(profile, years(args.years),
+                                                args.vth0)
+            row.append(f"{dv * 1e3:6.2f}")
+        rows.append(row)
+    print(format_table(["T_standby \\ RAS"] + list(ras_list), rows,
+                       title=f"dVth (mV) after {args.years:g} years, "
+                             f"T_active = 400 K"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temperature-aware NBTI analysis (Wang et al. "
+                    "DATE'07/TDSC'11 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="netlist statistics")
+    p.add_argument("circuit")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("age", help="temperature-aware aged timing")
+    p.add_argument("circuit")
+    _add_profile_args(p)
+    p.add_argument("--standby", choices=("worst", "best"), default="worst",
+                   help="bounding standby state (default worst)")
+    p.set_defaults(func=cmd_age)
+
+    p = sub.add_parser("mlv", help="leakage/NBTI co-optimized standby vector")
+    p.add_argument("circuit")
+    _add_profile_args(p)
+    p.add_argument("--vectors", type=int, default=48,
+                   help="vectors per search round (default 48)")
+    p.add_argument("--set-size", type=int, default=6,
+                   help="MLV set size (default 6)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_mlv)
+
+    p = sub.add_parser("sleep", help="sleep-transistor sizing + aged timing")
+    p.add_argument("circuit")
+    _add_profile_args(p)
+    p.add_argument("--beta", type=float, default=0.05,
+                   help="delay-penalty budget (default 0.05)")
+    p.add_argument("--style", choices=[s.value for s in
+                                       __import__("repro.sleep",
+                                                  fromlist=["SleepStyle"]
+                                                  ).SleepStyle],
+                   default="header")
+    p.add_argument("--vth-st", type=float, default=0.22, dest="vth_st")
+    p.add_argument("--nbti-aware", action="store_true",
+                   help="apply the eq. 31 end-of-life upsizing")
+    p.set_defaults(func=cmd_sleep)
+
+    p = sub.add_parser("guardband", help="device-level lifetime guard-band")
+    _add_profile_args(p)
+    p.add_argument("--vth0", type=float, default=0.22)
+    p.set_defaults(func=cmd_guardband)
+
+    p = sub.add_parser("table1", help="print the paper's Table 1 grid")
+    p.add_argument("--years", type=float, default=10.0)
+    p.add_argument("--vth0", type=float, default=0.22)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("paths", help="K longest (optionally aged) paths")
+    p.add_argument("circuit")
+    p.add_argument("-k", type=int, default=10, help="paths to list")
+    p.add_argument("--aged", action="store_true",
+                   help="rank by 10-year aged delay")
+    _add_profile_args(p)
+    p.set_defaults(func=cmd_paths)
+
+    p = sub.add_parser("table4", help="internal-node-control potential sweep")
+    p.add_argument("circuit")
+    p.add_argument("--ras", default="1:9")
+    p.add_argument("--years", type=float, default=10.0)
+    p.set_defaults(func=cmd_table4)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Physical constants and unit helpers shared across the library.
+
+All internal quantities use SI units unless a suffix says otherwise:
+volts, amperes, seconds, kelvin, meters.  A few EDA-friendly helpers
+convert to the units the paper reports (mV, nA, ns, years).
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in eV/K (used for Arrhenius factors).
+BOLTZMANN_EV = 8.617333262e-5
+
+#: Elementary charge in coulombs.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Vacuum permittivity in F/m.
+EPSILON_0 = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPSILON_SIO2 = 3.9
+
+#: Reference room temperature in kelvin.
+ROOM_TEMPERATURE = 300.0
+
+#: Seconds in one Julian year.
+SECONDS_PER_YEAR = 3.1536e7
+
+#: The paper's nominal lifetime horizon: ~10 years, quoted as 3.15e8 s.
+TEN_YEARS = 3.15e8
+
+
+def thermal_voltage(temperature: float) -> float:
+    """Return kT/q in volts at ``temperature`` kelvin."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature!r}")
+    return BOLTZMANN_EV * temperature
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert degrees Celsius to kelvin."""
+    return celsius + 273.15
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert kelvin to degrees Celsius."""
+    return kelvin - 273.15
+
+
+def years(n: float) -> float:
+    """Return ``n`` years expressed in seconds."""
+    return n * SECONDS_PER_YEAR
+
+
+def volts_to_millivolts(v: float) -> float:
+    """Convert volts to millivolts."""
+    return v * 1e3
+
+
+def amps_to_nanoamps(i: float) -> float:
+    """Convert amperes to nanoamperes."""
+    return i * 1e9
+
+
+def seconds_to_years(t: float) -> float:
+    """Convert seconds to Julian years."""
+    return t / SECONDS_PER_YEAR

@@ -1,0 +1,72 @@
+"""The paper's primary contribution (S5): temperature-aware NBTI modeling.
+
+Layering, bottom-up:
+
+* :mod:`repro.core.rd_model` — reaction-diffusion device physics
+  (eqs. 1-6) and :mod:`repro.core.rd_numerical`, a finite-difference
+  validation solver for the full system (eqs. 2-4).
+* :mod:`repro.core.multicycle` — Kumar-style multicycle AC recursion and
+  its closed form (eqs. 7-11).
+* :mod:`repro.core.temperature` — the active/standby equivalent-time
+  transformation (eqs. 13-19).
+* :mod:`repro.core.profiles` — RAS ratios and per-device stress specs.
+* :mod:`repro.core.calibration` — K_V pinned to the paper's Fig. 8
+  anchors (eqs. 12, 23).
+* :mod:`repro.core.aging` — the :class:`NbtiModel` facade.
+"""
+
+from repro.core.rd_model import (
+    DEFAULT_RD,
+    RDParameters,
+    interface_traps_after_recovery,
+    interface_traps_dc,
+    nit_prefactor,
+    recovery_fraction,
+)
+from repro.core.multicycle import (
+    ac_to_dc_ratio,
+    cycles_to_converge,
+    delta_factor,
+    s_closed_form,
+    s_first,
+    s_sequence,
+)
+from repro.core.temperature import (
+    ModeTimes,
+    diffusivity_ratio,
+    equivalent_duty,
+    equivalent_times,
+)
+from repro.core.profiles import (
+    BEST_CASE_DEVICE,
+    WORST_CASE_DEVICE,
+    DeviceStress,
+    OperatingProfile,
+)
+from repro.core.calibration import (
+    DEFAULT_CALIBRATION,
+    NbtiCalibration,
+    calibrate_from_anchors,
+)
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.lifetime import (
+    GuardBand,
+    bisect_lifetime,
+    guard_band,
+    time_to_degradation,
+    time_to_vth_shift,
+)
+
+__all__ = [
+    "DEFAULT_RD", "RDParameters",
+    "interface_traps_after_recovery", "interface_traps_dc",
+    "nit_prefactor", "recovery_fraction",
+    "ac_to_dc_ratio", "cycles_to_converge", "delta_factor",
+    "s_closed_form", "s_first", "s_sequence",
+    "ModeTimes", "diffusivity_ratio", "equivalent_duty", "equivalent_times",
+    "BEST_CASE_DEVICE", "WORST_CASE_DEVICE", "DeviceStress", "OperatingProfile",
+    "DEFAULT_CALIBRATION", "NbtiCalibration", "calibrate_from_anchors",
+    "DEFAULT_MODEL", "NbtiModel",
+    "GuardBand", "bisect_lifetime", "guard_band",
+    "time_to_degradation", "time_to_vth_shift",
+]

@@ -1,0 +1,135 @@
+"""The temperature-aware NBTI aging model (facade over eqs. 5-19).
+
+:class:`NbtiModel` turns an operating profile (RAS + mode temperatures),
+a per-device stress description, and a lifetime into a threshold shift:
+
+1. expand the macro-cycle into stress/recovery times per mode
+   (:class:`~repro.core.profiles.DeviceStress`),
+2. map standby-mode stress onto equivalent active-temperature stress via
+   the diffusivity ratio (eq. 17; recovery unscaled per the paper),
+3. form the equivalent duty cycle and period (eqs. 18-19),
+4. evaluate the multicycle model — closed form by default, exact
+   recursion on request (eqs. 9-12).
+
+The model is deliberately independent of the circuit machinery: the STA
+layer feeds it per-gate duties; Fig. 3/4 and Table 1 use it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.calibration import DEFAULT_CALIBRATION, NbtiCalibration
+from repro.core.multicycle import s_closed_form, s_sequence
+from repro.core.profiles import DeviceStress, OperatingProfile
+from repro.core.temperature import equivalent_duty, equivalent_times
+
+
+@dataclass(frozen=True)
+class NbtiModel:
+    """Temperature-aware NBTI threshold-shift model.
+
+    Attributes:
+        calibration: the constants of eq. (12)/(23); defaults to the
+            Fig. 8-anchored set.
+        scale_recovery: ablation switch A1 — also scale recovery time by
+            the diffusivity ratio (the paper does not).
+    """
+
+    calibration: NbtiCalibration = DEFAULT_CALIBRATION
+    scale_recovery: bool = False
+
+    # -- core evaluations ---------------------------------------------------
+
+    def delta_vth_dc(self, t: float, temperature: float,
+                     vth0: Optional[float] = None) -> float:
+        """DC-stress shift ``K_V(T) t^(1/4)`` (volts): the Fig. 1 upper
+        bound and the static-NBTI comparison curve."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        vth0 = self.calibration.vth_ref if vth0 is None else vth0
+        return self.calibration.kv(vth0, temperature) * t ** 0.25
+
+    def equivalent_duty(self, profile: OperatingProfile,
+                        device: DeviceStress) -> tuple:
+        """(c_eq, tau_eq seconds) for one macro-cycle, eqs. (17)-(19)."""
+        times = device.mode_times(profile)
+        return equivalent_duty(times, profile.t_active, profile.t_standby,
+                               self.calibration.ed,
+                               scale_recovery=self.scale_recovery)
+
+    def delta_vth(self, profile: OperatingProfile, device: DeviceStress,
+                  t_total: float, vth0: Optional[float] = None) -> float:
+        """Threshold shift (volts) after ``t_total`` seconds of the
+        active/standby pattern — the closed-form path used everywhere.
+
+        The closed form depends only on the *total equivalent stress
+        time* and the equivalent duty cycle, not on the macro-period.
+        """
+        if t_total < 0:
+            raise ValueError("time must be non-negative")
+        vth0 = self.calibration.vth_ref if vth0 is None else vth0
+        c_eq, tau_eq = self.equivalent_duty(profile, device)
+        if c_eq <= 0.0 or tau_eq <= 0.0:
+            return 0.0
+        n_cycles = t_total / profile.period
+        # S in units of tau_eq^(1/4): dVth = K_V * S * tau_eq^(1/4).
+        s = s_closed_form(c_eq, n_cycles)
+        kv = self.calibration.kv(vth0, profile.t_active)
+        return kv * s * tau_eq ** 0.25
+
+    def delta_vth_series(self, profile: OperatingProfile, device: DeviceStress,
+                         times: Sequence[float],
+                         vth0: Optional[float] = None) -> np.ndarray:
+        """Vectorized :meth:`delta_vth` over sample instants (volts)."""
+        return np.array([self.delta_vth(profile, device, t, vth0)
+                         for t in times])
+
+    def delta_vth_recursive(self, profile: OperatingProfile,
+                            device: DeviceStress, n_cycles: int,
+                            vth0: Optional[float] = None) -> np.ndarray:
+        """Cycle-exact shift after each of ``n_cycles`` macro-cycles.
+
+        Uses the eq. (10) recursion on the equivalent duty/period; this
+        is the reference the closed form is checked against (A2).
+        """
+        vth0 = self.calibration.vth_ref if vth0 is None else vth0
+        c_eq, tau_eq = self.equivalent_duty(profile, device)
+        if c_eq <= 0.0 or tau_eq <= 0.0:
+            return np.zeros(n_cycles)
+        s = s_sequence(c_eq, n_cycles)
+        kv = self.calibration.kv(vth0, profile.t_active)
+        return kv * s * tau_eq ** 0.25
+
+    # -- convenience wrappers used by the experiments -----------------------
+
+    def worst_case_shift(self, profile: OperatingProfile, t_total: float,
+                         vth0: Optional[float] = None,
+                         active_duty: float = 0.5) -> float:
+        """Paper's worst case: SP-``active_duty`` activity, parked at 0."""
+        device = DeviceStress(active_stress_duty=active_duty,
+                              standby_stressed=True)
+        return self.delta_vth(profile, device, t_total, vth0)
+
+    def best_case_shift(self, profile: OperatingProfile, t_total: float,
+                        vth0: Optional[float] = None,
+                        active_duty: float = 0.5) -> float:
+        """Paper's best case: same activity, parked at 1 (relaxing)."""
+        device = DeviceStress(active_stress_duty=active_duty,
+                              standby_stressed=False)
+        return self.delta_vth(profile, device, t_total, vth0)
+
+    def sleep_transistor_shift(self, profile: OperatingProfile,
+                               t_total: float, vth0: float) -> float:
+        """PMOS header sleep transistor: gate at 0 whenever the circuit
+        is active (DC stress at T_active), gate at 1 in standby.  The
+        Fig. 8 configuration."""
+        device = DeviceStress(active_stress_duty=1.0, standby_stressed=False)
+        return self.delta_vth(profile, device, t_total, vth0)
+
+
+#: Shared default model instance.
+DEFAULT_MODEL = NbtiModel()

@@ -1,0 +1,127 @@
+"""Lifetime and guard-band solvers: inverting the aging model.
+
+Design questions run the model backwards: *how long* until the circuit
+eats its timing margin, or *how much* margin must be reserved for a
+target lifetime?  The closed-form model makes the inversion exact:
+
+    dVth(t) = K (c_eq * r * t / (1 + delta))^(1/4)
+    =>  t   = (dVth / K')^4
+
+so both solvers are algebraic, with a bisection fallback for any
+future model whose closed form is not invertible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import TEN_YEARS, seconds_to_years
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.profiles import DeviceStress, OperatingProfile
+
+#: Search ceiling for the bisection fallback: 1000 years.
+_MAX_LIFETIME = 1000 * 3.1536e7
+
+
+def time_to_vth_shift(target_shift: float, profile: OperatingProfile,
+                      device: DeviceStress, vth0: Optional[float] = None,
+                      model: NbtiModel = DEFAULT_MODEL) -> float:
+    """Seconds of operation until dVth reaches ``target_shift`` volts.
+
+    Returns ``inf`` if the device never stresses (zero duty everywhere).
+
+    The t^(1/4) law makes this exact: if one second produces x, then
+    ``target`` needs ``(target/x)^4`` seconds.
+    """
+    if target_shift <= 0:
+        raise ValueError("target shift must be positive")
+    unit = model.delta_vth(profile, device, 1.0, vth0)
+    if unit <= 0.0:
+        return float("inf")
+    return (target_shift / unit) ** 4
+
+
+def time_to_degradation(target_fraction: float, profile: OperatingProfile,
+                        device: DeviceStress, *,
+                        vth0: Optional[float] = None,
+                        model: NbtiModel = DEFAULT_MODEL,
+                        vdd: float = 1.0, alpha: float = 2.0) -> float:
+    """Seconds until the eq. (22) gate-delay degradation reaches
+    ``target_fraction`` (e.g. 0.05 for a 5 % timing margin).
+
+    Uses the worst-device view: the gate's degradation equals
+    ``alpha * dVth / (Vdd - Vth0)``, so the margin maps to a dVth budget
+    and then to a time via :func:`time_to_vth_shift`.
+    """
+    if target_fraction <= 0:
+        raise ValueError("target degradation must be positive")
+    vth = model.calibration.vth_ref if vth0 is None else vth0
+    overdrive = vdd - vth
+    if overdrive <= 0:
+        raise ValueError("no gate overdrive")
+    budget = target_fraction * overdrive / alpha
+    return time_to_vth_shift(budget, profile, device, vth0, model)
+
+
+@dataclass(frozen=True)
+class GuardBand:
+    """A timing guard-band recommendation.
+
+    Attributes:
+        lifetime: target lifetime (seconds).
+        vth_shift: worst-device dVth at that lifetime (volts).
+        delay_margin: fractional delay margin to reserve (eq. 22 on the
+            worst device — conservative for full circuits, whose
+            critical path mixes stressed and relaxed gates).
+    """
+
+    lifetime: float
+    vth_shift: float
+    delay_margin: float
+
+    def summary(self) -> str:
+        """One-line human-readable recommendation."""
+        return (f"{seconds_to_years(self.lifetime):.1f}-year lifetime: "
+                f"reserve {self.delay_margin * 100:.2f} % delay margin "
+                f"(worst device dVth {self.vth_shift * 1e3:.1f} mV)")
+
+
+def guard_band(profile: OperatingProfile, device: DeviceStress, *,
+               lifetime: float = TEN_YEARS,
+               vth0: Optional[float] = None,
+               model: NbtiModel = DEFAULT_MODEL,
+               vdd: float = 1.0, alpha: float = 2.0) -> GuardBand:
+    """The margin a designer should reserve for ``lifetime`` seconds."""
+    if lifetime < 0:
+        raise ValueError("lifetime must be non-negative")
+    vth = model.calibration.vth_ref if vth0 is None else vth0
+    shift = model.delta_vth(profile, device, lifetime, vth)
+    margin = alpha * shift / (vdd - vth)
+    return GuardBand(lifetime=lifetime, vth_shift=shift, delay_margin=margin)
+
+
+def bisect_lifetime(predicate, lo: float = 1.0, hi: float = _MAX_LIFETIME,
+                    tolerance: float = 0.01, max_iterations: int = 200
+                    ) -> float:
+    """Generic fallback: smallest t in [lo, hi] where ``predicate(t)``.
+
+    ``predicate`` must be monotone (False below the crossing, True
+    above), as every aging metric here is.  Returns ``inf`` when the
+    predicate never fires inside the window.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if predicate(lo):
+        return lo
+    if not predicate(hi):
+        return float("inf")
+    for _ in range(max_iterations):
+        mid = (lo * hi) ** 0.5  # geometric: lifetimes span decades
+        if predicate(mid):
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo <= 1.0 + tolerance:
+            break
+    return hi

@@ -1,0 +1,129 @@
+"""Operating profiles: the RAS ratio and mode temperatures.
+
+The paper parameterizes every experiment by
+
+* ``RAS`` — the ratio of active to standby time (written "1:5", "9:1"),
+* ``T_active`` / ``T_standby`` — steady-state mode temperatures,
+
+plus, per PMOS device, the active-mode stress duty (from signal
+probabilities) and the standby parked state (from the standby vector).
+:class:`OperatingProfile` bundles the circuit-level knobs;
+:class:`DeviceStress` the per-device ones.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.temperature import ModeTimes
+
+_RAS_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*[:/]\s*(\d+(?:\.\d+)?)\s*$")
+
+
+@dataclass(frozen=True)
+class OperatingProfile:
+    """Circuit operating conditions.
+
+    Attributes:
+        active_fraction: fraction of wall-clock time in active mode
+            (RAS = 1:9 -> 0.1, RAS = 9:1 -> 0.9).
+        t_active: active-mode steady-state temperature (K).
+        t_standby: standby-mode steady-state temperature (K).
+        period: macro-cycle duration in seconds (one active+standby
+            round); only the exact-recursion path depends on it.
+    """
+
+    active_fraction: float
+    t_active: float = 400.0
+    t_standby: float = 330.0
+    period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.active_fraction <= 1.0:
+            raise ValueError("active_fraction must be in [0, 1]")
+        if self.t_active <= 0 or self.t_standby <= 0:
+            raise ValueError("temperatures must be positive kelvin")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @classmethod
+    def from_ras(cls, ras: str, t_active: float = 400.0,
+                 t_standby: float = 330.0, period: float = 1.0
+                 ) -> "OperatingProfile":
+        """Build from the paper's RAS notation, e.g. ``"1:5"`` or ``"9/1"``."""
+        m = _RAS_RE.match(ras)
+        if not m:
+            raise ValueError(f"cannot parse RAS ratio {ras!r} (want 'a:s')")
+        active, standby = float(m.group(1)), float(m.group(2))
+        if active < 0 or standby < 0 or active + standby == 0:
+            raise ValueError(f"degenerate RAS ratio {ras!r}")
+        return cls(active_fraction=active / (active + standby),
+                   t_active=t_active, t_standby=t_standby, period=period)
+
+    @property
+    def standby_fraction(self) -> float:
+        return 1.0 - self.active_fraction
+
+    def ras_label(self) -> str:
+        """Human-readable RAS form, reduced over small integers."""
+        a, s = self.active_fraction, self.standby_fraction
+        for denom in range(1, 100):
+            if (abs(a * denom - round(a * denom)) < 1e-9
+                    and abs(s * denom - round(s * denom)) < 1e-9):
+                return f"{round(a * denom)}:{round(s * denom)}"
+        return f"{a:.2f}:{s:.2f}"
+
+    def isothermal(self) -> bool:
+        """True when active and standby share one temperature."""
+        return self.t_active == self.t_standby
+
+
+@dataclass(frozen=True)
+class DeviceStress:
+    """Per-PMOS stress description.
+
+    Attributes:
+        active_stress_duty: fraction of active time with gate at 0 and
+            source at Vdd (signal-probability product for stacked
+            devices).
+        standby_stressed: standby-mode stress fraction.  ``True``/
+            ``False`` (a single parked state) or a float in [0, 1] — the
+            fraction of standby periods the device is parked stressed,
+            which is how Abella-style MLV alternation [23] spreads
+            degradation across devices.
+    """
+
+    active_stress_duty: float
+    standby_stressed: "float | bool"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.active_stress_duty <= 1.0:
+            raise ValueError("active_stress_duty must be in [0, 1]")
+        if not 0.0 <= float(self.standby_stressed) <= 1.0:
+            raise ValueError("standby stress fraction must be in [0, 1]")
+
+    @property
+    def standby_fraction(self) -> float:
+        """Standby stress fraction as a float."""
+        return float(self.standby_stressed)
+
+    def mode_times(self, profile: OperatingProfile) -> ModeTimes:
+        """Expand into one macro-cycle's stress/recovery split (seconds)."""
+        t_act = profile.active_fraction * profile.period
+        t_st = profile.standby_fraction * profile.period
+        frac = self.standby_fraction
+        return ModeTimes(
+            stress_active=self.active_stress_duty * t_act,
+            recovery_active=(1.0 - self.active_stress_duty) * t_act,
+            stress_standby=frac * t_st,
+            recovery_standby=(1.0 - frac) * t_st,
+        )
+
+
+#: The paper's default device condition: SP = 0.5 while active, parked
+#: at 0 (worst case) during standby.
+WORST_CASE_DEVICE = DeviceStress(active_stress_duty=0.5, standby_stressed=True)
+
+#: Best case: same activity, parked at 1 (relaxing) during standby.
+BEST_CASE_DEVICE = DeviceStress(active_stress_duty=0.5, standby_stressed=False)

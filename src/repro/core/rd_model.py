@@ -1,0 +1,104 @@
+"""Reaction-diffusion (R-D) NBTI device model (paper eqs. 1-6).
+
+The paper adopts the Stathis/Zafar R-D picture [3]: negative gate bias
+dissociates Si-H bonds at the Si/SiO2 interface (rate ``k_f``), freed
+hydrogen diffuses into the oxide (coefficient ``D_H``), and some hydrogen
+re-passivates traps (rate ``k_r``).  Under quasi-equilibrium with an
+effectively infinite oxide the trap density grows as
+
+    N_it(t) = 1.16 * sqrt(k_f N_0 / k_r) * (D_H t)^(1/4)          (eq. 5)
+
+and when stress is removed after ``t_stress`` it relaxes as
+
+    N_it(t) = N_it0 / (1 + sqrt(t / t_stress))                    (eq. 6)
+
+All three rates are Arrhenius in temperature (eqs. 13-15); because
+``E_f ~ E_r``, the overall activation reduces to the H-diffusion term,
+``E_A ~ E_D / 4`` (eq. 16, [47]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import BOLTZMANN_EV
+
+
+@dataclass(frozen=True)
+class RDParameters:
+    """Physical parameters of the reaction-diffusion system.
+
+    Attributes:
+        n0: initial interface Si-H bond density (cm^-2).
+        kf0 / ef: bond-dissociation rate pre-factor (1/s) and activation
+            energy (eV).
+        kr0 / er: re-passivation rate pre-factor and activation (eV).
+        dh0 / ed: H diffusion pre-factor (cm^2/s) and activation (eV).
+            ``ed`` carries essentially all the temperature dependence of
+            N_it (eq. 16); 0.49 eV is the molecular-hydrogen value [47].
+    """
+
+    n0: float = 5.0e12
+    kf0: float = 3.0e2
+    ef: float = 0.20
+    kr0: float = 2.0e-2
+    er: float = 0.20
+    dh0: float = 1.0e-3
+    ed: float = 0.49
+
+    def kf(self, temperature: float) -> float:
+        """Dissociation rate at ``temperature`` (1/s)."""
+        return self.kf0 * math.exp(-self.ef / (BOLTZMANN_EV * temperature))
+
+    def kr(self, temperature: float) -> float:
+        """Annealing (re-passivation) rate at ``temperature`` (1/s)."""
+        return self.kr0 * math.exp(-self.er / (BOLTZMANN_EV * temperature))
+
+    def dh(self, temperature: float) -> float:
+        """H diffusion coefficient at ``temperature`` (cm^2/s)."""
+        return self.dh0 * math.exp(-self.ed / (BOLTZMANN_EV * temperature))
+
+    def activation_energy(self) -> float:
+        """Overall N_it activation energy, eq. (16): E_D/4 + (E_f-E_r)/2."""
+        return 0.25 * self.ed + 0.5 * (self.ef - self.er)
+
+
+#: Default parameter set used throughout the library.
+DEFAULT_RD = RDParameters()
+
+
+def nit_prefactor(temperature: float, params: RDParameters = DEFAULT_RD) -> float:
+    """The ``A`` in ``N_it = A t^(1/4)`` (cm^-2 s^-1/4), eq. (5)."""
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    return 1.16 * math.sqrt(params.kf(temperature) * params.n0 /
+                            params.kr(temperature)) * params.dh(temperature) ** 0.25
+
+
+def interface_traps_dc(t: float, temperature: float,
+                       params: RDParameters = DEFAULT_RD) -> float:
+    """DC-stress interface trap density after ``t`` seconds, eq. (5)."""
+    if t < 0:
+        raise ValueError("time must be non-negative")
+    return nit_prefactor(temperature, params) * t ** 0.25
+
+
+def recovery_fraction(t_recovery: float, t_stress: float) -> float:
+    """Surviving fraction of traps after recovery, eq. (6).
+
+    ``N_it(t)/N_it0 = 1 / (1 + sqrt(t_recovery / t_stress))``.
+    """
+    if t_stress <= 0:
+        raise ValueError("stress time must be positive")
+    if t_recovery < 0:
+        raise ValueError("recovery time must be non-negative")
+    return 1.0 / (1.0 + math.sqrt(t_recovery / t_stress))
+
+
+def interface_traps_after_recovery(t_recovery: float, t_stress: float,
+                                   temperature: float,
+                                   params: RDParameters = DEFAULT_RD) -> float:
+    """One stress phase followed by one relaxation phase (eqs. 5 + 6)."""
+    return (interface_traps_dc(t_stress, temperature, params)
+            * recovery_fraction(t_recovery, t_stress))

@@ -1,0 +1,105 @@
+"""Temperature-aware equivalent-time transformation (paper eqs. 13-19).
+
+The paper's central modeling move: the circuit alternates between an
+active mode at ``T_active`` (~400 K) and a standby mode at ``T_standby``
+(~330 K).  Because the interface-trap temperature dependence reduces to
+the H-diffusion coefficient (eq. 16), stress time spent at ``T_standby``
+is equivalent to a *shorter* stress at ``T_active``, scaled by the
+diffusivity ratio:
+
+    t'_standby = t_standby * D(T_standby) / D(T_active)           (eq. 17)
+
+Recovery, by contrast, is treated as temperature-insensitive — the paper
+observes "the temperature has negligible effect on NBTI relaxation
+phase" (Table 4 discussion) — so recovery time enters unscaled.  The
+``scale_recovery`` flag exists to run the A1 ablation that drops this
+assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.constants import BOLTZMANN_EV
+
+
+def diffusivity_ratio(t_from: float, t_to: float, ed: float) -> float:
+    """``D(t_from) / D(t_to)`` for an Arrhenius diffusivity.
+
+    < 1 when ``t_from`` is the cooler temperature (standby), which is
+    what shrinks standby-mode stress.
+    """
+    if t_from <= 0 or t_to <= 0:
+        raise ValueError("temperatures must be positive kelvin")
+    if ed < 0:
+        raise ValueError("activation energy must be non-negative")
+    return math.exp(-(ed / BOLTZMANN_EV) * (1.0 / t_from - 1.0 / t_to))
+
+
+@dataclass(frozen=True)
+class ModeTimes:
+    """Stress/recovery split of one macro-cycle, per mode, in seconds
+    (or any consistent unit — only ratios and products matter).
+
+    ``stress_active`` is the time the device spends gate-0 while the
+    circuit is active (signal-probability driven); ``stress_standby`` is
+    its standby-mode stress time (0 or the whole standby interval,
+    depending on the parked state).
+    """
+
+    stress_active: float
+    recovery_active: float
+    stress_standby: float
+    recovery_standby: float
+
+    def __post_init__(self) -> None:
+        for field in ("stress_active", "recovery_active",
+                      "stress_standby", "recovery_standby"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.total() <= 0:
+            raise ValueError("macro-cycle must have positive duration")
+
+    def total(self) -> float:
+        """Macro-cycle duration (sum of all four intervals)."""
+        return (self.stress_active + self.recovery_active
+                + self.stress_standby + self.recovery_standby)
+
+
+def equivalent_times(times: ModeTimes, t_active: float, t_standby: float,
+                     ed: float, scale_recovery: bool = False
+                     ) -> Tuple[float, float]:
+    """Map a two-temperature macro-cycle onto equivalent times at
+    ``t_active`` (eq. 17 and its recovery analogue).
+
+    Returns:
+        (t_eq_stress, t_eq_recovery) in the same unit as ``times``.
+    """
+    ratio = diffusivity_ratio(t_standby, t_active, ed)
+    t_eq_stress = times.stress_active + times.stress_standby * ratio
+    if scale_recovery:
+        t_eq_recovery = times.recovery_active + times.recovery_standby * ratio
+    else:
+        t_eq_recovery = times.recovery_active + times.recovery_standby
+    return t_eq_stress, t_eq_recovery
+
+
+def equivalent_duty(times: ModeTimes, t_active: float, t_standby: float,
+                    ed: float, scale_recovery: bool = False
+                    ) -> Tuple[float, float]:
+    """Equivalent duty cycle and period, eqs. (18)-(19).
+
+    Returns:
+        (c_eq, tau_eq): ``c_eq = t_eq_stress / (t_eq_stress + t_eq_rec)``
+        and the equivalent period ``tau_eq`` (same unit as ``times``).
+        A cycle with no stress at all returns ``(0.0, tau_eq)``.
+    """
+    t_s, t_r = equivalent_times(times, t_active, t_standby, ed, scale_recovery)
+    tau_eq = t_s + t_r
+    if tau_eq <= 0:
+        # Entire cycle was standby stress scaled to ~nothing; treat as
+        # a vanishing cycle with zero duty.
+        return 0.0, 0.0
+    return t_s / tau_eq, tau_eq

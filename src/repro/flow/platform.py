@@ -1,0 +1,176 @@
+"""The NBTI/leakage analysis and optimization platform (paper Fig. 6).
+
+One facade wires the whole flow together, mirroring the paper's block
+diagram:
+
+* active mode: input signal probabilities -> internal-node SPs ->
+  per-PMOS stress duty cycles;
+* standby mode: logic simulation of the parked vector -> internal node
+  states -> per-PMOS standby stress;
+* the temperature-aware transistor-level NBTI model -> per-gate dVth;
+* timing calculation (STA) -> aged circuit delay;
+* input-vector-aware leakage lookup tables -> standby leakage;
+* input vector generation (the Fig. 7 MLV search) closing the
+  leakage/NBTI co-optimization loop.
+
+"Because the inputs of our flow include circuit netlists, technology
+libraries, and NBTI modelings, this flow can deal with different
+circuits under different technology libraries and NBTI models" — all
+three are constructor parameters here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cells.leakage import LeakageTable
+from repro.cells.library import Library, build_library
+from repro.constants import TEN_YEARS
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.profiles import OperatingProfile
+from repro.ivc.mlv import (
+    MLVSearchResult,
+    NbtiAwareSelection,
+    probability_based_mlv_search,
+    select_mlv_for_nbti,
+)
+from repro.leakage.circuit import expected_leakage, leakage_for_vector
+from repro.netlist.circuit import Circuit
+from repro.sim.vectors import bits_to_vector
+from repro.sta.degradation import ALL_ZERO, AgingAnalyzer, StandbyStates
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """One circuit under one operating scenario.
+
+    All delays in seconds, leakages in amperes, degradations fractional.
+    """
+
+    circuit_name: str
+    profile: OperatingProfile
+    lifetime: float
+    fresh_delay: float
+    aged_delay: float
+    degradation: float
+    active_leakage_expected: float
+    standby_leakage: Optional[float]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"circuit            : {self.circuit_name}",
+            f"RAS                : {self.profile.ras_label()}",
+            f"T_active/T_standby : {self.profile.t_active:.0f} K / "
+            f"{self.profile.t_standby:.0f} K",
+            f"fresh delay        : {self.fresh_delay * 1e9:.4f} ns",
+            f"aged delay         : {self.aged_delay * 1e9:.4f} ns "
+            f"(+{self.degradation * 100:.2f} % after "
+            f"{self.lifetime / 3.15e7:.1f} y)",
+            f"expected leakage   : {self.active_leakage_expected * 1e6:.2f} uA",
+        ]
+        if self.standby_leakage is not None:
+            lines.append(
+                f"standby leakage    : {self.standby_leakage * 1e6:.2f} uA")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CoOptimizationReport:
+    """Outcome of the leakage/NBTI co-optimization loop (Fig. 6 + 7)."""
+
+    circuit_name: str
+    search: MLVSearchResult
+    selection: NbtiAwareSelection
+    expected_leakage: float
+
+    @property
+    def chosen_leakage(self) -> float:
+        return self.selection.chosen.leakage
+
+    @property
+    def leakage_reduction(self) -> float:
+        """Standby leakage saved vs the expected (unparked) leakage."""
+        if self.expected_leakage == 0:
+            return 0.0
+        return 1.0 - self.chosen_leakage / self.expected_leakage
+
+    @property
+    def chosen_degradation(self) -> float:
+        return self.selection.chosen.relative_degradation
+
+    @property
+    def mlv_delay_spread(self) -> float:
+        return self.selection.mlv_delay_spread
+
+
+class AnalysisPlatform:
+    """The Fig. 6 platform: analysis + co-optimization entry points.
+
+    Args:
+        library: standard-cell library (a technology binding).
+        model: NBTI model (swap for ablations).
+        leakage_temperature: temperature of the leakage lookup tables
+            (the paper characterizes leakage at 400 K).
+    """
+
+    def __init__(self, library: Optional[Library] = None,
+                 model: NbtiModel = DEFAULT_MODEL,
+                 leakage_temperature: float = 400.0):
+        self.library = library or build_library()
+        self.model = model
+        self.leakage_temperature = leakage_temperature
+        self.analyzer = AgingAnalyzer(library=self.library, model=model)
+        self._leakage_table: Optional[LeakageTable] = None
+
+    @property
+    def leakage_table(self) -> LeakageTable:
+        """The per-cell leakage lookup table, built on first use."""
+        if self._leakage_table is None:
+            self._leakage_table = LeakageTable.build(
+                self.library, self.leakage_temperature)
+        return self._leakage_table
+
+    def analyze_scenario(self, circuit: Circuit, profile: OperatingProfile,
+                         lifetime: float = TEN_YEARS, *,
+                         standby: StandbyStates = ALL_ZERO) -> ScenarioReport:
+        """Joint timing-degradation + leakage view of one scenario."""
+        timing = self.analyzer.aged_timing(circuit, profile, lifetime,
+                                           standby=standby)
+        active_leak = expected_leakage(circuit, self.leakage_table,
+                                       library=self.library)
+        standby_leak = None
+        if isinstance(standby, dict):
+            standby_leak = leakage_for_vector(circuit, standby,
+                                              self.leakage_table, self.library)
+        return ScenarioReport(
+            circuit_name=circuit.name,
+            profile=profile,
+            lifetime=lifetime,
+            fresh_delay=timing.fresh_delay,
+            aged_delay=timing.aged_delay,
+            degradation=timing.relative_degradation,
+            active_leakage_expected=active_leak,
+            standby_leakage=standby_leak,
+        )
+
+    def co_optimize(self, circuit: Circuit, profile: OperatingProfile,
+                    lifetime: float = TEN_YEARS, *,
+                    n_vectors: int = 64, max_set_size: int = 8,
+                    range_fraction: float = 0.04,
+                    seed: int = 0) -> CoOptimizationReport:
+        """The full loop: MLV search, then NBTI-aware MLV selection."""
+        search = probability_based_mlv_search(
+            circuit, self.leakage_table, n_vectors=n_vectors,
+            range_fraction=range_fraction, max_set_size=max_set_size,
+            seed=seed, library=self.library)
+        selection = select_mlv_for_nbti(circuit, search, profile, lifetime,
+                                        self.analyzer)
+        return CoOptimizationReport(
+            circuit_name=circuit.name,
+            search=search,
+            selection=selection,
+            expected_leakage=expected_leakage(circuit, self.leakage_table,
+                                              library=self.library),
+        )

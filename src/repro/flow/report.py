@@ -1,0 +1,56 @@
+"""Plain-text table formatting shared by the benchmark harness.
+
+Every bench prints the same rows/series the paper reports; this module
+keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified as-is; pre-format floats at the call site so
+    each bench controls its own precision.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(x: float, digits: int = 2) -> str:
+    """Format a fraction as a percent string."""
+    return f"{x * 100:.{digits}f}%"
+
+
+def mv(x: float, digits: int = 1) -> str:
+    """Format volts as millivolts."""
+    return f"{x * 1e3:.{digits}f}"
+
+
+def ns(x: float, digits: int = 4) -> str:
+    """Format seconds as nanoseconds."""
+    return f"{x * 1e9:.{digits}f}"
+
+
+def ua(x: float, digits: int = 2) -> str:
+    """Format amperes as microamperes."""
+    return f"{x * 1e6:.{digits}f}"

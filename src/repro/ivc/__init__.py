@@ -1,0 +1,46 @@
+"""Input vector control and internal node control (S9)."""
+
+from repro.ivc.mlv import (
+    MLVRecord,
+    MLVSearchResult,
+    MLVTimingRecord,
+    NbtiAwareSelection,
+    exhaustive_mlv_search,
+    probability_based_mlv_search,
+    select_mlv_for_nbti,
+)
+from repro.ivc.internal_node import (
+    InternalNodePotential,
+    internal_node_potential,
+    potential_sweep,
+)
+from repro.ivc.alternation import AlternationComparison, compare_alternation
+from repro.ivc.nbti_vector import (
+    TradeoffPoint,
+    VectorSearchResult,
+    leakage_aging_tradeoff,
+    probability_search,
+    search_min_degradation_vector,
+)
+from repro.ivc.control_points import (
+    ControlPointResult,
+    census_gain,
+    count_stressed_devices,
+    greedy_census_points,
+    greedy_control_points,
+    insert_control_points,
+    select_stress_positive_nets,
+)
+
+__all__ = [
+    "MLVRecord", "MLVSearchResult", "MLVTimingRecord", "NbtiAwareSelection",
+    "exhaustive_mlv_search", "probability_based_mlv_search",
+    "select_mlv_for_nbti",
+    "InternalNodePotential", "internal_node_potential", "potential_sweep",
+    "AlternationComparison", "compare_alternation",
+    "TradeoffPoint", "VectorSearchResult", "leakage_aging_tradeoff",
+    "probability_search", "search_min_degradation_vector",
+    "ControlPointResult", "census_gain", "count_stressed_devices",
+    "greedy_census_points", "greedy_control_points",
+    "insert_control_points", "select_stress_positive_nets",
+]

@@ -1,0 +1,227 @@
+"""Minimum-leakage-vector (MLV) search: the paper's Fig. 7 algorithm.
+
+Finding the true MLV is NP-complete [31-33]; the paper uses a
+probability-based heuristic:
+
+0. generate N random input vectors;
+1. keep an *MLV set*: vectors whose leakage is within a given range of
+   the set's minimum (the paper uses 4 % of total circuit leakage);
+2. for each primary input, estimate P(1) as its frequency of 1s inside
+   the MLV set;
+3. generate new vectors from those probabilities;
+4. evaluate and merge them into the MLV set;
+5. stop when every probability has converged to ~0 or ~1.
+
+An exhaustive search is provided for small circuits (used to validate
+the heuristic), plus the NBTI-aware final selection of Sec. 4.3: among
+the near-minimum-leakage MLV set, pick the vector whose *aged* circuit
+delay is smallest — the leakage/NBTI co-optimization.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.leakage import LeakageTable
+from repro.cells.library import Library
+from repro.constants import TEN_YEARS
+from repro.core.profiles import OperatingProfile
+from repro.leakage.circuit import leakage_for_vector
+from repro.netlist.circuit import Circuit
+from repro.sim.logic import default_library
+from repro.sim.vectors import all_vectors, bits_to_vector, vector_to_bits
+from repro.sta.degradation import AgingAnalyzer
+
+
+@dataclass(frozen=True)
+class MLVRecord:
+    """One candidate standby vector and its leakage."""
+
+    bits: Tuple[int, ...]
+    leakage: float
+
+
+@dataclass
+class MLVSearchResult:
+    """Outcome of an MLV-set search.
+
+    Attributes:
+        records: near-minimum vectors, ascending by leakage.
+        iterations: probability-update rounds executed.
+        converged: whether every PI probability reached ~0/1.
+        evaluated: total number of leakage evaluations.
+    """
+
+    records: List[MLVRecord]
+    iterations: int
+    converged: bool
+    evaluated: int
+
+    @property
+    def best(self) -> MLVRecord:
+        return self.records[0]
+
+    def leakage_spread(self) -> float:
+        """(max - min) leakage inside the returned set, amperes."""
+        return self.records[-1].leakage - self.records[0].leakage
+
+
+def _filter_set(records: Dict[Tuple[int, ...], float],
+                range_fraction: float, max_keep: int) -> List[MLVRecord]:
+    """Keep vectors within ``range_fraction`` of the minimum leakage."""
+    best = min(records.values())
+    kept = [MLVRecord(bits, leak) for bits, leak in records.items()
+            if leak <= best * (1.0 + range_fraction)]
+    kept.sort(key=lambda r: (r.leakage, r.bits))
+    return kept[:max_keep]
+
+
+def probability_based_mlv_search(
+        circuit: Circuit, table: LeakageTable, *,
+        n_vectors: int = 64,
+        range_fraction: float = 0.04,
+        max_iterations: int = 30,
+        convergence_margin: float = 0.05,
+        max_set_size: int = 16,
+        seed: int = 0,
+        library: Optional[Library] = None) -> MLVSearchResult:
+    """The Fig. 7 probability-based MLV-set selection.
+
+    Args:
+        n_vectors: vectors generated per round (the paper's N).
+        range_fraction: MLV-set leakage window relative to the minimum
+            (the paper keeps vectors "within four percent of the total
+            circuit leakage").
+        convergence_margin: a PI probability within this margin of 0 or
+            1 counts as converged (line 5 of the pseudocode).
+        max_set_size: cap on the returned MLV set.
+
+    Returns:
+        :class:`MLVSearchResult` with the MLV set ascending by leakage.
+    """
+    if n_vectors < 2:
+        raise ValueError("need at least two vectors per round")
+    if not 0.0 < range_fraction < 1.0:
+        raise ValueError("range_fraction must be in (0, 1)")
+    library = library or default_library()
+    rng = random.Random(seed)
+    pis = circuit.primary_inputs
+
+    seen: Dict[Tuple[int, ...], float] = {}
+
+    def evaluate_bits(bits: Tuple[int, ...]) -> None:
+        if bits not in seen:
+            seen[bits] = leakage_for_vector(
+                circuit, bits_to_vector(circuit, bits), table, library)
+
+    # Line 0: initial random population.
+    for _ in range(n_vectors):
+        evaluate_bits(tuple(rng.randint(0, 1) for _ in pis))
+
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        mlv_set = _filter_set(seen, range_fraction, max_keep=max(n_vectors, 64))
+        # Line 2: per-PI probability of 1 inside the MLV set.
+        probs = []
+        for k in range(len(pis)):
+            ones = sum(r.bits[k] for r in mlv_set)
+            probs.append(ones / len(mlv_set))
+        # Line 5/6: convergence when all probabilities are saturated.
+        if all(p <= convergence_margin or p >= 1.0 - convergence_margin
+               for p in probs):
+            converged = True
+            break
+        # Lines 3-4: new vectors from the learned distribution.
+        for _ in range(n_vectors):
+            bits = tuple(1 if rng.random() < p else 0 for p in probs)
+            evaluate_bits(bits)
+
+    final = _filter_set(seen, range_fraction, max_keep=max_set_size)
+    return MLVSearchResult(records=final, iterations=iterations,
+                           converged=converged, evaluated=len(seen))
+
+
+def exhaustive_mlv_search(circuit: Circuit, table: LeakageTable,
+                          range_fraction: float = 0.04,
+                          max_set_size: int = 16,
+                          library: Optional[Library] = None
+                          ) -> MLVSearchResult:
+    """Exact MLV set by full enumeration (small circuits only)."""
+    library = library or default_library()
+    seen: Dict[Tuple[int, ...], float] = {}
+    for vector in all_vectors(circuit):
+        bits = vector_to_bits(circuit, vector)
+        seen[bits] = leakage_for_vector(circuit, vector, table, library)
+    final = _filter_set(seen, range_fraction, max_set_size)
+    return MLVSearchResult(records=final, iterations=1, converged=True,
+                           evaluated=len(seen))
+
+
+@dataclass(frozen=True)
+class MLVTimingRecord:
+    """Aged-timing evaluation of one MLV (one Table 3 candidate)."""
+
+    bits: Tuple[int, ...]
+    leakage: float
+    aged_delay: float
+    relative_degradation: float
+
+
+@dataclass
+class NbtiAwareSelection:
+    """Result of the leakage/NBTI co-selection over an MLV set.
+
+    ``chosen`` minimizes aged delay among near-minimum-leakage vectors —
+    "MLV that simultaneously achieves the minimum circuit performance
+    degradation and the maximum leakage reduction rate" (Sec. 4.3.1).
+    """
+
+    circuit_name: str
+    fresh_delay: float
+    records: List[MLVTimingRecord]
+
+    @property
+    def chosen(self) -> MLVTimingRecord:
+        return min(self.records, key=lambda r: (r.aged_delay, r.bits))
+
+    @property
+    def worst_in_set(self) -> MLVTimingRecord:
+        return max(self.records, key=lambda r: (r.aged_delay, r.bits))
+
+    @property
+    def mlv_delay_spread(self) -> float:
+        """Table 3's "MLV diff": degradation spread across the MLV set,
+        as a fraction of the fresh circuit delay."""
+        return ((self.worst_in_set.aged_delay - self.chosen.aged_delay)
+                / self.fresh_delay)
+
+
+def select_mlv_for_nbti(circuit: Circuit, mlv: MLVSearchResult,
+                        profile: OperatingProfile,
+                        t_total: float = TEN_YEARS,
+                        analyzer: Optional[AgingAnalyzer] = None,
+                        ) -> NbtiAwareSelection:
+    """Evaluate aged timing for every MLV in the set and co-select.
+
+    Each vector is logic-simulated to fix the standby internal state,
+    then the temperature-aware aged STA runs with that state.
+    """
+    if not mlv.records:
+        raise ValueError("empty MLV set")
+    analyzer = analyzer or AgingAnalyzer()
+    records: List[MLVTimingRecord] = []
+    fresh_delay = None
+    for record in mlv.records:
+        vector = bits_to_vector(circuit, record.bits)
+        result = analyzer.aged_timing(circuit, profile, t_total,
+                                      standby=vector)
+        fresh_delay = result.fresh_delay
+        records.append(MLVTimingRecord(
+            bits=record.bits, leakage=record.leakage,
+            aged_delay=result.aged_delay,
+            relative_degradation=result.relative_degradation))
+    return NbtiAwareSelection(circuit_name=circuit.name,
+                              fresh_delay=fresh_delay, records=records)

@@ -1,0 +1,15 @@
+"""Circuit-level leakage estimation (S8)."""
+
+from repro.leakage.circuit import (
+    expected_leakage,
+    leakage_bounds_sampled,
+    leakage_for_states,
+    leakage_for_vector,
+)
+
+__all__ = [
+    "expected_leakage",
+    "leakage_bounds_sampled",
+    "leakage_for_states",
+    "leakage_for_vector",
+]

@@ -1,0 +1,76 @@
+"""Circuit-level standby leakage (substrate S8, paper eq. 24).
+
+Sums per-gate leakage-table lookups over the standby state of the whole
+netlist.  Two views:
+
+* :func:`leakage_for_states` — one concrete standby state (a parked MLV),
+* :func:`expected_leakage` — probability-weighted over input statistics,
+  eq. (24)'s ``sum I_l(v, IN) Prob(v, IN)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cells.leakage import LeakageTable
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.sim.logic import default_library, evaluate
+from repro.sim.probability import propagate_probabilities
+
+
+def leakage_for_states(circuit: Circuit, states: Dict[str, int],
+                       table: LeakageTable) -> float:
+    """Total leakage (amperes) with every net parked at ``states``.
+
+    Raises:
+        KeyError: if a gate input net has no state.
+    """
+    total = 0.0
+    for gate in circuit.gates.values():
+        bits = tuple(states[net] for net in gate.inputs)
+        total += table.lookup(gate.cell, bits)
+    return total
+
+
+def leakage_for_vector(circuit: Circuit, pi_vector: Dict[str, int],
+                       table: LeakageTable,
+                       library: Optional[Library] = None) -> float:
+    """Total leakage with the circuit parked at a primary-input vector."""
+    states = evaluate(circuit, pi_vector, library or default_library())
+    return leakage_for_states(circuit, states, table)
+
+
+def expected_leakage(circuit: Circuit, table: LeakageTable,
+                     pi_one_prob: Optional[Dict[str, float]] = None,
+                     library: Optional[Library] = None) -> float:
+    """Probability-weighted circuit leakage, eq. (24).
+
+    Uses analytically propagated signal probabilities and per-gate pin
+    independence — the paper's lookup-table estimator.
+    """
+    library = library or default_library()
+    probs = propagate_probabilities(circuit, pi_one_prob, library)
+    total = 0.0
+    for gate in circuit.gates.values():
+        pin_probs = [probs[net] for net in gate.inputs]
+        total += table.expected_leakage(gate.cell, pin_probs)
+    return total
+
+
+def leakage_bounds_sampled(circuit: Circuit, table: LeakageTable,
+                           n_vectors: int = 256, seed: int = 0,
+                           library: Optional[Library] = None
+                           ) -> Dict[str, float]:
+    """Min/max/mean leakage over a random vector sample.
+
+    A quick profiling helper used in reports: the min is an upper bound
+    on the true MLV leakage.
+    """
+    from repro.sim.vectors import random_vectors
+    if n_vectors < 1:
+        raise ValueError("need at least one vector")
+    values = [leakage_for_vector(circuit, v, table, library)
+              for v in random_vectors(circuit, n_vectors, seed)]
+    return {"min": min(values), "max": max(values),
+            "mean": sum(values) / len(values)}

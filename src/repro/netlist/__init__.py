@@ -1,0 +1,30 @@
+"""Gate-level netlist substrate (S3): circuit DAG, bench I/O, benchmarks."""
+
+from repro.netlist.circuit import Circuit, CircuitError, Gate
+from repro.netlist.bench import (
+    BenchParseError,
+    load_bench,
+    load_packaged,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+from repro.netlist.generators import (
+    alu_circuit,
+    array_multiplier,
+    ecc_circuit,
+    expand_xors,
+    priority_controller,
+    random_logic,
+)
+from repro.netlist.graph_export import from_networkx, to_networkx
+from repro.netlist import iscas85
+
+__all__ = [
+    "Circuit", "CircuitError", "Gate",
+    "BenchParseError", "load_bench", "load_packaged", "parse_bench", "save_bench", "write_bench",
+    "alu_circuit", "array_multiplier", "ecc_circuit", "expand_xors",
+    "priority_controller", "random_logic",
+    "from_networkx", "to_networkx",
+    "iscas85",
+]

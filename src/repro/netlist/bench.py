@@ -1,0 +1,221 @@
+"""ISCAS ``.bench`` format parser and writer.
+
+The published ISCAS85 benchmarks circulate in the ``.bench`` netlist
+format::
+
+    # c17
+    INPUT(1)
+    ...
+    OUTPUT(22)
+    10 = NAND(1, 3)
+
+This module parses that format into a :class:`~repro.netlist.circuit.Circuit`
+and maps the generic ISCAS gate types onto our standard-cell library,
+tree-decomposing gates whose fan-in exceeds the library maximum of 4
+(real ISCAS85 circuits contain up to 9-input gates).  A writer emits the
+same format so generated circuits round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.netlist.circuit import Circuit, CircuitError, Gate
+
+#: ISCAS gate keyword -> (library cell stem, inverting?).
+_GATE_TYPES = {
+    "AND": ("AND", False),
+    "NAND": ("NAND", True),
+    "OR": ("OR", False),
+    "NOR": ("NOR", True),
+    "XOR": ("XOR", False),
+    "XNOR": ("XNOR", False),
+    "NOT": ("INV", True),
+    "INV": ("INV", True),
+    "BUF": ("BUF", False),
+    "BUFF": ("BUF", False),
+}
+
+_MAX_FANIN = 4
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]]+)\s*=\s*(?P<type>[A-Za-z]+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<net>[\w.\[\]]+)\s*\)\s*$",
+                    re.IGNORECASE)
+
+
+class BenchParseError(Exception):
+    """Raised on malformed ``.bench`` input, with a line number."""
+
+
+def _decompose_wide(out: str, stem: str, inverting: bool, ins: List[str],
+                    gates: List[Gate], counter: List[int]) -> None:
+    """Map one possibly-wide ISCAS gate onto library cells.
+
+    Fan-in <= 4 maps directly.  Wider gates become a balanced reduction:
+    the non-inverting core (AND/OR) absorbs chunks of 4, and the final
+    cell carries the inversion if the gate was NAND/NOR.  XOR/XNOR wider
+    than 2 become XOR chains (XNOR chain parity handled by a final XNOR).
+    """
+    if stem in ("INV", "BUF"):
+        if len(ins) != 1:
+            raise BenchParseError(f"{out}: {stem} takes exactly one input")
+        gates.append(Gate(out, stem, ins))
+        return
+    if stem in ("XOR", "XNOR"):
+        if len(ins) < 2:
+            raise BenchParseError(f"{out}: {stem} needs >= 2 inputs")
+        nets = list(ins)
+        while len(nets) > 2:
+            counter[0] += 1
+            mid = f"{out}_x{counter[0]}"
+            gates.append(Gate(mid, "XOR2", nets[:2]))
+            nets = [mid] + nets[2:]
+        gates.append(Gate(out, f"{stem}2", nets))
+        return
+    if len(ins) < 2:
+        # Single-input AND/OR degenerate to a buffer (NAND/NOR to INV).
+        gates.append(Gate(out, "INV" if inverting else "BUF", ins))
+        return
+    base = "AND" if stem in ("AND", "NAND") else "OR"
+    nets = list(ins)
+    while len(nets) > _MAX_FANIN:
+        chunk, nets = nets[:_MAX_FANIN], nets[_MAX_FANIN:]
+        counter[0] += 1
+        mid = f"{out}_r{counter[0]}"
+        gates.append(Gate(mid, f"{base}{len(chunk)}", chunk))
+        nets.insert(0, mid)
+    final_stem = stem if stem in ("AND", "OR", "NAND", "NOR") else base
+    gates.append(Gate(out, f"{final_stem}{len(nets)}", nets))
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a :class:`Circuit`.
+
+    Raises:
+        BenchParseError: on syntax errors (message carries line number).
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    counter = [0]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io = _IO_RE.match(line)
+        if io:
+            (inputs if io.group("kind").upper() == "INPUT" else outputs).append(
+                io.group("net"))
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise BenchParseError(f"line {lineno}: cannot parse {raw.strip()!r}")
+        gtype = m.group("type").upper()
+        if gtype == "DFF":
+            raise BenchParseError(
+                f"line {lineno}: sequential element DFF not supported "
+                "(ISCAS85 circuits are combinational)")
+        if gtype not in _GATE_TYPES:
+            raise BenchParseError(f"line {lineno}: unknown gate type {gtype!r}")
+        ins = [s.strip() for s in m.group("ins").split(",") if s.strip()]
+        if not ins:
+            raise BenchParseError(f"line {lineno}: gate with no inputs")
+        stem, inverting = _GATE_TYPES[gtype]
+        _decompose_wide(m.group("out"), stem, inverting, ins, gates, counter)
+    try:
+        return Circuit(name, inputs, outputs, gates)
+    except CircuitError as exc:
+        raise BenchParseError(f"structural error: {exc}") from exc
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Parse a ``.bench`` file; circuit named after the file stem."""
+    p = Path(path)
+    return parse_bench(p.read_text(), name=p.stem)
+
+
+def load_packaged(name: str) -> Circuit:
+    """Load a ``.bench`` netlist bundled with the package.
+
+    Currently ships ``c17`` (the original, public-domain smallest
+    ISCAS85 circuit); drop further originals into
+    ``repro/netlist/data/`` and they become loadable by stem.
+
+    Raises:
+        FileNotFoundError: for names without a bundled netlist.
+    """
+    data_dir = Path(__file__).parent / "data"
+    path = data_dir / f"{name}.bench"
+    if not path.exists():
+        available = sorted(p.stem for p in data_dir.glob("*.bench"))
+        raise FileNotFoundError(
+            f"no bundled netlist {name!r}; available: {available}")
+    return load_bench(path)
+
+
+#: Library cell -> ``.bench`` keyword for the writer.
+_CELL_TO_BENCH = {
+    "INV": "NOT", "BUF": "BUFF",
+    "AND2": "AND", "AND3": "AND", "AND4": "AND",
+    "OR2": "OR", "OR3": "OR", "OR4": "OR",
+    "NAND2": "NAND", "NAND3": "NAND", "NAND4": "NAND",
+    "NOR2": "NOR", "NOR3": "NOR", "NOR4": "NOR",
+    "XOR2": "XOR", "XNOR2": "XNOR",
+}
+
+
+def _complex_cell_lines(gate: Gate) -> List[str]:
+    """Decompose an AOI/OAI instance into ``.bench``-writable logic.
+
+    The decomposition is logically exact; it is only used for export
+    (the in-memory circuit keeps the complex cell and its timing).
+    """
+    ins = gate.inputs
+    w = f"{gate.name}_w"
+    if gate.cell == "AOI21":
+        return [f"{w}1 = AND({ins[0]}, {ins[1]})",
+                f"{gate.name} = NOR({w}1, {ins[2]})"]
+    if gate.cell == "AOI22":
+        return [f"{w}1 = AND({ins[0]}, {ins[1]})",
+                f"{w}2 = AND({ins[2]}, {ins[3]})",
+                f"{gate.name} = NOR({w}1, {w}2)"]
+    if gate.cell == "OAI21":
+        return [f"{w}1 = OR({ins[0]}, {ins[1]})",
+                f"{gate.name} = NAND({w}1, {ins[2]})"]
+    if gate.cell == "OAI22":
+        return [f"{w}1 = OR({ins[0]}, {ins[1]})",
+                f"{w}2 = OR({ins[2]}, {ins[3]})",
+                f"{gate.name} = NAND({w}1, {w}2)"]
+    raise ValueError(
+        f"cell {gate.cell!r} of gate {gate.name!r} has no .bench keyword")
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text.
+
+    Complex cells (AOI/OAI) have no ``.bench`` keyword and are exported
+    as their exact AND/OR + NOR/NAND decomposition.
+    """
+    lines = [f"# {circuit.name}", ""]
+    lines += [f"INPUT({pi})" for pi in circuit.primary_inputs]
+    lines.append("")
+    lines += [f"OUTPUT({po})" for po in circuit.primary_outputs]
+    lines.append("")
+    for gname in circuit.topological_order():
+        gate = circuit.gates[gname]
+        keyword = _CELL_TO_BENCH.get(gate.cell)
+        if keyword is None:
+            lines.extend(_complex_cell_lines(gate))
+        else:
+            lines.append(f"{gate.name} = {keyword}({', '.join(gate.inputs)})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_bench(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write ``circuit`` to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,191 @@
+"""Gate-level combinational circuit model (substrate S3).
+
+A :class:`Circuit` is the directed acyclic graph of Sec. 3.3: vertices
+are library-cell instances, edges are named nets.  Following ISCAS
+``.bench`` convention, each gate is named after the net it drives, so a
+net name is either a primary-input name or a gate name.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cells.library import Library
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance.
+
+    Attributes:
+        name: the net this gate drives (unique in the circuit).
+        cell: library cell name (e.g. ``"NAND2"``).
+        inputs: driving net names, ordered to match the cell's pins.
+    """
+
+    name: str
+    cell: str
+    inputs: Tuple[str, ...]
+
+    def __init__(self, name: str, cell: str, inputs: Sequence[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "cell", cell)
+        object.__setattr__(self, "inputs", tuple(inputs))
+        if not name:
+            raise ValueError("gate needs a name")
+        if not self.inputs:
+            raise ValueError(f"gate {name!r} needs at least one input")
+
+
+class CircuitError(Exception):
+    """Structural problem in a circuit (cycle, undriven net, bad arity)."""
+
+
+class Circuit:
+    """A combinational netlist.
+
+    Args:
+        name: circuit name (e.g. ``"c432"``).
+        primary_inputs: ordered PI net names.
+        primary_outputs: ordered PO net names (each must be a gate or PI).
+        gates: gate instances; evaluation order is derived, not assumed.
+    """
+
+    def __init__(self, name: str, primary_inputs: Sequence[str],
+                 primary_outputs: Sequence[str], gates: Iterable[Gate]):
+        self.name = name
+        self.primary_inputs: Tuple[str, ...] = tuple(primary_inputs)
+        self.primary_outputs: Tuple[str, ...] = tuple(primary_outputs)
+        self.gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self.gates:
+                raise CircuitError(f"duplicate gate {gate.name!r}")
+            if gate.name in self.primary_inputs:
+                raise CircuitError(f"gate {gate.name!r} collides with a primary input")
+            self.gates[gate.name] = gate
+        self._check_structure()
+        self._topo_cache: Optional[List[str]] = None
+
+    # -- structure ---------------------------------------------------------
+
+    def _check_structure(self) -> None:
+        pi_set = set(self.primary_inputs)
+        if len(pi_set) != len(self.primary_inputs):
+            raise CircuitError("duplicate primary input names")
+        drivers = pi_set | set(self.gates)
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in drivers:
+                    raise CircuitError(f"gate {gate.name!r} reads undriven net {net!r}")
+        for po in self.primary_outputs:
+            if po not in drivers:
+                raise CircuitError(f"primary output {po!r} is undriven")
+
+    @property
+    def nets(self) -> Set[str]:
+        """All net names: primary inputs plus every gate output."""
+        return set(self.primary_inputs) | set(self.gates)
+
+    def n_gates(self) -> int:
+        """Number of gate instances."""
+        return len(self.gates)
+
+    def fanout(self) -> Dict[str, List[str]]:
+        """Map net -> gate names reading it (POs not included)."""
+        result: Dict[str, List[str]] = {net: [] for net in self.nets}
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                result[net].append(gate.name)
+        return result
+
+    def topological_order(self) -> List[str]:
+        """Gate names in dependency order (Kahn's algorithm).
+
+        Raises:
+            CircuitError: if the netlist contains a combinational cycle.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indegree: Dict[str, int] = {}
+        for gate in self.gates.values():
+            indegree[gate.name] = sum(1 for net in gate.inputs if net in self.gates)
+        consumers = self.fanout()
+        ready = deque(sorted(g for g, d in indegree.items() if d == 0))
+        order: List[str] = []
+        while ready:
+            g = ready.popleft()
+            order.append(g)
+            for consumer in consumers.get(g, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.gates):
+            stuck = sorted(set(self.gates) - set(order))[:5]
+            raise CircuitError(f"combinational cycle involving {stuck}")
+        self._topo_cache = order
+        return list(order)
+
+    def levels(self) -> Dict[str, int]:
+        """Logic level of each net: PIs at 0, gates at 1 + max(input levels)."""
+        level: Dict[str, int] = {pi: 0 for pi in self.primary_inputs}
+        for name in self.topological_order():
+            gate = self.gates[name]
+            level[name] = 1 + max(level[net] for net in gate.inputs)
+        return level
+
+    def depth(self) -> int:
+        """Maximum logic level across all nets."""
+        lv = self.levels()
+        return max(lv.values()) if lv else 0
+
+    def validate(self, library: Library) -> None:
+        """Check every gate maps to a library cell with matching arity.
+
+        Raises:
+            CircuitError: on unknown cells or arity mismatches.
+        """
+        for gate in self.gates.values():
+            if gate.cell not in library:
+                raise CircuitError(f"gate {gate.name!r}: unknown cell {gate.cell!r}")
+            expected = library.get(gate.cell).n_inputs
+            if len(gate.inputs) != expected:
+                raise CircuitError(
+                    f"gate {gate.name!r}: cell {gate.cell} expects {expected} "
+                    f"inputs, got {len(gate.inputs)}"
+                )
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """Count of instances per cell name."""
+        hist: Dict[str, int] = {}
+        for gate in self.gates.values():
+            hist[gate.cell] = hist.get(gate.cell, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used in reports and generator tests."""
+        return {
+            "inputs": len(self.primary_inputs),
+            "outputs": len(self.primary_outputs),
+            "gates": self.n_gates(),
+            "depth": self.depth(),
+        }
+
+    def transitive_fanin(self, nets: Sequence[str]) -> Set[str]:
+        """All nets (gates and PIs) in the fan-in cone of ``nets``."""
+        seen: Set[str] = set()
+        stack = list(nets)
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            gate = self.gates.get(net)
+            if gate is not None:
+                stack.extend(gate.inputs)
+        return seen
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, inputs={len(self.primary_inputs)}, "
+                f"outputs={len(self.primary_outputs)}, gates={len(self.gates)})")

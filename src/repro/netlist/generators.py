@@ -1,0 +1,412 @@
+"""Deterministic structural circuit generators.
+
+The paper's workloads are the ISCAS85 benchmarks synthesized onto a 90 nm
+library.  The exact netlists are not redistributable, so these generators
+produce circuits with the published profile (I/O counts, gate counts,
+function family) — see DESIGN.md substitution 1.  Real ``.bench``
+netlists can be dropped in through :mod:`repro.netlist.bench` at any
+time.
+
+Everything here is deterministic: structural generators are pure, and
+:func:`random_logic` derives all choices from an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit, Gate
+
+
+class _Netlist:
+    """Mutable builder accumulating gates with unique names."""
+
+    def __init__(self, prefix: str = "g"):
+        self.gates: List[Gate] = []
+        self._prefix = prefix
+        self._n = 0
+
+    def add(self, cell: str, inputs: Sequence[str], name: Optional[str] = None) -> str:
+        if name is None:
+            self._n += 1
+            name = f"{self._prefix}{self._n}"
+        self.gates.append(Gate(name, cell, inputs))
+        return name
+
+    # Convenience wrappers keep generator code readable.
+    def inv(self, a, name=None):
+        return self.add("INV", [a], name)
+
+    def and2(self, a, b, name=None):
+        return self.add("AND2", [a, b], name)
+
+    def or2(self, a, b, name=None):
+        return self.add("OR2", [a, b], name)
+
+    def xor2(self, a, b, name=None):
+        return self.add("XOR2", [a, b], name)
+
+    def nand2(self, a, b, name=None):
+        return self.add("NAND2", [a, b], name)
+
+    def nor2(self, a, b, name=None):
+        return self.add("NOR2", [a, b], name)
+
+    def tree(self, cell2: str, cell3: str, cell4: str, nets: Sequence[str]) -> str:
+        """Balanced reduction tree over ``nets`` using 2/3/4-input cells."""
+        nets = list(nets)
+        if not nets:
+            raise ValueError("tree over empty net list")
+        if len(nets) == 1:
+            return nets[0]
+        while len(nets) > 1:
+            next_level = []
+            i = 0
+            while i < len(nets):
+                chunk = nets[i:i + 4]
+                i += 4
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                elif len(chunk) == 2:
+                    next_level.append(self.add(cell2, chunk))
+                elif len(chunk) == 3:
+                    next_level.append(self.add(cell3, chunk))
+                else:
+                    next_level.append(self.add(cell4, chunk))
+            nets = next_level
+        return nets[0]
+
+    def or_tree(self, nets):
+        return self.tree("OR2", "OR3", "OR4", nets)
+
+    def and_tree(self, nets):
+        return self.tree("AND2", "AND3", "AND4", nets)
+
+    def xor_tree(self, nets: Sequence[str]) -> str:
+        nets = list(nets)
+        if not nets:
+            raise ValueError("xor tree over empty net list")
+        while len(nets) > 1:
+            next_level = []
+            for i in range(0, len(nets) - 1, 2):
+                next_level.append(self.xor2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                next_level.append(nets[-1])
+            nets = next_level
+        return nets[0]
+
+
+def full_adder(nl: _Netlist, a: str, b: str, cin: str) -> Tuple[str, str]:
+    """5-gate full adder; returns (sum, carry_out)."""
+    axb = nl.xor2(a, b)
+    s = nl.xor2(axb, cin)
+    c1 = nl.and2(a, b)
+    c2 = nl.and2(axb, cin)
+    cout = nl.or2(c1, c2)
+    return s, cout
+
+
+def half_adder(nl: _Netlist, a: str, b: str) -> Tuple[str, str]:
+    """2-gate half adder; returns (sum, carry_out)."""
+    return nl.xor2(a, b), nl.and2(a, b)
+
+
+def ripple_adder(nl: _Netlist, a: Sequence[str], b: Sequence[str],
+                 cin: Optional[str] = None) -> List[str]:
+    """Ripple-carry addition of two little-endian buses.
+
+    Returns ``max(len(a), len(b)) + 1`` sum bits (last is carry out).
+    """
+    width = max(len(a), len(b))
+    carry = cin
+    out: List[str] = []
+    for i in range(width):
+        bits = []
+        if i < len(a):
+            bits.append(a[i])
+        if i < len(b):
+            bits.append(b[i])
+        if carry is not None:
+            bits.append(carry)
+        if len(bits) == 3:
+            s, carry = full_adder(nl, *bits)
+        elif len(bits) == 2:
+            s, carry = half_adder(nl, *bits)
+        else:
+            s, carry = bits[0], None
+        out.append(s)
+    if carry is not None:
+        out.append(carry)
+    return out
+
+
+def array_multiplier(bits: int = 16, name: str = "mult") -> Circuit:
+    """Unsigned array multiplier (c6288 family: 16x16 -> 32 bits).
+
+    Partial products from AND2 gates, accumulated with ripple-carry rows —
+    the same deep, reconvergent adder-array topology that makes c6288 the
+    deepest ISCAS85 circuit.
+    """
+    if bits < 2:
+        raise ValueError("multiplier needs at least 2 bits")
+    a = [f"a{i}" for i in range(bits)]
+    b = [f"b{i}" for i in range(bits)]
+    nl = _Netlist()
+    rows = [[nl.and2(a[i], b[j]) for i in range(bits)] for j in range(bits)]
+    result: List[str] = [rows[0][0]]
+    acc = rows[0][1:]
+    for j in range(1, bits):
+        summed = ripple_adder(nl, acc, rows[j])
+        result.append(summed[0])
+        acc = summed[1:]
+    result.extend(acc)
+    outputs = [f"p{i}" for i in range(2 * bits)]
+    for out, net in zip(outputs, result):
+        nl.add("BUF", [net], name=out)
+    return Circuit(name, a + b, outputs, nl.gates)
+
+
+def priority_controller(channels: int = 36, name: str = "prio") -> Circuit:
+    """Priority interrupt controller (c432 family: 36 in, 7 out).
+
+    Channel i is granted iff it requests and no lower-index channel does;
+    outputs are the encoded grant index plus a valid flag.
+    """
+    if channels < 2:
+        raise ValueError("need at least 2 channels")
+    reqs = [f"req{i}" for i in range(channels)]
+    nl = _Netlist()
+    not_req = [nl.inv(r) for r in reqs]
+    # none_before[i] = AND(not_req[0..i-1]) as a chain.
+    none_before: List[str] = []
+    chain = not_req[0]
+    none_before.append(chain)
+    for i in range(1, channels - 1):
+        chain = nl.and2(chain, not_req[i])
+        none_before.append(chain)
+    grants = [reqs[0]]
+    for i in range(1, channels):
+        grants.append(nl.and2(reqs[i], none_before[i - 1]))
+    n_code_bits = max(1, (channels - 1).bit_length())
+    outputs: List[str] = []
+    for bit in range(n_code_bits):
+        members = [grants[i] for i in range(channels) if (i >> bit) & 1]
+        net = nl.or_tree(members) if members else nl.inv(reqs[0])
+        outputs.append(nl.add("BUF", [net], name=f"code{bit}"))
+    valid = nl.or_tree(grants)
+    outputs.append(nl.add("BUF", [valid], name="valid"))
+    return Circuit(name, reqs, outputs, nl.gates)
+
+
+def ecc_circuit(data_bits: int = 32, check_bits: int = 8,
+                name: str = "ecc", expand_xor_to_nand: bool = False) -> Circuit:
+    """Single-error-correcting code circuit (c499/c1355 family).
+
+    Computes parity trees over data subsets, forms the syndrome against
+    received check bits, decodes it, and outputs the corrected data word.
+    ``expand_xor_to_nand=True`` mirrors how c1355 is c499 with every XOR
+    macro expanded into 4 NAND gates.
+    """
+    data = [f"d{i}" for i in range(data_bits)]
+    checks = [f"c{i}" for i in range(check_bits)]
+    control = ["en"]
+    nl = _Netlist()
+    # Parity tree k covers data positions whose index has bit k set in
+    # (index + 1) — the classic Hamming assignment, made total by reuse.
+    parities = []
+    for k in range(check_bits):
+        members = [data[i] for i in range(data_bits) if ((i + 1) >> (k % 6)) & 1]
+        if not members:
+            members = data[:2]
+        parities.append(nl.xor_tree(members))
+    syndrome = [nl.xor2(p, c) for p, c in zip(parities, checks)]
+    syn_n = [nl.inv(s) for s in syndrome]
+    gated = [nl.and2(s, control[0]) for s in syndrome]
+    outputs = []
+    for i in range(data_bits):
+        # Correction term: AND of the syndrome pattern matching bit i.
+        lits = []
+        for k in range(check_bits):
+            lits.append(gated[k] if ((i + 1) >> (k % 6)) & 1 else syn_n[k])
+        flip = nl.and_tree(lits[:4])
+        corrected = nl.xor2(data[i], flip)
+        outputs.append(nl.add("BUF", [corrected], name=f"o{i}"))
+    circuit = Circuit(name, data + checks + control, outputs, nl.gates)
+    if expand_xor_to_nand:
+        circuit = expand_xors(circuit)
+    return circuit
+
+
+def expand_xors(circuit: Circuit) -> Circuit:
+    """Replace every XOR2/XNOR2 with its 4-gate NAND/NOR macro.
+
+    This is how c1355 relates to c499 in the original suite.
+    """
+    gates: List[Gate] = []
+    for gate in circuit.gates.values():
+        if gate.cell == "XOR2":
+            a, b = gate.inputs
+            n1 = f"{gate.name}_e1"
+            n2 = f"{gate.name}_e2"
+            n3 = f"{gate.name}_e3"
+            gates.append(Gate(n1, "NAND2", [a, b]))
+            gates.append(Gate(n2, "NAND2", [a, n1]))
+            gates.append(Gate(n3, "NAND2", [b, n1]))
+            gates.append(Gate(gate.name, "NAND2", [n2, n3]))
+        elif gate.cell == "XNOR2":
+            a, b = gate.inputs
+            n1 = f"{gate.name}_e1"
+            n2 = f"{gate.name}_e2"
+            n3 = f"{gate.name}_e3"
+            gates.append(Gate(n1, "NOR2", [a, b]))
+            gates.append(Gate(n2, "NOR2", [a, n1]))
+            gates.append(Gate(n3, "NOR2", [b, n1]))
+            gates.append(Gate(gate.name, "NOR2", [n2, n3]))
+        else:
+            gates.append(gate)
+    return Circuit(circuit.name, circuit.primary_inputs,
+                   circuit.primary_outputs, gates)
+
+
+def alu_circuit(width: int = 16, control_bits: int = 12,
+                name: str = "alu", n_outputs: int = 26) -> Circuit:
+    """ALU-style circuit (c880 family: arithmetic + logic + select)."""
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    c = [f"c{i}" for i in range(width)]
+    sel = [f"s{i}" for i in range(control_bits)]
+    nl = _Netlist()
+    total = ripple_adder(nl, a, b, cin=sel[0])
+    # Subtraction path: a + ~b + 1, sharing the flag logic.
+    b_inv = [nl.inv(b[i]) for i in range(width)]
+    diff = ripple_adder(nl, a, b_inv, cin=sel[5 % control_bits])
+    bit_and = [nl.and2(a[i], c[i]) for i in range(width)]
+    bit_or = [nl.or2(b[i], c[i]) for i in range(width)]
+    bit_xor = [nl.xor2(a[i], c[i]) for i in range(width)]
+    muxed: List[str] = []
+    for i in range(width):
+        # 2-level select with AOI/OAI for density.
+        m1 = nl.add("AOI22", [total[i], sel[1], bit_and[i], sel[2]])
+        m2 = nl.add("AOI22", [bit_or[i], sel[3], bit_xor[i], sel[4]])
+        m3 = nl.add("OAI21", [diff[i], sel[6 % control_bits], m2])
+        muxed.append(nl.nand2(m1, m3))
+    zero = nl.inv(nl.or_tree(muxed))
+    parity = nl.xor_tree(muxed)
+    borrow = diff[-1]
+    flags = [zero, parity, total[-1], borrow]
+    for k in range(5, min(control_bits, 5 + n_outputs - width - len(flags))):
+        flags.append(nl.and2(sel[k], muxed[k % width]))
+    outputs = []
+    for i, net in enumerate((muxed + flags)[:n_outputs]):
+        outputs.append(nl.add("BUF", [net], name=f"y{i}"))
+    return Circuit(name, a + b + c + sel, outputs, nl.gates)
+
+
+#: Default gate mix for random logic: NAND/NOR-dominated like the suite.
+DEFAULT_MIX: Dict[str, float] = {
+    "NAND2": 0.22, "NAND3": 0.08, "NAND4": 0.04,
+    "NOR2": 0.14, "NOR3": 0.05,
+    "AND2": 0.10, "OR2": 0.08,
+    "INV": 0.15, "BUF": 0.03,
+    "XOR2": 0.05, "XNOR2": 0.02,
+    "AOI21": 0.02, "OAI21": 0.02,
+}
+
+#: XOR-heavy mix for the ECC-flavoured members (c1908).
+XOR_HEAVY_MIX: Dict[str, float] = {
+    "XOR2": 0.25, "XNOR2": 0.10,
+    "NAND2": 0.18, "NOR2": 0.12,
+    "AND2": 0.08, "OR2": 0.07,
+    "INV": 0.17, "BUF": 0.03,
+}
+
+_CELL_ARITY = {
+    "INV": 1, "BUF": 1,
+    "NAND2": 2, "NOR2": 2, "AND2": 2, "OR2": 2, "XOR2": 2, "XNOR2": 2,
+    "NAND3": 3, "NOR3": 3, "AND3": 3, "OR3": 3, "AOI21": 3, "OAI21": 3,
+    "NAND4": 4, "NOR4": 4, "AND4": 4, "OR4": 4, "AOI22": 4, "OAI22": 4,
+}
+
+
+def random_logic(name: str, n_inputs: int, n_outputs: int, n_gates: int,
+                 seed: int, mix: Optional[Dict[str, float]] = None,
+                 locality: float = 64.0) -> Circuit:
+    """Seeded random combinational DAG with a controlled gate mix.
+
+    Args:
+        name: circuit name.
+        n_inputs / n_outputs / n_gates: target profile.  The gate count
+            is met within the few extra gates needed to absorb dangling
+            nets into the outputs.
+        seed: RNG seed; identical arguments always produce the identical
+            netlist.
+        mix: cell-name -> weight (defaults to a NAND/NOR-heavy ISCAS mix).
+        locality: characteristic distance (in creation order) for input
+            selection; small values make deep chains, large values make
+            shallow wide circuits.
+
+    Invariants guaranteed: acyclic, every PI feeds some gate, every gate
+    is in the transitive fan-in of some PO.
+    """
+    if n_inputs < 2 or n_outputs < 1:
+        raise ValueError("need >= 2 inputs and >= 1 output")
+    reserve = max(8, n_outputs)
+    if n_gates < n_outputs + reserve:
+        raise ValueError(f"n_gates={n_gates} too small for {n_outputs} outputs")
+    rng = random.Random(seed)
+    weights = dict(mix or DEFAULT_MIX)
+    cells = sorted(weights)
+    wlist = [weights[c] for c in cells]
+    pis = [f"i{k}" for k in range(n_inputs)]
+    nl = _Netlist()
+    nets: List[str] = list(pis)
+    unused_pis = list(pis)
+
+    def pick_input(exclude: set) -> str:
+        # Exponential locality bias toward recently created nets.
+        for _ in range(20):
+            back = int(rng.expovariate(1.0 / locality))
+            idx = max(0, len(nets) - 1 - back)
+            net = nets[idx]
+            if net not in exclude:
+                return net
+        candidates = [n for n in nets if n not in exclude]
+        return rng.choice(candidates)
+
+    main_budget = n_gates - reserve
+    while len(nl.gates) < main_budget:
+        cell = rng.choices(cells, weights=wlist)[0]
+        arity = _CELL_ARITY[cell]
+        chosen: List[str] = []
+        if unused_pis:
+            chosen.append(unused_pis.pop(rng.randrange(len(unused_pis))))
+        while len(chosen) < arity:
+            chosen.append(pick_input(set(chosen)))
+        rng.shuffle(chosen)
+        nets.append(nl.add(cell, chosen))
+    # Any PI still unused gets a dedicated consumer.
+    while unused_pis:
+        a = unused_pis.pop()
+        b = rng.choice(nets)
+        nets.append(nl.and2(a, b))
+    # Absorb dangling nets until exactly n_outputs remain.
+    def dangling() -> List[str]:
+        used = set()
+        for g in nl.gates:
+            used.update(g.inputs)
+        return [g.name for g in nl.gates if g.name not in used]
+    hanging = dangling()
+    while len(hanging) > n_outputs:
+        k = min(len(hanging) - n_outputs + 1, 4, len(hanging))
+        chunk = [hanging.pop(rng.randrange(len(hanging))) for _ in range(max(2, k))]
+        cell = {2: "OR2", 3: "OR3", 4: "OR4"}[len(chunk)]
+        hanging.append(nl.add(cell, chunk))
+    while len(hanging) < n_outputs:
+        # Duplicate visibility of an internal gate through a buffer.
+        src = rng.choice([g.name for g in nl.gates])
+        hanging.append(nl.add("BUF", [src]))
+    outputs = []
+    for k, net in enumerate(hanging):
+        outputs.append(nl.add("BUF", [net], name=f"o{k}"))
+    return Circuit(name, pis, outputs, nl.gates)

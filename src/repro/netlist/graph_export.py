@@ -1,0 +1,80 @@
+"""NetworkX interop for circuit graphs.
+
+Downstream users routinely want the timing DAG in a general graph
+library — for drawing, centrality analysis, or custom traversals.  The
+export carries enough attributes (cell, logic level, PI/PO flags) to be
+useful standalone, and the importer lets graph-level transformations
+round-trip back into a :class:`~repro.netlist.circuit.Circuit`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.netlist.circuit import Circuit, Gate
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+
+def to_networkx(circuit: Circuit) -> "networkx.DiGraph":
+    """Export the netlist as a ``networkx.DiGraph``.
+
+    Nodes are nets; attributes:
+
+    * ``kind``: ``"input"`` or ``"gate"``,
+    * ``cell``: library cell name (gates only),
+    * ``level``: logic level (PIs at 0),
+    * ``is_output``: primary-output flag.
+
+    Edges run driver -> consumer with a ``pin`` attribute giving the
+    consumer's input position.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph(name=circuit.name)
+    levels = circuit.levels()
+    outputs = set(circuit.primary_outputs)
+    for pi in circuit.primary_inputs:
+        graph.add_node(pi, kind="input", level=0, is_output=pi in outputs)
+    for gate in circuit.gates.values():
+        graph.add_node(gate.name, kind="gate", cell=gate.cell,
+                       level=levels[gate.name],
+                       is_output=gate.name in outputs)
+        for position, net in enumerate(gate.inputs):
+            graph.add_edge(net, gate.name, pin=position)
+    return graph
+
+
+def from_networkx(graph: "networkx.DiGraph", name: str = "") -> Circuit:
+    """Rebuild a :class:`Circuit` from a graph produced by
+    :func:`to_networkx` (attributes required).
+
+    Raises:
+        ValueError: if node/edge attributes are missing or inconsistent.
+    """
+    inputs = []
+    gates = []
+    outputs = []
+    for node, data in graph.nodes(data=True):
+        kind = data.get("kind")
+        if kind == "input":
+            inputs.append(node)
+        elif kind == "gate":
+            cell = data.get("cell")
+            if cell is None:
+                raise ValueError(f"gate node {node!r} lacks a 'cell' attribute")
+            preds = sorted(graph.in_edges(node, data=True),
+                           key=lambda e: e[2].get("pin", 0))
+            pins = [src for src, _, _ in preds]
+            if not pins:
+                raise ValueError(f"gate node {node!r} has no inputs")
+            gates.append(Gate(node, cell, pins))
+        else:
+            raise ValueError(f"node {node!r} lacks a valid 'kind' attribute")
+        if data.get("is_output"):
+            outputs.append(node)
+    if not outputs:
+        raise ValueError("graph marks no primary outputs")
+    return Circuit(name or graph.graph.get("name", "from_networkx"),
+                   inputs, outputs, gates)

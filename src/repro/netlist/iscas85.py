@@ -1,0 +1,131 @@
+"""The ISCAS85 benchmark suite used throughout the paper's evaluation.
+
+Each entry records the published profile of the original circuit and a
+generator producing a stand-in with that profile (DESIGN.md
+substitution 1).  ``load("c432")`` returns the stand-in; if you have the
+original ``.bench`` files, :func:`repro.netlist.bench.load_bench` loads
+them into the identical data model and every analysis accepts either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.generators import (
+    DEFAULT_MIX,
+    XOR_HEAVY_MIX,
+    alu_circuit,
+    array_multiplier,
+    ecc_circuit,
+    priority_controller,
+    random_logic,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published profile of one ISCAS85 circuit.
+
+    ``inputs``/``outputs``/``gates`` are the original counts (Hansen et
+    al.'s function descriptions); ``description`` names the function
+    family the stand-in mimics.
+    """
+
+    name: str
+    inputs: int
+    outputs: int
+    gates: int
+    description: str
+    build: Callable[[], Circuit]
+
+
+def _c432() -> Circuit:
+    return priority_controller(channels=36, name="c432")
+
+
+def _c499() -> Circuit:
+    return ecc_circuit(data_bits=32, check_bits=8, name="c499")
+
+
+def _c880() -> Circuit:
+    return alu_circuit(width=16, control_bits=12, name="c880", n_outputs=26)
+
+
+def _c1355() -> Circuit:
+    return ecc_circuit(data_bits=32, check_bits=8, name="c1355",
+                       expand_xor_to_nand=True)
+
+
+def _c1908() -> Circuit:
+    return random_logic("c1908", n_inputs=33, n_outputs=25, n_gates=880,
+                        seed=1908, mix=XOR_HEAVY_MIX, locality=48.0)
+
+
+def _c2670() -> Circuit:
+    return random_logic("c2670", n_inputs=233, n_outputs=140, n_gates=1193,
+                        seed=2670, locality=96.0)
+
+
+def _c3540() -> Circuit:
+    return random_logic("c3540", n_inputs=50, n_outputs=22, n_gates=1669,
+                        seed=3540, locality=64.0)
+
+
+def _c5315() -> Circuit:
+    return random_logic("c5315", n_inputs=178, n_outputs=123, n_gates=2307,
+                        seed=5315, locality=96.0)
+
+
+def _c6288() -> Circuit:
+    return array_multiplier(bits=16, name="c6288")
+
+
+def _c7552() -> Circuit:
+    return random_logic("c7552", n_inputs=207, n_outputs=108, n_gates=3512,
+                        seed=7552, locality=96.0)
+
+
+SPECS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in (
+        BenchmarkSpec("c432", 36, 7, 160, "27-channel interrupt controller", _c432),
+        BenchmarkSpec("c499", 41, 32, 202, "32-bit SEC circuit", _c499),
+        BenchmarkSpec("c880", 60, 26, 383, "8-bit ALU", _c880),
+        BenchmarkSpec("c1355", 41, 32, 546, "32-bit SEC circuit (NAND form)", _c1355),
+        BenchmarkSpec("c1908", 33, 25, 880, "16-bit SEC/DED circuit", _c1908),
+        BenchmarkSpec("c2670", 233, 140, 1193, "12-bit ALU and controller", _c2670),
+        BenchmarkSpec("c3540", 50, 22, 1669, "8-bit ALU", _c3540),
+        BenchmarkSpec("c5315", 178, 123, 2307, "9-bit ALU", _c5315),
+        BenchmarkSpec("c6288", 32, 32, 2416, "16x16 multiplier", _c6288),
+        BenchmarkSpec("c7552", 207, 108, 3512, "32-bit adder/comparator", _c7552),
+    )
+}
+
+#: Circuit names in the suite's canonical (size) order.
+NAMES: Tuple[str, ...] = tuple(SPECS)
+
+#: The smaller half of the suite, used where experiments would otherwise
+#: be slow (MLV search repeats full aged-STA runs per vector).
+SMALL_SUITE: Tuple[str, ...] = ("c432", "c499", "c880", "c1355")
+
+
+@lru_cache(maxsize=None)
+def load(name: str) -> Circuit:
+    """Build (and memoize) the stand-in circuit for ``name``.
+
+    Raises:
+        KeyError: for names outside the ISCAS85 suite.
+    """
+    try:
+        spec = SPECS[name]
+    except KeyError:
+        known = ", ".join(NAMES)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return spec.build()
+
+
+def load_suite(names: Tuple[str, ...] = NAMES) -> List[Circuit]:
+    """Load several benchmarks at once."""
+    return [load(n) for n in names]

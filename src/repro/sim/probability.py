@@ -1,0 +1,104 @@
+"""Signal-probability and activity estimation.
+
+The paper derives gate signal probabilities "statistically by simulating
+a large number of input vectors" (Sec. 3.3) and uses them both for the
+NBTI stress duty cycles and for expected standby leakage.  We provide
+that Monte-Carlo estimator plus the standard analytic propagation
+(topological, independence-assumed), which is exact on trees and a good
+cross-check elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.sim.logic import default_library, evaluate_batch
+
+
+def propagate_probabilities(circuit: Circuit,
+                            pi_one_prob: Optional[Dict[str, float]] = None,
+                            library: Optional[Library] = None) -> Dict[str, float]:
+    """Analytic P(net = 1) for every net, assuming input independence.
+
+    Args:
+        pi_one_prob: P(pi = 1) per primary input; defaults to 0.5
+            everywhere (the paper's active-mode setting).
+
+    For each gate, P(out = 1) = Σ over truth-table rows with output 1 of
+    the product of per-pin probabilities.  Reconvergent fan-out makes
+    this approximate, exactly as in the paper's flow.
+    """
+    library = library or default_library()
+    probs: Dict[str, float] = {}
+    for pi in circuit.primary_inputs:
+        p = 0.5 if pi_one_prob is None else pi_one_prob.get(pi, 0.5)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"P({pi!r}=1) out of range: {p}")
+        probs[pi] = p
+    for name in circuit.topological_order():
+        gate = circuit.gates[name]
+        cell = library.get(gate.cell)
+        p_one = 0.0
+        pin_probs = [probs[net] for net in gate.inputs]
+        for vec, out in cell.truth_table().items():
+            if out != 1:
+                continue
+            p = 1.0
+            for bit, p1 in zip(vec, pin_probs):
+                p *= p1 if bit else (1.0 - p1)
+            p_one += p
+        # Clamp float drift: sums of 2^n products can exceed 1 by ulps.
+        probs[name] = min(1.0, max(0.0, p_one))
+    return probs
+
+
+def estimate_probabilities(circuit: Circuit, n_vectors: int = 2048,
+                           seed: int = 0,
+                           pi_one_prob: Optional[Dict[str, float]] = None,
+                           library: Optional[Library] = None,
+                           ) -> Dict[str, float]:
+    """Monte-Carlo P(net = 1): the paper's statistical estimator."""
+    if n_vectors < 1:
+        raise ValueError("need at least one vector")
+    rng = np.random.default_rng(seed)
+    pi_matrix = {}
+    for pi in circuit.primary_inputs:
+        p = 0.5 if pi_one_prob is None else pi_one_prob.get(pi, 0.5)
+        pi_matrix[pi] = (rng.random(n_vectors) < p).astype(np.uint8)
+    values = evaluate_batch(circuit, pi_matrix, library)
+    return {net: float(arr.mean()) for net, arr in values.items()}
+
+
+def estimate_activity(circuit: Circuit, n_vectors: int = 2048, seed: int = 0,
+                      library: Optional[Library] = None) -> Dict[str, float]:
+    """Toggle rate per net: fraction of consecutive random vectors that
+    flip the net.  Used for dynamic-power-flavoured reports."""
+    if n_vectors < 2:
+        raise ValueError("need at least two vectors to observe toggles")
+    rng = np.random.default_rng(seed)
+    pi_matrix = {pi: rng.integers(0, 2, n_vectors, dtype=np.uint8)
+                 for pi in circuit.primary_inputs}
+    values = evaluate_batch(circuit, pi_matrix, library)
+    return {net: float(np.mean(arr[1:] != arr[:-1])) for net, arr in values.items()}
+
+
+def gate_input_probabilities(circuit: Circuit, probs: Dict[str, float],
+                             library: Optional[Library] = None,
+                             ) -> Dict[str, Dict[str, float]]:
+    """Per-gate map: cell pin name -> P(pin = 1), from net probabilities.
+
+    This is the adapter between circuit-level signal probabilities and
+    the per-cell stress-duty machinery in :mod:`repro.cells.stress`.
+    """
+    library = library or default_library()
+    result: Dict[str, Dict[str, float]] = {}
+    for gate in circuit.gates.values():
+        cell = library.get(gate.cell)
+        result[gate.name] = {
+            pin: probs[net] for pin, net in zip(cell.inputs, gate.inputs)
+        }
+    return result

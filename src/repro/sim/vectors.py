@@ -1,0 +1,55 @@
+"""Input-vector utilities shared by IVC search and simulation."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.netlist.circuit import Circuit
+
+
+def random_vector(circuit: Circuit, rng: random.Random) -> Dict[str, int]:
+    """One uniformly random primary-input assignment."""
+    return {pi: rng.randint(0, 1) for pi in circuit.primary_inputs}
+
+
+def random_vectors(circuit: Circuit, count: int, seed: int = 0
+                   ) -> List[Dict[str, int]]:
+    """``count`` seeded random input assignments."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = random.Random(seed)
+    return [random_vector(circuit, rng) for _ in range(count)]
+
+
+def constant_vector(circuit: Circuit, value: int) -> Dict[str, int]:
+    """All primary inputs tied to ``value`` (0 or 1)."""
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    return {pi: value for pi in circuit.primary_inputs}
+
+
+def all_vectors(circuit: Circuit) -> Iterator[Dict[str, int]]:
+    """Exhaustive enumeration of input assignments (small circuits only).
+
+    Raises:
+        ValueError: above 2^20 assignments, where enumeration is a bug.
+    """
+    n = len(circuit.primary_inputs)
+    if n > 20:
+        raise ValueError(f"{n} inputs: exhaustive enumeration is infeasible")
+    for index in range(2 ** n):
+        yield {pi: (index >> k) & 1
+               for k, pi in enumerate(circuit.primary_inputs)}
+
+
+def vector_to_bits(circuit: Circuit, vector: Dict[str, int]) -> Tuple[int, ...]:
+    """Canonical tuple form of an assignment, ordered like the PIs."""
+    return tuple(vector[pi] for pi in circuit.primary_inputs)
+
+
+def bits_to_vector(circuit: Circuit, bits: Sequence[int]) -> Dict[str, int]:
+    """Inverse of :func:`vector_to_bits`."""
+    if len(bits) != len(circuit.primary_inputs):
+        raise ValueError("bit-vector length does not match PI count")
+    return dict(zip(circuit.primary_inputs, bits))

@@ -1,0 +1,45 @@
+"""Sleep-transistor insertion and NBTI-aware sizing (S10)."""
+
+from repro.sleep.sizing import (
+    FIG8_RAS_VALUES,
+    FIG8_VTH_VALUES,
+    K_TRIODE_P,
+    fig8_grid,
+    fig9_grid,
+    max_virtual_rail_drop,
+    nbti_aware_aspect_ratio,
+    size_increase_fraction,
+    st_aspect_ratio,
+    st_vth_shift,
+)
+from repro.sleep.clustering import (
+    ClusteredDesign,
+    cluster_gates,
+    clustered_design,
+)
+from repro.sleep.current import PeakCurrentEstimate, estimate_peak_current
+from repro.sleep.fine_grain import (
+    FineGrainDesign,
+    design_fine_grain,
+    uniform_fine_grain_area,
+)
+from repro.sleep.insertion import (
+    GatedTimingPoint,
+    SleepStyle,
+    SleepTransistorDesign,
+    design_sleep_transistor,
+    estimate_block_current,
+    gated_aged_delay,
+)
+
+__all__ = [
+    "FIG8_RAS_VALUES", "FIG8_VTH_VALUES", "K_TRIODE_P",
+    "fig8_grid", "fig9_grid", "max_virtual_rail_drop",
+    "nbti_aware_aspect_ratio", "size_increase_fraction",
+    "st_aspect_ratio", "st_vth_shift",
+    "ClusteredDesign", "cluster_gates", "clustered_design",
+    "PeakCurrentEstimate", "estimate_peak_current",
+    "FineGrainDesign", "design_fine_grain", "uniform_fine_grain_area",
+    "GatedTimingPoint", "SleepStyle", "SleepTransistorDesign",
+    "design_sleep_transistor", "estimate_block_current", "gated_aged_delay",
+]

@@ -1,0 +1,125 @@
+"""Sleep-transistor sizing under NBTI (paper Sec. 4.4.1, eqs. 25-31).
+
+The gate-delay penalty of a sleep transistor comes from the virtual-rail
+drop ``V_ST`` (eq. 26).  Bounding the penalty by ``beta`` (the paper's
+5 %) bounds the drop (eq. 28):
+
+    V_ST < beta * (Vdd - Vth_low)
+
+and the triode current balance (eq. 29) then fixes the ST size (eq. 30):
+
+    (W/L)_ST > I_ON / (k_p (Vdd - Vth_ST) V_ST)
+
+A PMOS header is itself NBTI-stressed whenever the circuit is active, so
+its threshold drifts and the same I_ON needs more size (eq. 31):
+
+    (W/L)_ST/NBTI = (1 + dVth / (Vdd - Vth_ST - dVth)) * (W/L)_ST
+
+This module reproduces Fig. 8 (ST dVth vs initial Vth x RAS) and Fig. 9
+(the corresponding Delta(W/L)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constants import TEN_YEARS
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.profiles import OperatingProfile
+from repro.tech.ptm import PTM90, Technology
+
+#: Triode-region transconductance of the PMOS header, A/V^2 per square
+#: (folds mu_p * Cox in eq. 29).
+K_TRIODE_P = 2.5e-4
+
+
+def max_virtual_rail_drop(beta: float, tech: Technology = PTM90) -> float:
+    """Eq. (28): the largest V_ST that keeps the delay penalty under
+    ``beta`` (e.g. 0.05 for the paper's 5 %).
+
+    The Taylor expansion of eq. (26) gives ``dD/D = alpha * V_ST /
+    (Vdd - Vth_low)``; the paper writes the alpha = 1 form, so we divide
+    by the technology's velocity-saturation index to honour the *intent*
+    (a beta-bounded delay penalty) at our alpha.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must be in (0, 1)")
+    return beta * (tech.vdd - tech.nmos.vth0) / tech.alpha
+
+
+def st_aspect_ratio(i_on: float, v_st: float, vth_st: float,
+                    tech: Technology = PTM90) -> float:
+    """Eq. (30): minimum (W/L) of the PMOS header for ``i_on`` amperes."""
+    if i_on <= 0:
+        raise ValueError("block current must be positive")
+    if v_st <= 0:
+        raise ValueError("virtual-rail drop must be positive")
+    overdrive = tech.vdd - vth_st
+    if overdrive <= 0:
+        raise ValueError("sleep transistor has no overdrive")
+    return i_on / (K_TRIODE_P * overdrive * v_st)
+
+
+def st_vth_shift(vth_st: float, ras: str, t_total: float = TEN_YEARS,
+                 t_active: float = 400.0, t_standby: float = 330.0,
+                 model: NbtiModel = DEFAULT_MODEL) -> float:
+    """Fig. 8: PMOS header threshold shift (volts).
+
+    The header's gate is 0 (stressed) for the whole active time and 1
+    (relaxing) during standby, so the shift depends on the RAS ratio and
+    the *active* temperature only — "the threshold degradation is not
+    influenced by the standby temperature variations".
+    """
+    profile = OperatingProfile.from_ras(ras, t_active=t_active,
+                                        t_standby=t_standby)
+    return model.sleep_transistor_shift(profile, t_total, vth_st)
+
+
+def size_increase_fraction(delta_vth: float, vth_st: float,
+                           tech: Technology = PTM90) -> float:
+    """Fig. 9 / eq. (31): fractional ST upsizing that restores I_ON.
+
+    ``Delta(W/L)/(W/L) = dVth / (Vdd - Vth_ST - dVth)``.
+    """
+    if delta_vth < 0:
+        raise ValueError("threshold shift must be non-negative")
+    headroom = tech.vdd - vth_st - delta_vth
+    if headroom <= 0:
+        raise ValueError("aged sleep transistor has no headroom left")
+    return delta_vth / headroom
+
+
+def nbti_aware_aspect_ratio(i_on: float, v_st: float, vth_st: float,
+                            delta_vth: float,
+                            tech: Technology = PTM90) -> float:
+    """Eq. (31): the ST size including the end-of-life NBTI margin."""
+    base = st_aspect_ratio(i_on, v_st, vth_st, tech)
+    return base * (1.0 + size_increase_fraction(delta_vth, vth_st, tech))
+
+
+#: The Fig. 8/9 sweep axes.
+FIG8_VTH_VALUES: Tuple[float, ...] = (0.20, 0.25, 0.30, 0.35, 0.40)
+FIG8_RAS_VALUES: Tuple[str, ...] = ("1:9", "1:5", "1:1", "5:1", "9:1")
+
+
+def fig8_grid(vth_values: Sequence[float] = FIG8_VTH_VALUES,
+              ras_values: Sequence[str] = FIG8_RAS_VALUES,
+              t_total: float = TEN_YEARS,
+              model: NbtiModel = DEFAULT_MODEL
+              ) -> Dict[Tuple[float, str], float]:
+    """ST dVth over the initial-Vth x RAS grid (volts)."""
+    return {(vth, ras): st_vth_shift(vth, ras, t_total, model=model)
+            for vth in vth_values for ras in ras_values}
+
+
+def fig9_grid(vth_values: Sequence[float] = FIG8_VTH_VALUES,
+              ras_values: Sequence[str] = FIG8_RAS_VALUES,
+              t_total: float = TEN_YEARS,
+              model: NbtiModel = DEFAULT_MODEL,
+              tech: Technology = PTM90
+              ) -> Dict[Tuple[float, str], float]:
+    """Delta(W/L)/(W/L) over the same grid (fractional)."""
+    shifts = fig8_grid(vth_values, ras_values, t_total, model)
+    return {key: size_increase_fraction(dv, key[0], tech)
+            for key, dv in shifts.items()}

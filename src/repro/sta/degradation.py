@@ -1,0 +1,189 @@
+"""NBTI-aged timing: the paper's circuit-degradation flow (Sec. 3.3).
+
+Combines:
+
+* active-mode stress duties per PMOS from signal probabilities
+  (:mod:`repro.sim.probability` + :mod:`repro.cells.stress`),
+* standby-mode parked states per PMOS from a standby net-state map
+  (logic-simulated MLV, or the paper's bounding all-0 / all-1 settings),
+* the temperature-aware :class:`~repro.core.aging.NbtiModel`,
+
+into a per-gate worst-PMOS threshold shift ("there might be several
+dVth of different PMOSs in one gate ... we just select the largest one",
+Sec. 3.3), then re-runs STA with those shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from repro.cells.library import Library
+from repro.cells.stress import (
+    stress_probabilities_for_cell,
+    stress_under_vector,
+)
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.profiles import DeviceStress, OperatingProfile
+from repro.netlist.circuit import Circuit
+from repro.sim.logic import default_library, evaluate
+from repro.sim.probability import propagate_probabilities
+from repro.sta.analysis import TimingResult, analyze, gate_loads
+
+#: Sentinel standby-state settings matching the paper's bounding cases.
+#: They act at the *device* level: ALL_ZERO drives every PMOS gate in
+#: every cell with 0 (maximum possible degradation, "there exists no such
+#: input vector" — Sec. 3.3), ALL_ONE drives every PMOS with 1 (the
+#: internal-node-control ideal, "all PMOS devices are driven by '1'").
+ALL_ZERO = "all_zero"
+ALL_ONE = "all_one"
+
+StandbyStates = Union[str, Dict[str, int], Sequence[Dict[str, int]]]
+
+
+def standby_net_states(circuit: Circuit, standby: StandbyStates,
+                       library: Optional[Library] = None) -> Dict[str, int]:
+    """Resolve a standby specification into a net -> bit map.
+
+    ``ALL_ZERO`` / ``ALL_ONE`` force every net (the bounding cases); a
+    dict of primary-input bits is logic-simulated through the circuit.
+    Note the bounding cases are additionally special-cased at the device
+    level inside :meth:`AgingAnalyzer.gate_shifts`.
+    """
+    if standby == ALL_ZERO:
+        return {net: 0 for net in circuit.nets}
+    if standby == ALL_ONE:
+        return {net: 1 for net in circuit.nets}
+    if isinstance(standby, str):
+        raise ValueError(f"unknown standby setting {standby!r}")
+    return evaluate(circuit, standby, library)
+
+
+@dataclass(frozen=True)
+class AgingAnalyzer:
+    """Computes per-gate NBTI shifts and aged timing for a circuit.
+
+    Attributes:
+        library: cell library (defaults to shared PTM90).
+        model: the temperature-aware NBTI model.
+    """
+
+    library: Optional[Library] = None
+    model: NbtiModel = DEFAULT_MODEL
+
+    def _lib(self) -> Library:
+        return self.library or default_library()
+
+    def gate_shifts(self, circuit: Circuit, profile: OperatingProfile,
+                    t_total: float, *,
+                    standby: StandbyStates = ALL_ZERO,
+                    active_probs: Optional[Dict[str, float]] = None,
+                    ) -> Dict[str, float]:
+        """Worst-PMOS dVth (volts) per gate after ``t_total`` seconds.
+
+        Args:
+            standby: standby net states — a sentinel, one PI vector
+                (see :func:`standby_net_states`), or a *sequence* of PI
+                vectors rotated across standby periods (Abella-style MLV
+                alternation [23]: each device's standby stress becomes
+                the fraction of vectors that stress it).
+            active_probs: P(net = 1) during active mode; computed from
+                SP = 0.5 inputs when omitted (the paper's setting).
+        """
+        library = self._lib()
+        vth0 = library.tech.pmos.vth0
+        if active_probs is None:
+            active_probs = propagate_probabilities(circuit, library=library)
+        force_all = None
+        state_maps: list = []
+        if isinstance(standby, str):
+            if standby == ALL_ZERO:
+                force_all = True    # every PMOS gate driven 0 -> stressed
+            elif standby == ALL_ONE:
+                force_all = False   # every PMOS gate driven 1 -> relaxing
+            else:
+                raise ValueError(f"unknown standby setting {standby!r}")
+        elif isinstance(standby, dict):
+            state_maps = [standby_net_states(circuit, standby, library)]
+        else:
+            if not standby:
+                raise ValueError("empty standby vector sequence")
+            state_maps = [standby_net_states(circuit, v, library)
+                          for v in standby]
+        shifts: Dict[str, float] = {}
+        for gate in circuit.gates.values():
+            cell = library.get(gate.cell)
+            pin_probs = {pin: active_probs[net]
+                         for pin, net in zip(cell.inputs, gate.inputs)}
+            duties = stress_probabilities_for_cell(cell, pin_probs)
+            fractions: Dict[str, float] = {}
+            if force_all is None:
+                for states in state_maps:
+                    standby_bits = tuple(states[net] for net in gate.inputs)
+                    for name in stress_under_vector(cell, standby_bits):
+                        fractions[name] = fractions.get(name, 0.0) + 1.0
+                for name in fractions:
+                    fractions[name] /= len(state_maps)
+            elif force_all:
+                fractions = {m.name: 1.0 for m in cell.pmos_devices()}
+            worst = 0.0
+            for mosfet in cell.pmos_devices():
+                device = DeviceStress(
+                    active_stress_duty=duties.get(mosfet.name, 0.0),
+                    standby_stressed=fractions.get(mosfet.name, 0.0),
+                )
+                dv = self.model.delta_vth(profile, device, t_total, vth0)
+                worst = max(worst, dv)
+            shifts[gate.name] = worst
+        return shifts
+
+    def aged_timing(self, circuit: Circuit, profile: OperatingProfile,
+                    t_total: float, *,
+                    standby: StandbyStates = ALL_ZERO,
+                    active_probs: Optional[Dict[str, float]] = None,
+                    supply_drop: float = 0.0,
+                    loads: Optional[Dict[str, float]] = None,
+                    ) -> "AgedTimingResult":
+        """Fresh + aged STA in one call."""
+        library = self._lib()
+        loads = loads if loads is not None else gate_loads(circuit, library)
+        fresh = analyze(circuit, library, loads=loads, supply_drop=supply_drop)
+        shifts = self.gate_shifts(circuit, profile, t_total,
+                                  standby=standby, active_probs=active_probs)
+        aged = analyze(circuit, library, delta_vth=shifts, loads=loads,
+                       supply_drop=supply_drop)
+        return AgedTimingResult(circuit=circuit, fresh=fresh, aged=aged,
+                                shifts=shifts)
+
+
+@dataclass(frozen=True)
+class AgedTimingResult:
+    """Fresh vs aged timing of one circuit under one scenario."""
+
+    circuit: Circuit
+    fresh: TimingResult
+    aged: TimingResult
+    shifts: Dict[str, float]
+
+    @property
+    def fresh_delay(self) -> float:
+        return self.fresh.circuit_delay
+
+    @property
+    def aged_delay(self) -> float:
+        return self.aged.circuit_delay
+
+    @property
+    def delay_increase(self) -> float:
+        """Absolute delay degradation (seconds)."""
+        return self.aged.circuit_delay - self.fresh.circuit_delay
+
+    @property
+    def relative_degradation(self) -> float:
+        """The paper's headline metric: dDelay / Delay (fractional)."""
+        return self.delay_increase / self.fresh.circuit_delay
+
+    @property
+    def max_shift(self) -> float:
+        """Largest per-gate dVth (volts)."""
+        return max(self.shifts.values()) if self.shifts else 0.0

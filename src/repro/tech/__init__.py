@@ -1,0 +1,44 @@
+"""Device-level technology models (substrate S1).
+
+This package replaces the paper's PTM 90 nm SPICE models [43] with
+analytical BSIM-flavoured equations:
+
+* :mod:`repro.tech.ptm` — named parameter sets for the PTM-90nm-like
+  process the paper uses (Vdd = 1.0 V, |Vth| = 220 mV) plus low-power
+  and high-Vth variants used by the dual-Vth extension.
+* :mod:`repro.tech.mosfet` — subthreshold conduction (with DIBL and
+  temperature dependence), gate tunneling leakage (carrier-type
+  asymmetric), and alpha-power-law drive current / delay primitives.
+"""
+
+from repro.tech.ptm import (
+    Technology,
+    MosfetParams,
+    PTM90,
+    PTM90_HVT,
+    PTM90_LP,
+    get_technology,
+)
+from repro.tech.mosfet import (
+    Mosfet,
+    subthreshold_current,
+    gate_leakage_current,
+    drive_current,
+    alpha_power_delay,
+    threshold_at_temperature,
+)
+
+__all__ = [
+    "Technology",
+    "MosfetParams",
+    "PTM90",
+    "PTM90_HVT",
+    "PTM90_LP",
+    "get_technology",
+    "Mosfet",
+    "subthreshold_current",
+    "gate_leakage_current",
+    "drive_current",
+    "alpha_power_delay",
+    "threshold_at_temperature",
+]

@@ -1,0 +1,197 @@
+"""PTM-90nm-like technology parameter sets.
+
+The paper characterizes its standard-cell library with the PTM 90 nm bulk
+CMOS model [43] at Vdd = 1.0 V and |Vth| = 220 mV.  We capture the
+parameters our analytical device models need in two frozen dataclasses:
+
+* :class:`MosfetParams` — one polarity's parameters (NMOS or PMOS),
+* :class:`Technology` — a named pair of polarities plus global supply,
+  oxide, and thermal coefficients.
+
+Three instances are provided:
+
+* :data:`PTM90`     — the paper's nominal high-performance process,
+* :data:`PTM90_HVT` — high-Vth flavor for dual-Vth assignment (+100 mV),
+* :data:`PTM90_LP`  — low-power flavor (thicker oxide, +130 mV Vth)
+  matching the paper's Section 5 discussion of LP libraries.
+
+Values are chosen to be PTM-plausible and, where the paper anchors a
+number (leakage ordering of input vectors, Fig. 8/9 endpoints), tuned so
+the reproduction lands on the published behaviour.  The NBTI-specific
+constants live in :mod:`repro.core.calibration`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.constants import EPSILON_0, EPSILON_SIO2
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Parameters for one MOSFET polarity.
+
+    Attributes:
+        polarity: ``"nmos"`` or ``"pmos"``.
+        vth0: zero-bias threshold voltage magnitude in volts.
+        mobility_factor: relative drive strength (NMOS = 1.0); folds the
+            electron/hole mobility ratio into the current equations.
+        subthreshold_swing_factor: the ideality factor *n* in
+            ``I ~ exp(Vgs/(n vT))``; ~1.4–1.6 for 90 nm bulk.
+        dibl: DIBL coefficient (V of Vth reduction per V of Vds).
+        vth_temp_coefficient: dVth/dT magnitude in V/K (Vth magnitude
+            shrinks as temperature rises).
+        i0_density: subthreshold pre-factor current per unit W/L at the
+            reference temperature with Vgs = Vth, in amperes.
+        gate_leak_density: gate tunneling current density for an ON
+            transistor at Vox = Vdd, in A/m^2 of gate area.  NMOS
+            electron conduction-band tunneling is much larger than PMOS
+            hole valence-band tunneling, which is what makes the INV
+            input-0 state the minimum-leakage state in Table 2.
+        gate_leak_voltage_scale: exponential voltage scale of the gate
+            tunneling current, in volts.
+    """
+
+    polarity: str
+    vth0: float
+    mobility_factor: float
+    subthreshold_swing_factor: float
+    dibl: float
+    vth_temp_coefficient: float
+    i0_density: float
+    gate_leak_density: float
+    gate_leak_voltage_scale: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.vth0 <= 0:
+            raise ValueError("vth0 is a magnitude and must be positive")
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named technology: global electrical parameters plus both polarities.
+
+    Attributes:
+        name: identifier, e.g. ``"ptm90"``.
+        vdd: supply voltage in volts.
+        tox: effective gate-oxide thickness in meters.
+        lmin: drawn channel length in meters.
+        wmin: minimum transistor width in meters.
+        alpha: velocity-saturation index of the alpha-power law.  The
+            paper quotes "from 1 to 2"; 2.0 reproduces its published
+            degradation percentages (Table 4 / Fig. 5) through eq. (22).
+        reference_temperature: kelvin at which ``i0_density`` is quoted.
+        gate_cap_per_um: gate input capacitance per micron of width (F/m
+            expressed per meter of W), used for STA loads.
+        nmos / pmos: per-polarity parameters.
+    """
+
+    name: str
+    vdd: float
+    tox: float
+    lmin: float
+    wmin: float
+    alpha: float
+    reference_temperature: float
+    gate_cap_per_width: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+
+    @property
+    def cox(self) -> float:
+        """Gate-oxide capacitance per unit area in F/m^2."""
+        return EPSILON_0 * EPSILON_SIO2 / self.tox
+
+    def params(self, polarity: str) -> MosfetParams:
+        """Return the :class:`MosfetParams` for ``polarity``."""
+        if polarity == "nmos":
+            return self.nmos
+        if polarity == "pmos":
+            return self.pmos
+        raise ValueError(f"unknown polarity {polarity!r}")
+
+
+_NMOS_90 = MosfetParams(
+    polarity="nmos",
+    vth0=0.220,
+    mobility_factor=1.0,
+    subthreshold_swing_factor=1.5,
+    dibl=0.08,
+    vth_temp_coefficient=0.6e-3,
+    i0_density=4.0e-7,
+    gate_leak_density=1.0e7,
+    gate_leak_voltage_scale=0.30,
+)
+
+_PMOS_90 = MosfetParams(
+    polarity="pmos",
+    vth0=0.220,
+    mobility_factor=0.42,
+    subthreshold_swing_factor=1.5,
+    dibl=0.07,
+    vth_temp_coefficient=0.6e-3,
+    i0_density=1.7e-7,
+    gate_leak_density=6.0e5,
+    gate_leak_voltage_scale=0.30,
+)
+
+#: The paper's nominal process: PTM 90 nm bulk, Vdd = 1.0 V, |Vth| = 220 mV.
+PTM90 = Technology(
+    name="ptm90",
+    vdd=1.0,
+    tox=1.4e-9,
+    lmin=90e-9,
+    wmin=120e-9,
+    alpha=2.0,
+    reference_temperature=300.0,
+    gate_cap_per_width=1.0e-9,
+    nmos=_NMOS_90,
+    pmos=_PMOS_90,
+)
+
+#: High-Vth variant for dual-Vth assignment (A4 extension): +100 mV.
+PTM90_HVT = Technology(
+    name="ptm90_hvt",
+    vdd=1.0,
+    tox=1.4e-9,
+    lmin=90e-9,
+    wmin=120e-9,
+    alpha=2.0,
+    reference_temperature=300.0,
+    gate_cap_per_width=1.0e-9,
+    nmos=replace(_NMOS_90, vth0=0.320),
+    pmos=replace(_PMOS_90, vth0=0.320),
+)
+
+#: Low-power variant per the paper's Section 5 discussion: thicker oxide,
+#: higher Vth, so both leakage and NBTI-induced degradation shrink.
+PTM90_LP = Technology(
+    name="ptm90_lp",
+    vdd=1.0,
+    tox=2.0e-9,
+    lmin=90e-9,
+    wmin=120e-9,
+    alpha=2.0,
+    reference_temperature=300.0,
+    gate_cap_per_width=1.2e-9,
+    nmos=replace(_NMOS_90, vth0=0.350, i0_density=1.2e-7, gate_leak_density=1.0e5),
+    pmos=replace(_PMOS_90, vth0=0.350, i0_density=5.0e-8, gate_leak_density=6.0e3),
+)
+
+_REGISTRY = {t.name: t for t in (PTM90, PTM90_HVT, PTM90_LP)}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a registered technology by name.
+
+    Raises:
+        KeyError: if ``name`` is not one of the registered technologies.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown technology {name!r}; known: {known}") from None

@@ -1,0 +1,19 @@
+"""Lumped-RC thermal substrate (S6): power traces to temperatures."""
+
+from repro.thermal.rc import ThermalRC, simulate_trace
+from repro.thermal.feedback import FeedbackResult, solve_standby_temperature
+from repro.thermal.profile import (
+    Task,
+    mode_temperatures,
+    profile_from_powers,
+    random_task_set,
+    task_set_trace,
+    trace_statistics,
+)
+
+__all__ = [
+    "ThermalRC", "simulate_trace",
+    "FeedbackResult", "solve_standby_temperature",
+    "Task", "mode_temperatures", "profile_from_powers",
+    "random_task_set", "task_set_trace", "trace_statistics",
+]

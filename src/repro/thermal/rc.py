@@ -1,0 +1,106 @@
+"""Lumped-RC thermal model (substrate S6).
+
+The paper motivates its two-temperature model with a HotSpot-flavoured
+thermal simulation of a Montecito-class processor under "a typical air
+cooling condition" [28]: power varies from tens of watts to ~130 W, the
+die temperature swings 60-110 degC, and it "converges to steady state
+very fast (in the order of milliseconds)".  A single-node RC model
+captures exactly those statements:
+
+    C_th dT/dt = P(t) - (T - T_amb) / R_th
+
+with closed-form exponential segments for piecewise-constant power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class ThermalRC:
+    """Single-node thermal network.
+
+    Attributes:
+        r_th: junction-to-ambient thermal resistance (K/W).  0.42 K/W
+            with a 328 K ambient maps the paper's 10-130 W power range
+            onto its 60-110 degC band.
+        c_th: thermal capacitance (J/K); with ``r_th`` it sets the
+            millisecond-scale settling the paper assumes.
+        t_ambient: ambient (heatsink inlet) temperature in kelvin.
+    """
+
+    r_th: float = 0.42
+    c_th: float = 0.024
+    t_ambient: float = celsius_to_kelvin(55.0)
+
+    def __post_init__(self) -> None:
+        if self.r_th <= 0 or self.c_th <= 0:
+            raise ValueError("thermal R and C must be positive")
+        if self.t_ambient <= 0:
+            raise ValueError("ambient temperature must be positive kelvin")
+
+    @property
+    def time_constant(self) -> float:
+        """RC settling constant in seconds."""
+        return self.r_th * self.c_th
+
+    def steady_state(self, power: float) -> float:
+        """Steady-state junction temperature for constant ``power`` (W)."""
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        return self.t_ambient + power * self.r_th
+
+    def step(self, t_now: float, power: float, dt: float) -> float:
+        """Exact temperature after holding ``power`` for ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        t_target = self.steady_state(power)
+        return t_target + (t_now - t_target) * math.exp(-dt / self.time_constant)
+
+    def settling_time(self, fraction: float = 0.99) -> float:
+        """Time to close ``fraction`` of any temperature step."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        return -self.time_constant * math.log(1.0 - fraction)
+
+
+def simulate_trace(rc: ThermalRC, schedule: Sequence[Tuple[float, float]],
+                   samples_per_phase: int = 20,
+                   t_initial: float = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Temperature trace for a piecewise-constant power schedule.
+
+    Args:
+        schedule: list of ``(duration_seconds, power_watts)`` phases.
+        samples_per_phase: sample count within each phase (exact
+            exponential evaluation, no integration error).
+        t_initial: starting temperature; defaults to the steady state of
+            the first phase's power (the paper's Fig. 2 starts settled).
+
+    Returns:
+        (times, temperatures) arrays including t = 0.
+    """
+    if not schedule:
+        raise ValueError("empty power schedule")
+    if samples_per_phase < 1:
+        raise ValueError("need at least one sample per phase")
+    t_now = rc.steady_state(schedule[0][1]) if t_initial is None else t_initial
+    times: List[float] = [0.0]
+    temps: List[float] = [t_now]
+    clock = 0.0
+    for duration, power in schedule:
+        if duration <= 0:
+            raise ValueError("phase durations must be positive")
+        for k in range(1, samples_per_phase + 1):
+            dt = duration / samples_per_phase
+            t_now = rc.step(t_now, power, dt)
+            times.append(clock + k * dt)
+            temps.append(t_now)
+        clock += duration
+    return np.asarray(times), np.asarray(temps)

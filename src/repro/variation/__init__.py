@@ -1,0 +1,17 @@
+"""Process variation + statistical aging timing (S11)."""
+
+from repro.variation.sampling import VariationModel
+from repro.variation.statistical import (
+    FIG12_TIMES,
+    FastAgedTimer,
+    StatisticalAgingResult,
+    statistical_aging,
+)
+
+__all__ = [
+    "VariationModel",
+    "FIG12_TIMES",
+    "FastAgedTimer",
+    "StatisticalAgingResult",
+    "statistical_aging",
+]

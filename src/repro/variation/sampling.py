@@ -1,0 +1,64 @@
+"""Process-variation sampling (substrate S11).
+
+Per-gate threshold-voltage variation with two components:
+
+* **local** (random, within-die): independent per gate; averages out
+  along long paths;
+* **global** (die-to-die): one shared offset per sample.
+
+The paper's Fig. 12 treats the circuit delay as a distribution under
+such Vth variation; [51] observes that NBTI *compensates* part of the
+static spread because low-Vth devices age faster (higher oxide field),
+which our calibration's ``field_factor`` reproduces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.netlist.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Gaussian Vth0 variation parameters (volts).
+
+    Attributes:
+        sigma_local: per-gate independent standard deviation.
+        sigma_global: die-wide shared standard deviation.
+        truncate_sigmas: samples are clipped to +/- this many sigmas so a
+            pathological draw cannot push a device past the rails.
+    """
+
+    sigma_local: float = 0.010
+    sigma_global: float = 0.0
+    truncate_sigmas: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_local < 0 or self.sigma_global < 0:
+            raise ValueError("sigmas must be non-negative")
+        if self.truncate_sigmas <= 0:
+            raise ValueError("truncation must be positive")
+
+    def _draw(self, rng: random.Random, sigma: float) -> float:
+        if sigma == 0.0:
+            return 0.0
+        bound = self.truncate_sigmas * sigma
+        value = rng.gauss(0.0, sigma)
+        return max(-bound, min(bound, value))
+
+    def sample(self, circuit: Circuit, rng: random.Random) -> Dict[str, float]:
+        """One die: per-gate Vth0 offset (volts)."""
+        shared = self._draw(rng, self.sigma_global)
+        return {name: shared + self._draw(rng, self.sigma_local)
+                for name in circuit.gates}
+
+    def sample_many(self, circuit: Circuit, n_samples: int, seed: int = 0
+                    ) -> List[Dict[str, float]]:
+        """``n_samples`` independent dies, deterministic in ``seed``."""
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        rng = random.Random(seed)
+        return [self.sample(circuit, rng) for _ in range(n_samples)]

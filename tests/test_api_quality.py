@@ -1,0 +1,74 @@
+"""API-quality gates: the public surface stays documented and importable.
+
+These meta-tests keep the library honest as it grows: every module under
+``repro`` imports cleanly, every ``__all__`` name resolves, and every
+public function/class/method carries a docstring.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    # __main__ runs the CLI (and exits) on import, by design.
+    if not name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name",
+                         [m for m in MODULES if m.endswith("__init__") is False])
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+def _public_callables():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-exports documented at their home module
+            yield module_name, name, obj
+
+
+def test_every_public_callable_documented():
+    undocumented = [
+        f"{mod}.{name}"
+        for mod, name, obj in _public_callables()
+        if not inspect.getdoc(obj)
+    ]
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_every_public_method_documented():
+    undocumented = []
+    for mod, cls_name, obj in _public_callables():
+        if not inspect.isclass(obj):
+            continue
+        for name, member in vars(obj).items():
+            if name.startswith("_") or not inspect.isfunction(member):
+                continue
+            if not inspect.getdoc(member):
+                undocumented.append(f"{mod}.{cls_name}.{name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

@@ -1,0 +1,79 @@
+"""Construction-time validation and edge cases of the Cell data model."""
+
+import pytest
+
+from repro.cells import Cell, Dev, Series, Stage, build_library
+from repro.tech import PTM90, Mosfet
+
+
+def _nmos(pin, name="MN1", w=240e-9):
+    return Dev(Mosfet(name=name, polarity="nmos", gate_pin=pin, w=w, l=90e-9))
+
+
+def _pmos(pin, name="MP1", w=480e-9):
+    return Dev(Mosfet(name=name, polarity="pmos", gate_pin=pin, w=w, l=90e-9))
+
+
+def inverter_stage(out="Y"):
+    return Stage(output=out, pull_up=_pmos("A"), pull_down=_nmos("A"))
+
+
+class TestStage:
+    def test_input_pins_deduplicated_in_order(self):
+        stage = Stage(output="Y",
+                      pull_up=Series([_pmos("B", "MP1"), _pmos("A", "MP2")]),
+                      pull_down=Series([_nmos("A", "MN1"), _nmos("B", "MN2")]))
+        assert stage.input_pins() == ["B", "A"]
+
+    def test_non_complementary_detected(self):
+        # Pull-up and pull-down both keyed the same way: floats/shorts.
+        broken = Stage(output="Y", pull_up=_pmos("A"), pull_down=_nmos("B"))
+        with pytest.raises(RuntimeError, match="not complementary"):
+            broken.evaluate({"A": 0, "B": 1})  # both networks conduct
+
+
+class TestCellValidation:
+    def test_needs_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Cell(name="X", inputs=("A",), output="Y", stages=())
+
+    def test_last_stage_must_drive_output(self):
+        with pytest.raises(ValueError, match="declared output"):
+            Cell(name="X", inputs=("A",), output="Y",
+                 stages=(inverter_stage(out="Z"),))
+
+    def test_undriven_stage_pin_rejected(self):
+        stage = Stage(output="Y", pull_up=_pmos("GHOST"),
+                      pull_down=_nmos("GHOST"))
+        with pytest.raises(ValueError, match="undriven"):
+            Cell(name="X", inputs=("A",), output="Y", stages=(stage,))
+
+    def test_truth_table_size(self):
+        lib = build_library()
+        assert len(lib.get("NAND3").truth_table()) == 8
+        assert len(lib.get("AOI22").truth_table()) == 16
+
+    def test_node_values_exposes_internals(self):
+        lib = build_library()
+        and2 = lib.get("AND2")
+        values = and2.node_values((1, 1))
+        assert values["n1"] == 0   # internal NAND
+        assert values["Y"] == 1
+
+    def test_library_duplicate_add_rejected(self):
+        lib = build_library()
+        with pytest.raises(ValueError, match="duplicate"):
+            lib.add(lib.get("INV"))
+
+    def test_internal_load_parameter_affects_composed_cells(self):
+        lib = build_library()
+        and2 = lib.get("AND2")
+        light = and2.delay(PTM90, 4e-15, "rise", internal_load_cap=1e-16)
+        heavy = and2.delay(PTM90, 4e-15, "rise", internal_load_cap=8e-16)
+        assert heavy > light
+
+    def test_pmos_devices_counts(self):
+        lib = build_library()
+        assert len(lib.get("NAND3").pmos_devices()) == 3
+        assert len(lib.get("AND2").pmos_devices()) == 3  # NAND2 + INV
+        assert len(lib.get("XOR2").pmos_devices()) == 8  # 4 NAND2s

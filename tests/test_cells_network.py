@@ -1,0 +1,209 @@
+"""Unit + property tests for series-parallel networks and stack leakage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cells.network import (
+    Dev,
+    Parallel,
+    Series,
+    conducts,
+    devices,
+    max_series_depth,
+    network_leakage,
+    stress_probabilities,
+    stressed_pmos,
+)
+from repro.tech import PTM90, Mosfet
+
+
+def nmos(pin, name, w=240e-9):
+    return Dev(Mosfet(name=name, polarity="nmos", gate_pin=pin, w=w, l=90e-9))
+
+
+def pmos(pin, name, w=480e-9):
+    return Dev(Mosfet(name=name, polarity="pmos", gate_pin=pin, w=w, l=90e-9))
+
+
+class TestConduction:
+    def test_single_nmos(self):
+        net = nmos("A", "MN1")
+        assert conducts(net, {"A": 1})
+        assert not conducts(net, {"A": 0})
+
+    def test_single_pmos(self):
+        net = pmos("A", "MP1")
+        assert conducts(net, {"A": 0})
+        assert not conducts(net, {"A": 1})
+
+    def test_series_requires_all(self):
+        net = Series([nmos("A", "MN1"), nmos("B", "MN2")])
+        assert conducts(net, {"A": 1, "B": 1})
+        assert not conducts(net, {"A": 1, "B": 0})
+        assert not conducts(net, {"A": 0, "B": 0})
+
+    def test_parallel_requires_any(self):
+        net = Parallel([nmos("A", "MN1"), nmos("B", "MN2")])
+        assert conducts(net, {"A": 0, "B": 1})
+        assert not conducts(net, {"A": 0, "B": 0})
+
+    def test_missing_pin_raises(self):
+        with pytest.raises(KeyError, match="MN1"):
+            conducts(nmos("A", "MN1"), {})
+
+    def test_bad_bit_raises(self):
+        with pytest.raises(ValueError):
+            conducts(nmos("A", "MN1"), {"A": 2})
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            Series([])
+        with pytest.raises(ValueError):
+            Parallel([])
+
+
+class TestStructure:
+    def test_devices_order(self):
+        net = Series([nmos("A", "MN1"), Parallel([nmos("B", "MN2"), nmos("C", "MN3")])])
+        assert [m.name for m in devices(net)] == ["MN1", "MN2", "MN3"]
+
+    def test_max_series_depth(self):
+        net = Series([nmos("A", "MN1"),
+                      Parallel([Series([nmos("B", "MN2"), nmos("C", "MN3")]),
+                                nmos("D", "MN4")])])
+        assert max_series_depth(net) == 3
+
+
+class TestStackLeakage:
+    T = 400.0
+
+    def test_single_off_device(self):
+        net = nmos("A", "MN1")
+        i = network_leakage(net, {"A": 0}, PTM90, self.T)
+        assert i > 0
+
+    def test_conducting_network_rejected(self):
+        with pytest.raises(RuntimeError):
+            network_leakage(nmos("A", "MN1"), {"A": 1}, PTM90, self.T)
+
+    def test_stacking_effect_two_off_devices(self):
+        """The core IVC physics: two OFF devices leak far less than one."""
+        single = network_leakage(nmos("A", "MN1"), {"A": 0}, PTM90, self.T)
+        stack = network_leakage(
+            Series([nmos("A", "MN1"), nmos("B", "MN2")]), {"A": 0, "B": 0},
+            PTM90, self.T)
+        assert stack < 0.4 * single
+
+    def test_stack_with_one_on_device_equals_single(self):
+        """An ON device in the chain drops ~0 V: same as the lone OFF device."""
+        single = network_leakage(nmos("A", "MN1"), {"A": 0}, PTM90, self.T)
+        mixed = network_leakage(
+            Series([nmos("A", "MN1"), nmos("B", "MN2")]), {"A": 0, "B": 1},
+            PTM90, self.T)
+        assert mixed == pytest.approx(single, rel=1e-6)
+
+    def test_three_stack_below_two_stack(self):
+        two = network_leakage(
+            Series([nmos("A", "MN1"), nmos("B", "MN2")]), {"A": 0, "B": 0},
+            PTM90, self.T)
+        three = network_leakage(
+            Series([nmos("A", "MN1"), nmos("B", "MN2"), nmos("C", "MN3")]),
+            {"A": 0, "B": 0, "C": 0}, PTM90, self.T)
+        assert three < two
+
+    def test_parallel_adds(self):
+        one = network_leakage(nmos("A", "MN1"), {"A": 0}, PTM90, self.T)
+        two = network_leakage(
+            Parallel([nmos("A", "MN1"), nmos("B", "MN2")]), {"A": 0, "B": 0},
+            PTM90, self.T)
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_pmos_stack_also_suppressed(self):
+        single = network_leakage(pmos("A", "MP1"), {"A": 1}, PTM90, self.T)
+        stack = network_leakage(
+            Series([pmos("A", "MP1"), pmos("B", "MP2")]), {"A": 1, "B": 1},
+            PTM90, self.T)
+        assert 0 < stack < 0.4 * single
+
+    def test_leakage_increases_with_temperature(self):
+        net = Series([nmos("A", "MN1"), nmos("B", "MN2")])
+        bits = {"A": 0, "B": 0}
+        assert (network_leakage(net, bits, PTM90, 400.0)
+                > network_leakage(net, bits, PTM90, 330.0))
+
+    def test_aged_devices_leak_less(self):
+        net = nmos("A", "MN1")
+        fresh = network_leakage(net, {"A": 0}, PTM90, self.T)
+        aged = network_leakage(net, {"A": 0}, PTM90, self.T, delta_vth=0.03)
+        assert aged < fresh
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_property_stack_monotone_in_depth(self, depth):
+        """Leakage is non-increasing in series stack depth."""
+        def build(k):
+            ds = [nmos(f"I{j}", f"MN{j}") for j in range(k)]
+            return ds[0] if k == 1 else Series(ds)
+        bits = {f"I{j}": 0 for j in range(depth + 1)}
+        shallow = network_leakage(build(depth), bits, PTM90, self.T)
+        deep = network_leakage(build(depth + 1), bits, PTM90, self.T)
+        assert deep <= shallow * (1 + 1e-6)
+
+
+class TestStressExtraction:
+    def nor2_pullup(self):
+        # Rail(Vdd)-to-output: A on top.
+        return Series([pmos("A", "MPA"), pmos("B", "MPB")])
+
+    def test_both_stressed_when_all_zero(self):
+        assert stressed_pmos(self.nor2_pullup(), {"A": 0, "B": 0}) == {"MPA", "MPB"}
+
+    def test_stack_blocks_stress_below(self):
+        # A=1 blocks the rail: B's source floats, so B is NOT stressed.
+        assert stressed_pmos(self.nor2_pullup(), {"A": 1, "B": 0}) == set()
+
+    def test_top_stressed_bottom_high(self):
+        assert stressed_pmos(self.nor2_pullup(), {"A": 0, "B": 1}) == {"MPA"}
+
+    def test_parallel_both_see_rail(self):
+        net = Parallel([pmos("A", "MPA"), pmos("B", "MPB")])
+        assert stressed_pmos(net, {"A": 0, "B": 0}) == {"MPA", "MPB"}
+        assert stressed_pmos(net, {"A": 1, "B": 0}) == {"MPB"}
+
+    def test_nmos_never_reported(self):
+        net = Series([nmos("A", "MN1"), nmos("B", "MN2")])
+        assert stressed_pmos(net, {"A": 0, "B": 0}) == set()
+
+
+class TestStressProbabilities:
+    def test_single_pmos_probability_is_zero_prob(self):
+        probs = stress_probabilities(pmos("A", "MPA"), {"A": 0.3})
+        assert probs["MPA"] == pytest.approx(0.3)
+
+    def test_series_multiplies_upstream_on_probability(self):
+        net = Series([pmos("A", "MPA"), pmos("B", "MPB")])
+        probs = stress_probabilities(net, {"A": 0.5, "B": 0.4})
+        assert probs["MPA"] == pytest.approx(0.5)
+        # B stressed only when A conducts (gate 0, p=0.5) and B gate 0.
+        assert probs["MPB"] == pytest.approx(0.5 * 0.4)
+
+    def test_parallel_independent(self):
+        net = Parallel([pmos("A", "MPA"), pmos("B", "MPB")])
+        probs = stress_probabilities(net, {"A": 0.5, "B": 0.4})
+        assert probs["MPA"] == pytest.approx(0.5)
+        assert probs["MPB"] == pytest.approx(0.4)
+
+    def test_out_of_range_probability_raises(self):
+        with pytest.raises(ValueError):
+            stress_probabilities(pmos("A", "MPA"), {"A": 1.5})
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_property_probabilities_bounded(self, pa, pb):
+        net = Series([pmos("A", "MPA"), pmos("B", "MPB")])
+        probs = stress_probabilities(net, {"A": pa, "B": pb})
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        # Stacked device can never be stressed more often than its driver
+        # chain conducts.
+        assert probs["MPB"] <= pa + 1e-12

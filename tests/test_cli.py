@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_circuit
+
+
+class TestResolveCircuit:
+    def test_iscas_name(self):
+        assert resolve_circuit("c432").name == "c432"
+
+    def test_packaged_name(self):
+        c = resolve_circuit("c17")
+        assert c.n_gates() == 6
+
+    def test_bench_path(self, tmp_path):
+        path = tmp_path / "mini.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        c = resolve_circuit(str(path))
+        assert c.name == "mini"
+
+    def test_unknown_exits(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            resolve_circuit("c9999")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "c17: 5 inputs, 2 outputs, 6 gates" in out
+        assert "NAND2" in out
+
+    def test_age_worst(self, capsys):
+        assert main(["age", "c17", "--ras", "1:5", "--years", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "RAS 1:5" in out
+
+    def test_age_best_below_worst(self, capsys):
+        main(["age", "c17", "--t-standby", "400", "--standby", "worst"])
+        worst = capsys.readouterr().out
+        main(["age", "c17", "--t-standby", "400", "--standby", "best"])
+        best = capsys.readouterr().out
+
+        def deg(text):
+            line = next(l for l in text.splitlines() if "degradation" in l)
+            return float(line.split(":")[1].strip().rstrip("%"))
+
+        assert deg(best) < deg(worst)
+
+    def test_mlv(self, capsys):
+        assert main(["mlv", "c17", "--vectors", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen MLV" in out
+        assert "aged degradation" in out
+
+    def test_sleep_header(self, capsys):
+        assert main(["sleep", "c17", "--beta", "0.03", "--nbti-aware"]) == 0
+        out = capsys.readouterr().out
+        assert "header dVth" in out
+        assert "NBTI-aware sizing" in out
+
+    def test_sleep_footer_no_header_line(self, capsys):
+        assert main(["sleep", "c17", "--style", "footer"]) == 0
+        out = capsys.readouterr().out
+        assert "header dVth" not in out
+
+    def test_guardband(self, capsys):
+        assert main(["guardband", "--t-standby", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "delay margin" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "330 K" in out and "400 K" in out
+        assert "9:1" in out and "1:9" in out
+
+    def test_paths(self, capsys):
+        assert main(["paths", "c17", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "longest paths" in out
+        assert out.count("->") >= 3
+
+    def test_paths_aged(self, capsys):
+        main(["paths", "c17", "-k", "1"])
+        fresh = capsys.readouterr().out
+        main(["paths", "c17", "-k", "1", "--aged", "--t-standby", "400"])
+        aged = capsys.readouterr().out
+
+        def top_delay(text):
+            row = text.splitlines()[3]
+            return float(row.split("|")[1])
+
+        assert top_delay(aged) > top_delay(fresh)
+
+    def test_table4(self, capsys):
+        assert main(["table4", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert "potential" in out
+        assert "330 K" in out and "400 K" in out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_help_lists_commands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for cmd in ("info", "age", "mlv", "sleep", "guardband", "table1",
+                    "paths", "table4"):
+            assert cmd in help_text

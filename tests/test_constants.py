@@ -1,0 +1,48 @@
+"""Unit tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_thermal_voltage_room_temperature():
+    # kT/q at 300 K is the canonical 25.85 mV.
+    assert constants.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_thermal_voltage_scales_linearly():
+    assert constants.thermal_voltage(400.0) == pytest.approx(
+        constants.thermal_voltage(200.0) * 2.0
+    )
+
+
+def test_thermal_voltage_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(-10.0)
+
+
+def test_celsius_kelvin_roundtrip():
+    assert constants.kelvin_to_celsius(constants.celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+
+def test_celsius_to_kelvin_anchor():
+    assert constants.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_years_and_back():
+    assert constants.seconds_to_years(constants.years(10.0)) == pytest.approx(10.0)
+
+
+def test_ten_years_constant_matches_paper():
+    # The paper quotes the lifetime horizon as 3.15e8 s ("about 10 years").
+    assert constants.TEN_YEARS == pytest.approx(3.15e8)
+    assert constants.seconds_to_years(constants.TEN_YEARS) == pytest.approx(10.0, rel=0.01)
+
+
+def test_unit_helpers():
+    assert constants.volts_to_millivolts(0.03) == pytest.approx(30.0)
+    assert constants.amps_to_nanoamps(2e-9) == pytest.approx(2.0)

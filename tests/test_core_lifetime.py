@@ -1,0 +1,117 @@
+"""Tests for the lifetime / guard-band solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TEN_YEARS
+from repro.core import (
+    DEFAULT_MODEL,
+    WORST_CASE_DEVICE,
+    DeviceStress,
+    OperatingProfile,
+    bisect_lifetime,
+    guard_band,
+    time_to_degradation,
+    time_to_vth_shift,
+)
+
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=330.0)
+
+
+class TestTimeToShift:
+    def test_roundtrip_with_forward_model(self):
+        target = 10e-3
+        t = time_to_vth_shift(target, PROFILE, WORST_CASE_DEVICE, 0.22)
+        back = DEFAULT_MODEL.delta_vth(PROFILE, WORST_CASE_DEVICE, t, 0.22)
+        assert back == pytest.approx(target, rel=1e-9)
+
+    def test_larger_target_takes_longer(self):
+        t1 = time_to_vth_shift(5e-3, PROFILE, WORST_CASE_DEVICE, 0.22)
+        t2 = time_to_vth_shift(10e-3, PROFILE, WORST_CASE_DEVICE, 0.22)
+        # t ~ target^4 under the quarter-power law.
+        assert t2 == pytest.approx(16 * t1, rel=1e-9)
+
+    def test_unstressed_device_lives_forever(self):
+        idle = DeviceStress(active_stress_duty=0.0, standby_stressed=False)
+        assert time_to_vth_shift(5e-3, PROFILE, idle) == float("inf")
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            time_to_vth_shift(0.0, PROFILE, WORST_CASE_DEVICE)
+
+    @given(st.floats(min_value=1e-3, max_value=0.05))
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, target):
+        t = time_to_vth_shift(target, PROFILE, WORST_CASE_DEVICE, 0.22)
+        back = DEFAULT_MODEL.delta_vth(PROFILE, WORST_CASE_DEVICE, t, 0.22)
+        assert back == pytest.approx(target, rel=1e-6)
+
+
+class TestTimeToDegradation:
+    def test_roundtrip_with_guard_band(self):
+        gb = guard_band(PROFILE, WORST_CASE_DEVICE, lifetime=TEN_YEARS,
+                        vth0=0.22)
+        t = time_to_degradation(gb.delay_margin, PROFILE, WORST_CASE_DEVICE,
+                                vth0=0.22)
+        assert t == pytest.approx(TEN_YEARS, rel=1e-6)
+
+    def test_tighter_margin_shorter_life(self):
+        t_tight = time_to_degradation(0.02, PROFILE, WORST_CASE_DEVICE, vth0=0.22)
+        t_loose = time_to_degradation(0.05, PROFILE, WORST_CASE_DEVICE, vth0=0.22)
+        assert t_tight < t_loose
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            time_to_degradation(0.0, PROFILE, WORST_CASE_DEVICE)
+        with pytest.raises(ValueError):
+            time_to_degradation(0.05, PROFILE, WORST_CASE_DEVICE, vth0=1.5)
+
+
+class TestGuardBand:
+    def test_fields_and_summary(self):
+        gb = guard_band(PROFILE, WORST_CASE_DEVICE, vth0=0.22)
+        assert gb.vth_shift > 0
+        assert 0 < gb.delay_margin < 0.2
+        assert "delay margin" in gb.summary()
+
+    def test_margin_grows_with_lifetime(self):
+        g3 = guard_band(PROFILE, WORST_CASE_DEVICE, lifetime=TEN_YEARS / 3,
+                        vth0=0.22)
+        g10 = guard_band(PROFILE, WORST_CASE_DEVICE, lifetime=TEN_YEARS,
+                         vth0=0.22)
+        assert g10.delay_margin > g3.delay_margin
+
+    def test_hot_standby_needs_more_margin(self):
+        hot = OperatingProfile.from_ras("1:9", t_standby=400.0)
+        assert (guard_band(hot, WORST_CASE_DEVICE, vth0=0.22).delay_margin
+                > guard_band(PROFILE, WORST_CASE_DEVICE, vth0=0.22).delay_margin)
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            guard_band(PROFILE, WORST_CASE_DEVICE, lifetime=-1.0)
+
+
+class TestBisect:
+    def test_finds_threshold(self):
+        t = bisect_lifetime(lambda x: x >= 1e6, tolerance=0.001)
+        assert t == pytest.approx(1e6, rel=0.01)
+
+    def test_never_fires(self):
+        assert bisect_lifetime(lambda x: False) == float("inf")
+
+    def test_fires_immediately(self):
+        assert bisect_lifetime(lambda x: True, lo=5.0) == 5.0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            bisect_lifetime(lambda x: True, lo=10.0, hi=5.0)
+
+    def test_matches_analytic_solver(self):
+        target = 12e-3
+        analytic = time_to_vth_shift(target, PROFILE, WORST_CASE_DEVICE, 0.22)
+        numeric = bisect_lifetime(
+            lambda t: DEFAULT_MODEL.delta_vth(PROFILE, WORST_CASE_DEVICE,
+                                              t, 0.22) >= target,
+            tolerance=0.001)
+        assert numeric == pytest.approx(analytic, rel=0.01)

@@ -1,0 +1,116 @@
+"""Tests for the multicycle AC stress model (eqs. 7-11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ac_to_dc_ratio,
+    cycles_to_converge,
+    delta_factor,
+    s_closed_form,
+    s_first,
+    s_sequence,
+)
+
+
+class TestDeltaFactor:
+    def test_dc_has_no_recovery_factor(self):
+        assert delta_factor(1.0) == 0.0
+
+    def test_zero_duty_maximum(self):
+        assert delta_factor(0.0) == pytest.approx(np.sqrt(0.5))
+
+    def test_half_duty(self):
+        assert delta_factor(0.5) == pytest.approx(0.5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            delta_factor(1.5)
+        with pytest.raises(ValueError):
+            delta_factor(-0.1)
+
+
+class TestSequence:
+    def test_first_element_matches_eq9(self):
+        seq = s_sequence(0.5, 5)
+        assert seq[0] == pytest.approx(s_first(0.5))
+
+    def test_monotone_nondecreasing(self):
+        seq = s_sequence(0.3, 500)
+        assert np.all(np.diff(seq) >= -1e-15)
+
+    def test_dc_equals_n_quarter(self):
+        # c = 1: no recovery, S_n = n^(1/4) exactly.
+        seq = s_sequence(1.0, 100)
+        expected = np.arange(1, 101) ** 0.25
+        np.testing.assert_allclose(seq, expected, rtol=1e-12)
+
+    def test_zero_duty_stays_zero(self):
+        seq = s_sequence(0.0, 10)
+        assert np.all(seq == 0.0)
+
+    def test_converges_to_closed_form(self):
+        duty = 0.4
+        seq = s_sequence(duty, 20000)
+        closed = s_closed_form(duty, 20000)
+        assert seq[-1] == pytest.approx(closed, rel=1e-3)
+
+    def test_first_order_update_tracks_quartic(self):
+        """The paper's literal eq. (10) update vs the stable quartic form."""
+        exact = s_sequence(0.5, 2000, exact_quartic=True)
+        linear = s_sequence(0.5, 2000, exact_quartic=False)
+        assert abs(exact[-1] - linear[-1]) / exact[-1] < 1e-3
+
+    def test_needs_cycles(self):
+        with pytest.raises(ValueError):
+            s_sequence(0.5, 0)
+
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_higher_duty_more_degradation(self, duty):
+        lo = s_sequence(duty * 0.9, 200)[-1]
+        hi = s_sequence(duty, 200)[-1]
+        assert hi >= lo
+
+
+class TestClosedForm:
+    def test_dc_identity(self):
+        assert s_closed_form(1.0, 256.0) == pytest.approx(4.0)
+
+    def test_quarter_power_in_time(self):
+        assert (s_closed_form(0.5, 1600.0)
+                == pytest.approx(2 * s_closed_form(0.5, 100.0)))
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            s_closed_form(0.5, -1.0)
+
+    def test_ac_dc_ratio_half_duty(self):
+        # (0.5/1.5)^(1/4) ~ 0.76: AC at 50 % duty is ~3/4 of DC.
+        assert ac_to_dc_ratio(0.5) == pytest.approx((0.5 / 1.5) ** 0.25)
+        assert 0.7 < ac_to_dc_ratio(0.5) < 0.8
+
+    def test_ac_dc_ratio_limits(self):
+        assert ac_to_dc_ratio(1.0) == pytest.approx(1.0)
+        assert ac_to_dc_ratio(0.0) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=50)
+    def test_property_bounded_by_dc(self, duty, n):
+        assert s_closed_form(duty, n) <= s_closed_form(1.0, n) + 1e-12
+
+
+class TestConvergence:
+    def test_converges_quickly_at_high_duty(self):
+        assert cycles_to_converge(0.9, rel_tol=0.01) < 100
+
+    def test_zero_duty_trivial(self):
+        assert cycles_to_converge(0.0) == 1
+
+    def test_tighter_tolerance_needs_more_cycles(self):
+        loose = cycles_to_converge(0.5, rel_tol=0.05)
+        tight = cycles_to_converge(0.5, rel_tol=0.005)
+        assert tight >= loose

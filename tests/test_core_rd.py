@@ -1,0 +1,136 @@
+"""Tests for the reaction-diffusion model (analytic + numerical)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_RD,
+    RDParameters,
+    interface_traps_after_recovery,
+    interface_traps_dc,
+    nit_prefactor,
+    recovery_fraction,
+)
+from repro.core.rd_numerical import (
+    RDNumericalConfig,
+    fit_power_law_exponent,
+    simulate_rd,
+)
+
+
+class TestAnalyticRD:
+    def test_quarter_power_law(self):
+        # N_it(16 t) = 2 N_it(t) under the t^(1/4) law.
+        n1 = interface_traps_dc(1e4, 400.0)
+        n2 = interface_traps_dc(16e4, 400.0)
+        assert n2 == pytest.approx(2.0 * n1, rel=1e-9)
+
+    def test_zero_time(self):
+        assert interface_traps_dc(0.0, 400.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            interface_traps_dc(-1.0, 400.0)
+
+    def test_higher_temperature_more_traps(self):
+        assert interface_traps_dc(1e6, 400.0) > interface_traps_dc(1e6, 330.0)
+
+    def test_activation_energy_reduces_to_quarter_ed(self):
+        # With E_f == E_r the overall activation is E_D/4 (eq. 16).
+        assert DEFAULT_RD.activation_energy() == pytest.approx(DEFAULT_RD.ed / 4)
+
+    def test_prefactor_arrhenius_consistency(self):
+        # A(T2)/A(T1) should equal exp(-E_A/k (1/T2 - 1/T1)).
+        from repro.constants import BOLTZMANN_EV
+        a1 = nit_prefactor(330.0)
+        a2 = nit_prefactor(400.0)
+        ea = DEFAULT_RD.activation_energy()
+        expected = math.exp(-(ea / BOLTZMANN_EV) * (1 / 400.0 - 1 / 330.0))
+        assert a2 / a1 == pytest.approx(expected, rel=1e-9)
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError):
+            nit_prefactor(-5.0)
+
+
+class TestRecovery:
+    def test_no_recovery_at_zero_time(self):
+        assert recovery_fraction(0.0, 100.0) == 1.0
+
+    def test_half_after_equal_time(self):
+        assert recovery_fraction(100.0, 100.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        fracs = [recovery_fraction(t, 50.0) for t in (0, 10, 50, 200, 1000)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_never_full_recovery(self):
+        assert recovery_fraction(1e12, 1.0) > 0.0
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            recovery_fraction(1.0, 0.0)
+        with pytest.raises(ValueError):
+            recovery_fraction(-1.0, 1.0)
+
+    def test_stress_then_recovery_below_dc(self):
+        stressed = interface_traps_dc(1000.0, 400.0)
+        relaxed = interface_traps_after_recovery(1000.0, 1000.0, 400.0)
+        assert 0 < relaxed < stressed
+
+    @given(st.floats(min_value=1e-3, max_value=1e6),
+           st.floats(min_value=1e-3, max_value=1e6))
+    @settings(max_examples=50)
+    def test_property_fraction_in_unit_interval(self, tr, ts):
+        assert 0.0 < recovery_fraction(tr, ts) <= 1.0
+
+
+class TestNumericalRD:
+    """The finite-difference solver must reproduce the analytic shapes."""
+
+    def test_stress_follows_quarter_power(self):
+        times, nit = simulate_rd([(200.0, True)])
+        slope = fit_power_law_exponent(times, nit)
+        assert 0.18 < slope < 0.32
+
+    def test_recovery_removes_traps(self):
+        times, nit = simulate_rd([(100.0, True), (100.0, False)],
+                                 samples_per_phase=40)
+        peak = nit[: len(nit) // 2 + 1].max()
+        final = nit[-1]
+        assert final < 0.9 * peak
+
+    def test_recovery_partial_not_total(self):
+        # Dynamic NBTI: recovery is partial (Fig. 1's message).
+        _, nit = simulate_rd([(100.0, True), (300.0, False)],
+                             samples_per_phase=40)
+        assert nit[-1] > 0.0
+
+    def test_ac_below_dc(self):
+        schedule_ac = [(25.0, True), (25.0, False)] * 4
+        _, nit_ac = simulate_rd(schedule_ac, samples_per_phase=10)
+        _, nit_dc = simulate_rd([(200.0, True)], samples_per_phase=40)
+        assert nit_ac[-1] < nit_dc[-1]
+
+    def test_faster_diffusion_more_traps(self):
+        hot = RDNumericalConfig(dh=80.0)
+        cold = RDNumericalConfig(dh=20.0)
+        _, nit_hot = simulate_rd([(100.0, True)], hot, samples_per_phase=10)
+        _, nit_cold = simulate_rd([(100.0, True)], cold, samples_per_phase=10)
+        assert nit_hot[-1] > nit_cold[-1]
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_rd([])
+
+    def test_nonpositive_phase_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_rd([(0.0, True)])
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent(np.array([0.0]), np.array([0.0]))

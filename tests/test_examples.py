@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs and prints its key results.
+
+Examples are the de-facto integration surface users copy from, so each
+one is imported and executed with output captured.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "c432" in out
+        assert "Bounding standby states" in out
+        assert "worst" in out and "best" in out
+
+    def test_ivc_cooptimization(self, capsys):
+        out = run_example("ivc_cooptimization.py", capsys)
+        assert "MLV set" in out
+        assert "Internal-node-control potential" in out
+
+    def test_sleep_transistor_signoff(self, capsys):
+        out = run_example("sleep_transistor_signoff.py", capsys)
+        assert "Header sizing sign-off" in out
+        assert "Gating style comparison" in out
+        assert "footer" in out and "header" in out
+
+    def test_thermal_aging_scenario(self, capsys):
+        out = run_example("thermal_aging_scenario.py", capsys)
+        assert "Mode steady states" in out
+        assert "overdesign" in out
+
+    def test_statistical_aging_signoff(self, capsys):
+        out = run_example("statistical_aging_signoff.py", capsys)
+        assert "Delay distribution vs lifetime" in out
+        assert "guard-band" in out
+
+    def test_lifetime_signoff(self, capsys):
+        out = run_example("lifetime_signoff.py", capsys)
+        assert "Sign-off options compared" in out
+        assert "power gating" in out
+
+    def test_every_example_has_a_smoke_test(self):
+        """Guard against examples being added without coverage."""
+        tested = {"quickstart.py", "ivc_cooptimization.py",
+                  "sleep_transistor_signoff.py", "thermal_aging_scenario.py",
+                  "statistical_aging_signoff.py", "lifetime_signoff.py"}
+        present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert present == tested

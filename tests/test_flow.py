@@ -1,0 +1,123 @@
+"""Tests for the Fig. 6 analysis platform and the dual-Vth extension."""
+
+import pytest
+
+from repro.constants import TEN_YEARS
+from repro.core import NbtiModel, OperatingProfile
+from repro.flow import (
+    AnalysisPlatform,
+    assign_dual_vth,
+    format_table,
+    hvt_delay_factor,
+    hvt_leakage_factor,
+    mv,
+    ns,
+    pct,
+    ua,
+)
+from repro.netlist import random_logic
+from repro.sim import constant_vector
+from repro.tech import PTM90
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("flow", n_inputs=14, n_outputs=4, n_gates=90, seed=31)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return AnalysisPlatform()
+
+
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+
+class TestAnalysisPlatform:
+    def test_scenario_report_fields(self, platform, circuit):
+        report = platform.analyze_scenario(circuit, PROFILE, TEN_YEARS)
+        assert report.aged_delay > report.fresh_delay
+        assert 0 < report.degradation < 0.2
+        assert report.active_leakage_expected > 0
+        assert report.standby_leakage is None
+
+    def test_scenario_with_vector_reports_standby_leakage(self, platform, circuit):
+        vec = constant_vector(circuit, 0)
+        report = platform.analyze_scenario(circuit, PROFILE, TEN_YEARS,
+                                           standby=vec)
+        assert report.standby_leakage is not None
+        assert report.standby_leakage > 0
+
+    def test_summary_text(self, platform, circuit):
+        report = platform.analyze_scenario(circuit, PROFILE, TEN_YEARS)
+        text = report.summary()
+        assert circuit.name in text
+        assert "1:5" in text
+        assert "uA" in text
+
+    def test_leakage_table_cached(self, platform):
+        assert platform.leakage_table is platform.leakage_table
+
+    def test_co_optimize(self, platform, circuit):
+        report = platform.co_optimize(circuit, PROFILE, TEN_YEARS,
+                                      n_vectors=32, max_set_size=4, seed=2)
+        assert report.chosen_leakage <= report.expected_leakage * 1.05
+        assert 0 <= report.chosen_degradation < 0.2
+        assert report.mlv_delay_spread >= 0
+        # The chosen MLV is in the searched set.
+        assert report.selection.chosen.bits in [
+            r.bits for r in report.search.records]
+
+    def test_custom_model_threaded_through(self, circuit):
+        platform = AnalysisPlatform(model=NbtiModel(scale_recovery=True))
+        report = platform.analyze_scenario(circuit, PROFILE, TEN_YEARS)
+        assert report.degradation > 0
+
+
+class TestDualVth:
+    def test_factors(self):
+        assert hvt_delay_factor(0.10) > 1.0
+        assert hvt_leakage_factor(0.10) < 0.2
+        with pytest.raises(ValueError):
+            hvt_delay_factor(0.9)
+
+    def test_assignment_meets_timing(self, circuit):
+        res = assign_dual_vth(circuit, timing_budget=0.0)
+        assert res.fresh_delay_dual <= res.fresh_delay_lvt * (1 + 1e-9)
+        assert 0 < len(res.hvt_gates) < res.n_gates
+
+    def test_budget_allows_more_hvt(self, circuit):
+        tight = assign_dual_vth(circuit, timing_budget=0.0)
+        loose = assign_dual_vth(circuit, timing_budget=0.10)
+        assert len(loose.hvt_gates) >= len(tight.hvt_gates)
+
+    def test_joint_benefit(self, circuit):
+        """Section 4.1's claim: higher Vth cuts both leakage and aging."""
+        res = assign_dual_vth(circuit, timing_budget=0.05)
+        assert res.leakage_factor < 1.0
+        assert res.degradation_dual <= res.degradation_lvt + 1e-12
+
+    def test_result_properties(self, circuit):
+        res = assign_dual_vth(circuit)
+        assert 0 <= res.hvt_fraction <= 1
+        assert res.degradation_lvt > 0
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_unit_formatters(self):
+        assert pct(0.0425) == "4.25%"
+        assert mv(0.0303) == "30.3"
+        assert ns(3.6e-9) == "3.6000"
+        assert ua(2.5e-6) == "2.50"

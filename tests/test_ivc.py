@@ -1,0 +1,186 @@
+"""Tests for MLV search, NBTI-aware selection, internal node control,
+and MLV alternation."""
+
+import pytest
+
+from repro.cells import LeakageTable, build_library
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.ivc import (
+    compare_alternation,
+    exhaustive_mlv_search,
+    internal_node_potential,
+    potential_sweep,
+    probability_based_mlv_search,
+    select_mlv_for_nbti,
+)
+from repro.leakage import leakage_for_vector
+from repro.netlist import Circuit, Gate, iscas85, random_logic
+from repro.sim import bits_to_vector
+from repro.sta import AgingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library()
+
+
+@pytest.fixture(scope="module")
+def table(lib):
+    return LeakageTable.build(lib, 400.0)
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    """12-input random logic: big enough to be interesting, small enough
+    to enumerate exhaustively."""
+    return random_logic("small", n_inputs=12, n_outputs=3, n_gates=60, seed=77)
+
+
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+
+class TestProbabilitySearch:
+    def test_deterministic(self, small_circuit, table):
+        a = probability_based_mlv_search(small_circuit, table, seed=3)
+        b = probability_based_mlv_search(small_circuit, table, seed=3)
+        assert [r.bits for r in a.records] == [r.bits for r in b.records]
+
+    def test_records_sorted_by_leakage(self, small_circuit, table):
+        res = probability_based_mlv_search(small_circuit, table, seed=3)
+        leaks = [r.leakage for r in res.records]
+        assert leaks == sorted(leaks)
+
+    def test_set_within_range_fraction(self, small_circuit, table):
+        res = probability_based_mlv_search(small_circuit, table, seed=3,
+                                           range_fraction=0.02)
+        assert res.records[-1].leakage <= res.best.leakage * 1.02 + 1e-18
+
+    def test_beats_or_matches_random_sampling(self, small_circuit, table):
+        """The probability iteration must do at least as well as its own
+        initial random population."""
+        import random
+        from repro.sim.vectors import random_vector
+        res = probability_based_mlv_search(small_circuit, table, seed=9,
+                                           n_vectors=32, max_iterations=10)
+        rng = random.Random(9)
+        random_best = min(
+            leakage_for_vector(small_circuit, random_vector(small_circuit, rng), table)
+            for _ in range(32))
+        assert res.best.leakage <= random_best + 1e-18
+
+    def test_near_exhaustive_optimum(self, small_circuit, table):
+        """On an enumerable circuit the heuristic gets close to the true
+        minimum (within a few percent)."""
+        exact = exhaustive_mlv_search(small_circuit, table)
+        heur = probability_based_mlv_search(small_circuit, table, seed=1,
+                                            n_vectors=128, max_iterations=20)
+        assert heur.best.leakage <= exact.best.leakage * 1.03
+
+    def test_leakage_values_correct(self, small_circuit, table):
+        res = probability_based_mlv_search(small_circuit, table, seed=3)
+        rec = res.best
+        direct = leakage_for_vector(
+            small_circuit, bits_to_vector(small_circuit, rec.bits), table)
+        assert rec.leakage == pytest.approx(direct)
+
+    def test_guards(self, small_circuit, table):
+        with pytest.raises(ValueError):
+            probability_based_mlv_search(small_circuit, table, n_vectors=1)
+        with pytest.raises(ValueError):
+            probability_based_mlv_search(small_circuit, table, range_fraction=0.0)
+
+
+class TestExhaustiveSearch:
+    def test_finds_global_minimum(self, table):
+        c = random_logic("tiny", n_inputs=6, n_outputs=2, n_gates=25, seed=5)
+        res = exhaustive_mlv_search(c, table)
+        assert res.evaluated == 64
+        from repro.sim import all_vectors
+        best = min(leakage_for_vector(c, v, table) for v in all_vectors(c))
+        assert res.best.leakage == pytest.approx(best)
+
+    def test_too_many_inputs_rejected(self, table):
+        with pytest.raises(ValueError):
+            exhaustive_mlv_search(iscas85.load("c2670"), table)
+
+
+class TestNbtiAwareSelection:
+    def test_selection_structure(self, small_circuit, table):
+        mlv = probability_based_mlv_search(small_circuit, table, seed=3,
+                                           max_set_size=6)
+        sel = select_mlv_for_nbti(small_circuit, mlv, PROFILE)
+        assert len(sel.records) == len(mlv.records)
+        assert sel.chosen.aged_delay <= sel.worst_in_set.aged_delay
+        assert sel.mlv_delay_spread >= 0.0
+        assert sel.fresh_delay > 0
+
+    def test_chosen_degradation_in_paper_band(self, small_circuit, table):
+        """Table 3: minimized degradation is a few percent of delay, and
+        the MLV-to-MLV spread is far smaller (low-T standby)."""
+        mlv = probability_based_mlv_search(small_circuit, table, seed=3,
+                                           max_set_size=8)
+        sel = select_mlv_for_nbti(small_circuit, mlv, PROFILE)
+        assert 0.01 < sel.chosen.relative_degradation < 0.10
+        assert sel.mlv_delay_spread < 0.01
+
+    def test_empty_set_rejected(self, small_circuit, table):
+        from repro.ivc import MLVSearchResult
+        empty = MLVSearchResult(records=[], iterations=0, converged=False,
+                                evaluated=0)
+        with pytest.raises(ValueError):
+            select_mlv_for_nbti(small_circuit, empty, PROFILE)
+
+
+class TestInternalNodeControl:
+    def test_potential_positive_and_bounded(self, small_circuit):
+        row = internal_node_potential(small_circuit, PROFILE)
+        assert 0.0 < row.potential < 1.0
+        assert row.worst_degradation > row.best_degradation > 0
+
+    def test_potential_grows_with_standby_temperature(self, small_circuit):
+        rows = potential_sweep(small_circuit, (330.0, 370.0, 400.0))
+        pots = [r.potential for r in rows]
+        assert pots == sorted(pots)
+        # Paper's Table 4 band: ~18 % at 330 K up to ~55 % at 400 K.
+        assert 0.05 < pots[0] < 0.35
+        assert 0.35 < pots[-1] < 0.75
+
+    def test_best_case_flat_across_temperatures(self, small_circuit):
+        rows = potential_sweep(small_circuit, (330.0, 400.0))
+        assert rows[0].best_degradation == pytest.approx(
+            rows[1].best_degradation, rel=1e-9)
+
+    def test_mlv_between_bounds(self, small_circuit, table):
+        """Any concrete MLV's degradation sits between the internal-node
+        bounding cases (Table 3 vs Table 4 consistency)."""
+        row = internal_node_potential(small_circuit, PROFILE)
+        mlv = probability_based_mlv_search(small_circuit, table, seed=3,
+                                           max_set_size=4)
+        sel = select_mlv_for_nbti(small_circuit, mlv, PROFILE)
+        assert (row.best_degradation - 1e-12
+                <= sel.chosen.relative_degradation
+                <= row.worst_degradation + 1e-12)
+
+
+class TestAlternation:
+    def test_alternation_reduces_worst_shift(self, small_circuit, table):
+        """Rotating complementary vectors flattens the worst device
+        shift (Penelope's effect)."""
+        mlv = exhaustive_mlv_search(small_circuit, table, range_fraction=0.2,
+                                    max_set_size=8)
+        bits = [r.bits for r in mlv.records]
+        # Ensure some diversity: add the complement of the best vector.
+        complement = tuple(1 - b for b in bits[0])
+        cmp = compare_alternation(small_circuit, [bits[0], complement], PROFILE)
+        assert cmp.alternating_max_shift <= cmp.single_max_shift + 1e-15
+        assert cmp.shift_benefit >= 0.0
+
+    def test_single_vector_alternation_is_identity(self, small_circuit):
+        vec = tuple(0 for _ in small_circuit.primary_inputs)
+        cmp = compare_alternation(small_circuit, [vec], PROFILE)
+        assert cmp.alternating_aged_delay == pytest.approx(cmp.single_aged_delay)
+
+    def test_empty_vectors_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            compare_alternation(small_circuit, [], PROFILE)

@@ -1,0 +1,84 @@
+"""Tests for the generic probability search and the aging-optimal
+standby-vector search."""
+
+import pytest
+
+from repro.cells import LeakageTable, build_library
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.ivc import (
+    leakage_aging_tradeoff,
+    probability_search,
+    search_min_degradation_vector,
+)
+from repro.netlist import random_logic
+from repro.sim import bits_to_vector
+from repro.sta import AgingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("nv", n_inputs=10, n_outputs=3, n_gates=50, seed=13)
+
+
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=400.0)
+
+
+class TestProbabilitySearch:
+    def test_minimizes_simple_objective(self, circuit):
+        """With popcount as the target, the search must find all-zeros."""
+        res = probability_search(circuit, lambda bits: sum(bits),
+                                 n_vectors=32, max_iterations=15, seed=1)
+        assert res.best.bits == tuple([0] * len(circuit.primary_inputs))
+        assert res.best.objective == 0
+
+    def test_deterministic(self, circuit):
+        a = probability_search(circuit, sum, n_vectors=16, seed=4)
+        b = probability_search(circuit, sum, n_vectors=16, seed=4)
+        assert [r.bits for r in a.records] == [r.bits for r in b.records]
+
+    def test_records_sorted(self, circuit):
+        res = probability_search(circuit, sum, n_vectors=16, seed=4)
+        objs = [r.objective for r in res.records]
+        assert objs == sorted(objs)
+
+    def test_never_reevaluates(self, circuit):
+        calls = []
+
+        def counting(bits):
+            calls.append(bits)
+            return sum(bits)
+
+        res = probability_search(circuit, counting, n_vectors=16, seed=2)
+        assert len(calls) == len(set(calls)) == res.evaluated
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            probability_search(circuit, sum, n_vectors=1)
+        with pytest.raises(ValueError):
+            probability_search(circuit, sum, keep_fraction=0.0)
+
+
+class TestAgingOptimalVector:
+    def test_beats_or_ties_random_baseline(self, circuit):
+        analyzer = AgingAnalyzer()
+        res = search_min_degradation_vector(circuit, PROFILE, TEN_YEARS,
+                                            analyzer=analyzer,
+                                            n_vectors=12, seed=6)
+        # Its objective value is a real aged delay for that vector.
+        vector = bits_to_vector(circuit, res.best.bits)
+        direct = analyzer.aged_timing(circuit, PROFILE, TEN_YEARS,
+                                      standby=vector)
+        assert res.best.objective == pytest.approx(direct.aged_delay)
+
+    def test_tradeoff_points(self, circuit):
+        lib = build_library()
+        table = LeakageTable.build(lib, 400.0)
+        points = leakage_aging_tradeoff(circuit, PROFILE, table, TEN_YEARS,
+                                        seed=3)
+        assert [p.label for p in points] == ["leakage-optimal",
+                                             "aging-optimal"]
+        leak_opt, aging_opt = points
+        # Each optimum wins (or ties) on its own axis.
+        assert leak_opt.leakage <= aging_opt.leakage + 1e-15
+        assert aging_opt.degradation <= leak_opt.degradation + 1e-12

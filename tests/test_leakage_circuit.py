@@ -1,0 +1,108 @@
+"""Tests for circuit-level leakage estimation (eq. 24)."""
+
+import pytest
+
+from repro.cells import LeakageTable, build_library
+from repro.leakage import (
+    expected_leakage,
+    leakage_bounds_sampled,
+    leakage_for_states,
+    leakage_for_vector,
+)
+from repro.netlist import Circuit, Gate, iscas85
+from repro.sim import constant_vector, evaluate
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library()
+
+
+@pytest.fixture(scope="module")
+def table(lib):
+    return LeakageTable.build(lib, 400.0)
+
+
+@pytest.fixture(scope="module")
+def table_cold(lib):
+    return LeakageTable.build(lib, 330.0)
+
+
+def c17():
+    return Circuit(
+        "c17", ["1", "2", "3", "6", "7"], ["22", "23"],
+        [
+            Gate("10", "NAND2", ["1", "3"]),
+            Gate("11", "NAND2", ["3", "6"]),
+            Gate("16", "NAND2", ["2", "11"]),
+            Gate("19", "NAND2", ["11", "7"]),
+            Gate("22", "NAND2", ["10", "16"]),
+            Gate("23", "NAND2", ["16", "19"]),
+        ],
+    )
+
+
+class TestLeakageForStates:
+    def test_matches_manual_sum(self, table):
+        c = c17()
+        vec = constant_vector(c, 0)
+        states = evaluate(c, vec)
+        total = leakage_for_states(c, states, table)
+        manual = sum(
+            table.lookup(g.cell, tuple(states[n] for n in g.inputs))
+            for g in c.gates.values())
+        assert total == pytest.approx(manual)
+
+    def test_vector_form_equivalent(self, table):
+        c = c17()
+        vec = constant_vector(c, 1)
+        via_states = leakage_for_states(c, evaluate(c, vec), table)
+        via_vector = leakage_for_vector(c, vec, table)
+        assert via_vector == pytest.approx(via_states)
+
+    def test_missing_state_raises(self, table):
+        c = c17()
+        with pytest.raises(KeyError):
+            leakage_for_states(c, {"1": 0}, table)
+
+    def test_different_vectors_differ(self, table):
+        c = c17()
+        l0 = leakage_for_vector(c, constant_vector(c, 0), table)
+        l1 = leakage_for_vector(c, constant_vector(c, 1), table)
+        assert l0 != pytest.approx(l1, rel=1e-6)
+
+    def test_temperature_dependence(self, table, table_cold):
+        c = c17()
+        vec = constant_vector(c, 0)
+        assert (leakage_for_vector(c, vec, table)
+                > leakage_for_vector(c, vec, table_cold))
+
+
+class TestExpectedLeakage:
+    def test_between_sampled_bounds(self, table):
+        c = c17()
+        exp = expected_leakage(c, table)
+        bounds = leakage_bounds_sampled(c, table, n_vectors=32, seed=0)
+        # Expectation sits inside (or extremely near) the sampled range.
+        assert bounds["min"] * 0.9 <= exp <= bounds["max"] * 1.1
+
+    def test_degenerate_probabilities_match_vector(self, table):
+        c = c17()
+        exp = expected_leakage(c, table, {pi: 1.0 for pi in c.primary_inputs})
+        direct = leakage_for_vector(c, constant_vector(c, 1), table)
+        assert exp == pytest.approx(direct, rel=1e-9)
+
+    def test_scales_with_circuit_size(self, table):
+        small = expected_leakage(c17(), table)
+        large = expected_leakage(iscas85.load("c880"), table)
+        assert large > 10 * small
+
+    def test_bounds_guard(self, table):
+        with pytest.raises(ValueError):
+            leakage_bounds_sampled(c17(), table, n_vectors=0)
+
+    def test_iscas_magnitude(self, table):
+        """c432-scale leakage should land in the 100 uA band at 400 K —
+        the order the paper's 90 nm tables imply."""
+        leak = expected_leakage(iscas85.load("c432"), table)
+        assert 1e-5 < leak < 1e-2

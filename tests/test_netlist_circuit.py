@@ -1,0 +1,112 @@
+"""Tests for the circuit DAG model."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.netlist import Circuit, CircuitError, Gate
+
+
+def c17():
+    """The classic ISCAS c17: 5 inputs, 2 outputs, 6 NAND2 gates."""
+    return Circuit(
+        "c17",
+        primary_inputs=["1", "2", "3", "6", "7"],
+        primary_outputs=["22", "23"],
+        gates=[
+            Gate("10", "NAND2", ["1", "3"]),
+            Gate("11", "NAND2", ["3", "6"]),
+            Gate("16", "NAND2", ["2", "11"]),
+            Gate("19", "NAND2", ["11", "7"]),
+            Gate("22", "NAND2", ["10", "16"]),
+            Gate("23", "NAND2", ["16", "19"]),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_c17_builds(self):
+        c = c17()
+        assert c.n_gates() == 6
+        assert c.stats() == {"inputs": 5, "outputs": 2, "gates": 6, "depth": 3}
+
+    def test_duplicate_gate_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Circuit("x", ["a"], ["g"], [Gate("g", "INV", ["a"]),
+                                        Gate("g", "INV", ["a"])])
+
+    def test_gate_shadowing_pi_rejected(self):
+        with pytest.raises(CircuitError, match="collides"):
+            Circuit("x", ["a"], ["a"], [Gate("a", "INV", ["a"])])
+
+    def test_undriven_input_rejected(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            Circuit("x", ["a"], ["g"], [Gate("g", "NAND2", ["a", "phantom"])])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            Circuit("x", ["a"], ["nothere"], [Gate("g", "INV", ["a"])])
+
+    def test_duplicate_pi_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Circuit("x", ["a", "a"], ["g"], [Gate("g", "INV", ["a"])])
+
+    def test_gate_needs_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("g", "INV", [])
+
+
+class TestTopology:
+    def test_topological_order_respects_dependencies(self):
+        c = c17()
+        order = c.topological_order()
+        pos = {name: i for i, name in enumerate(order)}
+        for gate in c.gates.values():
+            for net in gate.inputs:
+                if net in c.gates:
+                    assert pos[net] < pos[gate.name]
+
+    def test_cycle_detected(self):
+        c = Circuit("loop", ["a"], ["g1"], [
+            Gate("g1", "NAND2", ["a", "g2"]),
+            Gate("g2", "INV", ["g1"]),
+        ])
+        with pytest.raises(CircuitError, match="cycle"):
+            c.topological_order()
+
+    def test_levels(self):
+        lv = c17().levels()
+        assert lv["1"] == 0
+        assert lv["10"] == 1
+        assert lv["16"] == 2
+        assert lv["22"] == 3
+
+    def test_fanout(self):
+        fo = c17().fanout()
+        assert sorted(fo["11"]) == ["16", "19"]
+        assert fo["22"] == []
+
+    def test_transitive_fanin(self):
+        c = c17()
+        cone = c.transitive_fanin(["22"])
+        assert cone == {"22", "10", "16", "1", "3", "2", "11", "6"}
+
+    def test_nets(self):
+        assert c17().nets == {"1", "2", "3", "6", "7", "10", "11", "16", "19", "22", "23"}
+
+
+class TestValidation:
+    def test_c17_validates_against_library(self):
+        c17().validate(build_library())
+
+    def test_unknown_cell(self):
+        c = Circuit("x", ["a", "b"], ["g"], [Gate("g", "MAJ3", ["a", "b", "a"])])
+        with pytest.raises(CircuitError, match="unknown cell"):
+            c.validate(build_library())
+
+    def test_arity_mismatch(self):
+        c = Circuit("x", ["a", "b"], ["g"], [Gate("g", "NAND3", ["a", "b"])])
+        with pytest.raises(CircuitError, match="expects"):
+            c.validate(build_library())
+
+    def test_cell_histogram(self):
+        assert c17().cell_histogram() == {"NAND2": 6}

@@ -1,0 +1,180 @@
+"""Tests for the structural circuit generators and the ISCAS85 catalog."""
+
+import pytest
+
+from repro.cells import build_library
+from repro.netlist import (
+    alu_circuit,
+    array_multiplier,
+    ecc_circuit,
+    expand_xors,
+    iscas85,
+    priority_controller,
+    random_logic,
+)
+from repro.sim import constant_vector, evaluate
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library()
+
+
+class TestMultiplier:
+    def test_profile(self, lib):
+        c = array_multiplier(16)
+        c.validate(lib)
+        assert len(c.primary_inputs) == 32
+        assert len(c.primary_outputs) == 32
+
+    def test_small_multiplier_correct(self):
+        c = array_multiplier(3, "m3")
+        for a in range(8):
+            for b in range(8):
+                vec = {f"a{i}": (a >> i) & 1 for i in range(3)}
+                vec.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+                values = evaluate(c, vec)
+                got = sum(values[f"p{i}"] << i for i in range(6))
+                assert got == a * b
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            array_multiplier(1)
+
+
+class TestPriorityController:
+    def test_profile(self, lib):
+        c = priority_controller(36)
+        c.validate(lib)
+        assert len(c.primary_inputs) == 36
+        assert len(c.primary_outputs) == 7
+
+    def test_priority_semantics(self):
+        c = priority_controller(8, "p8")
+        # Request channels 3 and 5: channel 3 wins; code == 3, valid == 1.
+        vec = constant_vector(c, 0)
+        vec["req3"] = 1
+        vec["req5"] = 1
+        values = evaluate(c, vec)
+        code = sum(values[f"code{b}"] << b for b in range(3))
+        assert code == 3
+        assert values["valid"] == 1
+
+    def test_no_request_invalid(self):
+        c = priority_controller(8, "p8")
+        values = evaluate(c, constant_vector(c, 0))
+        assert values["valid"] == 0
+
+    def test_channel_zero_wins(self):
+        c = priority_controller(8, "p8")
+        values = evaluate(c, constant_vector(c, 1))
+        code = sum(values[f"code{b}"] << b for b in range(3))
+        assert code == 0
+        assert values["valid"] == 1
+
+
+class TestEcc:
+    def test_profile(self, lib):
+        c = ecc_circuit()
+        c.validate(lib)
+        assert len(c.primary_inputs) == 41
+        assert len(c.primary_outputs) == 32
+
+    def test_expanded_variant_has_no_xors(self, lib):
+        c = ecc_circuit(name="c1355ish", expand_xor_to_nand=True)
+        c.validate(lib)
+        hist = c.cell_histogram()
+        assert "XOR2" not in hist
+        assert "XNOR2" not in hist
+
+    def test_expansion_preserves_function(self):
+        plain = ecc_circuit(data_bits=8, check_bits=4, name="e")
+        expanded = expand_xors(plain)
+        import random
+        rng = random.Random(5)
+        for _ in range(20):
+            vec = {pi: rng.randint(0, 1) for pi in plain.primary_inputs}
+            v1 = evaluate(plain, vec)
+            v2 = evaluate(expanded, vec)
+            for po in plain.primary_outputs:
+                assert v1[po] == v2[po]
+
+
+class TestAlu:
+    def test_profile(self, lib):
+        c = alu_circuit()
+        c.validate(lib)
+        assert len(c.primary_inputs) == 60
+        assert len(c.primary_outputs) == 26
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        a = random_logic("r", 16, 4, 120, seed=11)
+        b = random_logic("r", 16, 4, 120, seed=11)
+        assert a.cell_histogram() == b.cell_histogram()
+        assert [g.name for g in a.gates.values()] == [g.name for g in b.gates.values()]
+
+    def test_different_seeds_differ(self):
+        a = random_logic("r", 16, 4, 120, seed=11)
+        b = random_logic("r", 16, 4, 120, seed=12)
+        assert (a.cell_histogram() != b.cell_histogram()
+                or [g.inputs for g in a.gates.values()]
+                != [g.inputs for g in b.gates.values()])
+
+    def test_every_pi_used(self, lib):
+        c = random_logic("r", 40, 6, 200, seed=3)
+        c.validate(lib)
+        fanout = c.fanout()
+        for pi in c.primary_inputs:
+            assert fanout[pi], f"primary input {pi} unused"
+
+    def test_every_gate_reaches_an_output(self):
+        c = random_logic("r", 16, 4, 150, seed=5)
+        cone = c.transitive_fanin(c.primary_outputs)
+        assert set(c.gates) <= cone
+
+    def test_gate_count_near_target(self):
+        c = random_logic("r", 30, 10, 500, seed=8)
+        assert 500 <= c.n_gates() <= 550
+
+    def test_output_count_exact(self):
+        for n_out in (1, 5, 17):
+            c = random_logic("r", 20, n_out, 300, seed=n_out)
+            assert len(c.primary_outputs) == n_out
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            random_logic("r", 1, 1, 100, seed=0)
+        with pytest.raises(ValueError):
+            random_logic("r", 10, 8, 10, seed=0)
+
+
+class TestIscasCatalog:
+    def test_all_load_and_validate(self, lib):
+        for name in iscas85.NAMES:
+            c = iscas85.load(name)
+            c.validate(lib)
+
+    def test_io_profiles_match_published(self):
+        for name, spec in iscas85.SPECS.items():
+            c = iscas85.load(name)
+            assert len(c.primary_inputs) == spec.inputs, name
+            assert len(c.primary_outputs) == spec.outputs, name
+
+    def test_gate_counts_within_band(self):
+        # Stand-ins should be the same size class as the originals.
+        for name, spec in iscas85.SPECS.items():
+            c = iscas85.load(name)
+            assert 0.5 * spec.gates <= c.n_gates() <= 1.6 * spec.gates, name
+
+    def test_memoized(self):
+        assert iscas85.load("c432") is iscas85.load("c432")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="c432"):
+            iscas85.load("c9999")
+
+    def test_suite_loader(self):
+        circuits = iscas85.load_suite(("c432", "c880"))
+        assert [c.name for c in circuits] == ["c432", "c880"]

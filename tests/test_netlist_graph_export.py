@@ -1,0 +1,81 @@
+"""Tests for the NetworkX interop layer."""
+
+import networkx as nx
+import pytest
+
+from repro.netlist import (
+    from_networkx,
+    iscas85,
+    load_packaged,
+    random_logic,
+    to_networkx,
+)
+from repro.sim import evaluate, random_vectors
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return load_packaged("c17")
+
+
+class TestExport:
+    def test_node_and_edge_counts(self, circuit):
+        g = to_networkx(circuit)
+        assert g.number_of_nodes() == len(circuit.nets)
+        assert g.number_of_edges() == sum(len(gt.inputs)
+                                          for gt in circuit.gates.values())
+
+    def test_attributes(self, circuit):
+        g = to_networkx(circuit)
+        assert g.nodes["1"]["kind"] == "input"
+        assert g.nodes["10"]["cell"] == "NAND2"
+        assert g.nodes["22"]["is_output"]
+        assert not g.nodes["10"]["is_output"]
+        assert g.nodes["22"]["level"] == 3
+
+    def test_is_dag(self, circuit):
+        assert nx.is_directed_acyclic_graph(to_networkx(circuit))
+
+    def test_longest_graph_path_matches_depth(self):
+        c = iscas85.load("c432")
+        g = to_networkx(c)
+        assert nx.dag_longest_path_length(g) == c.depth()
+
+
+class TestRoundTrip:
+    def test_functional_roundtrip(self):
+        c = random_logic("gx", n_inputs=8, n_outputs=3, n_gates=40, seed=4)
+        clone = from_networkx(to_networkx(c), name=c.name)
+        assert clone.stats() == c.stats()
+        for vec in random_vectors(c, 8, seed=2):
+            a, b = evaluate(c, vec), evaluate(clone, vec)
+            for po in c.primary_outputs:
+                assert a[po] == b[po]
+
+    def test_pin_order_preserved(self):
+        """Input pin order matters for non-symmetric cells."""
+        from repro.netlist import Circuit, Gate
+        c = Circuit("x", ["a", "b", "c"], ["g"],
+                    [Gate("g", "OAI21", ["a", "b", "c"])])
+        clone = from_networkx(to_networkx(c))
+        assert clone.gates["g"].inputs == ("a", "b", "c")
+
+    def test_missing_cell_attribute_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", kind="input", is_output=False)
+        g.add_node("g", kind="gate", is_output=True)
+        g.add_edge("a", "g", pin=0)
+        with pytest.raises(ValueError, match="cell"):
+            from_networkx(g)
+
+    def test_missing_kind_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("mystery")
+        with pytest.raises(ValueError, match="kind"):
+            from_networkx(g)
+
+    def test_no_outputs_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", kind="input", is_output=False)
+        with pytest.raises(ValueError, match="outputs"):
+            from_networkx(g)

@@ -1,0 +1,185 @@
+"""Tests for sleep-transistor sizing and insertion (Figs. 8-11)."""
+
+import pytest
+
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.netlist import iscas85, random_logic
+from repro.sleep import (
+    SleepStyle,
+    design_sleep_transistor,
+    estimate_block_current,
+    fig8_grid,
+    fig9_grid,
+    gated_aged_delay,
+    max_virtual_rail_drop,
+    nbti_aware_aspect_ratio,
+    size_increase_fraction,
+    st_aspect_ratio,
+    st_vth_shift,
+)
+from repro.sta import ALL_ZERO, AgingAnalyzer
+from repro.tech import PTM90
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("blk", n_inputs=16, n_outputs=4, n_gates=120, seed=21)
+
+
+class TestFig8:
+    def test_paper_endpoints_exact(self):
+        grid = fig8_grid()
+        assert grid[(0.20, "9:1")] == pytest.approx(30.3e-3, rel=1e-6)
+        assert grid[(0.40, "1:9")] == pytest.approx(6.7e-3, rel=1e-6)
+
+    def test_shift_decreases_with_initial_vth(self):
+        grid = fig8_grid()
+        for ras in ("1:9", "9:1"):
+            col = [grid[(v, ras)] for v in (0.20, 0.25, 0.30, 0.35, 0.40)]
+            assert col == sorted(col, reverse=True)
+
+    def test_shift_increases_with_active_fraction(self):
+        grid = fig8_grid()
+        for vth in (0.20, 0.40):
+            row = [grid[(vth, r)] for r in ("1:9", "1:5", "1:1", "5:1", "9:1")]
+            assert row == sorted(row)
+
+    def test_standby_temperature_irrelevant(self):
+        """The header relaxes in standby; recovery is temperature-
+        insensitive, so T_standby must not matter (paper's observation)."""
+        a = st_vth_shift(0.25, "1:5", t_standby=330.0)
+        b = st_vth_shift(0.25, "1:5", t_standby=400.0)
+        assert a == pytest.approx(b, rel=1e-12)
+
+
+class TestFig9:
+    def test_paper_endpoints(self):
+        grid = fig9_grid()
+        assert grid[(0.20, "9:1")] == pytest.approx(0.0394, abs=5e-4)
+        assert grid[(0.40, "1:9")] == pytest.approx(0.0113, abs=5e-4)
+
+    def test_monotone_in_shift(self):
+        assert (size_increase_fraction(0.030, 0.20)
+                > size_increase_fraction(0.010, 0.20))
+
+    def test_eq31_formula(self):
+        # Delta(W/L)/(W/L) = dVth / (Vdd - Vth0 - dVth).
+        dv, vth = 0.0303, 0.20
+        assert size_increase_fraction(dv, vth) == pytest.approx(
+            dv / (1.0 - vth - dv))
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            size_increase_fraction(-0.01, 0.2)
+        with pytest.raises(ValueError):
+            size_increase_fraction(0.5, 0.6)
+
+
+class TestSizing:
+    def test_drop_bound_scales_with_beta(self):
+        assert (max_virtual_rail_drop(0.05)
+                == pytest.approx(5 * max_virtual_rail_drop(0.01)))
+
+    def test_drop_bound_guard(self):
+        with pytest.raises(ValueError):
+            max_virtual_rail_drop(0.0)
+
+    def test_aspect_ratio_inverse_in_drop(self):
+        a = st_aspect_ratio(1e-3, 0.02, 0.22)
+        b = st_aspect_ratio(1e-3, 0.04, 0.22)
+        assert a == pytest.approx(2 * b)
+
+    def test_aspect_ratio_guards(self):
+        with pytest.raises(ValueError):
+            st_aspect_ratio(0.0, 0.02, 0.22)
+        with pytest.raises(ValueError):
+            st_aspect_ratio(1e-3, 0.02, 1.2)
+
+    def test_nbti_aware_is_larger(self):
+        base = st_aspect_ratio(1e-3, 0.02, 0.22)
+        aware = nbti_aware_aspect_ratio(1e-3, 0.02, 0.22, 0.02)
+        assert aware > base
+
+    def test_block_current_positive_and_scales(self, circuit):
+        base = estimate_block_current(circuit)
+        assert base > 0
+        # Linear in the assumed switching simultaneity.
+        double = estimate_block_current(circuit, simultaneity=0.4)
+        assert double == pytest.approx(2 * base)
+
+    def test_simultaneity_guard(self, circuit):
+        with pytest.raises(ValueError):
+            estimate_block_current(circuit, simultaneity=0.0)
+
+
+class TestInsertion:
+    PROFILE = OperatingProfile.from_ras("1:9", t_standby=330.0)
+
+    def test_design_fields(self, circuit):
+        d = design_sleep_transistor(circuit, SleepStyle.HEADER, beta=0.05)
+        assert d.v_st == pytest.approx(max_virtual_rail_drop(0.05))
+        assert d.aspect_ratio > 0
+        assert d.nbti_margin == 0.0
+
+    def test_time0_penalty_close_to_beta(self, circuit):
+        an = AgingAnalyzer()
+        fresh = an.aged_timing(circuit, self.PROFILE, 0.0).fresh_delay
+        for beta in (0.05, 0.01):
+            d = design_sleep_transistor(circuit, SleepStyle.HEADER, beta)
+            pt = gated_aged_delay(circuit, d, self.PROFILE, 0.0)
+            penalty = pt.circuit_delay / fresh - 1.0
+            assert penalty == pytest.approx(beta, rel=0.25)
+
+    def test_lower_beta_lower_lifetime_delay(self, circuit):
+        points = []
+        for beta in (0.05, 0.03, 0.01):
+            d = design_sleep_transistor(circuit, SleepStyle.HEADER, beta)
+            points.append(gated_aged_delay(circuit, d, self.PROFILE,
+                                           TEN_YEARS).circuit_delay)
+        assert points == sorted(points, reverse=True)
+
+    def test_header_ages_footer_does_not(self, circuit):
+        header = design_sleep_transistor(circuit, SleepStyle.HEADER, 0.03)
+        footer = design_sleep_transistor(circuit, SleepStyle.FOOTER, 0.03)
+        pt_h = gated_aged_delay(circuit, header, self.PROFILE, TEN_YEARS)
+        pt_f = gated_aged_delay(circuit, footer, self.PROFILE, TEN_YEARS)
+        assert pt_h.st_delta_vth > 0
+        assert pt_f.st_delta_vth == 0.0
+        assert pt_h.v_st > footer.v_st - 1e-12
+        assert pt_f.v_st == pytest.approx(footer.v_st)
+
+    def test_nbti_aware_sizing_caps_drop(self, circuit):
+        margin = st_vth_shift(0.22, "1:9")
+        aware = design_sleep_transistor(circuit, SleepStyle.HEADER, 0.03,
+                                        nbti_margin=margin)
+        plain = design_sleep_transistor(circuit, SleepStyle.HEADER, 0.03)
+        assert aware.aspect_ratio > plain.aspect_ratio
+        pt_aware = gated_aged_delay(circuit, aware, self.PROFILE, TEN_YEARS)
+        pt_plain = gated_aged_delay(circuit, plain, self.PROFILE, TEN_YEARS)
+        assert pt_aware.v_st <= pt_plain.v_st + 1e-12
+        assert pt_aware.circuit_delay <= pt_plain.circuit_delay + 1e-15
+
+    def test_fig11_crossover(self, circuit):
+        """The paper's Fig. 11 headline: at hot standby, a beta = 1 %
+        sleep transistor yields a *faster* 10-year circuit than no ST."""
+        an = AgingAnalyzer()
+        hot = OperatingProfile.from_ras("1:9", t_standby=400.0)
+        no_st = an.aged_timing(circuit, hot, TEN_YEARS, standby=ALL_ZERO)
+        d = design_sleep_transistor(circuit, SleepStyle.HEADER, beta=0.01)
+        with_st = gated_aged_delay(circuit, d, hot, TEN_YEARS)
+        assert with_st.circuit_delay < no_st.aged_delay
+
+    def test_gated_standby_matches_best_case_shifts(self, circuit):
+        """Internal aging under any ST style equals the all-PMOS-at-1
+        best case (Vgs ~ 0 for every internal PMOS in standby)."""
+        an = AgingAnalyzer()
+        from repro.sta import ALL_ONE
+        best = an.aged_timing(circuit, self.PROFILE, TEN_YEARS,
+                              standby=ALL_ONE)
+        d = design_sleep_transistor(circuit, SleepStyle.FOOTER, 0.03)
+        pt = gated_aged_delay(circuit, d, self.PROFILE, TEN_YEARS)
+        # Same internal shifts; only the rail drop differs.
+        base = an.aged_timing(circuit, self.PROFILE, 0.0).fresh_delay
+        assert pt.circuit_delay > best.aged_delay  # pays the drop
+        assert pt.circuit_delay < best.aged_delay * (1 + 0.05)

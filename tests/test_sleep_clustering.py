@@ -1,0 +1,79 @@
+"""Tests for BBSTI gate clustering."""
+
+import pytest
+
+from repro.netlist import iscas85, random_logic
+from repro.sleep import cluster_gates, clustered_design
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("cl", n_inputs=12, n_outputs=4, n_gates=100, seed=77)
+
+
+class TestClusterGates:
+    def test_partition_is_complete_and_disjoint(self, circuit):
+        for policy in ("level", "stripe"):
+            clusters = cluster_gates(circuit, 5, policy)
+            union = [g for c in clusters for g in c]
+            assert sorted(union) == sorted(circuit.gates)
+            assert len(union) == len(set(union))
+
+    def test_single_cluster_is_everything(self, circuit):
+        clusters = cluster_gates(circuit, 1)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == circuit.n_gates()
+
+    def test_level_policy_bands_are_level_ordered(self, circuit):
+        levels = circuit.levels()
+        clusters = cluster_gates(circuit, 4, "level")
+        maxima = [max(levels[g] for g in c) for c in clusters]
+        minima = [min(levels[g] for g in c) for c in clusters]
+        for prev_max, next_min in zip(maxima, minima[1:]):
+            assert prev_max <= next_min
+
+    def test_stripe_policy_mixes_levels(self, circuit):
+        levels = circuit.levels()
+        clusters = cluster_gates(circuit, 4, "stripe")
+        spans = [max(levels[g] for g in c) - min(levels[g] for g in c)
+                 for c in clusters]
+        assert max(spans) > 2
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            cluster_gates(circuit, 0)
+        with pytest.raises(ValueError):
+            cluster_gates(circuit, 2, "magic")
+
+
+class TestClusteredDesign:
+    def test_deterministic(self, circuit):
+        a = clustered_design(circuit, 4, 0.05, seed=2)
+        b = clustered_design(circuit, 4, 0.05, seed=2)
+        assert a.aspect_ratios == b.aspect_ratios
+
+    def test_splitting_costs_area(self, circuit):
+        """Blocks lose current sharing: more clusters, more total ST."""
+        one = clustered_design(circuit, 1, 0.05, seed=2)
+        eight = clustered_design(circuit, 8, 0.05, seed=2)
+        assert eight.total_aspect >= one.total_aspect
+
+    def test_stripe_beats_level_banding(self):
+        """Temporal interleaving (mutual exclusion in time, Kao [37])
+        needs smaller devices than same-level banding."""
+        c = iscas85.load("c880")
+        level = clustered_design(c, 6, 0.05, policy="level", seed=3)
+        stripe = clustered_design(c, 6, 0.05, policy="stripe", seed=3)
+        assert stripe.total_aspect < level.total_aspect
+
+    def test_all_blocks_sized(self, circuit):
+        d = clustered_design(circuit, 5, 0.05, seed=1)
+        assert len(d.aspect_ratios) == d.n_clusters
+        assert all(a > 0 for a in d.aspect_ratios)
+        assert all(p > 0 for p in d.peak_currents)
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            clustered_design(circuit, 2, 0.0)
+        with pytest.raises(ValueError):
+            clustered_design(circuit, 2, 0.05, vth_st=1.2)

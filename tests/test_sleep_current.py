@@ -1,0 +1,67 @@
+"""Tests for the sampled peak-current estimator."""
+
+import pytest
+
+from repro.netlist import iscas85, random_logic
+from repro.sleep import estimate_block_current, estimate_peak_current
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("cur", n_inputs=12, n_outputs=4, n_gates=90, seed=18)
+
+
+class TestPeakCurrent:
+    def test_deterministic(self, circuit):
+        a = estimate_peak_current(circuit, n_pairs=32, seed=5)
+        b = estimate_peak_current(circuit, n_pairs=32, seed=5)
+        assert a.peak == b.peak
+        assert a.worst_pair == b.worst_pair
+
+    def test_positive_and_ordered(self, circuit):
+        est = estimate_peak_current(circuit, n_pairs=32, seed=5)
+        assert est.mean_transition > 0
+        # The windowed peak always exceeds the cycle-average.
+        assert est.peak > est.mean_transition
+        assert est.effective_simultaneity > 1.0
+
+    def test_more_pairs_never_lowers_peak(self, circuit):
+        """The peak is a running max over sampled transitions: a superset
+        of samples (same seed -> same prefix) cannot shrink it."""
+        small = estimate_peak_current(circuit, n_pairs=16, seed=7)
+        large = estimate_peak_current(circuit, n_pairs=64, seed=7)
+        assert large.peak >= small.peak * (1 - 1e-12)
+
+    def test_coarser_bins_lower_peak(self, circuit):
+        """Wider averaging windows smooth the activity wave."""
+        sharp = estimate_peak_current(circuit, n_pairs=32, bins=50, seed=3)
+        smooth = estimate_peak_current(circuit, n_pairs=32, bins=2, seed=3)
+        assert smooth.peak <= sharp.peak * (1 + 1e-12)
+
+    def test_single_bin_equals_transition_average(self, circuit):
+        """With one bin the peak is just the worst whole-transition
+        charge over the period."""
+        est = estimate_peak_current(circuit, n_pairs=32, bins=1, seed=3)
+        # Mean over transitions <= worst transition.
+        assert est.peak >= est.mean_transition * (1 - 1e-12)
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            estimate_peak_current(circuit, n_pairs=0)
+        with pytest.raises(ValueError):
+            estimate_peak_current(circuit, bins=0)
+
+    def test_deeper_circuit_spreads_activity(self):
+        """c6288's deep array spreads switching across many levels, so
+        its effective simultaneity sits well below the bin count."""
+        est = estimate_peak_current(iscas85.load("c6288"), n_pairs=24,
+                                    bins=25, seed=2)
+        assert est.effective_simultaneity < 25 * 0.75
+
+    def test_flat_estimator_comparable_scale(self, circuit):
+        """The two estimators agree within a couple orders of magnitude
+        (they answer slightly different questions: windowed peak vs
+        derated total)."""
+        flat = estimate_block_current(circuit)
+        sampled = estimate_peak_current(circuit, n_pairs=32, seed=1).peak
+        assert 0.01 < sampled / flat < 100

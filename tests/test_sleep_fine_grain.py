@@ -1,0 +1,92 @@
+"""Tests for fine-grain sleep-transistor insertion (FGSTI)."""
+
+import pytest
+
+from repro.netlist import iscas85, random_logic
+from repro.sleep import (
+    SleepStyle,
+    design_fine_grain,
+    design_sleep_transistor,
+    uniform_fine_grain_area,
+)
+from repro.sleep.fine_grain import _drop_for_slowdown
+from repro.sta import analyze
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("fg", n_inputs=14, n_outputs=4, n_gates=110, seed=9)
+
+
+class TestDropInversion:
+    def test_roundtrip(self):
+        od, alpha = 0.78, 2.0
+        for s in (0.01, 0.05, 0.2):
+            drop = _drop_for_slowdown(s, od, alpha)
+            factor = (od / (od - drop)) ** alpha
+            assert factor == pytest.approx(1.0 + s, rel=1e-12)
+
+    def test_zero_slowdown_zero_drop(self):
+        assert _drop_for_slowdown(0.0, 0.78, 2.0) == 0.0
+
+
+class TestDesign:
+    def test_meets_timing_budget(self, circuit):
+        for beta in (0.05, 0.02):
+            fg = design_fine_grain(circuit, beta)
+            assert fg.delay_penalty <= beta * (1 + 1e-6)
+
+    def test_every_gate_has_st(self, circuit):
+        fg = design_fine_grain(circuit, 0.05)
+        assert set(fg.v_st) == set(circuit.gates)
+        assert all(v > 0 for v in fg.v_st.values())
+        assert all(a > 0 for a in fg.aspect_ratio.values())
+
+    def test_slack_rich_gates_get_bigger_drops(self, circuit):
+        fg = design_fine_grain(circuit, 0.05)
+        base = analyze(circuit)
+        # The max-slack gate tolerates at least the min-slack gate's drop.
+        slackest = max(circuit.gates, key=lambda g: base.slack[g])
+        tightest = min(circuit.gates, key=lambda g: base.slack[g])
+        assert fg.v_st[slackest] >= fg.v_st[tightest]
+
+    def test_bigger_drop_smaller_st(self, circuit):
+        """Within the design, drop and ST size move inversely for gates
+        of comparable drive."""
+        fg = design_fine_grain(circuit, 0.05)
+        base = analyze(circuit)
+        slackest = max(circuit.gates, key=lambda g: base.slack[g])
+        tightest = min(circuit.gates, key=lambda g: base.slack[g])
+        if fg.v_st[slackest] > fg.v_st[tightest] * 1.5:
+            # Normalize by current demand: area * drop ~ i_on.
+            demand_s = fg.aspect_ratio[slackest] * fg.v_st[slackest]
+            assert fg.aspect_ratio[slackest] < demand_s / fg.v_st[tightest]
+
+    def test_slack_aware_saves_area_vs_uniform(self, circuit):
+        fg = design_fine_grain(circuit, 0.05)
+        uniform = uniform_fine_grain_area(circuit, 0.05)
+        assert fg.total_aspect < uniform
+        assert fg.slack_share > 0.5
+
+    def test_bbsti_far_smaller_total_area(self, circuit):
+        """Current sharing makes the block-level ST much smaller than
+        the per-cell sum — the classic BBSTI-vs-FGSTI tradeoff."""
+        fg = design_fine_grain(circuit, 0.05)
+        bb = design_sleep_transistor(circuit, SleepStyle.HEADER, 0.05)
+        assert bb.aspect_ratio < 0.2 * fg.total_aspect
+
+    def test_tighter_beta_more_area(self, circuit):
+        loose = design_fine_grain(circuit, 0.05)
+        tight = design_fine_grain(circuit, 0.01)
+        assert tight.total_aspect > loose.total_aspect
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            design_fine_grain(circuit, 0.0)
+        with pytest.raises(ValueError):
+            design_fine_grain(circuit, 0.05, vth_st=1.1)
+
+    def test_works_on_benchmarks(self):
+        fg = design_fine_grain(iscas85.load("c432"), 0.03)
+        assert fg.delay_penalty <= 0.03 * (1 + 1e-6)
+        assert fg.slack_share > 0.0

@@ -1,0 +1,229 @@
+"""Tests for STA and NBTI-aged timing."""
+
+import pytest
+
+from repro.constants import TEN_YEARS
+from repro.core import NbtiModel, OperatingProfile
+from repro.netlist import Circuit, Gate, iscas85
+from repro.sim import constant_vector
+from repro.sta import (
+    ALL_ONE,
+    ALL_ZERO,
+    AgingAnalyzer,
+    analyze,
+    gate_loads,
+    standby_net_states,
+)
+from repro.tech import PTM90
+
+
+def chain(n=4):
+    """An inverter chain i -> g1 -> ... -> gn."""
+    gates = [Gate("g1", "INV", ["i"])]
+    gates += [Gate(f"g{k}", "INV", [f"g{k-1}"]) for k in range(2, n + 1)]
+    return Circuit("chain", ["i"], [f"g{n}"], gates)
+
+
+def c17():
+    return Circuit(
+        "c17", ["1", "2", "3", "6", "7"], ["22", "23"],
+        [
+            Gate("10", "NAND2", ["1", "3"]),
+            Gate("11", "NAND2", ["3", "6"]),
+            Gate("16", "NAND2", ["2", "11"]),
+            Gate("19", "NAND2", ["11", "7"]),
+            Gate("22", "NAND2", ["10", "16"]),
+            Gate("23", "NAND2", ["16", "19"]),
+        ],
+    )
+
+
+class TestLoads:
+    def test_fanout_adds_load(self):
+        c = c17()
+        loads = gate_loads(c)
+        # Gate 11 fans out to two NAND2 pins; gate 22 only drives a PO.
+        assert loads["11"] > loads["22"] - 3.0e-15 + 0.0
+        assert loads["22"] == pytest.approx(3.0e-15)
+
+    def test_all_gates_have_positive_load(self):
+        c = iscas85.load("c432")
+        loads = gate_loads(c)
+        assert all(v > 0 for v in loads.values())
+
+
+class TestAnalyze:
+    def test_chain_delay_accumulates(self):
+        d2 = analyze(chain(2)).circuit_delay
+        d4 = analyze(chain(4)).circuit_delay
+        assert d4 > d2
+        assert d4 == pytest.approx(2 * d2, rel=0.3)
+
+    def test_arrival_monotone_along_path(self):
+        c = c17()
+        res = analyze(c)
+        assert res.arrival["22"]["rise"] > res.arrival["16"]["rise"]
+        assert res.arrival["16"]["rise"] > res.arrival["11"]["fall"] - 1e-18
+
+    def test_worst_path_structure(self):
+        res = analyze(c17())
+        path = res.worst_path()
+        # Starts at a PI, ends at the critical PO.
+        assert path[0][0] in ("1", "2", "3", "6", "7")
+        assert path[-1][0] == res.critical_output
+        # Consecutive elements are connected.
+        c = c17()
+        for (a, _), (b, _) in zip(path, path[1:]):
+            assert a in c.gates[b].inputs
+
+    def test_critical_gates_subset(self):
+        c = c17()
+        res = analyze(c)
+        assert set(res.critical_gates()) <= set(c.gates)
+        assert res.critical_gates()
+
+    def test_slack_zero_on_critical_path(self):
+        res = analyze(c17())
+        assert res.slack[res.critical_output] == pytest.approx(0.0, abs=1e-18)
+        assert all(s >= -1e-15 for s in res.slack.values())
+
+    def test_required_time_shifts_slack(self):
+        c = c17()
+        base = analyze(c)
+        relaxed = analyze(c, required_time=base.circuit_delay * 2)
+        assert (relaxed.slack[relaxed.critical_output]
+                == pytest.approx(base.circuit_delay, rel=1e-6))
+
+    def test_gates_with_slack_below(self):
+        res = analyze(c17())
+        critical = res.gates_with_slack_below(1e-15)
+        assert set(res.critical_gates()) <= set(critical)
+
+    def test_aging_slows_circuit(self):
+        c = c17()
+        fresh = analyze(c).circuit_delay
+        shifts = {g: 0.03 for g in c.gates}
+        aged = analyze(c, delta_vth=shifts).circuit_delay
+        assert aged > fresh
+        # Eq. 22 with uniform shifts: relative increase is exactly
+        # alpha * dVth / (Vdd - Vth0).
+        expected = PTM90.alpha * 0.03 / (PTM90.vdd - PTM90.pmos.vth0)
+        assert (aged - fresh) / fresh == pytest.approx(expected, rel=1e-6)
+
+    def test_per_edge_mode_ages_less_than_per_gate(self):
+        c = chain(6)
+        shifts = {g: 0.03 for g in c.gates}
+        per_gate = analyze(c, delta_vth=shifts, aging_mode="per_gate")
+        per_edge = analyze(c, delta_vth=shifts, aging_mode="per_edge")
+        fresh = analyze(c).circuit_delay
+        assert fresh < per_edge.circuit_delay < per_gate.circuit_delay
+
+    def test_bad_aging_mode(self):
+        with pytest.raises(ValueError, match="aging_mode"):
+            analyze(c17(), aging_mode="magic")
+
+    def test_supply_drop_slows_circuit(self):
+        c = c17()
+        assert (analyze(c, supply_drop=0.05).circuit_delay
+                > analyze(c).circuit_delay)
+
+    def test_realistic_delay_magnitude(self):
+        # c432-scale circuits should land in the tens-of-ps to ns band.
+        res = analyze(iscas85.load("c432"))
+        assert 1e-12 < res.circuit_delay < 1e-8
+
+
+class TestStandbyStates:
+    def test_all_zero_and_one(self):
+        c = c17()
+        z = standby_net_states(c, ALL_ZERO)
+        assert set(z.values()) == {0}
+        o = standby_net_states(c, ALL_ONE)
+        assert set(o.values()) == {1}
+
+    def test_vector_simulated(self):
+        c = c17()
+        states = standby_net_states(c, constant_vector(c, 1))
+        assert states["1"] == 1
+        assert states["10"] == 0  # NAND(1,1)
+
+    def test_unknown_sentinel(self):
+        with pytest.raises(ValueError):
+            standby_net_states(c17(), "all_x")
+
+
+class TestAgingAnalyzer:
+    AN = AgingAnalyzer()
+    PROFILE = OperatingProfile.from_ras("1:9", t_standby=330.0)
+
+    def test_gate_shifts_positive(self):
+        c = c17()
+        shifts = self.AN.gate_shifts(c, self.PROFILE, TEN_YEARS)
+        assert set(shifts) == set(c.gates)
+        assert all(v > 0 for v in shifts.values())
+
+    def test_all_zero_shifts_exceed_all_one(self):
+        c = c17()
+        worst = self.AN.gate_shifts(c, self.PROFILE, TEN_YEARS, standby=ALL_ZERO)
+        best = self.AN.gate_shifts(c, self.PROFILE, TEN_YEARS, standby=ALL_ONE)
+        for g in c.gates:
+            assert worst[g] > best[g]
+
+    def test_real_vector_between_bounds(self):
+        c = c17()
+        worst = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS, standby=ALL_ZERO)
+        best = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS, standby=ALL_ONE)
+        vec = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS,
+                                  standby=constant_vector(c, 0))
+        assert (best.aged_delay - 1e-18 <= vec.aged_delay
+                <= worst.aged_delay + 1e-18)
+
+    def test_aged_timing_result_properties(self):
+        c = c17()
+        res = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS)
+        assert res.aged_delay > res.fresh_delay
+        assert res.delay_increase == pytest.approx(res.aged_delay - res.fresh_delay)
+        assert 0 < res.relative_degradation < 0.2
+        assert res.max_shift > 0
+
+    def test_degradation_grows_with_time(self):
+        c = c17()
+        early = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS / 100)
+        late = self.AN.aged_timing(c, self.PROFILE, TEN_YEARS)
+        assert late.relative_degradation > early.relative_degradation
+
+    def test_table4_structure_on_c432(self):
+        """Worst rises with T_standby, best is flat, potential grows —
+        the paper's Table 4 on our c432 stand-in."""
+        c = iscas85.load("c432")
+        rows = {}
+        for tst in (330.0, 400.0):
+            p = OperatingProfile.from_ras("1:9", t_standby=tst)
+            worst = self.AN.aged_timing(c, p, TEN_YEARS, standby=ALL_ZERO)
+            best = self.AN.aged_timing(c, p, TEN_YEARS, standby=ALL_ONE)
+            rows[tst] = (worst.relative_degradation, best.relative_degradation)
+        assert rows[400.0][0] > rows[330.0][0]
+        assert rows[400.0][1] == pytest.approx(rows[330.0][1], rel=1e-9)
+        pot_330 = 1 - rows[330.0][1] / rows[330.0][0]
+        pot_400 = 1 - rows[400.0][1] / rows[400.0][0]
+        assert pot_400 > pot_330
+        # Bands around the paper's numbers (4.05-7.35 % worst,
+        # ~3.3 % best, 18->55 % potential).
+        assert 0.02 < rows[330.0][0] < 0.06
+        assert 0.05 < rows[400.0][0] < 0.10
+        assert 0.10 < pot_330 < 0.30
+        assert 0.40 < pot_400 < 0.70
+
+    def test_circuit_degradation_below_device_degradation(self):
+        """Fig. 5's message: circuit %delay < device %Vth shift."""
+        c = iscas85.load("c432")
+        p = OperatingProfile.from_ras("1:9", t_standby=330.0)
+        res = self.AN.aged_timing(c, p, TEN_YEARS, standby=ALL_ZERO)
+        vth_rel = res.max_shift / PTM90.pmos.vth0
+        assert res.relative_degradation < vth_rel
+
+    def test_custom_model_injection(self):
+        an = AgingAnalyzer(model=NbtiModel(scale_recovery=True))
+        c = c17()
+        res = an.aged_timing(c, self.PROFILE, TEN_YEARS, standby=ALL_ONE)
+        assert res.aged_delay > res.fresh_delay

@@ -1,0 +1,84 @@
+"""Tests for K-longest-path enumeration."""
+
+import pytest
+
+from repro.netlist import Circuit, Gate, iscas85, load_packaged, random_logic
+from repro.sta import analyze, enumerate_paths, path_slack_profile
+
+
+@pytest.fixture(scope="module")
+def c17():
+    return load_packaged("c17")
+
+
+class TestEnumeration:
+    def test_top_path_matches_sta(self, c17):
+        paths = enumerate_paths(c17, 1)
+        assert paths[0].delay == pytest.approx(analyze(c17).circuit_delay,
+                                               rel=1e-12)
+
+    def test_descending_order(self, c17):
+        paths = enumerate_paths(c17, 10)
+        delays = [p.delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_paths_are_connected(self, c17):
+        for path in enumerate_paths(c17, 6):
+            nodes = path.nodes
+            assert nodes[0][0] in c17.primary_inputs
+            assert nodes[-1][0] in c17.primary_outputs
+            for (a, _), (b, _) in zip(nodes, nodes[1:]):
+                assert a in c17.gates[b].inputs
+
+    def test_paths_unique(self, c17):
+        paths = enumerate_paths(c17, 12)
+        assert len({p.nodes for p in paths}) == len(paths)
+
+    def test_k_limits_output(self, c17):
+        assert len(enumerate_paths(c17, 3)) == 3
+
+    def test_exhausts_small_circuit(self):
+        c = Circuit("chain", ["a"], ["g2"], [
+            Gate("g1", "INV", ["a"]),
+            Gate("g2", "INV", ["g1"]),
+        ])
+        # Exactly 2 structural paths (rise and fall endpoints).
+        paths = enumerate_paths(c, 10)
+        assert len(paths) == 2
+
+    def test_k_guard(self, c17):
+        with pytest.raises(ValueError):
+            enumerate_paths(c17, 0)
+
+    def test_aged_paths_longer(self, c17):
+        fresh = enumerate_paths(c17, 1)[0].delay
+        shifts = {g: 0.03 for g in c17.gates}
+        aged = enumerate_paths(c17, 1, delta_vth=shifts)[0].delay
+        assert aged > fresh
+
+    def test_aged_top_path_matches_aged_sta(self):
+        c = iscas85.load("c432")
+        shifts = {g: 0.001 * (i % 7) for i, g in enumerate(c.gates)}
+        top = enumerate_paths(c, 1, delta_vth=shifts)[0].delay
+        sta = analyze(c, delta_vth=shifts).circuit_delay
+        assert top == pytest.approx(sta, rel=1e-12)
+
+    def test_benchmark_scale(self):
+        paths = enumerate_paths(iscas85.load("c880"), 50)
+        assert len(paths) == 50
+        assert paths[0].delay >= paths[-1].delay
+
+
+class TestSlackProfile:
+    def test_first_slack_zero(self, c17):
+        profile = path_slack_profile(c17, 5)
+        assert profile[0] == pytest.approx(0.0, abs=1e-18)
+        assert all(s >= -1e-18 for s in profile)
+
+    def test_path_swarm_on_balanced_circuit(self):
+        """The multiplier's adder array has many near-equal paths — the
+        swarm that defeats single-path optimization."""
+        c = iscas85.load("c6288")
+        profile = path_slack_profile(c, 20)
+        worst = enumerate_paths(c, 1)[0].delay
+        assert profile[-1] < 0.05 * worst

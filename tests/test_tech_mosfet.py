@@ -1,0 +1,217 @@
+"""Unit tests for the analytical device models in repro.tech."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tech import (
+    PTM90,
+    PTM90_HVT,
+    PTM90_LP,
+    Mosfet,
+    alpha_power_delay,
+    drive_current,
+    gate_leakage_current,
+    get_technology,
+    subthreshold_current,
+    threshold_at_temperature,
+)
+
+NMOS = PTM90.nmos
+PMOS = PTM90.pmos
+
+
+class TestTechnologyRegistry:
+    def test_lookup_known(self):
+        assert get_technology("ptm90") is PTM90
+        assert get_technology("ptm90_hvt") is PTM90_HVT
+        assert get_technology("ptm90_lp") is PTM90_LP
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="ptm90"):
+            get_technology("tsmc7")
+
+    def test_paper_operating_point(self):
+        # Vdd = 1.0 V and |Vth| = 220 mV as set in the paper's Section 3.
+        assert PTM90.vdd == pytest.approx(1.0)
+        assert PTM90.nmos.vth0 == pytest.approx(0.220)
+        assert PTM90.pmos.vth0 == pytest.approx(0.220)
+
+    def test_cox_positive_and_thickness_ordered(self):
+        assert PTM90.cox > 0
+        # LP flavor has a thicker oxide hence smaller Cox.
+        assert PTM90_LP.cox < PTM90.cox
+
+    def test_params_accessor(self):
+        assert PTM90.params("nmos") is NMOS
+        assert PTM90.params("pmos") is PMOS
+        with pytest.raises(ValueError):
+            PTM90.params("jfet")
+
+
+class TestThreshold:
+    def test_reference_point(self):
+        assert threshold_at_temperature(NMOS, 300.0) == pytest.approx(NMOS.vth0)
+
+    def test_decreases_with_temperature(self):
+        assert threshold_at_temperature(NMOS, 400.0) < NMOS.vth0
+
+    def test_clamped_at_zero(self):
+        assert threshold_at_temperature(NMOS, 5000.0) == 0.0
+
+    @given(st.floats(min_value=250.0, max_value=450.0))
+    def test_monotone_decreasing(self, t):
+        assert threshold_at_temperature(NMOS, t) >= threshold_at_temperature(NMOS, t + 1.0)
+
+
+class TestSubthresholdCurrent:
+    W, L = 240e-9, 90e-9
+
+    def leak(self, **kw):
+        defaults = dict(w=self.W, l=self.L, vgs=0.0, vds=1.0, temperature=300.0)
+        defaults.update(kw)
+        return subthreshold_current(NMOS, **defaults)
+
+    def test_positive_off_state(self):
+        assert self.leak() > 0
+
+    def test_zero_at_zero_vds(self):
+        assert self.leak(vds=0.0) == 0.0
+
+    def test_increases_with_temperature(self):
+        # Both the pre-factor and the Vth reduction push leakage up.
+        assert self.leak(temperature=400.0) > 10.0 * self.leak(temperature=300.0)
+
+    def test_increases_with_vgs(self):
+        assert self.leak(vgs=0.05) > self.leak(vgs=0.0)
+
+    def test_negative_vgs_suppresses(self):
+        # The stacking effect: source above ground -> negative Vgs.
+        assert self.leak(vgs=-0.1) < 0.1 * self.leak(vgs=0.0)
+
+    def test_dibl_increases_with_vds(self):
+        assert self.leak(vds=1.0) > self.leak(vds=0.5)
+
+    def test_aged_vth_reduces_leakage(self):
+        # NBTI raises |Vth| which exponentially cuts subthreshold leakage.
+        assert self.leak(delta_vth=0.03) < self.leak(delta_vth=0.0)
+
+    def test_scales_with_width(self):
+        assert self.leak(w=2 * self.W) == pytest.approx(2 * self.leak(), rel=1e-9)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            self.leak(w=-1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=1.0),
+           st.floats(min_value=300.0, max_value=420.0))
+    @settings(max_examples=50)
+    def test_monotone_in_vds(self, vds, temperature):
+        lo = self.leak(vds=vds * 0.9, temperature=temperature)
+        hi = self.leak(vds=vds, temperature=temperature)
+        assert hi >= lo
+
+
+class TestGateLeakage:
+    def test_nmos_much_larger_than_pmos(self):
+        # Electron conduction-band tunneling >> hole valence-band tunneling.
+        i_n = gate_leakage_current(NMOS, w=240e-9, l=90e-9, vox=1.0)
+        i_p = gate_leakage_current(PMOS, w=240e-9, l=90e-9, vox=1.0)
+        assert i_n > 5.0 * i_p
+
+    def test_zero_at_zero_vox(self):
+        assert gate_leakage_current(NMOS, w=240e-9, l=90e-9, vox=0.0) == 0.0
+
+    def test_exponential_in_vox(self):
+        full = gate_leakage_current(NMOS, w=240e-9, l=90e-9, vox=1.0)
+        off = gate_leakage_current(NMOS, w=240e-9, l=90e-9, vox=0.3)
+        assert off < 0.2 * full
+
+    def test_scales_with_area(self):
+        base = gate_leakage_current(NMOS, w=240e-9, l=90e-9, vox=1.0)
+        assert gate_leakage_current(NMOS, w=480e-9, l=90e-9, vox=1.0) == pytest.approx(2 * base)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            gate_leakage_current(NMOS, w=0.0, l=90e-9, vox=1.0)
+
+
+class TestDriveAndDelay:
+    def test_drive_zero_below_threshold(self):
+        assert drive_current(PTM90, "nmos", w=240e-9, l=90e-9, vgs=0.1) == 0.0
+
+    def test_drive_positive_above_threshold(self):
+        assert drive_current(PTM90, "nmos", w=240e-9, l=90e-9, vgs=1.0) > 0.0
+
+    def test_nmos_stronger_than_pmos_same_size(self):
+        i_n = drive_current(PTM90, "nmos", w=240e-9, l=90e-9, vgs=1.0)
+        i_p = drive_current(PTM90, "pmos", w=240e-9, l=90e-9, vgs=1.0)
+        assert i_n > i_p
+
+    def test_aging_reduces_drive(self):
+        fresh = drive_current(PTM90, "pmos", w=480e-9, l=90e-9, vgs=1.0)
+        aged = drive_current(PTM90, "pmos", w=480e-9, l=90e-9, vgs=1.0, delta_vth=0.03)
+        assert aged < fresh
+
+    def test_delay_increases_with_vth(self):
+        kw = dict(load_cap=2e-15, w=480e-9, l=90e-9)
+        d0 = alpha_power_delay(PTM90, "pmos", vth=0.22, **kw)
+        d1 = alpha_power_delay(PTM90, "pmos", vth=0.25, **kw)
+        assert d1 > d0
+
+    def test_delay_eq22_small_shift_linearization(self):
+        # d ~ (Vdd - Vth)^-alpha, so dd/d = alpha dVth / (Vdd - Vth):
+        # the basis of the paper's eq. (22).
+        kw = dict(load_cap=2e-15, w=480e-9, l=90e-9)
+        vth0, dvth = 0.22, 1e-4
+        d0 = alpha_power_delay(PTM90, "pmos", vth=vth0, **kw)
+        d1 = alpha_power_delay(PTM90, "pmos", vth=vth0 + dvth, **kw)
+        expected = PTM90.alpha * dvth / (PTM90.vdd - vth0)
+        assert (d1 - d0) / d0 == pytest.approx(expected, rel=1e-3)
+
+    def test_delay_scales_with_load(self):
+        kw = dict(w=480e-9, l=90e-9, vth=0.22)
+        d1 = alpha_power_delay(PTM90, "pmos", load_cap=1e-15, **kw)
+        d2 = alpha_power_delay(PTM90, "pmos", load_cap=2e-15, **kw)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_delay_series_stack_slower(self):
+        kw = dict(load_cap=2e-15, w=480e-9, l=90e-9, vth=0.22)
+        d1 = alpha_power_delay(PTM90, "nmos", series_stack=1, **kw)
+        d2 = alpha_power_delay(PTM90, "nmos", series_stack=2, **kw)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_delay_supply_drop_slows_gate(self):
+        # Eq. (26): a sleep-transistor virtual-rail drop raises delay.
+        kw = dict(load_cap=2e-15, w=480e-9, l=90e-9, vth=0.22)
+        d0 = alpha_power_delay(PTM90, "nmos", supply_drop=0.0, **kw)
+        d1 = alpha_power_delay(PTM90, "nmos", supply_drop=0.05, **kw)
+        assert d1 > d0
+
+    def test_delay_collapsed_overdrive_raises(self):
+        with pytest.raises(ValueError, match="overdrive"):
+            alpha_power_delay(PTM90, "nmos", load_cap=1e-15, w=480e-9,
+                              l=90e-9, vth=1.1)
+
+    def test_realistic_inverter_delay_magnitude(self):
+        # A unit inverter driving ~4x its input cap should sit in the
+        # 1-100 ps band at 90 nm; only the order of magnitude matters.
+        d = alpha_power_delay(PTM90, "nmos", load_cap=2e-15, w=240e-9,
+                              l=90e-9, vth=0.22)
+        assert 1e-13 < d < 1e-10
+
+
+class TestMosfetDataclass:
+    def test_aspect(self):
+        m = Mosfet(name="MP1", polarity="pmos", gate_pin="A", w=480e-9, l=90e-9)
+        assert m.aspect == pytest.approx(480.0 / 90.0)
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(ValueError):
+            Mosfet(name="MX", polarity="cmos", gate_pin="A", w=1e-7, l=1e-7)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Mosfet(name="MN", polarity="nmos", gate_pin="A", w=0.0, l=1e-7)

@@ -1,0 +1,150 @@
+"""Tests for the thermal substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import celsius_to_kelvin
+from repro.thermal import (
+    Task,
+    ThermalRC,
+    mode_temperatures,
+    profile_from_powers,
+    random_task_set,
+    simulate_trace,
+    task_set_trace,
+    trace_statistics,
+)
+
+RC = ThermalRC()
+
+
+class TestThermalRC:
+    def test_steady_state_linear_in_power(self):
+        assert RC.steady_state(0.0) == RC.t_ambient
+        assert (RC.steady_state(100.0) - RC.t_ambient
+                == pytest.approx(100.0 * RC.r_th))
+
+    def test_paper_temperature_band(self):
+        """10-130 W must span roughly the paper's 60-110 degC band."""
+        lo = RC.steady_state(10.0) - 273.15
+        hi = RC.steady_state(130.0) - 273.15
+        assert 55.0 < lo < 65.0
+        assert 105.0 < hi < 115.0
+
+    def test_millisecond_settling(self):
+        """The paper: temperature converges 'in the order of
+        milliseconds'."""
+        assert 1e-3 < RC.settling_time(0.99) < 100e-3
+
+    def test_step_converges_to_steady_state(self):
+        t = RC.step(300.0, 100.0, 15.0 * RC.time_constant)
+        assert t == pytest.approx(RC.steady_state(100.0), abs=1e-3)
+
+    def test_step_zero_time_identity(self):
+        assert RC.step(350.0, 100.0, 0.0) == pytest.approx(350.0)
+
+    def test_step_exact_exponential(self):
+        dt = RC.time_constant
+        target = RC.steady_state(50.0)
+        t = RC.step(300.0, 50.0, dt)
+        assert t == pytest.approx(target + (300.0 - target) * math.exp(-1.0))
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            ThermalRC(r_th=-1.0)
+        with pytest.raises(ValueError):
+            RC.steady_state(-5.0)
+        with pytest.raises(ValueError):
+            RC.step(300.0, 10.0, -1.0)
+        with pytest.raises(ValueError):
+            RC.settling_time(1.5)
+
+    @given(st.floats(min_value=0.0, max_value=200.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_property_step_bounded_by_endpoints(self, power, dt_factor):
+        t0 = 320.0
+        target = RC.steady_state(power)
+        t = RC.step(t0, power, dt_factor * RC.time_constant)
+        lo, hi = min(t0, target), max(t0, target)
+        assert lo - 1e-9 <= t <= hi + 1e-9
+
+
+class TestTrace:
+    def test_two_phase_trace_moves_between_steady_states(self):
+        times, temps = simulate_trace(
+            RC, [(0.5, 130.0), (0.5, 10.0)], samples_per_phase=50)
+        stats = trace_statistics(temps)
+        assert stats["max_k"] == pytest.approx(RC.steady_state(130.0), abs=0.5)
+        assert stats["min_k"] == pytest.approx(RC.steady_state(10.0), abs=0.5)
+
+    def test_trace_lengths(self):
+        times, temps = simulate_trace(RC, [(0.1, 50.0)], samples_per_phase=10)
+        assert len(times) == len(temps) == 11
+        assert times[0] == 0.0
+
+    def test_trace_guards(self):
+        with pytest.raises(ValueError):
+            simulate_trace(RC, [])
+        with pytest.raises(ValueError):
+            simulate_trace(RC, [(0.0, 10.0)])
+        with pytest.raises(ValueError):
+            simulate_trace(RC, [(1.0, 10.0)], samples_per_phase=0)
+
+    def test_initial_temperature_override(self):
+        times, temps = simulate_trace(RC, [(0.001, 100.0)], t_initial=300.0)
+        assert temps[0] == 300.0
+
+
+class TestTaskSets:
+    def test_random_task_set_deterministic(self):
+        a = random_task_set(seed=4)
+        b = random_task_set(seed=4)
+        assert a == b
+
+    def test_power_band_respected(self):
+        tasks = random_task_set(n_tasks=50, seed=1)
+        assert all(10.0 <= t.power <= 130.0 for t in tasks)
+
+    def test_fig2_trace_band(self):
+        """A random task set's trace sits inside the paper's 60-110 degC
+        corridor."""
+        tasks = random_task_set(n_tasks=30, seed=7)
+        _, temps = task_set_trace(tasks)
+        stats = trace_statistics(temps)
+        assert stats["min_c"] > 55.0
+        assert stats["max_c"] < 115.0
+        # And actually exercises a wide band, not a flat line.
+        assert stats["max_c"] - stats["min_c"] > 20.0
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Task("t", duration=0.0, power=10.0)
+        with pytest.raises(ValueError):
+            Task("t", duration=1.0, power=-1.0)
+        with pytest.raises(ValueError):
+            random_task_set(n_tasks=0)
+        with pytest.raises(ValueError):
+            random_task_set(power_range=(50.0, 40.0))
+
+
+class TestModeBridge:
+    def test_mode_temperatures_ordered(self):
+        t_act, t_st = mode_temperatures(170.0, 4.0)
+        assert t_act > t_st
+        # The canonical pair lands near the paper's 400 K / 330 K.
+        assert t_act == pytest.approx(400.0, abs=3.0)
+        assert t_st == pytest.approx(330.0, abs=3.0)
+
+    def test_profile_from_powers(self):
+        profile = profile_from_powers(0.2, 170.0, 4.0)
+        assert profile.active_fraction == pytest.approx(0.2)
+        assert profile.t_active > profile.t_standby
+
+    def test_empty_trace_stats(self):
+        with pytest.raises(ValueError):
+            trace_statistics(np.array([]))

@@ -1,0 +1,58 @@
+"""Tests for the leakage-thermal feedback solver."""
+
+import pytest
+
+from repro.netlist import random_logic
+from repro.thermal import ThermalRC, solve_standby_temperature
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("fb", n_inputs=10, n_outputs=3, n_gates=50, seed=2)
+
+
+RC = ThermalRC()
+
+
+class TestFeedback:
+    def test_converges(self, circuit):
+        res = solve_standby_temperature(circuit, RC, other_power=1.0)
+        assert res.converged
+        assert res.temperature > RC.t_ambient
+        assert res.leakage_current > 0
+
+    def test_single_block_close_to_naive(self, circuit):
+        """One small block's leakage barely moves the die temperature."""
+        res = solve_standby_temperature(circuit, RC, other_power=2.0)
+        naive = RC.steady_state(2.0)
+        assert abs(res.temperature - naive) < 1.0
+
+    def test_scaled_die_visibly_hotter(self, circuit):
+        small = solve_standby_temperature(circuit, RC, other_power=2.0,
+                                          scale=1.0)
+        big = solve_standby_temperature(circuit, RC, other_power=2.0,
+                                        scale=200000.0)
+        assert big.temperature > small.temperature + 2.0
+        assert big.leakage_power > small.leakage_power
+
+    def test_leakage_power_consistent(self, circuit):
+        res = solve_standby_temperature(circuit, RC, other_power=0.0,
+                                        scale=1000.0)
+        # The converged temperature must equal the steady state of its
+        # own converged power.
+        assert res.temperature == pytest.approx(
+            RC.steady_state(res.leakage_power), abs=0.2)
+
+    def test_thermal_runaway_detected(self, circuit):
+        hot_rc = ThermalRC(r_th=5.0, c_th=0.02)
+        with pytest.raises(RuntimeError, match="runaway"):
+            solve_standby_temperature(circuit, hot_rc, other_power=30.0,
+                                      scale=5e6, damping=1.0)
+
+    def test_guards(self, circuit):
+        with pytest.raises(ValueError):
+            solve_standby_temperature(circuit, RC, scale=0.0)
+        with pytest.raises(ValueError):
+            solve_standby_temperature(circuit, RC, damping=0.0)
+        with pytest.raises(ValueError):
+            solve_standby_temperature(circuit, RC, other_power=-1.0)

@@ -1,0 +1,153 @@
+"""Tests for process variation and statistical aging (Fig. 12)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.constants import TEN_YEARS, years
+from repro.core import OperatingProfile
+from repro.netlist import random_logic
+from repro.sta import analyze
+from repro.variation import (
+    FIG12_TIMES,
+    FastAgedTimer,
+    StatisticalAgingResult,
+    VariationModel,
+    statistical_aging,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return random_logic("var", n_inputs=16, n_outputs=4, n_gates=150, seed=12)
+
+
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=400.0)
+
+
+class TestVariationModel:
+    def test_deterministic(self, circuit):
+        m = VariationModel(sigma_local=0.01)
+        assert m.sample_many(circuit, 3, seed=5) == m.sample_many(circuit, 3, seed=5)
+
+    def test_zero_sigma_zero_offsets(self, circuit):
+        m = VariationModel(sigma_local=0.0, sigma_global=0.0)
+        offsets = m.sample(circuit, random.Random(1))
+        assert set(offsets.values()) == {0.0}
+
+    def test_global_component_shared(self, circuit):
+        m = VariationModel(sigma_local=0.0, sigma_global=0.02)
+        offsets = m.sample(circuit, random.Random(3))
+        assert len(set(offsets.values())) == 1
+
+    def test_local_component_independent(self, circuit):
+        m = VariationModel(sigma_local=0.02, sigma_global=0.0)
+        offsets = m.sample(circuit, random.Random(3))
+        assert len(set(offsets.values())) > 1
+
+    def test_truncation(self, circuit):
+        m = VariationModel(sigma_local=0.01, truncate_sigmas=2.0)
+        offsets = m.sample_many(circuit, 50, seed=0)
+        for sample in offsets:
+            assert all(abs(v) <= 0.02 + 1e-12 for v in sample.values())
+
+    def test_empirical_sigma(self, circuit):
+        m = VariationModel(sigma_local=0.015)
+        samples = m.sample_many(circuit, 40, seed=2)
+        values = np.array([v for s in samples for v in s.values()])
+        assert values.std() == pytest.approx(0.015, rel=0.15)
+
+    def test_guards(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma_local=-0.01)
+        with pytest.raises(ValueError):
+            VariationModel(truncate_sigmas=0.0)
+        with pytest.raises(ValueError):
+            VariationModel().sample_many(random_logic("x", 4, 1, 20, seed=1), 0)
+
+
+class TestFastTimer:
+    def test_matches_full_sta_fresh(self, circuit):
+        timer = FastAgedTimer(circuit)
+        assert timer.circuit_delay() == pytest.approx(
+            analyze(circuit).circuit_delay, rel=1e-12)
+
+    def test_matches_full_sta_aged(self, circuit):
+        timer = FastAgedTimer(circuit)
+        shifts = {g: 0.001 * (i % 5) for i, g in enumerate(circuit.gates)}
+        assert timer.circuit_delay(shifts) == pytest.approx(
+            analyze(circuit, delta_vth=shifts).circuit_delay, rel=1e-12)
+
+    def test_negative_shift_speeds_up(self, circuit):
+        timer = FastAgedTimer(circuit)
+        fast = timer.circuit_delay({g: -0.01 for g in circuit.gates})
+        assert fast < timer.circuit_delay()
+
+
+class TestStatisticalAging:
+    def test_result_shape(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=20, seed=3)
+        assert res.delays.shape == (len(FIG12_TIMES), 20)
+        assert len(res.times) == len(FIG12_TIMES)
+
+    def test_deterministic(self, circuit):
+        a = statistical_aging(circuit, PROFILE, n_samples=10, seed=7)
+        b = statistical_aging(circuit, PROFILE, n_samples=10, seed=7)
+        np.testing.assert_array_equal(a.delays, b.delays)
+
+    def test_mean_delay_grows_with_age(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=30, seed=1)
+        means = res.mean()
+        assert means[0] < means[1] < means[2]
+
+    def test_fig12_aging_dominates_variation(self, circuit):
+        """mu - 3 sigma at 3 years exceeds mu + 3 sigma fresh."""
+        res = statistical_aging(circuit, PROFILE,
+                                times=(0.0, years(3.0)),
+                                n_samples=60, seed=4)
+        assert res.aging_dominates_variation(fresh_index=0, aged_index=1)
+
+    def test_variance_compression(self, circuit):
+        """[51]: aging compresses the delay spread (low-Vth devices age
+        faster)."""
+        res = statistical_aging(circuit, PROFILE, n_samples=80, seed=5)
+        assert res.variance_compression() < 1.0
+
+    def test_three_sigma_bounds_ordered(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=30, seed=6)
+        assert np.all(res.lower_3sigma() <= res.mean())
+        assert np.all(res.mean() <= res.upper_3sigma())
+
+    def test_sample_guard(self, circuit):
+        with pytest.raises(ValueError):
+            statistical_aging(circuit, PROFILE, n_samples=1)
+
+    def test_quantiles_ordered(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=40, seed=9)
+        assert res.quantile(0.1) <= res.quantile(0.5) <= res.quantile(0.9)
+        with pytest.raises(ValueError):
+            res.quantile(1.5)
+
+    def test_normal_fit_reasonable(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=80, seed=10)
+        mu, sigma, pvalue = res.fit_normal(index=0)
+        assert mu == pytest.approx(res.mean()[0])
+        assert sigma == pytest.approx(res.std()[0], rel=0.05)
+        # Sum of many per-gate offsets: comfortably Gaussian.
+        assert pvalue > 0.01
+
+    def test_normal_fit_degenerate_sample(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=5,
+                                variation=VariationModel(sigma_local=0.0),
+                                seed=11)
+        mu, sigma, pvalue = res.fit_normal(index=0)
+        assert sigma == pytest.approx(0.0, abs=1e-18)
+        assert pvalue == 1.0
+
+    def test_zero_variation_degenerate(self, circuit):
+        res = statistical_aging(circuit, PROFILE, n_samples=5,
+                                variation=VariationModel(sigma_local=0.0),
+                                seed=8)
+        # Identical dies: spread is numerical noise only.
+        assert np.all(res.std() < 1e-20)
