@@ -1,0 +1,20 @@
+# Convenience targets mirroring the CI jobs (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench lint all
+
+# Tier-1: the full unit/integration suite (ROADMAP.md gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The experiment harness: paper tables/figures + extension studies.
+# Needs pytest-benchmark; -s shows the paper-style tables.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+lint:
+	ruff check src tests benchmarks examples
+
+all: test bench

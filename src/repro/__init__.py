@@ -26,6 +26,7 @@ paper-vs-measured record of every table and figure.
 
 from repro import constants
 from repro.cells import LeakageTable, Library, build_library
+from repro.context import AnalysisContext, CacheStats
 from repro.core import (
     DEFAULT_CALIBRATION,
     DEFAULT_MODEL,
@@ -62,6 +63,7 @@ __version__ = "1.0.0"
 __all__ = [
     "constants",
     "LeakageTable", "Library", "build_library",
+    "AnalysisContext", "CacheStats",
     "DEFAULT_CALIBRATION", "DEFAULT_MODEL", "DeviceStress",
     "NbtiCalibration", "NbtiModel", "OperatingProfile",
     "AnalysisPlatform", "assign_dual_vth",

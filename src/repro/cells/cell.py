@@ -116,12 +116,22 @@ class Cell:
         return values
 
     def truth_table(self) -> Dict[Tuple[Bit, ...], Bit]:
-        """Exhaustive truth table (cells are small; 2^n rows)."""
-        table: Dict[Tuple[Bit, ...], Bit] = {}
-        for index in range(2 ** self.n_inputs):
-            vec = tuple((index >> k) & 1 for k in range(self.n_inputs))
-            table[vec] = self.evaluate(vec)
-        return table
+        """Exhaustive truth table (cells are small; 2^n rows).
+
+        Memoized per instance: cells are immutable, yet probability
+        propagation re-reads the table for every gate of every circuit,
+        so the 2^n stage evaluations are paid exactly once.  The cached
+        dict is shared — callers must treat it as read-only.
+        """
+        cached = getattr(self, "_truth_table_cache", None)
+        if cached is None:
+            cached = {}
+            for index in range(2 ** self.n_inputs):
+                vec = tuple((index >> k) & 1 for k in range(self.n_inputs))
+                cached[vec] = self.evaluate(vec)
+            # Frozen dataclass: lazy caches go through object.__setattr__.
+            object.__setattr__(self, "_truth_table_cache", cached)
+        return cached
 
     def all_vectors(self) -> List[Tuple[Bit, ...]]:
         """All input vectors in ascending binary order (bit 0 = first pin)."""

@@ -1,0 +1,494 @@
+"""Shared memoized evaluation layer: the :class:`AnalysisContext`.
+
+The paper's Fig. 6 platform is an *iterative* loop: the MLV search and
+the NBTI-aware selection re-evaluate leakage and aged timing for dozens
+of candidate vectors per circuit.  Every stage of that loop consumes the
+same derived artifacts — fanout maps, gate loads, cell truth tables,
+signal probabilities, per-cell stress-duty tables, the leakage lookup
+table — and, before this layer existed, recomputed them from scratch on
+each call.
+
+An :class:`AnalysisContext` binds one ``(Circuit, Library, NbtiModel)``
+triple and owns every derived artifact exactly once, behind explicit
+cache keys:
+
+========================  =====================================================
+artifact                  cache key
+========================  =====================================================
+``topological_order``     structural (one entry)
+``fanout`` / ``levels``   structural (one entry)
+``gate_loads``            ``(wire_cap, po_cap)``
+``truth_table``           cell name
+``probabilities``         ``(method, PI-probability map, n_vectors, seed)``
+``stress_duties``         PI-probability map
+``standby_states``        standby spec (sentinel or PI bit tuple)
+``standby_stress``        ``(cell name, input bits)``
+``leakage_table``         one entry (per-context temperature)
+``leakage_for_vector``    PI bit tuple
+``expected_leakage``      PI-probability map
+``fresh_timing``          ``supply_drop``
+``gate_shifts``           ``(profile, lifetime, standby spec)``
+========================  =====================================================
+
+Every lookup is counted: :attr:`AnalysisContext.stats` exposes hit/miss
+counters per artifact, so tests and benchmarks can *assert* reuse
+instead of guessing from wall clock (see
+``benchmarks/test_context_reuse.py``).
+
+Mutation story: the context assumes the bound circuit is structurally
+frozen.  Flows that mutate the netlist in place (sizing commits,
+cell swaps via :meth:`repro.netlist.circuit.Circuit.replace_gate`,
+control-point / sleep-transistor insertion) must call
+:meth:`AnalysisContext.invalidate` afterwards; circuit-level structure
+caches are dropped by the mutation entry points themselves.
+
+Compatibility story: nothing *requires* a context.  Every pre-existing
+free function (``propagate_probabilities``, ``gate_loads``,
+``expected_leakage``, ...) keeps its signature and now routes through a
+transient context when none is supplied, or accepts ``context=`` to join
+a shared one.  :class:`repro.flow.platform.AnalysisPlatform` is a thin
+facade that keeps one context per circuit.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.cells.leakage import LeakageTable
+from repro.cells.library import Library
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.profiles import OperatingProfile
+from repro.netlist.circuit import Circuit
+
+#: Default temperature of the leakage lookup tables (the paper
+#: characterizes leakage at 400 K).
+DEFAULT_LEAKAGE_TEMPERATURE = 400.0
+
+
+class CacheStats:
+    """Per-artifact hit/miss counters of one :class:`AnalysisContext`.
+
+    A *miss* is an actual recomputation; a *hit* is a reuse.  Counters
+    are cumulative across :meth:`AnalysisContext.invalidate` calls (the
+    caches empty, the history stays), so a test can measure exactly how
+    much work an end-to-end flow performed.
+    """
+
+    __slots__ = ("_hits", "_misses")
+
+    def __init__(self) -> None:
+        self._hits: Dict[str, int] = {}
+        self._misses: Dict[str, int] = {}
+
+    def record_hit(self, name: str) -> None:
+        """Count one reuse of the named artifact."""
+        self._hits[name] = self._hits.get(name, 0) + 1
+
+    def record_miss(self, name: str) -> None:
+        """Count one recomputation of the named artifact."""
+        self._misses[name] = self._misses.get(name, 0) + 1
+
+    def hits(self, name: Optional[str] = None) -> int:
+        """Reuse count for one artifact, or the total across all."""
+        if name is None:
+            return sum(self._hits.values())
+        return self._hits.get(name, 0)
+
+    def misses(self, name: Optional[str] = None) -> int:
+        """Recomputation count for one artifact, or the total."""
+        if name is None:
+            return sum(self._misses.values())
+        return self._misses.get(name, 0)
+
+    def computations(self, name: str) -> int:
+        """Alias for :meth:`misses`: how often the artifact was built."""
+        return self.misses(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """``{artifact: {"hits": n, "misses": m}}`` for reporting."""
+        names = sorted(set(self._hits) | set(self._misses))
+        return {name: {"hits": self._hits.get(name, 0),
+                       "misses": self._misses.get(name, 0)}
+                for name in names}
+
+    def reset(self) -> None:
+        """Zero every counter (the caches themselves are untouched)."""
+        self._hits.clear()
+        self._misses.clear()
+
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits()}, misses={self.misses()}, "
+                f"artifacts={sorted(set(self._hits) | set(self._misses))})")
+
+
+#: Canonical standby-spec cache key: a sentinel string, one PI bit
+#: tuple, or a tuple of PI bit tuples (alternation sequences).
+StandbyKey = Union[str, Tuple[str, Tuple[Any, ...]]]
+
+
+class AnalysisContext:
+    """Memoized derived state of one ``(Circuit, Library, NbtiModel)``.
+
+    Args:
+        circuit: the netlist all artifacts are derived from.
+        library: technology binding (defaults to the shared PTM90
+            library).
+        model: the temperature-aware NBTI model.
+        leakage_temperature: temperature the leakage lookup table is
+            characterized at.
+        leakage_table: optional pre-built :class:`LeakageTable` *or* a
+            zero-argument callable returning one — lets an
+            :class:`~repro.flow.platform.AnalysisPlatform` share one
+            (circuit-independent) table across the contexts of many
+            circuits without forcing an eager build.
+
+    All returned artifacts are cached, shared objects: treat them as
+    read-only.  The public free functions that wrap this layer hand out
+    defensive copies instead.
+    """
+
+    def __init__(self, circuit: Circuit, library: Optional[Library] = None,
+                 model: NbtiModel = DEFAULT_MODEL, *,
+                 leakage_temperature: float = DEFAULT_LEAKAGE_TEMPERATURE,
+                 leakage_table: Union[LeakageTable,
+                                      Callable[[], LeakageTable],
+                                      None] = None):
+        from repro.sim.logic import default_library
+        from repro.sta.degradation import AgingAnalyzer
+
+        self.circuit = circuit
+        self.library = library or default_library()
+        self.model = model
+        self.leakage_temperature = leakage_temperature
+        self._leakage_source = leakage_table
+        #: The analyzer bound to this context's library and model; its
+        #: methods accept ``context=self`` to reuse the memoized state.
+        self.analyzer = AgingAnalyzer(library=self.library, model=model)
+        self.stats = CacheStats()
+        self._caches: Dict[str, Dict[Hashable, Any]] = {}
+
+    # -- cache machinery ---------------------------------------------------
+
+    def _memo(self, name: str, key: Hashable, compute: Callable[[], Any]) -> Any:
+        cache = self._caches.setdefault(name, {})
+        try:
+            value = cache[key]
+        except KeyError:
+            self.stats.record_miss(name)
+            value = compute()
+            cache[key] = value
+            return value
+        self.stats.record_hit(name)
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every memoized artifact (netlist-mutation hook).
+
+        Also drops the bound circuit's own derived-structure caches, so
+        one call is enough after an in-place netlist edit.  Counters are
+        *not* reset: invalidation is part of the measured history.
+        """
+        self._caches.clear()
+        self.circuit.invalidate_caches()
+
+    # -- cache keys --------------------------------------------------------
+
+    def _prob_key(self, pi_one_prob: Optional[Mapping[str, float]]
+                  ) -> Optional[Tuple[Tuple[str, float], ...]]:
+        if pi_one_prob is None:
+            return None
+        return tuple(sorted(pi_one_prob.items()))
+
+    def standby_key(self, standby: Any) -> StandbyKey:
+        """Canonical, hashable form of a standby specification."""
+        from repro.sim.vectors import vector_to_bits
+
+        if isinstance(standby, str):
+            return standby
+        if isinstance(standby, Mapping):
+            return ("vector", vector_to_bits(self.circuit, standby))
+        return ("sequence", tuple(vector_to_bits(self.circuit, v)
+                                  for v in standby))
+
+    # -- structural artifacts ---------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Gate names in dependency order (shared list: read-only)."""
+        return self._memo("topological_order", (),
+                          self.circuit.topological_order)
+
+    def fanout(self) -> Dict[str, List[str]]:
+        """Net -> reading gates (shared structure: read-only)."""
+        return self._memo("fanout", (), self.circuit.fanout)
+
+    def levels(self) -> Dict[str, int]:
+        """Net -> logic level (shared dict: read-only)."""
+        return self._memo("levels", (), self.circuit.levels)
+
+    def nets(self) -> FrozenSet[str]:
+        """All net names of the bound circuit."""
+        return self._memo("nets", (), lambda: frozenset(self.circuit.nets))
+
+    # -- cells -------------------------------------------------------------
+
+    def truth_table(self, cell_name: str) -> Dict[Tuple[int, ...], int]:
+        """Truth table of a library cell (shared dict: read-only)."""
+        return self._memo(
+            "truth_table", cell_name,
+            lambda: self.library.get(cell_name).truth_table())
+
+    # -- timing ------------------------------------------------------------
+
+    def gate_loads(self, wire_cap: Optional[float] = None,
+                   po_cap: Optional[float] = None) -> Dict[str, float]:
+        """Output load per gate, keyed by the parasitic settings."""
+        from repro.sta.analysis import PO_CAP, WIRE_CAP, _compute_gate_loads
+
+        wc = WIRE_CAP if wire_cap is None else wire_cap
+        pc = PO_CAP if po_cap is None else po_cap
+        return self._memo(
+            "gate_loads", (wc, pc),
+            lambda: _compute_gate_loads(self.circuit, self.library, wc, pc))
+
+    def fresh_timing(self, supply_drop: float = 0.0):
+        """Unaged :class:`~repro.sta.analysis.TimingResult`, per rail drop."""
+        from repro.sta.analysis import analyze
+
+        return self._memo(
+            "fresh_timing", (supply_drop,),
+            lambda: analyze(self.circuit, self.library,
+                            loads=self.gate_loads(),
+                            supply_drop=supply_drop))
+
+    def fresh_delay(self, supply_drop: float = 0.0) -> float:
+        """Unaged circuit delay in seconds."""
+        return self.fresh_timing(supply_drop).circuit_delay
+
+    # -- signal probabilities ---------------------------------------------
+
+    def probabilities(self, pi_one_prob: Optional[Mapping[str, float]] = None,
+                      *, method: str = "analytic", n_vectors: int = 2048,
+                      seed: int = 0) -> Dict[str, float]:
+        """P(net = 1) for every net, keyed by the PI-probability setting.
+
+        Args:
+            pi_one_prob: P(pi = 1) per primary input; ``None`` is the
+                paper's SP = 0.5 active-mode setting.
+            method: ``"analytic"`` (topological propagation) or
+                ``"monte_carlo"`` (the paper's statistical estimator;
+                additionally keyed by ``n_vectors`` and ``seed``).
+        """
+        key_probs = self._prob_key(pi_one_prob)
+        if method == "analytic":
+            from repro.sim.probability import _propagate_impl
+
+            return self._memo(
+                "probabilities", ("analytic", key_probs),
+                lambda: _propagate_impl(self.circuit, pi_one_prob,
+                                        self.library))
+        if method == "monte_carlo":
+            from repro.sim.probability import _estimate_impl
+
+            return self._memo(
+                "probabilities",
+                ("monte_carlo", key_probs, n_vectors, seed),
+                lambda: _estimate_impl(self.circuit, n_vectors, seed,
+                                       pi_one_prob, self.library))
+        raise ValueError(
+            f"method must be 'analytic' or 'monte_carlo', got {method!r}")
+
+    def gate_input_probabilities(
+            self, pi_one_prob: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-gate pin -> P(pin = 1) maps over the analytic probabilities."""
+        def compute() -> Dict[str, Dict[str, float]]:
+            probs = self.probabilities(pi_one_prob)
+            result: Dict[str, Dict[str, float]] = {}
+            for gate in self.circuit.gates.values():
+                cell = self.library.get(gate.cell)
+                result[gate.name] = {
+                    pin: probs[net]
+                    for pin, net in zip(cell.inputs, gate.inputs)
+                }
+            return result
+
+        return self._memo("gate_input_probabilities",
+                          self._prob_key(pi_one_prob), compute)
+
+    def stress_duties(self, pi_one_prob: Optional[Mapping[str, float]] = None
+                      ) -> Dict[str, Dict[str, float]]:
+        """Active-mode stress duty per PMOS, per gate.
+
+        This is the expensive inner product of probability propagation
+        and the per-cell series-parallel stress walk; one entry per
+        PI-probability setting serves every aged-timing call.
+        """
+        from repro.cells.stress import stress_probabilities_for_cell
+
+        def compute() -> Dict[str, Dict[str, float]]:
+            pin_probs = self.gate_input_probabilities(pi_one_prob)
+            return {
+                gate.name: stress_probabilities_for_cell(
+                    self.library.get(gate.cell), pin_probs[gate.name])
+                for gate in self.circuit.gates.values()
+            }
+
+        return self._memo("stress_duties", self._prob_key(pi_one_prob),
+                          compute)
+
+    # -- standby state and per-cell standby stress -------------------------
+
+    def standby_states(self, standby: Any) -> Dict[str, int]:
+        """Net -> parked bit for a standby spec (sentinel or PI vector).
+
+        One logic simulation per distinct vector, shared between leakage
+        evaluation and aged-timing standby stress — the MLV search
+        simulates each candidate once and the NBTI-aware selection reuses
+        the very same states.
+        """
+        from repro.sta.degradation import ALL_ONE, ALL_ZERO
+        from repro.sim.logic import evaluate
+
+        key = self.standby_key(standby)
+        if isinstance(key, tuple) and key[0] == "sequence":
+            raise ValueError("standby_states resolves one vector at a time; "
+                             "iterate the sequence")
+
+        def compute() -> Dict[str, int]:
+            if standby == ALL_ZERO:
+                return {net: 0 for net in self.circuit.nets}
+            if standby == ALL_ONE:
+                return {net: 1 for net in self.circuit.nets}
+            if isinstance(standby, str):
+                raise ValueError(f"unknown standby setting {standby!r}")
+            return evaluate(self.circuit, dict(standby), self.library)
+
+        return self._memo("standby_states", key, compute)
+
+    def standby_stress(self, cell_name: str, bits: Tuple[int, ...]
+                       ) -> FrozenSet[str]:
+        """Names of PMOS devices stressed when ``cell_name`` holds ``bits``.
+
+        Keyed per (cell, vector): circuits instantiate the same few cells
+        thousands of times, so this table saturates almost immediately.
+        """
+        from repro.cells.stress import stress_under_vector
+
+        return self._memo(
+            "standby_stress", (cell_name, tuple(bits)),
+            lambda: frozenset(
+                stress_under_vector(self.library.get(cell_name), bits)))
+
+    # -- leakage -----------------------------------------------------------
+
+    @property
+    def leakage_table(self) -> LeakageTable:
+        """The per-cell leakage lookup table, built (or fetched) once."""
+        def compute() -> LeakageTable:
+            source = self._leakage_source
+            if isinstance(source, LeakageTable):
+                return source
+            if callable(source):
+                return source()
+            return LeakageTable.build(self.library, self.leakage_temperature)
+
+        return self._memo("leakage_table", (self.leakage_temperature,),
+                          compute)
+
+    def adopt_leakage_table(self, table: LeakageTable) -> None:
+        """Bind a caller-supplied table if this context has none yet.
+
+        Lets the free-function wrappers (which take an explicit table
+        argument) join the memo without double-building; a context that
+        already owns a *different* table is left untouched.
+        """
+        if (self._leakage_source is None
+                and "leakage_table" not in self._caches):
+            self._leakage_source = table
+
+    def leakage_for_bits(self, bits: Sequence[int]) -> float:
+        """Standby leakage (amperes) with the PIs parked at ``bits``."""
+        from repro.leakage.circuit import leakage_for_states
+        from repro.sim.vectors import bits_to_vector
+
+        key = tuple(bits)
+
+        def compute() -> float:
+            vector = bits_to_vector(self.circuit, key)
+            states = self.standby_states(vector)
+            return leakage_for_states(self.circuit, states,
+                                      self.leakage_table)
+
+        return self._memo("leakage_for_vector", key, compute)
+
+    def leakage_for_vector(self, pi_vector: Mapping[str, int]) -> float:
+        """Standby leakage (amperes) for a PI name -> bit assignment."""
+        from repro.sim.vectors import vector_to_bits
+
+        return self.leakage_for_bits(vector_to_bits(self.circuit, pi_vector))
+
+    def expected_leakage(self,
+                         pi_one_prob: Optional[Mapping[str, float]] = None
+                         ) -> float:
+        """Probability-weighted circuit leakage, eq. (24)."""
+        def compute() -> float:
+            probs = self.probabilities(pi_one_prob)
+            table = self.leakage_table
+            total = 0.0
+            for gate in self.circuit.gates.values():
+                pin_probs = [probs[net] for net in gate.inputs]
+                total += table.expected_leakage(gate.cell, pin_probs)
+            return total
+
+        return self._memo("expected_leakage", self._prob_key(pi_one_prob),
+                          compute)
+
+    # -- aging -------------------------------------------------------------
+
+    def gate_shifts(self, profile: OperatingProfile, t_total: float, *,
+                    standby: Any = None) -> Dict[str, float]:
+        """Worst-PMOS dVth per gate, keyed by (profile, lifetime, standby).
+
+        Uses the memoized stress duties, standby simulations, and
+        per-cell standby stress tables; repeated queries (internal-node
+        bounding, lifetime sweeps, MLV candidate loops) only pay the
+        per-gate model evaluation once per distinct key.
+        """
+        from repro.sta.degradation import ALL_ZERO
+
+        if standby is None:
+            standby = ALL_ZERO
+        key = (profile, float(t_total), self.standby_key(standby))
+        return self._memo(
+            "gate_shifts", key,
+            lambda: self.analyzer.gate_shifts(
+                self.circuit, profile, t_total, standby=standby,
+                context=self))
+
+    def aged_timing(self, profile: OperatingProfile, t_total: float, *,
+                    standby: Any = None, supply_drop: float = 0.0):
+        """Fresh + aged STA through the memoized substrate."""
+        from repro.sta.degradation import ALL_ZERO
+
+        if standby is None:
+            standby = ALL_ZERO
+        return self.analyzer.aged_timing(
+            self.circuit, profile, t_total, standby=standby,
+            supply_drop=supply_drop, context=self)
+
+    def __repr__(self) -> str:
+        return (f"AnalysisContext({self.circuit.name!r}, "
+                f"cells={len(self.library)}, "
+                f"hits={self.stats.hits()}, misses={self.stats.misses()})")

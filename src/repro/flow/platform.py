@@ -27,6 +27,7 @@ from typing import Dict, Optional
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import Library, build_library
 from repro.constants import TEN_YEARS
+from repro.context import AnalysisContext
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
 from repro.core.profiles import OperatingProfile
 from repro.ivc.mlv import (
@@ -108,6 +109,13 @@ class CoOptimizationReport:
 class AnalysisPlatform:
     """The Fig. 6 platform: analysis + co-optimization entry points.
 
+    A thin facade over the shared memoized evaluation layer: the
+    platform keeps one :class:`~repro.context.AnalysisContext` per
+    analyzed circuit (see :meth:`context_for`), so repeated scenarios,
+    co-optimization loops, and mixed queries against the same netlist
+    reuse every derived artifact — and one leakage lookup table (a
+    circuit-independent object) is shared across all of them.
+
     Args:
         library: standard-cell library (a technology binding).
         model: NBTI model (swap for ablations).
@@ -123,6 +131,7 @@ class AnalysisPlatform:
         self.leakage_temperature = leakage_temperature
         self.analyzer = AgingAnalyzer(library=self.library, model=model)
         self._leakage_table: Optional[LeakageTable] = None
+        self._contexts: Dict[int, AnalysisContext] = {}
 
     @property
     def leakage_table(self) -> LeakageTable:
@@ -132,18 +141,37 @@ class AnalysisPlatform:
                 self.library, self.leakage_temperature)
         return self._leakage_table
 
+    def context_for(self, circuit: Circuit) -> AnalysisContext:
+        """The platform's memoized evaluation context for ``circuit``.
+
+        One context is kept per circuit object; all contexts share this
+        platform's library, model, and (lazily built) leakage table.
+        After mutating a circuit in place, call ``invalidate()`` on the
+        returned context.
+        """
+        ctx = self._contexts.get(id(circuit))
+        if ctx is None or ctx.circuit is not circuit:
+            ctx = AnalysisContext(
+                circuit, library=self.library, model=self.model,
+                leakage_temperature=self.leakage_temperature,
+                leakage_table=lambda: self.leakage_table)
+            self._contexts[id(circuit)] = ctx
+        return ctx
+
     def analyze_scenario(self, circuit: Circuit, profile: OperatingProfile,
                          lifetime: float = TEN_YEARS, *,
                          standby: StandbyStates = ALL_ZERO) -> ScenarioReport:
         """Joint timing-degradation + leakage view of one scenario."""
+        ctx = self.context_for(circuit)
         timing = self.analyzer.aged_timing(circuit, profile, lifetime,
-                                           standby=standby)
-        active_leak = expected_leakage(circuit, self.leakage_table,
-                                       library=self.library)
+                                           standby=standby, context=ctx)
+        active_leak = expected_leakage(circuit, ctx.leakage_table,
+                                       library=self.library, context=ctx)
         standby_leak = None
         if isinstance(standby, dict):
             standby_leak = leakage_for_vector(circuit, standby,
-                                              self.leakage_table, self.library)
+                                              ctx.leakage_table,
+                                              self.library, context=ctx)
         return ScenarioReport(
             circuit_name=circuit.name,
             profile=profile,
@@ -160,17 +188,26 @@ class AnalysisPlatform:
                     n_vectors: int = 64, max_set_size: int = 8,
                     range_fraction: float = 0.04,
                     seed: int = 0) -> CoOptimizationReport:
-        """The full loop: MLV search, then NBTI-aware MLV selection."""
+        """The full loop: MLV search, then NBTI-aware MLV selection.
+
+        Every candidate vector is simulated once: the MLV search stores
+        its logic states and leakage in the circuit's context, and the
+        NBTI-aware selection pass reuses them together with one set of
+        signal probabilities, stress duties, gate loads, and one fresh
+        STA (see ``benchmarks/test_context_reuse.py`` for the counters).
+        """
+        ctx = self.context_for(circuit)
         search = probability_based_mlv_search(
-            circuit, self.leakage_table, n_vectors=n_vectors,
+            circuit, ctx.leakage_table, n_vectors=n_vectors,
             range_fraction=range_fraction, max_set_size=max_set_size,
-            seed=seed, library=self.library)
+            seed=seed, library=self.library, context=ctx)
         selection = select_mlv_for_nbti(circuit, search, profile, lifetime,
-                                        self.analyzer)
+                                        self.analyzer, context=ctx)
         return CoOptimizationReport(
             circuit_name=circuit.name,
             search=search,
             selection=selection,
-            expected_leakage=expected_leakage(circuit, self.leakage_table,
-                                              library=self.library),
+            expected_leakage=expected_leakage(circuit, ctx.leakage_table,
+                                              library=self.library,
+                                              context=ctx),
         )

@@ -219,7 +219,8 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
                    max_size: float = 4.0,
                    max_area_factor: float = 2.0,
                    library: Optional[Library] = None,
-                   analyzer: Optional[AgingAnalyzer] = None) -> SizingResult:
+                   analyzer: Optional[AgingAnalyzer] = None,
+                   context=None) -> SizingResult:
     """Greedy sizing until the *aged* circuit meets the fresh target.
 
     Args:
@@ -228,18 +229,23 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
         step: multiplicative upsize per move.
         max_size: per-gate size cap.
         max_area_factor: stop when total area exceeds this factor.
+        context: shared :class:`~repro.context.AnalysisContext`; the
+            aging shifts (probability propagation + stress duties) come
+            from its memo, the load-aware sizing timer stays local.
 
     The aging shifts are held fixed during sizing (sizing changes
     loads, not stress states), which matches [22]'s formulation.
     """
-    library = library or default_library()
+    library = library or (context.library if context is not None
+                          else default_library())
     analyzer = analyzer or AgingAnalyzer(library=library)
     timer = SizingTimer(circuit, library)
     fresh_delay, _ = timer.circuit_delay()
     target = fresh_delay * (1.0 - slack_target)
     if target <= 0:
         raise ValueError("slack_target leaves no positive delay budget")
-    shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=standby)
+    shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=standby,
+                                  context=context)
 
     sizes: Dict[str, float] = {}
     n = circuit.n_gates()

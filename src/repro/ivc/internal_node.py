@@ -51,12 +51,19 @@ class InternalNodePotential:
 
 def internal_node_potential(circuit: Circuit, profile: OperatingProfile,
                             t_total: float = TEN_YEARS,
-                            analyzer: Optional[AgingAnalyzer] = None
-                            ) -> InternalNodePotential:
-    """Worst/best bounding degradations and their gap for one circuit."""
-    analyzer = analyzer or AgingAnalyzer()
-    worst = analyzer.aged_timing(circuit, profile, t_total, standby=ALL_ZERO)
-    best = analyzer.aged_timing(circuit, profile, t_total, standby=ALL_ONE)
+                            analyzer: Optional[AgingAnalyzer] = None,
+                            context=None) -> InternalNodePotential:
+    """Worst/best bounding degradations and their gap for one circuit.
+
+    With ``context=`` the two bounding runs share one set of gate loads,
+    stress duties, and fresh STA from the memoized evaluation layer.
+    """
+    if analyzer is None:
+        analyzer = context.analyzer if context is not None else AgingAnalyzer()
+    worst = analyzer.aged_timing(circuit, profile, t_total, standby=ALL_ZERO,
+                                 context=context)
+    best = analyzer.aged_timing(circuit, profile, t_total, standby=ALL_ONE,
+                                context=context)
     return InternalNodePotential(
         circuit_name=circuit.name,
         t_standby=profile.t_standby,
@@ -68,13 +75,14 @@ def internal_node_potential(circuit: Circuit, profile: OperatingProfile,
 
 def potential_sweep(circuit: Circuit, t_standby_values: Sequence[float],
                     ras: str = "1:9", t_total: float = TEN_YEARS,
-                    analyzer: Optional[AgingAnalyzer] = None
-                    ) -> list:
+                    analyzer: Optional[AgingAnalyzer] = None,
+                    context=None) -> list:
     """Table 4's standby-temperature sweep for one circuit."""
-    analyzer = analyzer or AgingAnalyzer()
+    if analyzer is None:
+        analyzer = context.analyzer if context is not None else AgingAnalyzer()
     rows = []
     for tst in t_standby_values:
         profile = OperatingProfile.from_ras(ras, t_standby=tst)
         rows.append(internal_node_potential(circuit, profile, t_total,
-                                            analyzer))
+                                            analyzer, context=context))
     return rows

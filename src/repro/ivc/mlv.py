@@ -86,7 +86,8 @@ def probability_based_mlv_search(
         convergence_margin: float = 0.05,
         max_set_size: int = 16,
         seed: int = 0,
-        library: Optional[Library] = None) -> MLVSearchResult:
+        library: Optional[Library] = None,
+        context=None) -> MLVSearchResult:
     """The Fig. 7 probability-based MLV-set selection.
 
     Args:
@@ -97,6 +98,9 @@ def probability_based_mlv_search(
         convergence_margin: a PI probability within this margin of 0 or
             1 counts as converged (line 5 of the pseudocode).
         max_set_size: cap on the returned MLV set.
+        context: an :class:`~repro.context.AnalysisContext` memoizing
+            per-vector simulations and leakage sums; the NBTI-aware
+            selection pass then reuses the very same standby states.
 
     Returns:
         :class:`MLVSearchResult` with the MLV set ascending by leakage.
@@ -114,7 +118,8 @@ def probability_based_mlv_search(
     def evaluate_bits(bits: Tuple[int, ...]) -> None:
         if bits not in seen:
             seen[bits] = leakage_for_vector(
-                circuit, bits_to_vector(circuit, bits), table, library)
+                circuit, bits_to_vector(circuit, bits), table, library,
+                context=context)
 
     # Line 0: initial random population.
     for _ in range(n_vectors):
@@ -147,14 +152,15 @@ def probability_based_mlv_search(
 def exhaustive_mlv_search(circuit: Circuit, table: LeakageTable,
                           range_fraction: float = 0.04,
                           max_set_size: int = 16,
-                          library: Optional[Library] = None
-                          ) -> MLVSearchResult:
+                          library: Optional[Library] = None,
+                          context=None) -> MLVSearchResult:
     """Exact MLV set by full enumeration (small circuits only)."""
     library = library or default_library()
     seen: Dict[Tuple[int, ...], float] = {}
     for vector in all_vectors(circuit):
         bits = vector_to_bits(circuit, vector)
-        seen[bits] = leakage_for_vector(circuit, vector, table, library)
+        seen[bits] = leakage_for_vector(circuit, vector, table, library,
+                                        context=context)
     final = _filter_set(seen, range_fraction, max_set_size)
     return MLVSearchResult(records=final, iterations=1, converged=True,
                            evaluated=len(seen))
@@ -203,21 +209,25 @@ def select_mlv_for_nbti(circuit: Circuit, mlv: MLVSearchResult,
                         profile: OperatingProfile,
                         t_total: float = TEN_YEARS,
                         analyzer: Optional[AgingAnalyzer] = None,
-                        ) -> NbtiAwareSelection:
+                        context=None) -> NbtiAwareSelection:
     """Evaluate aged timing for every MLV in the set and co-select.
 
     Each vector is logic-simulated to fix the standby internal state,
-    then the temperature-aware aged STA runs with that state.
+    then the temperature-aware aged STA runs with that state.  With
+    ``context=`` the candidate simulations done during the MLV search,
+    the stress-duty tables, the gate loads, and the fresh STA are all
+    reused; only one aged arrival propagation runs per candidate.
     """
     if not mlv.records:
         raise ValueError("empty MLV set")
-    analyzer = analyzer or AgingAnalyzer()
+    if analyzer is None:
+        analyzer = context.analyzer if context is not None else AgingAnalyzer()
     records: List[MLVTimingRecord] = []
     fresh_delay = None
     for record in mlv.records:
         vector = bits_to_vector(circuit, record.bits)
         result = analyzer.aged_timing(circuit, profile, t_total,
-                                      standby=vector)
+                                      standby=vector, context=context)
         fresh_delay = result.fresh_delay
         records.append(MLVTimingRecord(
             bits=record.bits, leakage=record.leakage,

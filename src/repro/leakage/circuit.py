@@ -35,20 +35,37 @@ def leakage_for_states(circuit: Circuit, states: Dict[str, int],
 
 def leakage_for_vector(circuit: Circuit, pi_vector: Dict[str, int],
                        table: LeakageTable,
-                       library: Optional[Library] = None) -> float:
-    """Total leakage with the circuit parked at a primary-input vector."""
+                       library: Optional[Library] = None, *,
+                       context=None) -> float:
+    """Total leakage with the circuit parked at a primary-input vector.
+
+    Thin wrapper over the memoized evaluation layer: with ``context=``
+    both the logic simulation and the summed lookup are cached per
+    distinct vector (and the simulation is shared with aged-timing
+    standby queries); a transient context is built otherwise.
+    """
+    if context is not None:
+        context.adopt_leakage_table(table)
+        if context.leakage_table is table:
+            return context.leakage_for_vector(pi_vector)
     states = evaluate(circuit, pi_vector, library or default_library())
     return leakage_for_states(circuit, states, table)
 
 
 def expected_leakage(circuit: Circuit, table: LeakageTable,
                      pi_one_prob: Optional[Dict[str, float]] = None,
-                     library: Optional[Library] = None) -> float:
+                     library: Optional[Library] = None, *,
+                     context=None) -> float:
     """Probability-weighted circuit leakage, eq. (24).
 
     Uses analytically propagated signal probabilities and per-gate pin
-    independence — the paper's lookup-table estimator.
+    independence — the paper's lookup-table estimator.  With
+    ``context=`` the propagation and the weighted sum are memoized.
     """
+    if context is not None:
+        context.adopt_leakage_table(table)
+        if context.leakage_table is table:
+            return context.expected_leakage(pi_one_prob)
     library = library or default_library()
     probs = propagate_probabilities(circuit, pi_one_prob, library)
     total = 0.0

@@ -67,6 +67,9 @@ class Circuit:
             self.gates[gate.name] = gate
         self._check_structure()
         self._topo_cache: Optional[List[str]] = None
+        self._fanout_cache: Optional[Dict[str, List[str]]] = None
+        self._levels_cache: Optional[Dict[str, int]] = None
+        self._nets_cache: Optional[frozenset] = None
 
     # -- structure ---------------------------------------------------------
 
@@ -85,20 +88,33 @@ class Circuit:
 
     @property
     def nets(self) -> Set[str]:
-        """All net names: primary inputs plus every gate output."""
-        return set(self.primary_inputs) | set(self.gates)
+        """All net names: primary inputs plus every gate output.
+
+        Cached (and returned as a frozenset) because callers iterate it
+        inside per-vector loops; invalidated together with the other
+        derived-structure caches by :meth:`invalidate_caches`.
+        """
+        if self._nets_cache is None:
+            self._nets_cache = frozenset(self.primary_inputs) | frozenset(self.gates)
+        return self._nets_cache
 
     def n_gates(self) -> int:
         """Number of gate instances."""
         return len(self.gates)
 
     def fanout(self) -> Dict[str, List[str]]:
-        """Map net -> gate names reading it (POs not included)."""
-        result: Dict[str, List[str]] = {net: [] for net in self.nets}
-        for gate in self.gates.values():
-            for net in gate.inputs:
-                result[net].append(gate.name)
-        return result
+        """Map net -> gate names reading it (POs not included).
+
+        Cached like :meth:`topological_order`; the outer dict is copied
+        per call, the per-net lists are shared and must not be mutated.
+        """
+        if self._fanout_cache is None:
+            result: Dict[str, List[str]] = {net: [] for net in self.nets}
+            for gate in self.gates.values():
+                for net in gate.inputs:
+                    result[net].append(gate.name)
+            self._fanout_cache = result
+        return dict(self._fanout_cache)
 
     def topological_order(self) -> List[str]:
         """Gate names in dependency order (Kahn's algorithm).
@@ -128,12 +144,56 @@ class Circuit:
         return list(order)
 
     def levels(self) -> Dict[str, int]:
-        """Logic level of each net: PIs at 0, gates at 1 + max(input levels)."""
-        level: Dict[str, int] = {pi: 0 for pi in self.primary_inputs}
-        for name in self.topological_order():
-            gate = self.gates[name]
-            level[name] = 1 + max(level[net] for net in gate.inputs)
-        return level
+        """Logic level of each net: PIs at 0, gates at 1 + max(input levels).
+
+        Cached like :meth:`topological_order`.
+        """
+        if self._levels_cache is None:
+            level: Dict[str, int] = {pi: 0 for pi in self.primary_inputs}
+            for name in self.topological_order():
+                gate = self.gates[name]
+                level[name] = 1 + max(level[net] for net in gate.inputs)
+            self._levels_cache = level
+        return dict(self._levels_cache)
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived-structure cache (topo order, fanout, levels,
+        nets).
+
+        Must be called after any in-place netlist mutation; the mutation
+        entry points (:meth:`replace_gate`) call it automatically.
+        Holders of an :class:`repro.context.AnalysisContext` built on
+        this circuit must additionally invalidate the context.
+        """
+        self._topo_cache = None
+        self._fanout_cache = None
+        self._levels_cache = None
+        self._nets_cache = None
+
+    def replace_gate(self, gate: Gate) -> None:
+        """Swap the implementation of an existing gate in place.
+
+        The mutation entry point used by sizing / cell-swap flows: the
+        gate keeps its name (output net) but may change cell and input
+        nets.  Structure is re-checked and all derived caches dropped.
+
+        Raises:
+            CircuitError: if no gate of that name exists, if the new
+                inputs read undriven nets, or if the edit creates a
+                combinational cycle.
+        """
+        if gate.name not in self.gates:
+            raise CircuitError(f"no gate {gate.name!r} to replace")
+        old = self.gates[gate.name]
+        self.gates[gate.name] = gate
+        self.invalidate_caches()
+        try:
+            self._check_structure()
+            self.topological_order()
+        except CircuitError:
+            self.gates[gate.name] = old
+            self.invalidate_caches()
+            raise
 
     def depth(self) -> int:
         """Maximum logic level across all nets."""

@@ -50,13 +50,17 @@ def _register(library: Library) -> int:
 
 
 def evaluate(circuit: Circuit, pi_values: Dict[str, int],
-             library: Optional[Library] = None) -> Dict[str, int]:
+             library: Optional[Library] = None, *,
+             context=None) -> Dict[str, int]:
     """Evaluate every net of ``circuit`` for one input assignment.
 
     Args:
         circuit: the netlist.
         pi_values: value (0/1) per primary input name.
         library: cell library (defaults to the shared PTM90 library).
+        context: an :class:`~repro.context.AnalysisContext` to memoize
+            the simulation in (one sim per distinct vector, shared with
+            leakage and aged-timing standby queries).
 
     Returns:
         net name -> logic value for all PIs and gate outputs.
@@ -65,6 +69,8 @@ def evaluate(circuit: Circuit, pi_values: Dict[str, int],
         KeyError: if a primary input is missing from ``pi_values``.
         ValueError: on non-binary values.
     """
+    if context is not None:
+        return dict(context.standby_states(pi_values))
     library = library or default_library()
     lib_id = _register(library)
     values: Dict[str, int] = {}

@@ -6,6 +6,12 @@ NBTI stress duty cycles and for expected standby leakage.  We provide
 that Monte-Carlo estimator plus the standard analytic propagation
 (topological, independence-assumed), which is exact on trees and a good
 cross-check elsewhere.
+
+The public functions are thin wrappers over the shared memoized
+evaluation layer (:mod:`repro.context`): pass ``context=`` to join an
+existing :class:`~repro.context.AnalysisContext` and reuse its caches;
+without one a transient context is built so behavior (and signatures)
+stay exactly as before.
 """
 
 from __future__ import annotations
@@ -19,20 +25,10 @@ from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library, evaluate_batch
 
 
-def propagate_probabilities(circuit: Circuit,
-                            pi_one_prob: Optional[Dict[str, float]] = None,
-                            library: Optional[Library] = None) -> Dict[str, float]:
-    """Analytic P(net = 1) for every net, assuming input independence.
-
-    Args:
-        pi_one_prob: P(pi = 1) per primary input; defaults to 0.5
-            everywhere (the paper's active-mode setting).
-
-    For each gate, P(out = 1) = Σ over truth-table rows with output 1 of
-    the product of per-pin probabilities.  Reconvergent fan-out makes
-    this approximate, exactly as in the paper's flow.
-    """
-    library = library or default_library()
+def _propagate_impl(circuit: Circuit,
+                    pi_one_prob: Optional[Dict[str, float]],
+                    library: Library) -> Dict[str, float]:
+    """The raw analytic propagation (no caching; see the wrapper below)."""
     probs: Dict[str, float] = {}
     for pi in circuit.primary_inputs:
         p = 0.5 if pi_one_prob is None else pi_one_prob.get(pi, 0.5)
@@ -56,12 +52,10 @@ def propagate_probabilities(circuit: Circuit,
     return probs
 
 
-def estimate_probabilities(circuit: Circuit, n_vectors: int = 2048,
-                           seed: int = 0,
-                           pi_one_prob: Optional[Dict[str, float]] = None,
-                           library: Optional[Library] = None,
-                           ) -> Dict[str, float]:
-    """Monte-Carlo P(net = 1): the paper's statistical estimator."""
+def _estimate_impl(circuit: Circuit, n_vectors: int, seed: int,
+                   pi_one_prob: Optional[Dict[str, float]],
+                   library: Library) -> Dict[str, float]:
+    """The raw Monte-Carlo estimator (no caching)."""
     if n_vectors < 1:
         raise ValueError("need at least one vector")
     rng = np.random.default_rng(seed)
@@ -71,6 +65,44 @@ def estimate_probabilities(circuit: Circuit, n_vectors: int = 2048,
         pi_matrix[pi] = (rng.random(n_vectors) < p).astype(np.uint8)
     values = evaluate_batch(circuit, pi_matrix, library)
     return {net: float(arr.mean()) for net, arr in values.items()}
+
+
+def propagate_probabilities(circuit: Circuit,
+                            pi_one_prob: Optional[Dict[str, float]] = None,
+                            library: Optional[Library] = None, *,
+                            context=None) -> Dict[str, float]:
+    """Analytic P(net = 1) for every net, assuming input independence.
+
+    Args:
+        pi_one_prob: P(pi = 1) per primary input; defaults to 0.5
+            everywhere (the paper's active-mode setting).
+        context: an :class:`~repro.context.AnalysisContext` whose
+            memoized probabilities should be used; a transient one is
+            built otherwise.
+
+    For each gate, P(out = 1) = Σ over truth-table rows with output 1 of
+    the product of per-pin probabilities.  Reconvergent fan-out makes
+    this approximate, exactly as in the paper's flow.
+    """
+    if context is None:
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    return dict(context.probabilities(pi_one_prob))
+
+
+def estimate_probabilities(circuit: Circuit, n_vectors: int = 2048,
+                           seed: int = 0,
+                           pi_one_prob: Optional[Dict[str, float]] = None,
+                           library: Optional[Library] = None, *,
+                           context=None) -> Dict[str, float]:
+    """Monte-Carlo P(net = 1): the paper's statistical estimator."""
+    if context is None:
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    return dict(context.probabilities(pi_one_prob, method="monte_carlo",
+                                      n_vectors=n_vectors, seed=seed))
 
 
 def estimate_activity(circuit: Circuit, n_vectors: int = 2048, seed: int = 0,

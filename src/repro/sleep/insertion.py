@@ -98,20 +98,27 @@ PTM_VDD = 1.0
 
 def estimate_block_current(circuit: Circuit,
                            library: Optional[Library] = None,
-                           simultaneity: float = 0.2) -> float:
+                           simultaneity: float = 0.2, *,
+                           context=None) -> float:
     """Worst-case current the block draws through its sleep transistor.
 
     Finding the true maximum requires simulating all input pairs, which
     "is impossible for large circuits" (Sec. 4.4.1); like the BBSTI
     literature we estimate it as the charge moved by one full transition
     wave spread over the critical delay, derated by a simultaneity
-    factor.
+    factor.  With ``context=`` the loads and the fresh STA come from the
+    shared memo.
     """
-    library = library or default_library()
     if not 0.0 < simultaneity <= 1.0:
         raise ValueError("simultaneity must be in (0, 1]")
-    loads = gate_loads(circuit, library)
-    delay = analyze(circuit, library, loads=loads).circuit_delay
+    if context is None or (library is not None
+                           and context.library is not library):
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    library = context.library
+    loads = context.gate_loads()
+    delay = context.fresh_timing().circuit_delay
     total_charge = sum(loads.values()) * library.tech.vdd
     return simultaneity * total_charge / delay
 
@@ -119,8 +126,8 @@ def estimate_block_current(circuit: Circuit,
 def design_sleep_transistor(circuit: Circuit, style: SleepStyle,
                             beta: float, vth_st: float = 0.22, *,
                             nbti_margin: float = 0.0,
-                            library: Optional[Library] = None
-                            ) -> SleepTransistorDesign:
+                            library: Optional[Library] = None,
+                            context=None) -> SleepTransistorDesign:
     """Size a block-level ST for ``circuit`` (eqs. 28-31).
 
     Args:
@@ -129,9 +136,12 @@ def design_sleep_transistor(circuit: Circuit, style: SleepStyle,
         nbti_margin: pass the expected end-of-life header dVth (from
             :func:`repro.sleep.sizing.st_vth_shift`) to apply the
             NBTI-aware upsizing of eq. (31).
+        context: shared :class:`~repro.context.AnalysisContext` for the
+            block-current estimate (loads + fresh STA).
     """
-    library = library or default_library()
-    i_on = estimate_block_current(circuit, library)
+    library = library or (context.library if context is not None
+                          else default_library())
+    i_on = estimate_block_current(circuit, library, context=context)
     v_st = max_virtual_rail_drop(beta, library.tech)
     if nbti_margin > 0:
         wl = nbti_aware_aspect_ratio(i_on, v_st, vth_st, nbti_margin,
@@ -157,22 +167,25 @@ def gated_aged_delay(circuit: Circuit, design: SleepTransistorDesign,
                      profile: OperatingProfile, t_total: float, *,
                      analyzer: Optional[AgingAnalyzer] = None,
                      model: NbtiModel = DEFAULT_MODEL,
-                     library: Optional[Library] = None) -> GatedTimingPoint:
+                     library: Optional[Library] = None,
+                     context=None) -> GatedTimingPoint:
     """Circuit delay after ``t_total`` seconds with the ST inserted.
 
     Internal gates age only from active-mode stress (standby parks every
     PMOS at Vgs ~ 0 in all three styles); headers additionally raise the
-    virtual-rail drop as they age.
+    virtual-rail drop as they age.  With ``context=`` the per-gate
+    shifts and loads are memoized across lifetime sweep points.
     """
     analyzer = analyzer or AgingAnalyzer(library=library, model=model)
     library = library or default_library()
-    shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=ALL_ONE)
+    shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=ALL_ONE,
+                                  context=context)
     st_shift = 0.0
     if design.style.has_header:
         device = DeviceStress(active_stress_duty=1.0, standby_stressed=False)
         st_shift = model.delta_vth(profile, device, t_total, design.vth_st)
     v_st = design.virtual_rail_drop(st_shift)
     delay = analyze(circuit, library, delta_vth=shifts,
-                    supply_drop=v_st).circuit_delay
+                    supply_drop=v_st, context=context).circuit_delay
     return GatedTimingPoint(time=t_total, st_delta_vth=st_shift,
                             v_st=v_st, circuit_delay=delay)

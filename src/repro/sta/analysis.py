@@ -41,10 +41,24 @@ def _input_edges_for(cell_name: str, out_edge: str) -> Tuple[str, ...]:
 
 
 def gate_loads(circuit: Circuit, library: Optional[Library] = None,
-               wire_cap: float = WIRE_CAP, po_cap: float = PO_CAP
-               ) -> Dict[str, float]:
-    """Output load (farads) per gate: fanout pin caps + wire + PO pins."""
-    library = library or default_library()
+               wire_cap: float = WIRE_CAP, po_cap: float = PO_CAP, *,
+               context=None) -> Dict[str, float]:
+    """Output load (farads) per gate: fanout pin caps + wire + PO pins.
+
+    Thin wrapper over the memoized evaluation layer: pass ``context=``
+    to reuse an :class:`~repro.context.AnalysisContext`'s cached loads
+    (a fresh copy is returned either way).
+    """
+    if context is None:
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    return dict(context.gate_loads(wire_cap=wire_cap, po_cap=po_cap))
+
+
+def _compute_gate_loads(circuit: Circuit, library: Library,
+                        wire_cap: float, po_cap: float) -> Dict[str, float]:
+    """The raw load computation (no caching; see the wrapper above)."""
     tech = library.tech
     loads: Dict[str, float] = {name: 0.0 for name in circuit.gates}
     po_set: Dict[str, int] = {}
@@ -114,7 +128,8 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
             temperature: float = 300.0,
             required_time: Optional[float] = None,
             loads: Optional[Dict[str, float]] = None,
-            aging_mode: str = "per_gate") -> TimingResult:
+            aging_mode: str = "per_gate",
+            context=None) -> TimingResult:
     """Run STA.
 
     Args:
@@ -130,10 +145,17 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
             by ``1 + alpha * dVth / (Vdd - Vth0)`` on both edges.
             ``"per_edge"`` is the physically-finer ablation: only
             pull-up (rising) stages slow down, via the cell model.
+        context: an :class:`~repro.context.AnalysisContext` supplying
+            the memoized gate loads (and the library, when not given).
 
     Returns:
         :class:`TimingResult`.
     """
+    if context is not None:
+        if library is None:
+            library = context.library
+        if loads is None and library is context.library:
+            loads = context.gate_loads()
     library = library or default_library()
     tech = library.tech
     delta_vth = delta_vth or {}

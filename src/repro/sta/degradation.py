@@ -42,14 +42,18 @@ StandbyStates = Union[str, Dict[str, int], Sequence[Dict[str, int]]]
 
 
 def standby_net_states(circuit: Circuit, standby: StandbyStates,
-                       library: Optional[Library] = None) -> Dict[str, int]:
+                       library: Optional[Library] = None, *,
+                       context=None) -> Dict[str, int]:
     """Resolve a standby specification into a net -> bit map.
 
     ``ALL_ZERO`` / ``ALL_ONE`` force every net (the bounding cases); a
     dict of primary-input bits is logic-simulated through the circuit.
     Note the bounding cases are additionally special-cased at the device
-    level inside :meth:`AgingAnalyzer.gate_shifts`.
+    level inside :meth:`AgingAnalyzer.gate_shifts`.  With ``context=``
+    the simulation is memoized per distinct vector.
     """
+    if context is not None:
+        return dict(context.standby_states(standby))
     if standby == ALL_ZERO:
         return {net: 0 for net in circuit.nets}
     if standby == ALL_ONE:
@@ -78,7 +82,7 @@ class AgingAnalyzer:
                     t_total: float, *,
                     standby: StandbyStates = ALL_ZERO,
                     active_probs: Optional[Dict[str, float]] = None,
-                    ) -> Dict[str, float]:
+                    context=None) -> Dict[str, float]:
         """Worst-PMOS dVth (volts) per gate after ``t_total`` seconds.
 
         Args:
@@ -89,10 +93,22 @@ class AgingAnalyzer:
                 the fraction of vectors that stress it).
             active_probs: P(net = 1) during active mode; computed from
                 SP = 0.5 inputs when omitted (the paper's setting).
+            context: an :class:`~repro.context.AnalysisContext` whose
+                memoized probabilities, stress-duty tables, standby
+                simulations, and per-cell standby-stress sets are
+                reused.  Ignored for the probability side when an
+                explicit ``active_probs`` is supplied.
         """
         library = self._lib()
+        if context is not None and context.library is not library:
+            # A context bound to a different technology must not feed
+            # this analyzer: fall back to direct computation.
+            context = None
         vth0 = library.tech.pmos.vth0
-        if active_probs is None:
+        duty_table: Optional[Dict[str, Dict[str, float]]] = None
+        if context is not None and active_probs is None:
+            duty_table = context.stress_duties()
+        elif active_probs is None:
             active_probs = propagate_probabilities(circuit, library=library)
         force_all = None
         state_maps: list = []
@@ -104,23 +120,33 @@ class AgingAnalyzer:
             else:
                 raise ValueError(f"unknown standby setting {standby!r}")
         elif isinstance(standby, dict):
-            state_maps = [standby_net_states(circuit, standby, library)]
+            state_maps = [standby_net_states(circuit, standby, library,
+                                             context=context)]
         else:
             if not standby:
                 raise ValueError("empty standby vector sequence")
-            state_maps = [standby_net_states(circuit, v, library)
+            state_maps = [standby_net_states(circuit, v, library,
+                                             context=context)
                           for v in standby]
         shifts: Dict[str, float] = {}
         for gate in circuit.gates.values():
             cell = library.get(gate.cell)
-            pin_probs = {pin: active_probs[net]
-                         for pin, net in zip(cell.inputs, gate.inputs)}
-            duties = stress_probabilities_for_cell(cell, pin_probs)
+            if duty_table is not None:
+                duties = duty_table[gate.name]
+            else:
+                pin_probs = {pin: active_probs[net]
+                             for pin, net in zip(cell.inputs, gate.inputs)}
+                duties = stress_probabilities_for_cell(cell, pin_probs)
             fractions: Dict[str, float] = {}
             if force_all is None:
                 for states in state_maps:
                     standby_bits = tuple(states[net] for net in gate.inputs)
-                    for name in stress_under_vector(cell, standby_bits):
+                    if context is not None:
+                        stressed = context.standby_stress(gate.cell,
+                                                          standby_bits)
+                    else:
+                        stressed = stress_under_vector(cell, standby_bits)
+                    for name in stressed:
                         fractions[name] = fractions.get(name, 0.0) + 1.0
                 for name in fractions:
                     fractions[name] /= len(state_maps)
@@ -143,13 +169,36 @@ class AgingAnalyzer:
                     active_probs: Optional[Dict[str, float]] = None,
                     supply_drop: float = 0.0,
                     loads: Optional[Dict[str, float]] = None,
-                    ) -> "AgedTimingResult":
-        """Fresh + aged STA in one call."""
+                    context=None) -> "AgedTimingResult":
+        """Fresh + aged STA in one call.
+
+        With ``context=`` the gate loads, the fresh STA (per rail drop),
+        and the per-gate shifts (per standby spec) all come from the
+        shared memo; only the aged arrival propagation runs per call.
+        """
         library = self._lib()
-        loads = loads if loads is not None else gate_loads(circuit, library)
-        fresh = analyze(circuit, library, loads=loads, supply_drop=supply_drop)
-        shifts = self.gate_shifts(circuit, profile, t_total,
-                                  standby=standby, active_probs=active_probs)
+        if context is not None and context.library is not library:
+            context = None
+        if context is not None:
+            if loads is None:
+                loads = context.gate_loads()
+            fresh = context.fresh_timing(supply_drop)
+            if active_probs is None and context.model == self.model:
+                shifts = context.gate_shifts(profile, t_total,
+                                             standby=standby)
+            else:
+                shifts = self.gate_shifts(circuit, profile, t_total,
+                                          standby=standby,
+                                          active_probs=active_probs,
+                                          context=context)
+        else:
+            loads = loads if loads is not None else gate_loads(circuit,
+                                                               library)
+            fresh = analyze(circuit, library, loads=loads,
+                            supply_drop=supply_drop)
+            shifts = self.gate_shifts(circuit, profile, t_total,
+                                      standby=standby,
+                                      active_probs=active_probs)
         aged = analyze(circuit, library, delta_vth=shifts, loads=loads,
                        supply_drop=supply_drop)
         return AgedTimingResult(circuit=circuit, fresh=fresh, aged=aged,

@@ -38,11 +38,17 @@ class FastAgedTimer:
     both edges.
     """
 
-    def __init__(self, circuit: Circuit, library: Optional[Library] = None):
+    def __init__(self, circuit: Circuit, library: Optional[Library] = None,
+                 *, context=None):
         self.circuit = circuit
+        if library is None and context is not None:
+            library = context.library
         self.library = library or default_library()
         tech = self.library.tech
-        loads = gate_loads(circuit, self.library)
+        if context is not None and context.library is self.library:
+            loads = context.gate_loads()
+        else:
+            loads = gate_loads(circuit, self.library)
         self._order = circuit.topological_order()
         self._fresh: Dict[str, Dict[str, float]] = {}
         for name in self._order:
@@ -170,7 +176,8 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                       variation: VariationModel = VariationModel(),
                       standby: StandbyStates = ALL_ZERO,
                       analyzer: Optional[AgingAnalyzer] = None,
-                      seed: int = 0) -> StatisticalAgingResult:
+                      seed: int = 0,
+                      context=None) -> StatisticalAgingResult:
     """Monte-Carlo delay distribution across lifetime points.
 
     Args:
@@ -179,21 +186,26 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
         n_samples: Monte-Carlo dies.
         variation: the Vth0 spread model.
         standby: standby state for the aging shifts (worst case default).
+        context: shared :class:`~repro.context.AnalysisContext`; the
+            per-lifetime nominal shifts and the timer's loads come from
+            its memo (the per-die sampling itself stays Monte-Carlo).
 
     Returns:
         :class:`StatisticalAgingResult` with shape (len(times), n_samples).
     """
     if n_samples < 2:
         raise ValueError("need at least two samples for a distribution")
-    analyzer = analyzer or AgingAnalyzer()
+    if analyzer is None:
+        analyzer = context.analyzer if context is not None else AgingAnalyzer()
     library = analyzer.library or default_library()
     calibration = analyzer.model.calibration
     vth0 = library.tech.pmos.vth0
     base_field = calibration.field_factor(vth0)
 
-    timer = FastAgedTimer(circuit, library)
+    timer = FastAgedTimer(circuit, library, context=context)
     base_shifts = [
-        analyzer.gate_shifts(circuit, profile, t, standby=standby)
+        analyzer.gate_shifts(circuit, profile, t, standby=standby,
+                             context=context)
         if t > 0 else {g: 0.0 for g in circuit.gates}
         for t in times
     ]

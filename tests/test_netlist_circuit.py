@@ -94,6 +94,72 @@ class TestTopology:
         assert c17().nets == {"1", "2", "3", "6", "7", "10", "11", "16", "19", "22", "23"}
 
 
+class TestDerivedCaches:
+    def test_topological_order_cached_but_copied(self):
+        c = c17()
+        first = c.topological_order()
+        second = c.topological_order()
+        assert first == second
+        assert first is not second  # callers get private copies
+        first.clear()
+        assert c.topological_order()  # cache unharmed
+
+    def test_fanout_and_levels_cached(self):
+        c = c17()
+        assert c._fanout_cache is None and c._levels_cache is None
+        fo = c.fanout()
+        lv = c.levels()
+        assert c._fanout_cache is not None and c._levels_cache is not None
+        fo["fake"] = []  # outer dict is a copy
+        lv["fake"] = 9
+        assert "fake" not in c.fanout()
+        assert "fake" not in c.levels()
+
+    def test_nets_cached_as_frozenset(self):
+        c = c17()
+        nets = c.nets
+        assert isinstance(nets, frozenset)
+        assert c.nets is nets
+
+    def test_invalidate_caches_drops_everything(self):
+        c = c17()
+        c.topological_order(), c.fanout(), c.levels(), c.nets
+        c.invalidate_caches()
+        assert c._topo_cache is None
+        assert c._fanout_cache is None
+        assert c._levels_cache is None
+        assert c._nets_cache is None
+
+
+class TestReplaceGate:
+    def test_replace_updates_structure(self):
+        c = c17()
+        old_fanout = c.fanout()
+        c.replace_gate(Gate("16", "NOR2", ["2", "10"]))
+        assert c.gates["16"].cell == "NOR2"
+        new_fanout = c.fanout()
+        assert "16" in new_fanout["10"]
+        assert "16" not in new_fanout["11"]
+        assert old_fanout != new_fanout
+
+    def test_replace_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError, match="no gate"):
+            c17().replace_gate(Gate("99", "INV", ["1"]))
+
+    def test_replace_creating_cycle_rolls_back(self):
+        c = c17()
+        with pytest.raises(CircuitError, match="cycle"):
+            c.replace_gate(Gate("10", "NAND2", ["1", "22"]))
+        assert c.gates["10"].inputs == ("1", "3")
+        c.topological_order()  # circuit still sound
+
+    def test_replace_undriven_net_rolls_back(self):
+        c = c17()
+        with pytest.raises(CircuitError, match="undriven"):
+            c.replace_gate(Gate("10", "NAND2", ["1", "ghost"]))
+        assert c.gates["10"].inputs == ("1", "3")
+
+
 class TestValidation:
     def test_c17_validates_against_library(self):
         c17().validate(build_library())
