@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench lint all
+.PHONY: test bench bench-perf lint all
 
 # Tier-1: the full unit/integration suite (ROADMAP.md gate).
 test:
@@ -13,6 +13,11 @@ test:
 # Needs pytest-benchmark; -s shows the paper-style tables.
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Packed-vs-scalar MLV perf harness; writes benchmarks/BENCH_mlv.json.
+# BENCH_SMOKE=1 for the seconds-scale CI variant.
+bench-perf:
+	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py --benchmark-only -q -s
 
 lint:
 	ruff check src tests benchmarks examples

@@ -1,0 +1,97 @@
+"""Perf harness — bit-packed vs scalar MLV search (the tentpole number).
+
+Times ``probability_based_mlv_search`` twice on the same circuit and
+seed — once on the scalar per-vector path, once on the bit-packed batch
+kernel — asserts the results are *identical* (records, iterations,
+convergence, evaluation count) and that the packed engine clears the
+acceptance bar, then writes the measurements to ``BENCH_mlv.json`` next
+to this file.
+
+Default configuration is the acceptance-criterion run (c880, 64 vectors
+per round, >= 10x).  Set ``BENCH_SMOKE=1`` for a seconds-scale CI smoke
+run (c432, 16 vectors, speedup merely > 1x) that still exercises the
+whole harness and emits the artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _common import emit
+from repro.cells.leakage import LeakageTable
+from repro.ivc.mlv import probability_based_mlv_search
+from repro.netlist import iscas85
+from repro.sim.logic import default_library
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+CIRCUIT = "c432" if SMOKE else "c880"
+N_VECTORS = 16 if SMOKE else 64
+MIN_SPEEDUP = 1.0 if SMOKE else 10.0
+ARTIFACT = Path(__file__).with_name("BENCH_mlv.json")
+
+
+def _timed_search(circuit, table, engine):
+    start = time.perf_counter()
+    result = probability_based_mlv_search(
+        circuit, table, n_vectors=N_VECTORS, max_set_size=8,
+        range_fraction=0.04, seed=17, engine=engine)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_perf_mlv():
+    circuit = iscas85.load(CIRCUIT)
+    table = LeakageTable.build(default_library(), 400.0)
+    scalar, t_scalar = _timed_search(circuit, table, "scalar")
+    packed, t_packed = _timed_search(circuit, table, "packed")
+    return {
+        "circuit": CIRCUIT,
+        "n_vectors": N_VECTORS,
+        "smoke": SMOKE,
+        "scalar_seconds": t_scalar,
+        "packed_seconds": t_packed,
+        "speedup": t_scalar / t_packed,
+        "scalar_vectors_per_second": scalar.evaluated / t_scalar,
+        "packed_vectors_per_second": packed.evaluated / t_packed,
+        "evaluated": packed.evaluated,
+        "iterations": packed.iterations,
+        "identical_records": packed.records == scalar.records
+        and (packed.iterations, packed.converged, packed.evaluated)
+        == (scalar.iterations, scalar.converged, scalar.evaluated),
+    }
+
+
+def check(row):
+    assert row["identical_records"], \
+        "packed engine diverged from the scalar reference"
+    assert row["speedup"] >= MIN_SPEEDUP, (
+        f"packed engine only {row['speedup']:.1f}x faster "
+        f"(bar: {MIN_SPEEDUP:.0f}x)")
+
+
+def report(row):
+    emit(f"MLV search perf — {row['circuit']}, "
+         f"n_vectors={row['n_vectors']}",
+         ["engine", "wall (s)", "vectors/s"],
+         [["scalar", f"{row['scalar_seconds']:.3f}",
+           f"{row['scalar_vectors_per_second']:,.0f}"],
+          ["packed", f"{row['packed_seconds']:.3f}",
+           f"{row['packed_vectors_per_second']:,.0f}"]])
+    print(f"speedup: {row['speedup']:.1f}x "
+          f"(bar: {MIN_SPEEDUP:.0f}x), records identical: "
+          f"{row['identical_records']}")
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+
+def test_perf_mlv(run_once):
+    row = run_once(run_perf_mlv)
+    check(row)
+    report(row)
+
+
+if __name__ == "__main__":
+    r = run_perf_mlv()
+    check(r)
+    report(r)

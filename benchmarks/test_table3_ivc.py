@@ -15,33 +15,25 @@ window at 4 %.  Published structure:
 from _common import emit
 from repro.constants import TEN_YEARS
 from repro.core import OperatingProfile
-from repro.flow import AnalysisPlatform
-from repro.netlist import iscas85
-from repro.sta import ALL_ZERO
+from repro.flow.parallel import run_co_optimization_sweep
 
 CIRCUITS = ("c432", "c499", "c880", "c1355")
 PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
 
 
-def run_table3():
-    platform = AnalysisPlatform()
-    rows = []
-    for name in CIRCUITS:
-        circuit = iscas85.load(name)
-        co = platform.co_optimize(circuit, PROFILE, TEN_YEARS,
-                                  n_vectors=48, max_set_size=6, seed=17)
-        worst = platform.analyzer.aged_timing(circuit, PROFILE, TEN_YEARS,
-                                              standby=ALL_ZERO)
-        rows.append({
-            "name": name,
-            "fresh_delay": co.selection.fresh_delay,
-            "min_degradation": co.chosen_degradation,
-            "mlv_diff": co.mlv_delay_spread,
-            "worst_degradation": worst.relative_degradation,
-            "leakage_reduction": co.leakage_reduction,
-            "set_size": len(co.selection.records),
-        })
-    return rows
+def run_table3(max_workers=None):
+    sweep = run_co_optimization_sweep(
+        CIRCUITS, PROFILE, TEN_YEARS, n_vectors=48, max_set_size=6,
+        seed=17, max_workers=max_workers)
+    return [{
+        "name": row.name,
+        "fresh_delay": row.fresh_delay,
+        "min_degradation": row.min_degradation,
+        "mlv_diff": row.mlv_diff,
+        "worst_degradation": row.worst_degradation,
+        "leakage_reduction": row.leakage_reduction,
+        "set_size": row.set_size,
+    } for row in sweep]
 
 
 def check(rows):
@@ -80,6 +72,13 @@ def report(rows):
 def test_table3_ivc(run_once):
     rows = run_once(run_table3)
     check(rows)
+    # The parallel sweep must be byte-identical to the serial path:
+    # field-for-field float equality across all four circuits.  Force a
+    # real process pool (max_workers=2) even on single-CPU hosts, where
+    # the default degrades to the serial loop.
+    pooled = run_table3(max_workers=2)
+    serial = run_table3(max_workers=1)
+    assert rows == serial == pooled
     report(rows)
 
 

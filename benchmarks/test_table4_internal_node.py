@@ -12,22 +12,16 @@ Published anchors (suite averages):
 
 from _common import emit
 from repro.constants import TEN_YEARS
-from repro.ivc import potential_sweep
+from repro.flow.parallel import run_potential_sweep
 from repro.netlist import iscas85
-from repro.sta import AgingAnalyzer
 
 CIRCUITS = iscas85.NAMES
 T_STANDBY = (330.0, 350.0, 370.0, 400.0)
 
 
-def run_table4():
-    analyzer = AgingAnalyzer()
-    rows = {}
-    for name in CIRCUITS:
-        circuit = iscas85.load(name)
-        rows[name] = potential_sweep(circuit, T_STANDBY, ras="1:9",
-                                     t_total=TEN_YEARS, analyzer=analyzer)
-    return rows
+def run_table4(max_workers=None):
+    return run_potential_sweep(CIRCUITS, T_STANDBY, ras="1:9",
+                               t_total=TEN_YEARS, max_workers=max_workers)
 
 
 def check(rows):

@@ -9,7 +9,8 @@ Gives the paper's main analyses a shell-friendly surface:
 * ``guardband`` — device-level lifetime guard-band,
 * ``table1``    — the paper's Table 1 dVth grid,
 * ``paths``     — K longest (optionally aged) paths,
-* ``table4``    — internal-node-control potential sweep.
+* ``table4``    — internal-node-control potential sweep,
+* ``sweep``     — co-optimize many circuits, one process per circuit.
 
 Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
 (``c17``), or a ``.bench`` file path.
@@ -197,6 +198,32 @@ def cmd_table4(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """``sweep``: parallel leakage/NBTI co-optimization over circuits."""
+    from repro.flow.parallel import run_co_optimization_sweep
+    profile = _profile_from(args)
+    for name in args.circuits:
+        resolve_circuit(name)  # fail fast on unknown names
+    rows = run_co_optimization_sweep(
+        args.circuits, profile, years(args.years),
+        n_vectors=args.vectors, max_set_size=args.set_size,
+        seed=args.seed, max_workers=args.workers)
+    printable = [
+        [r.name, ns(r.fresh_delay), pct(r.min_degradation),
+         pct(r.mlv_diff, 3), pct(r.worst_degradation),
+         pct(r.leakage_reduction), r.set_size, r.evaluated]
+        for r in rows
+    ]
+    print(format_table(
+        ["circuit", "delay (ns)", "min dDelay", "MLV diff",
+         "worst-case", "leak saved", "|MLV set|", "evaluated"],
+        printable,
+        title=f"co-optimization sweep (RAS {profile.ras_label()}, "
+              f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
+              f"{args.years:g} years)"))
+    return 0
+
+
 def cmd_table1(args) -> int:
     """``table1``: the paper's Table 1 dVth grid."""
     rows = []
@@ -282,6 +309,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ras", default="1:9")
     p.add_argument("--years", type=float, default=10.0)
     p.set_defaults(func=cmd_table4)
+
+    p = sub.add_parser("sweep",
+                       help="co-optimize many circuits in parallel")
+    p.add_argument("circuits", nargs="+",
+                   help="circuits to sweep (one worker process each)")
+    _add_profile_args(p)
+    p.add_argument("--vectors", type=int, default=48,
+                   help="vectors per search round (default 48)")
+    p.add_argument("--set-size", type=int, default=6,
+                   help="MLV set size (default 6)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: one per circuit, "
+                        "capped at the CPU count; 1 = serial)")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

@@ -28,7 +28,15 @@ artifact                  cache key
 ``expected_leakage``      PI-probability map
 ``fresh_timing``          ``supply_drop``
 ``gate_shifts``           ``(profile, lifetime, standby spec)``
+``packed_simulator``      structural (one entry)
+``activity``              ``(n_vectors, seed)``
 ========================  =====================================================
+
+Batch queries share the per-vector caches: :meth:`population_leakage`
+evaluates a whole candidate population through the bit-packed kernel
+(:mod:`repro.sim.packed`) but stores and reuses results per distinct
+PI bit tuple in the same ``leakage_for_vector`` cache the scalar path
+uses, so mixed scalar/batch flows never recompute a vector.
 
 Every lookup is counted: :attr:`AnalysisContext.stats` exposes hit/miss
 counters per artifact, so tests and benchmarks can *assert* reuse
@@ -305,9 +313,83 @@ class AnalysisContext:
                 "probabilities",
                 ("monte_carlo", key_probs, n_vectors, seed),
                 lambda: _estimate_impl(self.circuit, n_vectors, seed,
-                                       pi_one_prob, self.library))
+                                       pi_one_prob, self.library,
+                                       simulator=self.packed_simulator()))
         raise ValueError(
             f"method must be 'analytic' or 'monte_carlo', got {method!r}")
+
+    def activity(self, n_vectors: int = 2048, seed: int = 0
+                 ) -> Dict[str, float]:
+        """Toggle rate per net over a random vector stream.
+
+        Keyed by ``(n_vectors, seed)``; the simulation itself runs
+        through :func:`repro.sim.probability.estimate_activity`'s
+        implementation against this context's library.
+        """
+        from repro.sim.probability import _activity_impl
+
+        return self._memo(
+            "activity", (n_vectors, seed),
+            lambda: _activity_impl(self.circuit, n_vectors, seed,
+                                   self.library))
+
+    # -- packed simulation -------------------------------------------------
+
+    def packed_simulator(self):
+        """The compiled bit-parallel evaluator of this (circuit, library).
+
+        Built once per context (compilation walks every gate's truth
+        table); every batch query — Monte-Carlo probabilities, MLV
+        population leakage, sampled bounds — replays the same program.
+        """
+        from repro.sim.packed import PackedSimulator
+
+        return self._memo(
+            "packed_simulator", (),
+            lambda: PackedSimulator(self.circuit, self.library))
+
+    def population_leakage(self, population) -> "np.ndarray":
+        """Standby leakage (amperes) of every vector in a population.
+
+        Interoperates with the scalar per-vector cache: vectors already
+        evaluated (by :meth:`leakage_for_bits` or a previous batch) are
+        served from the ``leakage_for_vector`` cache, and fresh ones are
+        computed in one bit-packed pass and stored back, each counted as
+        one miss.  Results are bit-identical to the scalar path.
+
+        Args:
+            population: ``(n_vectors, n_pis)`` 0/1 matrix (or nested
+                sequence), PI columns in ``circuit.primary_inputs``
+                order.
+
+        Returns:
+            float64 array of totals, one per population row.
+        """
+        import numpy as np
+
+        cache = self._caches.setdefault("leakage_for_vector", {})
+        pop = np.asarray(population, dtype=np.uint8)
+        if pop.ndim != 2:
+            raise ValueError("population must be a 2D bit matrix")
+        keys = [tuple(int(b) for b in row) for row in pop]
+        missing = [i for i, key in enumerate(keys) if key not in cache]
+        if missing:
+            sim = self.packed_simulator()
+            fresh = sim.population_leakage(pop[missing],
+                                           self.leakage_table)
+            for i, leak in zip(missing, fresh):
+                # A population may repeat a vector: count the first
+                # occurrence as the miss, later ones as hits below.
+                if keys[i] not in cache:
+                    self.stats.record_miss("leakage_for_vector")
+                    cache[keys[i]] = float(leak)
+        out = np.empty(len(keys), dtype=np.float64)
+        miss_set = set(missing)
+        for i, key in enumerate(keys):
+            if i not in miss_set:
+                self.stats.record_hit("leakage_for_vector")
+            out[i] = cache[key]
+        return out
 
     def gate_input_probabilities(
             self, pi_one_prob: Optional[Mapping[str, float]] = None

@@ -13,6 +13,16 @@ from repro.flow.dual_vth import (
 )
 from repro.flow.sizing import SizingResult, SizingTimer, size_for_aging
 from repro.flow.report import format_table, mv, ns, pct, ua
+from repro.flow.parallel import (
+    CoOptimizationJob,
+    PotentialSweepJob,
+    SweepRow,
+    co_optimize_circuit,
+    load_circuit,
+    run_co_optimization_sweep,
+    run_potential_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "AnalysisPlatform", "CoOptimizationReport", "ScenarioReport",
@@ -20,4 +30,7 @@ __all__ = [
     "hvt_leakage_factor",
     "SizingResult", "SizingTimer", "size_for_aging",
     "format_table", "mv", "ns", "pct", "ua",
+    "CoOptimizationJob", "PotentialSweepJob", "SweepRow",
+    "co_optimize_circuit", "load_circuit",
+    "run_co_optimization_sweep", "run_potential_sweep", "run_sweep",
 ]

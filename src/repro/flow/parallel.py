@@ -1,0 +1,233 @@
+"""Process-parallel benchmark sweep runner (Table 3 / Table 4 scale-out).
+
+The paper's benchmark tables repeat one independent, CPU-bound analysis
+per ISCAS85 circuit; this module fans those per-circuit analyses out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`, one worker per
+circuit.  Design points:
+
+* **Deterministic ordering** — results always come back in job order,
+  regardless of which worker finishes first.
+* **Byte-identical to serial** — workers run the very same module-level
+  functions the serial path runs (each on a freshly loaded circuit and
+  its own platform), so a parallel sweep and a ``max_workers=1`` sweep
+  produce equal results, field for field.
+* **Graceful serial fallback** — ``max_workers=1``, a pool that cannot
+  be created (restricted environments), or a pool that breaks mid-run
+  all degrade to an in-process loop.  Worker *logic* errors are not
+  swallowed: they propagate with their original exception type.
+
+Jobs are small frozen dataclasses naming the circuit (workers load
+netlists themselves — circuits, libraries, and leakage tables are
+rebuilt per process rather than pickled).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.constants import TEN_YEARS
+from repro.core.profiles import OperatingProfile
+from repro.netlist.circuit import Circuit
+
+J = TypeVar("J")
+R = TypeVar("R")
+
+
+def load_circuit(name: str) -> Circuit:
+    """Load a benchmark circuit by name (workers call this per process).
+
+    Accepts ISCAS85 names (``c432`` ...), packaged netlists (``c17``),
+    or a ``.bench`` file path.
+    """
+    from pathlib import Path
+
+    from repro.netlist import iscas85, load_bench, load_packaged
+
+    if name in iscas85.SPECS:
+        return iscas85.load(name)
+    try:
+        return load_packaged(name)
+    except FileNotFoundError:
+        pass
+    path = Path(name)
+    if path.exists():
+        return load_bench(path)
+    raise ValueError(f"unknown circuit {name!r}")
+
+
+def run_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
+              max_workers: Optional[int] = None) -> List[R]:
+    """Map ``worker`` over ``jobs``, one process per in-flight job.
+
+    Args:
+        worker: a picklable (module-level) function of one job.
+        max_workers: pool size; ``None`` picks ``min(len(jobs),
+            cpu_count)``; ``1`` runs serially in-process.
+
+    Returns:
+        Worker results in job order.
+
+    Pool-infrastructure failures (a pool that cannot start or breaks
+    mid-run, unpicklable jobs) fall back to the serial loop; exceptions
+    raised *by the worker itself* propagate unchanged.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if max_workers is None:
+        max_workers = min(len(jobs), os.cpu_count() or 1)
+    if max_workers <= 1:
+        return [worker(job) for job in jobs]
+    try:
+        # Probe up front: an unpicklable worker/job would otherwise
+        # surface from inside the pool's feeder thread with a
+        # hard-to-catch exception type.
+        pickle.dumps((worker, jobs))
+    except Exception:
+        return [worker(job) for job in jobs]
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(worker, job) for job in jobs]
+            return [f.result() for f in futures]
+    except (OSError, NotImplementedError, ImportError,
+            BrokenProcessPool, pickle.PicklingError):
+        # The *pool* failed, not the analysis: degrade to serial.
+        return [worker(job) for job in jobs]
+
+
+# -- Table 3: leakage/NBTI co-optimization per circuit -----------------------
+
+
+@dataclass(frozen=True)
+class CoOptimizationJob:
+    """One circuit's co-optimization run (the Table 3 recipe)."""
+
+    circuit: str
+    profile: OperatingProfile
+    lifetime: float = TEN_YEARS
+    n_vectors: int = 64
+    max_set_size: int = 8
+    range_fraction: float = 0.04
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Per-circuit outcome of a co-optimization sweep (one Table 3 row).
+
+    Delays in seconds, leakages in amperes, degradations fractional.
+    """
+
+    name: str
+    fresh_delay: float
+    min_degradation: float
+    mlv_diff: float
+    worst_degradation: float
+    leakage_reduction: float
+    set_size: int
+    chosen_bits: Tuple[int, ...]
+    chosen_leakage: float
+    expected_leakage: float
+    evaluated: int
+
+
+def co_optimize_circuit(job: CoOptimizationJob) -> SweepRow:
+    """Worker: full co-optimization + worst-case bound for one circuit."""
+    from repro.flow.platform import AnalysisPlatform
+    from repro.sta.degradation import ALL_ZERO
+
+    circuit = load_circuit(job.circuit)
+    platform = AnalysisPlatform()
+    co = platform.co_optimize(circuit, job.profile, job.lifetime,
+                              n_vectors=job.n_vectors,
+                              max_set_size=job.max_set_size,
+                              range_fraction=job.range_fraction,
+                              seed=job.seed)
+    worst = platform.analyzer.aged_timing(
+        circuit, job.profile, job.lifetime, standby=ALL_ZERO,
+        context=platform.context_for(circuit))
+    chosen = co.selection.chosen
+    return SweepRow(
+        name=job.circuit,
+        fresh_delay=co.selection.fresh_delay,
+        min_degradation=co.chosen_degradation,
+        mlv_diff=co.mlv_delay_spread,
+        worst_degradation=worst.relative_degradation,
+        leakage_reduction=co.leakage_reduction,
+        set_size=len(co.selection.records),
+        chosen_bits=chosen.bits,
+        chosen_leakage=chosen.leakage,
+        expected_leakage=co.expected_leakage,
+        evaluated=co.search.evaluated,
+    )
+
+
+def run_co_optimization_sweep(circuits: Sequence[str],
+                              profile: OperatingProfile,
+                              lifetime: float = TEN_YEARS, *,
+                              n_vectors: int = 64,
+                              max_set_size: int = 8,
+                              range_fraction: float = 0.04,
+                              seed: int = 0,
+                              max_workers: Optional[int] = None
+                              ) -> List[SweepRow]:
+    """Co-optimize many circuits, one worker per circuit.
+
+    Returns one :class:`SweepRow` per circuit, in input order;
+    ``max_workers=1`` runs the identical computation serially.
+    """
+    jobs = [CoOptimizationJob(circuit=name, profile=profile,
+                              lifetime=lifetime, n_vectors=n_vectors,
+                              max_set_size=max_set_size,
+                              range_fraction=range_fraction, seed=seed)
+            for name in circuits]
+    return run_sweep(co_optimize_circuit, jobs, max_workers=max_workers)
+
+
+# -- Table 4: internal-node-control potential per circuit --------------------
+
+
+@dataclass(frozen=True)
+class PotentialSweepJob:
+    """One circuit's standby-temperature potential sweep (Table 4)."""
+
+    circuit: str
+    t_standby_values: Tuple[float, ...]
+    ras: str = "1:9"
+    t_total: float = TEN_YEARS
+
+
+def potential_sweep_circuit(job: PotentialSweepJob) -> list:
+    """Worker: the Table 4 temperature sweep for one circuit."""
+    from repro.context import AnalysisContext
+    from repro.ivc.internal_node import potential_sweep
+
+    circuit = load_circuit(job.circuit)
+    context = AnalysisContext(circuit)
+    return potential_sweep(circuit, job.t_standby_values, ras=job.ras,
+                           t_total=job.t_total, context=context)
+
+
+def run_potential_sweep(circuits: Sequence[str],
+                        t_standby_values: Sequence[float],
+                        ras: str = "1:9",
+                        t_total: float = TEN_YEARS, *,
+                        max_workers: Optional[int] = None
+                        ) -> Dict[str, list]:
+    """Table 4 sweeps for many circuits, one worker per circuit.
+
+    Returns ``{circuit name: [InternalNodePotential, ...]}`` preserving
+    input order (dict insertion order).
+    """
+    jobs = [PotentialSweepJob(circuit=name,
+                              t_standby_values=tuple(t_standby_values),
+                              ras=ras, t_total=t_total)
+            for name in circuits]
+    results = run_sweep(potential_sweep_circuit, jobs,
+                        max_workers=max_workers)
+    return dict(zip(circuits, results))

@@ -22,13 +22,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS
 from repro.core.profiles import OperatingProfile
-from repro.leakage.circuit import leakage_for_vector
+from repro.leakage.circuit import (
+    expected_leakage,
+    leakage_for_vector,
+    leakage_for_vectors,
+)
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
 from repro.sim.vectors import all_vectors, bits_to_vector, vector_to_bits
@@ -69,13 +75,54 @@ class MLVSearchResult:
 
 
 def _filter_set(records: Dict[Tuple[int, ...], float],
-                range_fraction: float, max_keep: int) -> List[MLVRecord]:
-    """Keep vectors within ``range_fraction`` of the minimum leakage."""
+                range_fraction: float, max_keep: int, *,
+                reference: Optional[float] = None) -> List[MLVRecord]:
+    """Keep vectors within the leakage window above the set minimum.
+
+    Without ``reference`` the window is *relative* to the set minimum
+    (``leak <= min * (1 + range_fraction)``); with a ``reference``
+    leakage (the paper's "total circuit leakage") it is *absolute*:
+    ``leak <= min + range_fraction * reference``.
+    """
     best = min(records.values())
-    kept = [MLVRecord(bits, leak) for bits, leak in records.items()
-            if leak <= best * (1.0 + range_fraction)]
-    kept.sort(key=lambda r: (r.leakage, r.bits))
-    return kept[:max_keep]
+    if reference is None:
+        cutoff = best * (1.0 + range_fraction)
+    else:
+        cutoff = best + range_fraction * reference
+    kept = [(leak, bits) for bits, leak in records.items() if leak <= cutoff]
+    kept.sort()
+    return [MLVRecord(bits, leak) for leak, bits in kept[:max_keep]]
+
+
+def _batch_evaluator(circuit: Circuit, table: LeakageTable,
+                     library: Library, context,
+                     seen: Dict[Tuple[int, ...], float]
+                     ) -> Callable[[Sequence[Tuple[int, ...]]], None]:
+    """A closure evaluating a whole round's candidates in one packed pass.
+
+    Preserves the scalar path's ``seen`` dedup exactly: each distinct
+    bit tuple is evaluated once, first occurrence wins.  Leakage values
+    are bit-identical to :func:`leakage_for_vector` (the kernel
+    accumulates gates in the same order).
+    """
+    if context is None:
+        from repro.sim.packed import PackedSimulator
+
+        sim = PackedSimulator(circuit, library)
+        kernel = lambda pop: sim.population_leakage(pop, table)  # noqa: E731
+    else:
+        kernel = lambda pop: leakage_for_vectors(  # noqa: E731
+            circuit, pop, table, library, context=context)
+
+    def evaluate_all(batch: Sequence[Tuple[int, ...]]) -> None:
+        fresh = [bits for bits in dict.fromkeys(batch) if bits not in seen]
+        if not fresh:
+            return
+        leaks = kernel(np.array(fresh, dtype=np.uint8))
+        for bits, leak in zip(fresh, leaks):
+            seen[bits] = float(leak)
+
+    return evaluate_all
 
 
 def probability_based_mlv_search(
@@ -87,20 +134,34 @@ def probability_based_mlv_search(
         max_set_size: int = 16,
         seed: int = 0,
         library: Optional[Library] = None,
-        context=None) -> MLVSearchResult:
+        context=None,
+        engine: str = "packed",
+        window_policy: str = "relative") -> MLVSearchResult:
     """The Fig. 7 probability-based MLV-set selection.
 
     Args:
         n_vectors: vectors generated per round (the paper's N).
-        range_fraction: MLV-set leakage window relative to the minimum
-            (the paper keeps vectors "within four percent of the total
-            circuit leakage").
+        range_fraction: width of the MLV-set leakage window.  The
+            default ``window_policy="relative"`` keeps vectors whose
+            leakage is within ``range_fraction`` *of the set minimum*
+            (``leak <= min * 1.04`` at the default 4 %); the paper's
+            wording — "within four percent of the total circuit
+            leakage" — is the ``"absolute"`` policy, an additive window
+            of ``range_fraction * expected_leakage`` above the minimum.
+            See MODEL.md for why the relative reading is the default.
         convergence_margin: a PI probability within this margin of 0 or
             1 counts as converged (line 5 of the pseudocode).
         max_set_size: cap on the returned MLV set.
         context: an :class:`~repro.context.AnalysisContext` memoizing
             per-vector simulations and leakage sums; the NBTI-aware
             selection pass then reuses the very same standby states.
+        engine: ``"packed"`` evaluates each round's whole population in
+            one bit-parallel pass (:mod:`repro.sim.packed`);
+            ``"scalar"`` keeps the historical per-vector path.  Both
+            produce identical results (same RNG stream, same dedup,
+            bit-identical leakage).
+        window_policy: ``"relative"`` or ``"absolute"`` (see
+            ``range_fraction``).
 
     Returns:
         :class:`MLVSearchResult` with the MLV set ascending by leakage.
@@ -109,59 +170,110 @@ def probability_based_mlv_search(
         raise ValueError("need at least two vectors per round")
     if not 0.0 < range_fraction < 1.0:
         raise ValueError("range_fraction must be in (0, 1)")
+    if engine not in ("packed", "scalar"):
+        raise ValueError(f"engine must be 'packed' or 'scalar', "
+                         f"got {engine!r}")
     library = library or default_library()
+    reference = _window_reference(circuit, table, library, context,
+                                  window_policy)
     rng = random.Random(seed)
     pis = circuit.primary_inputs
 
     seen: Dict[Tuple[int, ...], float] = {}
 
-    def evaluate_bits(bits: Tuple[int, ...]) -> None:
-        if bits not in seen:
-            seen[bits] = leakage_for_vector(
-                circuit, bits_to_vector(circuit, bits), table, library,
-                context=context)
+    if engine == "packed":
+        evaluate_all = _batch_evaluator(circuit, table, library, context,
+                                        seen)
+    else:
+        def evaluate_all(batch: Sequence[Tuple[int, ...]]) -> None:
+            for bits in batch:
+                if bits not in seen:
+                    seen[bits] = leakage_for_vector(
+                        circuit, bits_to_vector(circuit, bits), table,
+                        library, context=context)
 
-    # Line 0: initial random population.
-    for _ in range(n_vectors):
-        evaluate_bits(tuple(rng.randint(0, 1) for _ in pis))
+    # Line 0: initial random population.  The whole round is generated
+    # before evaluation (evaluation draws no randomness), so the RNG
+    # stream is identical between engines.
+    randint = rng.randint
+    random_draw = rng.random
+    n_pis = len(pis)
+    evaluate_all([tuple([randint(0, 1) for _ in range(n_pis)])
+                  for _ in range(n_vectors)])
 
     iterations = 0
     converged = False
     for iterations in range(1, max_iterations + 1):
-        mlv_set = _filter_set(seen, range_fraction, max_keep=max(n_vectors, 64))
-        # Line 2: per-PI probability of 1 inside the MLV set.
-        probs = []
-        for k in range(len(pis)):
-            ones = sum(r.bits[k] for r in mlv_set)
-            probs.append(ones / len(mlv_set))
+        mlv_set = _filter_set(seen, range_fraction,
+                              max_keep=max(n_vectors, 64),
+                              reference=reference)
+        # Line 2: per-PI probability of 1 inside the MLV set.  Integer
+        # column sums divided by the set size — the numpy division
+        # yields the exact same floats as the historical per-column
+        # ``sum(...) / len`` python division.
+        counts = np.array([r.bits for r in mlv_set],
+                          dtype=np.int64).sum(axis=0)
+        probs = (counts / len(mlv_set)).tolist()
         # Line 5/6: convergence when all probabilities are saturated.
         if all(p <= convergence_margin or p >= 1.0 - convergence_margin
                for p in probs):
             converged = True
             break
         # Lines 3-4: new vectors from the learned distribution.
-        for _ in range(n_vectors):
-            bits = tuple(1 if rng.random() < p else 0 for p in probs)
-            evaluate_bits(bits)
+        evaluate_all([tuple([1 if random_draw() < p else 0 for p in probs])
+                      for _ in range(n_vectors)])
 
-    final = _filter_set(seen, range_fraction, max_keep=max_set_size)
+    final = _filter_set(seen, range_fraction, max_keep=max_set_size,
+                        reference=reference)
     return MLVSearchResult(records=final, iterations=iterations,
                            converged=converged, evaluated=len(seen))
+
+
+def _window_reference(circuit: Circuit, table: LeakageTable,
+                      library: Library, context,
+                      window_policy: str) -> Optional[float]:
+    """The absolute-window reference leakage, or ``None`` for relative."""
+    if window_policy == "relative":
+        return None
+    if window_policy == "absolute":
+        return expected_leakage(circuit, table, library=library,
+                                context=context)
+    raise ValueError(f"window_policy must be 'relative' or 'absolute', "
+                     f"got {window_policy!r}")
 
 
 def exhaustive_mlv_search(circuit: Circuit, table: LeakageTable,
                           range_fraction: float = 0.04,
                           max_set_size: int = 16,
                           library: Optional[Library] = None,
-                          context=None) -> MLVSearchResult:
-    """Exact MLV set by full enumeration (small circuits only)."""
+                          context=None, *,
+                          engine: str = "packed",
+                          window_policy: str = "relative"
+                          ) -> MLVSearchResult:
+    """Exact MLV set by full enumeration (small circuits only).
+
+    With the default ``engine="packed"`` the whole truth-input space is
+    evaluated in one bit-parallel population pass.
+    """
     library = library or default_library()
+    reference = _window_reference(circuit, table, library, context,
+                                  window_policy)
     seen: Dict[Tuple[int, ...], float] = {}
-    for vector in all_vectors(circuit):
-        bits = vector_to_bits(circuit, vector)
-        seen[bits] = leakage_for_vector(circuit, vector, table, library,
-                                        context=context)
-    final = _filter_set(seen, range_fraction, max_set_size)
+    if engine == "packed":
+        evaluate_all = _batch_evaluator(circuit, table, library, context,
+                                        seen)
+        evaluate_all([vector_to_bits(circuit, v)
+                      for v in all_vectors(circuit)])
+    elif engine == "scalar":
+        for vector in all_vectors(circuit):
+            bits = vector_to_bits(circuit, vector)
+            seen[bits] = leakage_for_vector(circuit, vector, table, library,
+                                            context=context)
+    else:
+        raise ValueError(f"engine must be 'packed' or 'scalar', "
+                         f"got {engine!r}")
+    final = _filter_set(seen, range_fraction, max_set_size,
+                        reference=reference)
     return MLVSearchResult(records=final, iterations=1, converged=True,
                            evaluated=len(seen))
 

@@ -5,6 +5,7 @@ from repro.leakage.circuit import (
     leakage_bounds_sampled,
     leakage_for_states,
     leakage_for_vector,
+    leakage_for_vectors,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "leakage_bounds_sampled",
     "leakage_for_states",
     "leakage_for_vector",
+    "leakage_for_vectors",
 ]

@@ -27,26 +27,27 @@ def default_library() -> Library:
     return build_library()
 
 
-@lru_cache(maxsize=None)
-def _cell_lut(library_id: int, cell_name: str) -> np.ndarray:
-    """Truth table of a cell as a LUT indexed by the packed input word."""
-    # library_id keys the cache per Library object (id is stable for the
-    # lifetime of the object, and callers hold the library alive).
-    library = _LIBRARIES[library_id]
-    cell = library.get(cell_name)
-    lut = np.zeros(2 ** cell.n_inputs, dtype=np.uint8)
-    for vec, out in cell.truth_table().items():
-        index = sum(bit << k for k, bit in enumerate(vec))
-        lut[index] = out
+def _cell_lut(library: Library, cell_name: str) -> np.ndarray:
+    """Truth table of a cell as a LUT indexed by the packed input word.
+
+    Memoized on the :class:`Library` instance itself (a dict living in
+    the library's ``__dict__``), so the cache lives and dies with the
+    library object.  A module-level ``id()``-keyed registry would serve
+    a stale LUT if a collected library's id were reused.
+    """
+    cache = library.__dict__.get("_cell_lut_cache")
+    if cache is None:
+        cache = {}
+        library._cell_lut_cache = cache
+    lut = cache.get(cell_name)
+    if lut is None:
+        cell = library.get(cell_name)
+        lut = np.zeros(2 ** cell.n_inputs, dtype=np.uint8)
+        for vec, out in cell.truth_table().items():
+            index = sum(bit << k for k, bit in enumerate(vec))
+            lut[index] = out
+        cache[cell_name] = lut
     return lut
-
-
-_LIBRARIES: Dict[int, Library] = {}
-
-
-def _register(library: Library) -> int:
-    _LIBRARIES[id(library)] = library
-    return id(library)
 
 
 def evaluate(circuit: Circuit, pi_values: Dict[str, int],
@@ -72,7 +73,6 @@ def evaluate(circuit: Circuit, pi_values: Dict[str, int],
     if context is not None:
         return dict(context.standby_states(pi_values))
     library = library or default_library()
-    lib_id = _register(library)
     values: Dict[str, int] = {}
     for pi in circuit.primary_inputs:
         try:
@@ -84,7 +84,7 @@ def evaluate(circuit: Circuit, pi_values: Dict[str, int],
         values[pi] = v
     for name in circuit.topological_order():
         gate = circuit.gates[name]
-        lut = _cell_lut(lib_id, gate.cell)
+        lut = _cell_lut(library, gate.cell)
         index = 0
         for k, net in enumerate(gate.inputs):
             index |= values[net] << k
@@ -103,7 +103,6 @@ def evaluate_batch(circuit: Circuit, pi_matrix: Dict[str, np.ndarray],
         net name -> uint8 array of values for every vector.
     """
     library = library or default_library()
-    lib_id = _register(library)
     if not pi_matrix:
         raise ValueError("empty input matrix")
     lengths = {len(v) for v in pi_matrix.values()}
@@ -117,7 +116,7 @@ def evaluate_batch(circuit: Circuit, pi_matrix: Dict[str, np.ndarray],
             raise KeyError(f"missing array for primary input {pi!r}") from None
     for name in circuit.topological_order():
         gate = circuit.gates[name]
-        lut = _cell_lut(lib_id, gate.cell)
+        lut = _cell_lut(library, gate.cell)
         index = np.zeros_like(values[gate.inputs[0]], dtype=np.uint16)
         for k, net in enumerate(gate.inputs):
             index |= values[net].astype(np.uint16) << k

@@ -1,0 +1,341 @@
+"""Bit-packed batch logic simulation (substrate S4, fast path).
+
+Classic bit-parallel simulation: the value of one net across a whole
+population of input vectors is a *bit string* — vector ``j`` is bit
+``j`` — so a single bitwise operation evaluates a gate for every vector
+at once.  A :class:`PackedSimulator` compiles a circuit once against a
+library: each gate becomes a specialized word operation (AND/OR/NAND/
+NOR/XOR/XNOR/NOT/BUF, recognized from the cell's truth table) or a
+generic sum-of-minterms fallback for complex cells (AOI/OAI), and the
+compiled program is replayed over arbitrarily many batches.
+
+The packed values live in Python integers (arbitrary-width bit strings):
+for the 64-vector rounds of the MLV search a net is a single machine
+word, and for larger populations CPython's big-int bitwise kernels keep
+the per-gate dispatch cost constant.  Inverting ops use ``mask ^ x``
+(not ``~x``), so padding bits beyond the population stay zero and
+popcounts need no correction.
+
+On top of the simulator sits the vectorized population leakage kernel:
+per-gate packed input-state indices gathered out of per-cell leakage
+LUTs, accumulated gate by gate in the exact order (and therefore the
+exact floating-point rounding) of the scalar
+:func:`repro.leakage.circuit.leakage_for_states` path, so batch and
+scalar leakage agree bit for bit.
+
+Semantics come from the same source as :func:`repro.sim.logic.evaluate`
+(the library truth tables), which the equivalence suite in
+``tests/test_sim_packed.py`` pins on every ISCAS85 netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cells.leakage import LeakageTable
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+
+#: Vectors per machine word of the packed representation (the natural
+#: batch granularity; any population size works).
+WORD_BITS = 64
+
+#: Population chunk size of the leakage kernel: bounds peak memory at
+#: roughly ``n_nets * _CHUNK`` unpacked bytes per batch.
+_CHUNK = 8192
+
+#: A population of input vectors: a 2D 0/1 array of shape
+#: ``(n_vectors, n_primary_inputs)`` or any nested sequence that
+#: converts to one (e.g. a list of PI bit tuples).
+Population = Union[np.ndarray, Sequence[Sequence[int]]]
+
+
+def pack_matrix(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, n)`` 0/1 matrix into ``(rows, ceil(n/64))`` words.
+
+    Bit ``j`` of a row lands in word ``j // 64`` at in-word position
+    ``j % 64``; the padding bits of the last word are zero.
+    """
+    b = np.ascontiguousarray(bits, dtype=np.uint8)
+    packed = np.packbits(b, axis=-1, bitorder="little")
+    pad = (-packed.shape[-1]) % 8
+    if pad:
+        widths = [(0, 0)] * (packed.ndim - 1) + [(0, pad)]
+        packed = np.pad(packed, widths)
+    return packed.view(np.uint64)
+
+
+def unpack_matrix(words: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_matrix`: the first ``count`` bits per row."""
+    return np.unpackbits(words.view(np.uint8), axis=-1, count=count,
+                         bitorder="little")
+
+
+def _parity_lut(n_inputs: int) -> np.ndarray:
+    index = np.arange(2 ** n_inputs, dtype=np.uint32)
+    return (np.bitwise_count(index) & 1).astype(np.uint8)
+
+
+def _classify(lut: np.ndarray) -> str:
+    """Name the word operation implementing a truth-table LUT."""
+    n = len(lut)
+    ones = int(lut.sum())
+    if n == 2:
+        if lut[0] == 1 and lut[1] == 0:
+            return "not"
+        if lut[0] == 0 and lut[1] == 1:
+            return "buf"
+        return "lut"
+    if ones == 1 and lut[-1] == 1:
+        return "and"
+    if ones == n - 1 and lut[0] == 0:
+        return "or"
+    if ones == n - 1 and lut[-1] == 0:
+        return "nand"
+    if ones == 1 and lut[0] == 1:
+        return "nor"
+    parity = _parity_lut(n.bit_length() - 1)
+    if np.array_equal(lut, parity):
+        return "xor"
+    if np.array_equal(lut, 1 - parity):
+        return "xnor"
+    return "lut"
+
+
+# Opcode numbers of the compiled program (dispatch is an if-chain over
+# small ints in the hot loop; the <= comparisons below rely on this
+# exact ordering).
+_AND, _OR, _XOR, _NAND, _NOR, _XNOR, _NOT, _BUF, _LUT = range(9)
+
+_OPCODE = {"and": _AND, "or": _OR, "xor": _XOR, "nand": _NAND,
+           "nor": _NOR, "xnor": _XNOR, "not": _NOT, "buf": _BUF,
+           "lut": _LUT}
+
+#: Inverting op -> its monotone base reduction.
+_INVERTING = {_NAND: _AND, _NOR: _OR, _XNOR: _XOR}
+
+
+class PackedSimulator:
+    """Compiled bit-parallel evaluator of one ``(Circuit, Library)`` pair.
+
+    Building one is a per-circuit cost (truth-table classification and
+    row assignment); every subsequent batch replays the compiled
+    program.  Share instances through
+    :meth:`repro.context.AnalysisContext.packed_simulator`.
+    """
+
+    def __init__(self, circuit: Circuit, library: Optional[Library] = None):
+        from repro.sim.logic import _cell_lut, default_library
+
+        self.circuit = circuit
+        self.library = library or default_library()
+        order = circuit.topological_order()
+        #: Net evaluation order: primary inputs first, then gate
+        #: outputs topologically.
+        self.net_names: List[str] = list(circuit.primary_inputs) + order
+        self.row: Dict[str, int] = {n: i for i, n in
+                                    enumerate(self.net_names)}
+        self.n_pis = len(circuit.primary_inputs)
+        self._ops = [self._compile(circuit.gates[name], _cell_lut)
+                     for name in order]
+        # Gate-order arrays for the leakage kernel; iteration follows
+        # circuit.gates so the float accumulation order matches the
+        # scalar leakage_for_states sum exactly.
+        gates = list(circuit.gates.values())
+        self._gate_cells = [g.cell for g in gates]
+        self._max_arity = max((len(g.inputs) for g in gates), default=1)
+        # Unused input slots point at a dummy all-zero row appended to
+        # the unpacked value matrix.
+        self._gate_in_rows = np.full((len(gates), self._max_arity),
+                                     len(self.net_names), dtype=np.intp)
+        for gi, gate in enumerate(gates):
+            for k, net in enumerate(gate.inputs):
+                self._gate_in_rows[gi, k] = self.row[net]
+
+    # -- compilation --------------------------------------------------------
+
+    def _compile(self, gate, cell_lut) -> tuple:
+        lut = cell_lut(self.library, gate.cell)
+        ins = tuple(self.row[net] for net in gate.inputs)
+        code = _OPCODE[_classify(lut)]
+        if code != _LUT:
+            return (code, self.row[gate.name], ins, None)
+        # Generic fallback: sum of products over whichever output
+        # polarity has fewer minterms.
+        ones = [v for v in range(len(lut)) if lut[v] == 1]
+        zeros = [v for v in range(len(lut)) if lut[v] == 0]
+        invert = len(zeros) < len(ones)
+        terms = zeros if invert else ones
+        products = tuple(
+            tuple((ins[k], (v >> k) & 1) for k in range(len(ins)))
+            for v in terms)
+        return (code, self.row[gate.name], ins, (products, invert))
+
+    # -- packed evaluation --------------------------------------------------
+
+    def _run(self, vals: List[int], mask: int) -> None:
+        """Execute the program in place on per-net packed bit strings.
+
+        ``vals[i]`` holds the bit string of net row ``i``; entries are
+        nonnegative ints with zero padding bits (every inverting op
+        applies ``mask ^ x`` instead of ``~x``).
+        """
+        for code, out, ins, extra in self._ops:
+            if code <= _XNOR:
+                base = _INVERTING.get(code, code)
+                acc = vals[ins[0]]
+                if base == _AND:
+                    for r in ins[1:]:
+                        acc &= vals[r]
+                elif base == _OR:
+                    for r in ins[1:]:
+                        acc |= vals[r]
+                else:
+                    for r in ins[1:]:
+                        acc ^= vals[r]
+                vals[out] = (mask ^ acc) if code >= _NAND else acc
+            elif code == _NOT:
+                vals[out] = mask ^ vals[ins[0]]
+            elif code == _BUF:
+                vals[out] = vals[ins[0]]
+            else:
+                products, invert = extra
+                acc = 0
+                for product in products:
+                    term = mask
+                    for row, positive in product:
+                        v = vals[row]
+                        term &= v if positive else (mask ^ v)
+                    acc |= term
+                vals[out] = (mask ^ acc) if invert else acc
+
+    def _population(self, population: Population) -> np.ndarray:
+        pop = np.asarray(population, dtype=np.uint8)
+        if pop.ndim != 2 or pop.shape[1] != self.n_pis:
+            raise ValueError(
+                f"population must have shape (n_vectors, {self.n_pis}), "
+                f"got {pop.shape}")
+        return pop
+
+    def _states(self, pop: np.ndarray) -> Tuple[List[int], int, int]:
+        """Run a population: per-net packed ints, the mask, and n_bytes.
+
+        The returned list has one extra trailing zero entry — the dummy
+        row read by unused gate input slots of the leakage gather.
+        """
+        count = pop.shape[0]
+        n_bytes = -(-count // 8)
+        packed = np.packbits(pop.T, axis=1, bitorder="little").tobytes()
+        vals: List[int] = [0] * (len(self.net_names) + 1)
+        for i in range(self.n_pis):
+            vals[i] = int.from_bytes(
+                packed[i * n_bytes:(i + 1) * n_bytes], "little")
+        mask = (1 << count) - 1
+        self._run(vals, mask)
+        return vals, mask, n_bytes
+
+    def _unpack(self, vals: List[int], count: int, n_bytes: int
+                ) -> np.ndarray:
+        """Per-net packed ints -> (n_nets + 1, count) uint8 bit matrix."""
+        buf = bytearray(len(vals) * n_bytes)
+        pos = 0
+        for v in vals:
+            buf[pos:pos + n_bytes] = v.to_bytes(n_bytes, "little")
+            pos += n_bytes
+        mat = np.frombuffer(bytes(buf), dtype=np.uint8)
+        mat = mat.reshape(len(vals), n_bytes)
+        return np.unpackbits(mat, axis=1, count=count, bitorder="little")
+
+    def simulate(self, pi_matrix: Dict[str, np.ndarray]
+                 ) -> Dict[str, np.ndarray]:
+        """Drop-in for :func:`repro.sim.logic.evaluate_batch`.
+
+        Args:
+            pi_matrix: primary input name -> 0/1 array of one length.
+
+        Returns:
+            net name -> uint8 array of values for every vector.
+        """
+        if not pi_matrix:
+            raise ValueError("empty input matrix")
+        lengths = {len(v) for v in pi_matrix.values()}
+        if len(lengths) != 1:
+            raise ValueError("all PI arrays must have the same length")
+        columns = []
+        for pi in self.circuit.primary_inputs:
+            try:
+                columns.append(np.asarray(pi_matrix[pi], dtype=np.uint8))
+            except KeyError:
+                raise KeyError(
+                    f"missing array for primary input {pi!r}") from None
+        pop = self._population(np.stack(columns, axis=1))
+        vals, _, n_bytes = self._states(pop)
+        unpacked = self._unpack(vals, pop.shape[0], n_bytes)
+        return {name: unpacked[i] for i, name in enumerate(self.net_names)}
+
+    def mean_ones(self, pi_matrix: Dict[str, np.ndarray]
+                  ) -> Dict[str, float]:
+        """P(net = 1) per net over a batch, via packed popcounts.
+
+        Exactly equal to ``float(values[net].mean())`` over the unpacked
+        batch: the popcount and the mean's sum of 0/1 values are the
+        same integer, divided by the same count.
+        """
+        columns = [np.asarray(pi_matrix[pi], dtype=np.uint8)
+                   for pi in self.circuit.primary_inputs]
+        pop = self._population(np.stack(columns, axis=1))
+        count = pop.shape[0]
+        vals, _, _ = self._states(pop)
+        return {name: vals[i].bit_count() / count
+                for i, name in enumerate(self.net_names)}
+
+    # -- the population leakage kernel --------------------------------------
+
+    def population_leakage(self, population: Population,
+                           table: LeakageTable) -> np.ndarray:
+        """Total standby leakage (amperes) of every vector in one pass.
+
+        Simulates the population bit-packed, gathers per-gate leakage
+        out of per-cell LUTs by packed input-state index, and
+        accumulates over gates in ``circuit.gates`` order — the exact
+        summation order of the scalar path, so results match
+        :func:`repro.leakage.circuit.leakage_for_vector` bit for bit.
+        """
+        pop = self._population(population)
+        luts = _leakage_luts(table)
+        gate_luts = [luts[cell] for cell in self._gate_cells]
+        totals = np.empty(pop.shape[0], dtype=np.float64)
+        for start in range(0, pop.shape[0], _CHUNK):
+            chunk = pop[start:start + _CHUNK]
+            count = chunk.shape[0]
+            vals, _, n_bytes = self._states(chunk)
+            unpacked = self._unpack(vals, count, n_bytes)
+            index = np.zeros((len(gate_luts), count), dtype=np.uint8)
+            for k in range(self._max_arity):
+                index |= unpacked[self._gate_in_rows[:, k]] << k
+            part = np.zeros(count, dtype=np.float64)
+            for gi, lut in enumerate(gate_luts):
+                part += lut[index[gi]]
+            totals[start:start + count] = part
+        return totals
+
+
+def _leakage_luts(table: LeakageTable) -> Dict[str, np.ndarray]:
+    """Per-cell leakage LUT arrays indexed by the packed input word.
+
+    Memoized on the :class:`LeakageTable` instance itself (tables are
+    built once and read forever), mirroring the per-``Library``
+    truth-table cache in :mod:`repro.sim.logic`.
+    """
+    cache = table.__dict__.get("_packed_lut_cache")
+    if cache is None:
+        cache = {}
+        for cell_name, per_vector in table.entries.items():
+            lut = np.zeros(len(per_vector), dtype=np.float64)
+            for vec, leak in per_vector.items():
+                lut[sum(bit << k for k, bit in enumerate(vec))] = leak
+            cache[cell_name] = lut
+        table._packed_lut_cache = cache
+    return cache

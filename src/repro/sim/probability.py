@@ -54,8 +54,14 @@ def _propagate_impl(circuit: Circuit,
 
 def _estimate_impl(circuit: Circuit, n_vectors: int, seed: int,
                    pi_one_prob: Optional[Dict[str, float]],
-                   library: Library) -> Dict[str, float]:
-    """The raw Monte-Carlo estimator (no caching)."""
+                   library: Library, *, simulator=None) -> Dict[str, float]:
+    """The raw Monte-Carlo estimator (no caching).
+
+    With ``simulator`` (a :class:`~repro.sim.packed.PackedSimulator`
+    compiled for this circuit/library) the batch runs bit-packed and the
+    means come from per-word popcounts — exactly equal to the unpacked
+    ``float(arr.mean())`` since both sum the same 0/1 integers.
+    """
     if n_vectors < 1:
         raise ValueError("need at least one vector")
     rng = np.random.default_rng(seed)
@@ -63,8 +69,23 @@ def _estimate_impl(circuit: Circuit, n_vectors: int, seed: int,
     for pi in circuit.primary_inputs:
         p = 0.5 if pi_one_prob is None else pi_one_prob.get(pi, 0.5)
         pi_matrix[pi] = (rng.random(n_vectors) < p).astype(np.uint8)
+    if simulator is not None:
+        return simulator.mean_ones(pi_matrix)
     values = evaluate_batch(circuit, pi_matrix, library)
     return {net: float(arr.mean()) for net, arr in values.items()}
+
+
+def _activity_impl(circuit: Circuit, n_vectors: int, seed: int,
+                   library: Optional[Library]) -> Dict[str, float]:
+    """The raw toggle-rate estimator (no caching)."""
+    if n_vectors < 2:
+        raise ValueError("need at least two vectors to observe toggles")
+    rng = np.random.default_rng(seed)
+    pi_matrix = {pi: rng.integers(0, 2, n_vectors, dtype=np.uint8)
+                 for pi in circuit.primary_inputs}
+    values = evaluate_batch(circuit, pi_matrix, library)
+    return {net: float(np.mean(arr[1:] != arr[:-1]))
+            for net, arr in values.items()}
 
 
 def propagate_probabilities(circuit: Circuit,
@@ -106,16 +127,20 @@ def estimate_probabilities(circuit: Circuit, n_vectors: int = 2048,
 
 
 def estimate_activity(circuit: Circuit, n_vectors: int = 2048, seed: int = 0,
-                      library: Optional[Library] = None) -> Dict[str, float]:
+                      library: Optional[Library] = None, *,
+                      context=None) -> Dict[str, float]:
     """Toggle rate per net: fraction of consecutive random vectors that
-    flip the net.  Used for dynamic-power-flavoured reports."""
-    if n_vectors < 2:
-        raise ValueError("need at least two vectors to observe toggles")
-    rng = np.random.default_rng(seed)
-    pi_matrix = {pi: rng.integers(0, 2, n_vectors, dtype=np.uint8)
-                 for pi in circuit.primary_inputs}
-    values = evaluate_batch(circuit, pi_matrix, library)
-    return {net: float(np.mean(arr[1:] != arr[:-1])) for net, arr in values.items()}
+    flip the net.  Used for dynamic-power-flavoured reports.
+
+    With ``context=`` the estimate is memoized per ``(n_vectors, seed)``
+    in the shared :class:`~repro.context.AnalysisContext`; a transient
+    context is built otherwise, matching the other wrappers here.
+    """
+    if context is None:
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    return dict(context.activity(n_vectors=n_vectors, seed=seed))
 
 
 def gate_input_probabilities(circuit: Circuit, probs: Dict[str, float],

@@ -1,0 +1,152 @@
+"""Process-parallel sweep runner (repro.flow.parallel).
+
+The sweep runner's contract: results in job order, serial and pooled
+execution produce identical values, pool-infrastructure failures
+degrade to the serial loop, and worker *logic* errors propagate.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.flow.parallel import (
+    CoOptimizationJob,
+    co_optimize_circuit,
+    load_circuit,
+    run_co_optimization_sweep,
+    run_potential_sweep,
+    run_sweep,
+)
+
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+
+# Workers must live at module level so the process pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _maybe_fail(x):
+    if x == 3:
+        raise KeyError("job 3 is poisoned")
+    return -x
+
+
+class TestRunSweep:
+    def test_empty_jobs(self):
+        assert run_sweep(_square, []) == []
+        assert run_sweep(_square, [], max_workers=4) == []
+
+    def test_serial_preserves_order(self):
+        assert run_sweep(_square, range(6), max_workers=1) == \
+            [0, 1, 4, 9, 16, 25]
+
+    def test_pool_preserves_order(self):
+        assert run_sweep(_square, range(6), max_workers=2) == \
+            [0, 1, 4, 9, 16, 25]
+
+    def test_worker_error_propagates_serially(self):
+        with pytest.raises(KeyError, match="poisoned"):
+            run_sweep(_maybe_fail, [1, 2, 3], max_workers=1)
+
+    def test_worker_error_propagates_from_pool(self):
+        with pytest.raises(KeyError, match="poisoned"):
+            run_sweep(_maybe_fail, [1, 2, 3], max_workers=2)
+
+    def test_broken_pool_falls_back_to_serial(self, monkeypatch):
+        class NoPool:
+            def __init__(self, *a, **k):
+                raise OSError("no process support here")
+
+        monkeypatch.setattr("repro.flow.parallel.ProcessPoolExecutor",
+                            NoPool)
+        assert run_sweep(_square, range(4), max_workers=2) == [0, 1, 4, 9]
+
+    def test_unpicklable_job_falls_back_to_serial(self):
+        # A lambda job can't cross the process boundary; the runner
+        # degrades to the serial loop instead of crashing.
+        jobs = [lambda: 7]
+        assert run_sweep(lambda f: f(), jobs, max_workers=2) == [7]
+
+
+class TestLoadCircuit:
+    def test_iscas85_name(self):
+        assert load_circuit("c432").name == "c432"
+
+    def test_packaged_name(self):
+        assert load_circuit("c17").name == "c17"
+
+    def test_bench_path(self, tmp_path):
+        from repro.netlist import load_packaged, save_bench
+
+        path = tmp_path / "tiny.bench"
+        save_bench(load_packaged("c17"), path)
+        assert sorted(load_circuit(str(path)).primary_inputs) == \
+            sorted(load_packaged("c17").primary_inputs)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown circuit"):
+            load_circuit("c99999")
+
+
+class TestCoOptimizationSweep:
+    def test_pooled_identical_to_serial(self):
+        kwargs = dict(n_vectors=16, max_set_size=4, seed=3)
+        serial = run_co_optimization_sweep(("c17", "c432"), PROFILE,
+                                           TEN_YEARS, max_workers=1,
+                                           **kwargs)
+        pooled = run_co_optimization_sweep(("c17", "c432"), PROFILE,
+                                           TEN_YEARS, max_workers=2,
+                                           **kwargs)
+        assert serial == pooled
+        assert [row.name for row in serial] == ["c17", "c432"]
+
+    def test_row_matches_direct_worker(self):
+        job = CoOptimizationJob(circuit="c17", profile=PROFILE,
+                                lifetime=TEN_YEARS, n_vectors=16,
+                                max_set_size=4, seed=3)
+        row = co_optimize_circuit(job)
+        [sweep_row] = run_co_optimization_sweep(
+            ("c17",), PROFILE, TEN_YEARS, n_vectors=16, max_set_size=4,
+            seed=3, max_workers=1)
+        assert row == sweep_row
+        assert 0.0 <= row.min_degradation <= row.worst_degradation + 1e-12
+        assert row.chosen_leakage <= row.expected_leakage
+        assert len(row.chosen_bits) == len(load_circuit("c17").primary_inputs)
+
+
+class TestPotentialSweep:
+    def test_pooled_identical_to_serial(self):
+        serial = run_potential_sweep(("c17",), (330.0, 400.0),
+                                     max_workers=1)
+        pooled = run_potential_sweep(("c17",), (330.0, 400.0),
+                                     max_workers=2)
+        assert list(serial) == ["c17"]
+        assert serial == pooled
+        sweep = serial["c17"]
+        assert len(sweep) == 2
+        assert sweep[0].t_standby == 330.0
+        assert sweep[1].worst_degradation >= sweep[0].worst_degradation
+
+
+def test_pool_actually_used_when_forced():
+    # Sanity: max_workers=2 really routes through ProcessPoolExecutor
+    # (guards against a refactor silently making everything serial).
+    calls = []
+    real = concurrent.futures.ProcessPoolExecutor
+
+    class Spy(real):
+        def __init__(self, *a, **k):
+            calls.append(k.get("max_workers"))
+            super().__init__(*a, **k)
+
+    import repro.flow.parallel as mod
+    old = mod.ProcessPoolExecutor
+    mod.ProcessPoolExecutor = Spy
+    try:
+        run_sweep(_square, range(3), max_workers=2)
+    finally:
+        mod.ProcessPoolExecutor = old
+    assert calls == [2]
