@@ -17,7 +17,7 @@ bench:
 # Packed-vs-scalar MLV perf harness; writes benchmarks/BENCH_mlv.json.
 # BENCH_SMOKE=1 for the seconds-scale CI variant.
 bench-perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py --benchmark-only -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py --benchmark-only -q -s
 
 lint:
 	ruff check src tests benchmarks examples

@@ -27,6 +27,7 @@ artifact                  cache key
 ``leakage_for_vector``    PI bit tuple
 ``expected_leakage``      PI-probability map
 ``fresh_timing``          ``supply_drop``
+``compiled_timing``       ``(wire_cap, po_cap)``
 ``gate_shifts``           ``(profile, lifetime, standby spec)``
 ``packed_simulator``      structural (one entry)
 ``activity``              ``(n_vectors, seed)``
@@ -270,6 +271,26 @@ class AnalysisContext:
             "gate_loads", (wc, pc),
             lambda: _compute_gate_loads(self.circuit, self.library, wc, pc))
 
+    def compiled_timing(self, wire_cap: Optional[float] = None,
+                        po_cap: Optional[float] = None):
+        """The compiled STA kernel of this (circuit, library, loads).
+
+        One :class:`~repro.sta.compiled.CompiledTiming` per parasitic
+        setting — the lowering walks the netlist once; the per-gate
+        base delays inside it are additionally memoized per
+        ``(supply_drop, temperature)``.  Invalidated (like everything
+        else) by :meth:`invalidate` after a netlist mutation.
+        """
+        from repro.sta.analysis import PO_CAP, WIRE_CAP
+        from repro.sta.compiled import CompiledTiming
+
+        wc = WIRE_CAP if wire_cap is None else wire_cap
+        pc = PO_CAP if po_cap is None else po_cap
+        return self._memo(
+            "compiled_timing", (wc, pc),
+            lambda: CompiledTiming(self.circuit, self.library,
+                                   loads=self.gate_loads(wc, pc)))
+
     def fresh_timing(self, supply_drop: float = 0.0):
         """Unaged :class:`~repro.sta.analysis.TimingResult`, per rail drop."""
         from repro.sta.analysis import analyze
@@ -278,7 +299,8 @@ class AnalysisContext:
             "fresh_timing", (supply_drop,),
             lambda: analyze(self.circuit, self.library,
                             loads=self.gate_loads(),
-                            supply_drop=supply_drop))
+                            supply_drop=supply_drop,
+                            context=self))
 
     def fresh_delay(self, supply_drop: float = 0.0) -> float:
         """Unaged circuit delay in seconds."""

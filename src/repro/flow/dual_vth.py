@@ -90,7 +90,9 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
                     profile: Optional[OperatingProfile] = None,
                     lifetime: float = TEN_YEARS,
                     model: NbtiModel = DEFAULT_MODEL,
-                    library: Optional[Library] = None) -> DualVthResult:
+                    library: Optional[Library] = None,
+                    context=None,
+                    engine: str = "compiled") -> DualVthResult:
     """Greedy slack-driven dual-Vth assignment + joint evaluation.
 
     Gates are visited in decreasing slack order; each is swapped to HVT
@@ -103,32 +105,69 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
         timing_budget: allowed fresh-delay increase (0 = no slowdown).
         profile: operating profile for the aging comparison (defaults to
             the paper's RAS = 1:9, T_standby = 330 K).
+        context: shared :class:`~repro.context.AnalysisContext`; the
+            base STA, gate loads, stress duties, and the compiled
+            kernel come from its memo.
+        engine: ``"compiled"`` (default) checks each HVT swap trial by
+            re-timing only the swapped gate's fanout cone;
+            ``"scalar"`` re-runs the full Python arrival walk per
+            trial.  Both take identical swap decisions.
     """
+    if engine not in ("compiled", "scalar"):
+        raise ValueError(f"engine must be 'compiled' or 'scalar', "
+                         f"got {engine!r}")
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
+    if context is not None and (context.circuit is not circuit
+                                or context.library is not library):
+        context = None
     profile = profile or OperatingProfile.from_ras("1:9", t_standby=330.0)
-    base = analyze(circuit, library)
+    base = analyze(circuit, library, context=context,
+                   engine="auto" if engine == "compiled" else "scalar")
     budget_delay = base.circuit_delay * (1.0 + timing_budget)
     factor = hvt_delay_factor(delta_vth_hvt, library)
-    timer = FastAgedTimer(circuit, library)
+    timer = FastAgedTimer(circuit, library, context=context, engine=engine)
 
     # Greedy: most-slack first.
     order = sorted(circuit.gates, key=lambda g: base.slack[g], reverse=True)
     factors: Dict[str, float] = {}
     hvt: Set[str] = set()
-    for gate in order:
-        if base.slack[gate] <= 0:
-            continue
-        factors[gate] = factor
-        if timer.circuit_delay(delay_factors=factors) <= budget_delay:
-            hvt.add(gate)
-        else:
-            del factors[gate]
-    fresh_dual = timer.circuit_delay(delay_factors=factors)
+    if engine == "compiled":
+        # A swap trial changes exactly one gate's delay (the HVT factor
+        # has no load coupling), so each check re-times only its fanout
+        # cone instead of the whole circuit.
+        ct = timer.compiled
+        base_d = ct.base_delays()
+        inc = ct.incremental(delays=base_d)
+        for gate in order:
+            if base.slack[gate] <= 0:
+                continue
+            i = ct.gate_index[gate]
+            changes = {gate: (float(base_d[2 * i] * factor),
+                              float(base_d[2 * i + 1] * factor))}
+            if inc.trial(changes) <= budget_delay:
+                hvt.add(gate)
+                factors[gate] = factor
+                inc.update(changes)
+        fresh_dual = inc.circuit_delay
+    else:
+        for gate in order:
+            if base.slack[gate] <= 0:
+                continue
+            factors[gate] = factor
+            if timer.circuit_delay(delay_factors=factors) <= budget_delay:
+                hvt.add(gate)
+            else:
+                del factors[gate]
+        fresh_dual = timer.circuit_delay(delay_factors=factors)
 
     # Aging comparison at the lifetime horizon (worst-case standby).
-    analyzer = AgingAnalyzer(library=library, model=model)
+    analyzer = (context.analyzer
+                if context is not None and context.model == model
+                else AgingAnalyzer(library=library, model=model))
     shifts_lvt = analyzer.gate_shifts(circuit, profile, lifetime,
-                                      standby=ALL_ZERO)
+                                      standby=ALL_ZERO, context=context)
     vth0 = library.tech.pmos.vth0
     calibration = model.calibration
     hvt_scale = (calibration.field_factor(vth0 + delta_vth_hvt)

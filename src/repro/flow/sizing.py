@@ -84,6 +84,22 @@ class SizingTimer:
             total += cap * sizes.get(consumer, 1.0)
         return total
 
+    def delay_edges(self, name: str, sizes: Dict[str, float],
+                    delta_vth: Dict[str, float]) -> Tuple[float, float]:
+        """(rise, fall) delay of one gate under sizes + aging.
+
+        The exact expression of the full forward pass — the compiled
+        incremental engine rebuilds per-gate delays through this method
+        so both engines stay bit-identical.
+        """
+        s = sizes.get(name, 1.0)
+        aging = 1.0 + self._slope * delta_vth.get(name, 0.0)
+        load = self.load(name, sizes)
+        return tuple(
+            (self._intercept[name][edge]
+             + self._coeff[name][edge] * load / s) * aging
+            for edge in _EDGES)
+
     def circuit_delay(self, sizes: Optional[Dict[str, float]] = None,
                       delta_vth: Optional[Dict[str, float]] = None
                       ) -> Tuple[float, List[str]]:
@@ -187,6 +203,79 @@ class SizingTimer:
         return cone
 
 
+class _CompiledSizingState:
+    """Incremental cone-retiming state for the compiled sizing engine.
+
+    Resizing one gate changes exactly its own delay (the ``load / s``
+    term) and the delay of every *gate* driving one of its input nets
+    (their load includes the resized input-pin capacitance) — a handful
+    of gates, recomputed through :meth:`SizingTimer.delay_edges` and
+    pushed through :class:`~repro.sta.compiled.IncrementalTimer`'s
+    fanout-cone propagation instead of a full forward pass.
+    """
+
+    def __init__(self, timer: SizingTimer, compiled, sizes: Dict[str, float],
+                 delta_vth: Dict[str, float]):
+        import numpy as np
+
+        self.timer = timer
+        self.compiled = compiled
+        self.delta_vth = delta_vth
+        delays = np.empty(2 * compiled.n_gates, dtype=np.float64)
+        for i, name in enumerate(compiled.gate_names):
+            delays[2 * i], delays[2 * i + 1] = timer.delay_edges(
+                name, sizes, delta_vth)
+        self.inc = compiled.incremental(delays=delays)
+
+    def affected(self, gate: str) -> List[str]:
+        """Gates whose delay moves when ``gate`` is resized."""
+        gates = self.timer.circuit.gates
+        result = [gate]
+        for net in gates[gate].inputs:
+            if net in gates and net not in result:
+                result.append(net)
+        return result
+
+    def _changes(self, gates: List[str], sizes: Dict[str, float]
+                 ) -> Dict[str, Tuple[float, float]]:
+        return {g: self.timer.delay_edges(g, sizes, self.delta_vth)
+                for g in gates}
+
+    def trial(self, gate: str, sizes: Dict[str, float]) -> float:
+        """Circuit delay if ``sizes`` (with ``gate`` resized) applied."""
+        return self.inc.trial(self._changes(self.affected(gate), sizes))
+
+    def commit(self, gates: List[str], sizes: Dict[str, float]
+               ) -> Tuple[float, List[str]]:
+        """Apply resized ``gates``; return (delay, critical gate list)."""
+        affected: List[str] = []
+        for gate in gates:
+            for g in self.affected(gate):
+                if g not in affected:
+                    affected.append(g)
+        delay = self.inc.update(self._changes(affected, sizes))
+        return delay, self.inc.critical_gates()
+
+    def evaluate(self) -> Tuple[float, List[str]]:
+        """(delay, critical gate list) of the current committed state."""
+        return self.inc.circuit_delay, self.inc.critical_gates()
+
+    def critical_cone(self, slack_fraction: float = 1e-3) -> List[str]:
+        """The zero-slack cone of the committed state (scalar order)."""
+        ct = self.compiled
+        arr = self.inc.arrival_rows()
+        target = float(arr[ct.po_rows].max())
+        req = ct.required(arr, self.inc.delay_rows(), target)
+        threshold = slack_fraction * target
+        cone: List[str] = []
+        for name in self.timer.circuit.gates:
+            row = 2 * ct.node_index[name]
+            slack = min(req[row] - arr[row], req[row + 1] - arr[row + 1])
+            if slack <= threshold:
+                cone.append(name)
+        return cone
+
+
 @dataclass(frozen=True)
 class SizingResult:
     """Outcome of NBTI-aware sizing.
@@ -220,7 +309,8 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
                    max_area_factor: float = 2.0,
                    library: Optional[Library] = None,
                    analyzer: Optional[AgingAnalyzer] = None,
-                   context=None) -> SizingResult:
+                   context=None,
+                   engine: str = "compiled") -> SizingResult:
     """Greedy sizing until the *aged* circuit meets the fresh target.
 
     Args:
@@ -232,10 +322,18 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
         context: shared :class:`~repro.context.AnalysisContext`; the
             aging shifts (probability propagation + stress duties) come
             from its memo, the load-aware sizing timer stays local.
+        engine: ``"compiled"`` (default) re-times only the resized
+            gate's fanout cone per trial through the incremental STA
+            kernel; ``"scalar"`` runs a full Python forward pass per
+            trial.  Both take the identical move sequence and return
+            bit-identical results.
 
     The aging shifts are held fixed during sizing (sizing changes
     loads, not stress states), which matches [22]'s formulation.
     """
+    if engine not in ("compiled", "scalar"):
+        raise ValueError(f"engine must be 'compiled' or 'scalar', "
+                         f"got {engine!r}")
     library = library or (context.library if context is not None
                           else default_library())
     analyzer = analyzer or AgingAnalyzer(library=library)
@@ -255,7 +353,19 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
     # penalty beats the self-speedup until the size jump is large
     # enough), so each candidate tries a menu of step factors.
     steps = sorted({step, step ** 2, 2.0})
-    delay, critical = timer.circuit_delay(sizes, shifts)
+    state: Optional[_CompiledSizingState] = None
+    if engine == "compiled":
+        if (context is not None and context.circuit is circuit
+                and context.library is library):
+            compiled = context.compiled_timing()
+        else:
+            from repro.sta.compiled import CompiledTiming
+
+            compiled = CompiledTiming(circuit, library)
+        state = _CompiledSizingState(timer, compiled, sizes, shifts)
+        delay, critical = state.evaluate()
+    else:
+        delay, critical = timer.circuit_delay(sizes, shifts)
     while delay > target and area < max_area:
         best_gain = 0.0
         best_move = None  # (gate, new_size, new_delay)
@@ -265,7 +375,10 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
                 if current * factor > max_size:
                     continue
                 sizes[gate] = current * factor
-                new_delay, _ = timer.circuit_delay(sizes, shifts)
+                if state is not None:
+                    new_delay = state.trial(gate, sizes)
+                else:
+                    new_delay, _ = timer.circuit_delay(sizes, shifts)
                 # Restore the trial (unsized gates keep no entry).
                 if current == 1.0:
                     del sizes[gate]
@@ -279,7 +392,11 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
             # Path-swarm fallback: balanced circuits carry many exactly
             # tied critical paths, so no single-gate move can reduce the
             # max.  Upsize the whole zero-slack cone one step.
-            cone = [g for g in timer.critical_cone(sizes, shifts)
+            if state is not None:
+                full_cone = state.critical_cone()
+            else:
+                full_cone = timer.critical_cone(sizes, shifts)
+            cone = [g for g in full_cone
                     if sizes.get(g, 1.0) * step <= max_size]
             if not cone:
                 break
@@ -287,7 +404,10 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
                 prev = sizes.get(gate, 1.0)
                 area += prev * (step - 1.0)
                 sizes[gate] = prev * step
-            new_delay, critical = timer.circuit_delay(sizes, shifts)
+            if state is not None:
+                new_delay, critical = state.commit(cone, sizes)
+            else:
+                new_delay, critical = timer.circuit_delay(sizes, shifts)
             if new_delay >= delay * (1 - 1e-9):
                 # The swarm move did not help either: give up honestly.
                 delay = new_delay
@@ -297,7 +417,10 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
         gate, new_size, _ = best_move
         area += new_size - sizes.get(gate, 1.0)
         sizes[gate] = new_size
-        delay, critical = timer.circuit_delay(sizes, shifts)
+        if state is not None:
+            delay, critical = state.commit([gate], sizes)
+        else:
+            delay, critical = timer.circuit_delay(sizes, shifts)
     return SizingResult(
         circuit_name=circuit.name,
         sizes=dict(sizes),

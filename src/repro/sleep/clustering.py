@@ -84,12 +84,17 @@ def cluster_gates(circuit: Circuit, n_clusters: int,
 def clustered_design(circuit: Circuit, n_clusters: int, beta: float, *,
                      policy: str = "stripe", vth_st: float = 0.22,
                      n_pairs: int = 64, bins: int = 25, seed: int = 0,
-                     library: Optional[Library] = None) -> ClusteredDesign:
+                     library: Optional[Library] = None,
+                     context=None) -> ClusteredDesign:
     """Size one ST per cluster from its own sampled peak current.
 
     All clusters share the eq. (28) drop budget (they gate the same
     logic, so the worst per-gate slowdown bound applies uniformly).
+    With ``context=`` the gate loads and the fresh STA come from the
+    shared memo instead of being rebuilt per call.
     """
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
     tech = library.tech
     if not 0.0 < beta < 1.0:
@@ -98,8 +103,12 @@ def clustered_design(circuit: Circuit, n_clusters: int, beta: float, *,
     if st_overdrive <= 0:
         raise ValueError("sleep transistor has no overdrive")
     clusters = cluster_gates(circuit, n_clusters, policy)
-    loads = gate_loads(circuit, library)
-    timing = analyze(circuit, library, loads=loads)
+    if context is not None and context.library is library:
+        loads = context.gate_loads()
+        timing = context.fresh_timing()
+    else:
+        loads = gate_loads(circuit, library)
+        timing = analyze(circuit, library, loads=loads)
     period = timing.circuit_delay
     bin_width = period / bins
 

@@ -62,23 +62,31 @@ class PeakCurrentEstimate:
 
 def estimate_peak_current(circuit: Circuit, *, n_pairs: int = 128,
                           bins: int = 25, seed: int = 0,
-                          library: Optional[Library] = None
-                          ) -> PeakCurrentEstimate:
+                          library: Optional[Library] = None,
+                          context=None) -> PeakCurrentEstimate:
     """Sampled worst-case simultaneous switching current of a block.
 
     Args:
         n_pairs: random transitions to sample.
         bins: time bins across the critical delay; the peak is read per
             bin, so more bins = sharper (and larger) peaks.
+        context: shared :class:`~repro.context.AnalysisContext`
+            supplying the memoized gate loads and fresh STA.
     """
     if n_pairs < 1:
         raise ValueError("need at least one vector pair")
     if bins < 1:
         raise ValueError("need at least one time bin")
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
     tech = library.tech
-    loads = gate_loads(circuit, library)
-    timing = analyze(circuit, library, loads=loads)
+    if context is not None and context.library is library:
+        loads = context.gate_loads()
+        timing = context.fresh_timing()
+    else:
+        loads = gate_loads(circuit, library)
+        timing = analyze(circuit, library, loads=loads)
     period = timing.circuit_delay
 
     bin_width = period / bins

@@ -75,7 +75,8 @@ def _drop_for_slowdown(slowdown: float, overdrive: float, alpha: float
 def design_fine_grain(circuit: Circuit, beta: float, *,
                       vth_st: float = 0.22,
                       library: Optional[Library] = None,
-                      search_steps: int = 20) -> FineGrainDesign:
+                      search_steps: int = 20,
+                      context=None) -> FineGrainDesign:
     """Size one PMOS header per gate, exploiting per-gate slack.
 
     Args:
@@ -83,20 +84,29 @@ def design_fine_grain(circuit: Circuit, beta: float, *,
             ``(1 + beta)`` of the fresh delay).
         vth_st: threshold of the sleep devices.
         search_steps: binary-search iterations on the slack share.
+        context: shared :class:`~repro.context.AnalysisContext`
+            supplying the memoized loads, fresh STA, and compiled
+            timing kernel.
 
     Raises:
         ValueError: for a non-positive budget or collapsed ST overdrive.
     """
     if not 0.0 < beta < 1.0:
         raise ValueError("beta must be in (0, 1)")
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
     tech = library.tech
     st_overdrive = tech.vdd - vth_st
     if st_overdrive <= 0:
         raise ValueError("sleep transistor has no overdrive")
-    loads = gate_loads(circuit, library)
-    base = analyze(circuit, library, loads=loads)
-    timer = FastAgedTimer(circuit, library)
+    if context is not None and context.library is library:
+        loads = context.gate_loads()
+        base = context.fresh_timing()
+    else:
+        loads = gate_loads(circuit, library)
+        base = analyze(circuit, library, loads=loads)
+    timer = FastAgedTimer(circuit, library, context=context)
     overdrive = tech.vdd - tech.pmos.vth0
     budget_delay = base.circuit_delay * (1.0 + beta)
 
@@ -154,14 +164,20 @@ def design_fine_grain(circuit: Circuit, beta: float, *,
 
 def uniform_fine_grain_area(circuit: Circuit, beta: float, *,
                             vth_st: float = 0.22,
-                            library: Optional[Library] = None) -> float:
+                            library: Optional[Library] = None,
+                            context=None) -> float:
     """Total (W/L) of the naive uniform-beta FGSTI (no slack use).
 
     The baseline the slack-aware design is compared against.
     """
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
     tech = library.tech
-    loads = gate_loads(circuit, library)
+    if context is not None and context.library is library:
+        loads = context.gate_loads()
+    else:
+        loads = gate_loads(circuit, library)
     overdrive = tech.vdd - tech.pmos.vth0
     drop = _drop_for_slowdown(beta, overdrive, tech.alpha)
     st_overdrive = tech.vdd - vth_st

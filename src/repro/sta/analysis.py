@@ -129,7 +129,8 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
             required_time: Optional[float] = None,
             loads: Optional[Dict[str, float]] = None,
             aging_mode: str = "per_gate",
-            context=None) -> TimingResult:
+            context=None,
+            engine: str = "auto") -> TimingResult:
     """Run STA.
 
     Args:
@@ -147,10 +148,44 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
             pull-up (rising) stages slow down, via the cell model.
         context: an :class:`~repro.context.AnalysisContext` supplying
             the memoized gate loads (and the library, when not given).
+        engine: ``"auto"`` (default) routes per-gate runs through the
+            context's compiled NumPy kernel
+            (:class:`repro.sta.compiled.CompiledTiming`) when one is
+            available — one-shot calls without a context stay scalar,
+            since compiling costs as much as evaluating once.
+            ``"compiled"`` forces the kernel (building a transient one
+            if needed); ``"scalar"`` forces the pure-Python oracle.
+            Both engines are float-identical.
 
     Returns:
         :class:`TimingResult`.
     """
+    if aging_mode not in ("per_gate", "per_edge"):
+        raise ValueError(f"aging_mode must be 'per_gate' or 'per_edge', "
+                         f"got {aging_mode!r}")
+    if engine not in ("auto", "compiled", "scalar"):
+        raise ValueError(f"engine must be 'auto', 'compiled' or 'scalar', "
+                         f"got {engine!r}")
+    if engine == "compiled" and aging_mode == "per_edge":
+        raise ValueError("per_edge aging has no compiled kernel; "
+                         "use engine='scalar'")
+    if aging_mode == "per_gate" and engine != "scalar":
+        compiled = None
+        if (context is not None and context.circuit is circuit
+                and (library is None or library is context.library)):
+            candidate = context.compiled_timing()
+            # Caller-supplied loads must match the compiled artifact's
+            # (value equality: the kernel's delays are baked from them).
+            if loads is None or loads == candidate.loads:
+                compiled = candidate
+        if compiled is None and engine == "compiled":
+            from repro.sta.compiled import CompiledTiming
+
+            compiled = CompiledTiming(circuit, library, loads=loads)
+        if compiled is not None:
+            return compiled.analyze(delta_vth, supply_drop=supply_drop,
+                                    temperature=temperature,
+                                    required_time=required_time)
     if context is not None:
         if library is None:
             library = context.library
@@ -159,9 +194,6 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
     library = library or default_library()
     tech = library.tech
     delta_vth = delta_vth or {}
-    if aging_mode not in ("per_gate", "per_edge"):
-        raise ValueError(f"aging_mode must be 'per_gate' or 'per_edge', "
-                         f"got {aging_mode!r}")
     loads = loads if loads is not None else gate_loads(circuit, library)
 
     arrival: Dict[str, Dict[str, float]] = {}

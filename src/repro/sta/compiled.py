@@ -1,0 +1,753 @@
+"""Compiled STA kernel: batched NumPy arrival propagation (perf tentpole).
+
+:func:`repro.sta.analysis.analyze` walks the circuit gate by gate in
+Python, calling :meth:`repro.cells.cell.Cell.delay` (a multi-stage
+alpha-power evaluation) twice per gate per scenario.  Every *timing*
+consumer — the eq. (22) aged-delay sweeps, the sleep-transistor sizing
+loops, the Fig. 12 Monte-Carlo study — repeats that walk once per
+scenario over identical topology.
+
+:class:`CompiledTiming` lowers one ``(Circuit, Library, loads)`` triple
+into flat NumPy arrays exactly once:
+
+* **node/row layout** — primary inputs get node indices ``0..n_pi-1``,
+  gates get ``n_pi + topo_position``; each node owns two *rows* in the
+  arrival/required arrays, ``2*node + edge`` with rise = 0, fall = 1;
+* **fanin CSR** — for every gate-edge segment ``s = 2*topo_i + edge``,
+  the candidate predecessor rows derived from
+  :func:`repro.sta.analysis._input_edges_for`, concatenated into
+  ``fanin_idx`` with ``seg_ptr`` offsets;
+* **levelized schedule** — segments grouped by logic level so each
+  level is one gather + ``np.maximum.reduceat`` + add over a **batch
+  axis of scenarios**: one call times an entire year-series, RAS sweep,
+  or a (gates x samples) Monte-Carlo ΔVth matrix;
+* **base-delay memo** — the expensive per-gate ``cell.delay`` results,
+  keyed by ``(supply_drop, temperature)`` so lifetime sweeps over a
+  changing virtual-rail drop recompute the Python part once per drop.
+
+Exactness contract: every float produced here is **bit-identical** to
+the scalar ``analyze()`` path (``aging_mode="per_gate"``).  ``max`` is
+exact and associative, each arrival is one ``max + add`` of the same
+operands in the same order, and the aging factor is computed as
+``1.0 + (alpha * dVth) / (Vdd - Vth0)`` — the literal expression of
+eq. (22) in ``analyze()``.  The scalar path is retained as the oracle;
+``tests/test_sta_compiled.py`` pins the equivalence across benches,
+random circuits, and mutation sequences.
+
+:class:`IncrementalTimer` adds the single-gate-mutation mode used by
+the sizing / dual-Vth / FGSTI loops: after a gate's delay changes, only
+its downstream fanout cone is re-propagated (level-ordered worklist
+with exact-equality pruning), and — under a fixed timing constraint —
+only the affected backward cone of required times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cells.library import Library
+from repro.netlist.circuit import Circuit
+from repro.sta.analysis import (
+    _EDGES,
+    _input_edges_for,
+    PO_CAP,
+    WIRE_CAP,
+    TimingResult,
+    _compute_gate_loads,
+)
+
+_EDGE_INDEX = {"rise": 0, "fall": 1}
+
+#: Accepted per-gate scenario inputs: nothing, a name->value mapping, a
+#: (n_gates,) vector in topological order, or a (n_gates, n_scenarios)
+#: batch matrix.
+GateValues = Union[None, Mapping[str, float], np.ndarray, Sequence[float]]
+
+
+class _Level:
+    """One levelized forward step (all gate-edges of one logic level)."""
+
+    __slots__ = ("rows", "segs", "fanin", "starts", "counts")
+
+    def __init__(self, rows: np.ndarray, segs: np.ndarray,
+                 fanin: np.ndarray, starts: np.ndarray, counts: np.ndarray):
+        self.rows = rows        # arrival rows written by this level
+        self.segs = segs        # segment ids (delay gather indices)
+        self.fanin = fanin      # concatenated candidate rows (gather)
+        self.starts = starts    # reduceat starts into `fanin`
+        self.counts = counts    # candidates per segment
+
+
+class CompiledTiming:
+    """A (Circuit, Library, loads) triple lowered to flat NumPy arrays.
+
+    Args:
+        circuit: the netlist (structurally frozen while this artifact
+            lives; rebuild after :meth:`Circuit.replace_gate` — an
+            :class:`~repro.context.AnalysisContext` does this through
+            its ``compiled_timing`` cache key).
+        library: technology binding (defaults to the shared PTM90
+            library).
+        loads: per-gate output loads; computed from ``wire_cap`` /
+            ``po_cap`` when omitted.
+
+    The compile step performs one topological walk; per-gate base
+    delays (the Python-expensive part) are computed lazily per
+    ``(supply_drop, temperature)`` key by :meth:`base_delays`.
+    """
+
+    def __init__(self, circuit: Circuit, library: Optional[Library] = None,
+                 *, loads: Optional[Mapping[str, float]] = None,
+                 wire_cap: float = WIRE_CAP, po_cap: float = PO_CAP):
+        from repro.sim.logic import default_library
+
+        self.circuit = circuit
+        self.library = library or default_library()
+        if loads is None:
+            loads = _compute_gate_loads(circuit, self.library, wire_cap, po_cap)
+        self.loads: Dict[str, float] = dict(loads)
+
+        tech = self.library.tech
+        self._alpha = tech.alpha
+        self._overdrive = tech.vdd - tech.pmos.vth0
+
+        self.gate_names: List[str] = circuit.topological_order()
+        self.n_gates = len(self.gate_names)
+        self.n_pi = len(circuit.primary_inputs)
+        self.gate_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.gate_names)}
+        self.node_index: Dict[str, int] = {
+            pi: i for i, pi in enumerate(circuit.primary_inputs)}
+        for i, name in enumerate(self.gate_names):
+            self.node_index[name] = self.n_pi + i
+        self.n_rows = 2 * (self.n_pi + self.n_gates)
+
+        # Fanin CSR over gate-edge segments (s = 2*topo_i + edge).
+        fanin: List[int] = []
+        ptr: List[int] = [0]
+        for name in self.gate_names:
+            gate = circuit.gates[name]
+            for out_edge in _EDGES:
+                for net in gate.inputs:
+                    node = self.node_index[net]
+                    for in_edge in _input_edges_for(gate.cell, out_edge):
+                        fanin.append(2 * node + _EDGE_INDEX[in_edge])
+                ptr.append(len(fanin))
+        self.fanin_idx = np.asarray(fanin, dtype=np.int64)
+        self.seg_ptr = np.asarray(ptr, dtype=np.int64)
+        self._seg_counts = np.diff(self.seg_ptr)
+
+        # Levelized schedule: all inputs of a level-L gate sit strictly
+        # below L, so one gather/reduceat per level is a valid order.
+        levels_map = circuit.levels()
+        by_level: Dict[int, List[int]] = {}
+        for i, name in enumerate(self.gate_names):
+            by_level.setdefault(levels_map[name], []).append(i)
+        self._levels: List[_Level] = []
+        for level in sorted(by_level):
+            gate_ids = by_level[level]
+            segs = np.asarray([2 * i + e for i in gate_ids for e in (0, 1)],
+                              dtype=np.int64)
+            rows = np.asarray(
+                [2 * (self.n_pi + i) + e for i in gate_ids for e in (0, 1)],
+                dtype=np.int64)
+            pieces = [self.fanin_idx[self.seg_ptr[s]:self.seg_ptr[s + 1]]
+                      for s in segs]
+            counts = np.asarray([len(p) for p in pieces], dtype=np.int64)
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            self._levels.append(_Level(rows, segs,
+                                       np.concatenate(pieces) if pieces
+                                       else np.empty(0, dtype=np.int64),
+                                       starts.astype(np.int64), counts))
+
+        # Primary-output rows in the scalar scan order (duplicates kept:
+        # the scalar loop iterates primary_outputs as declared).
+        self.po_order: List[Tuple[str, str]] = [
+            (po, edge) for po in circuit.primary_outputs for edge in _EDGES]
+        self.po_rows = np.asarray(
+            [2 * self.node_index[po] + _EDGE_INDEX[edge]
+             for po, edge in self.po_order], dtype=np.int64)
+
+        # Fanout adjacency at node granularity (for incremental cones).
+        fanout = circuit.fanout()
+        self._fanout_nodes: List[List[int]] = [
+            [] for _ in range(self.n_pi + self.n_gates)]
+        for net, consumers in fanout.items():
+            node = self.node_index[net]
+            self._fanout_nodes[node] = [self.node_index[c] for c in consumers]
+
+        # Plain-Python mirrors of the hot incremental-mode structures:
+        # the cone walk touches a handful of rows per move, where list
+        # indexing + float arithmetic beat per-element ufunc dispatch by
+        # an order of magnitude (same rationale as the big-int packed
+        # simulator; see docs/PERFORMANCE.md).
+        self.fanin_lists: List[List[int]] = [
+            [int(r) for r in self.fanin_idx[ptr[s]:ptr[s + 1]]]
+            for s in range(2 * self.n_gates)]
+        self.po_row_list: List[int] = [int(r) for r in self.po_rows]
+        self.node_levels: List[int] = [0] * (self.n_pi + self.n_gates)
+        for i, name in enumerate(self.gate_names):
+            self.node_levels[self.n_pi + i] = levels_map[name]
+
+        # Reverse CSR (row -> consumer segments), built lazily for the
+        # incremental required-time backward cone.
+        self._rev: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._base_delays: Dict[Tuple[float, float], np.ndarray] = {}
+
+    # -- delay vectors -----------------------------------------------------
+
+    def base_delays(self, supply_drop: float = 0.0,
+                    temperature: float = 300.0) -> np.ndarray:
+        """Fresh per-gate-edge delays, shape ``(2 * n_gates,)``.
+
+        Row ``2*i`` is the rise delay of topo-gate ``i``, ``2*i + 1``
+        the fall delay — exactly ``cell.delay(tech, load, edge,
+        supply_drop=..., temperature=...)``.  Memoized per
+        ``(supply_drop, temperature)``; treat the array as read-only.
+        """
+        key = (float(supply_drop), float(temperature))
+        cached = self._base_delays.get(key)
+        if cached is None:
+            tech = self.library.tech
+            cached = np.empty(2 * self.n_gates, dtype=np.float64)
+            for i, name in enumerate(self.gate_names):
+                cell = self.library.get(self.circuit.gates[name].cell)
+                load = self.loads[name]
+                for e, edge in enumerate(_EDGES):
+                    cached[2 * i + e] = cell.delay(
+                        tech, load, edge, supply_drop=supply_drop,
+                        temperature=temperature)
+            cached.setflags(write=False)
+            self._base_delays[key] = cached
+        return cached
+
+    def gate_vector(self, values: GateValues, default: float = 0.0,
+                    *, batch: bool = True) -> Optional[np.ndarray]:
+        """Normalize a per-gate scenario input to an array (or ``None``).
+
+        Mappings become a ``(n_gates,)`` vector in topological order
+        (unknown names ignored, matching the scalar path's ``.get``).
+        Arrays pass through as float64, ``(n_gates,)`` or — with
+        ``batch`` — ``(n_gates, n_scenarios)``.
+        """
+        if values is None:
+            return None
+        if isinstance(values, Mapping):
+            vec = np.full(self.n_gates, default, dtype=np.float64)
+            index = self.gate_index
+            for name, value in values.items():
+                i = index.get(name)
+                if i is not None:
+                    vec[i] = value
+            return vec
+        vec = np.asarray(values, dtype=np.float64)
+        if vec.ndim == 1 and vec.shape[0] == self.n_gates:
+            return vec
+        if batch and vec.ndim == 2 and vec.shape[0] == self.n_gates:
+            return vec
+        raise ValueError(
+            f"expected ({self.n_gates},)"
+            + (f" or ({self.n_gates}, B)" if batch else "")
+            + f" gate values, got shape {vec.shape}")
+
+    def aging_factors(self, delta_vth: GateValues,
+                      delay_factors: GateValues = None
+                      ) -> Optional[np.ndarray]:
+        """Per-gate delay multipliers: eq. (22) x optional extra factor.
+
+        ``factor = delay_factors * (1 + alpha * dVth / (Vdd - Vth0))``,
+        evaluated in exactly the scalar operand order so results stay
+        bit-identical to ``analyze()`` / the legacy ``FastAgedTimer``.
+        """
+        dvth = self.gate_vector(delta_vth, 0.0)
+        extra = self.gate_vector(delay_factors, 1.0)
+        factor: Optional[np.ndarray] = None
+        if dvth is not None:
+            factor = 1.0 + (self._alpha * dvth) / self._overdrive
+        if extra is not None:
+            factor = extra if factor is None else extra * factor
+        return factor
+
+    def delay_vector(self, delta_vth: GateValues = None,
+                     delay_factors: GateValues = None, *,
+                     supply_drop: float = 0.0,
+                     temperature: float = 300.0) -> np.ndarray:
+        """Aged per-gate-edge delays: ``(2G,)`` or ``(2G, B)`` batched."""
+        base = self.base_delays(supply_drop, temperature)
+        factor = self.aging_factors(delta_vth, delay_factors)
+        if factor is None:
+            return base.copy()
+        factor_edges = np.repeat(factor, 2, axis=0)
+        if factor_edges.ndim == 1:
+            return base * factor_edges
+        return base[:, None] * factor_edges
+
+    # -- forward / backward kernels ----------------------------------------
+
+    def propagate(self, delays: np.ndarray) -> np.ndarray:
+        """Arrival rows for a delay vector; batched along the last axis.
+
+        Returns ``(n_rows,)`` for a ``(2G,)`` input or ``(n_rows, B)``
+        for ``(2G, B)``.  Primary-input rows are 0.0 (the scalar
+        convention).
+        """
+        if delays.ndim == 1:
+            arr = np.zeros(self.n_rows, dtype=np.float64)
+        else:
+            arr = np.zeros((self.n_rows, delays.shape[1]), dtype=np.float64)
+        for lvl in self._levels:
+            cand = arr[lvl.fanin]
+            worst = np.maximum.reduceat(cand, lvl.starts, axis=0)
+            arr[lvl.rows] = worst + delays[lvl.segs]
+        return arr
+
+    def required(self, arrivals: np.ndarray, delays: np.ndarray,
+                 required_time: Union[float, np.ndarray]) -> np.ndarray:
+        """Required-time rows via the vectorized backward pass.
+
+        ``required_time`` may be a scalar or a per-scenario ``(B,)``
+        array.  Rows unreachable from any primary output stay ``+inf``
+        (the scalar convention; slack assembly special-cases them).
+        """
+        req = np.full_like(arrivals, np.inf)
+        req[self.po_rows] = required_time
+        for lvl in reversed(self._levels):
+            contrib = np.repeat(req[lvl.rows] - delays[lvl.segs],
+                                lvl.counts, axis=0)
+            np.minimum.at(req, lvl.fanin, contrib)
+        return req
+
+    def circuit_delays(self, arrivals: np.ndarray
+                       ) -> Union[float, np.ndarray]:
+        """Worst primary-output arrival (>= 0.0, scalar convention)."""
+        if self.po_rows.size == 0:
+            return (0.0 if arrivals.ndim == 1
+                    else np.zeros(arrivals.shape[1], dtype=np.float64))
+        worst = np.max(arrivals[self.po_rows], axis=0)
+        worst = np.maximum(worst, 0.0)
+        return float(worst) if arrivals.ndim == 1 else worst
+
+    # -- public evaluation entry points ------------------------------------
+
+    def delay(self, delta_vth: GateValues = None,
+              delay_factors: GateValues = None, *,
+              supply_drop: float = 0.0, temperature: float = 300.0) -> float:
+        """Circuit delay of one scenario (seconds)."""
+        d = self.delay_vector(delta_vth, delay_factors,
+                              supply_drop=supply_drop, temperature=temperature)
+        if d.ndim != 1:
+            raise ValueError("delay() takes one scenario; use delays_batch")
+        return float(self.circuit_delays(self.propagate(d)))
+
+    def delays_batch(self, delta_vth: GateValues = None,
+                     delay_factors: GateValues = None, *,
+                     supply_drop: float = 0.0,
+                     temperature: float = 300.0) -> np.ndarray:
+        """Circuit delay per scenario for a batched ΔVth/factor matrix.
+
+        Either input may be ``(n_gates, B)``; vectors broadcast against
+        the batch.  Returns a float64 ``(B,)`` array whose entries are
+        bit-identical to per-scenario :meth:`delay` calls (and hence to
+        scalar ``analyze()``).
+        """
+        d = self.delay_vector(delta_vth, delay_factors,
+                              supply_drop=supply_drop, temperature=temperature)
+        if d.ndim == 1:
+            d = d[:, None]
+        return np.asarray(self.circuit_delays(self.propagate(d)))
+
+    def analyze(self, delta_vth: GateValues = None, *,
+                supply_drop: float = 0.0, temperature: float = 300.0,
+                required_time: Optional[float] = None) -> TimingResult:
+        """Full single-scenario STA, float-identical to ``analyze()``.
+
+        Same worst path (including tie-breaks: the first strict max in
+        input order wins), same slacks, same arrival maps, same dict
+        iteration orders.
+        """
+        d = self.delay_vector(delta_vth, supply_drop=supply_drop,
+                              temperature=temperature)
+        arr = self.propagate(d)
+
+        # Critical output: first strict max in the scalar scan order.
+        circuit_delay = 0.0
+        critical_output = self.circuit.primary_outputs[0]
+        critical_edge = "rise"
+        if self.po_rows.size:
+            po_arr = arr[self.po_rows]
+            best = int(np.argmax(po_arr))
+            if po_arr[best] > 0.0:
+                circuit_delay = float(po_arr[best])
+                critical_output, critical_edge = self.po_order[best]
+
+        req_target = circuit_delay if required_time is None else required_time
+        req = self.required(arr, d, req_target)
+
+        # Slack per node: min over edges with a finite required time;
+        # dangling nodes get the loosest meaningful bound.
+        arr2 = arr.reshape(-1, 2)
+        diff = (req - arr).reshape(-1, 2)
+        worst = diff.min(axis=1)
+        dangling = np.isinf(worst)
+        if dangling.any():
+            worst = worst.copy()
+            worst[dangling] = req_target - arr2.max(axis=1)[dangling]
+
+        # Predecessors: first candidate achieving the segment max (the
+        # scalar loop starts best at -1.0, so one is always chosen).
+        pred: Dict[Tuple[str, str], Optional[Tuple[str, str]]] = {}
+        for pi in self.circuit.primary_inputs:
+            pred[(pi, "rise")] = None
+            pred[(pi, "fall")] = None
+        if self.n_gates:
+            cand = arr[self.fanin_idx]
+            seg_max = np.maximum.reduceat(cand, self.seg_ptr[:-1])
+            match = cand == np.repeat(seg_max, self._seg_counts)
+            position = np.where(match, np.arange(cand.size), cand.size)
+            first = np.minimum.reduceat(position, self.seg_ptr[:-1])
+            pred_rows = self.fanin_idx[first]
+            node_names = list(self.circuit.primary_inputs) + self.gate_names
+            for i, name in enumerate(self.gate_names):
+                for e, edge in enumerate(_EDGES):
+                    row = int(pred_rows[2 * i + e])
+                    pred[(name, edge)] = (node_names[row >> 1],
+                                          _EDGES[row & 1])
+
+        arrival: Dict[str, Dict[str, float]] = {}
+        slack: Dict[str, float] = {}
+        for pi in self.circuit.primary_inputs:
+            node = self.node_index[pi]
+            arrival[pi] = {"rise": float(arr[2 * node]),
+                           "fall": float(arr[2 * node + 1])}
+        for i, name in enumerate(self.gate_names):
+            row = 2 * (self.n_pi + i)
+            arrival[name] = {"rise": float(arr[row]),
+                             "fall": float(arr[row + 1])}
+        for net in arrival:
+            slack[net] = float(worst[self.node_index[net]])
+
+        result = TimingResult(
+            circuit_delay=circuit_delay,
+            arrival=arrival,
+            slack=slack,
+            critical_output=critical_output,
+            critical_edge=critical_edge,
+            required_time=req_target,
+            _pred=pred,
+        )
+        result._is_gate = {net: net in self.circuit.gates for net in arrival}
+        return result
+
+    def incremental(self, delta_vth: GateValues = None,
+                    delay_factors: GateValues = None, *,
+                    supply_drop: float = 0.0, temperature: float = 300.0,
+                    required_time: Optional[float] = None,
+                    delays: Optional[np.ndarray] = None) -> "IncrementalTimer":
+        """An :class:`IncrementalTimer` seeded from one scenario.
+
+        Pass ``delays`` (a ``(2G,)`` vector) to seed from an external
+        delay model (the sizing timer does); otherwise the vector is
+        built from ``delta_vth`` / ``delay_factors`` like :meth:`delay`.
+        """
+        if delays is None:
+            delays = self.delay_vector(delta_vth, delay_factors,
+                                       supply_drop=supply_drop,
+                                       temperature=temperature)
+        else:
+            delays = np.array(delays, dtype=np.float64)
+        if delays.ndim != 1:
+            raise ValueError("incremental mode is single-scenario")
+        return IncrementalTimer(self, delays, required_time=required_time)
+
+    # -- reverse adjacency (for the incremental backward cone) -------------
+
+    def _reverse_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Row -> consumer-segment CSR: which gate-edge segments read a
+        row as a fanin candidate."""
+        if self._rev is None:
+            counts = np.zeros(self.n_rows, dtype=np.int64)
+            seg_of = np.repeat(np.arange(2 * self.n_gates, dtype=np.int64),
+                               self._seg_counts)
+            np.add.at(counts, self.fanin_idx, 1)
+            ptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            data = np.empty(self.fanin_idx.size, dtype=np.int64)
+            cursor = ptr[:-1].copy()
+            for pos in range(self.fanin_idx.size):
+                row = self.fanin_idx[pos]
+                data[cursor[row]] = seg_of[pos]
+                cursor[row] += 1
+            self._rev = (ptr, data)
+        return self._rev
+
+    def __repr__(self) -> str:
+        return (f"CompiledTiming({self.circuit.name!r}, "
+                f"gates={self.n_gates}, levels={len(self._levels)}, "
+                f"candidates={self.fanin_idx.size})")
+
+
+class IncrementalTimer:
+    """Single-scenario arrival state with fanout-cone re-timing.
+
+    The mutation loops (TILOS sizing, dual-Vth swaps, FGSTI budgets)
+    change one gate's delay per move and re-read the circuit delay.  A
+    full forward pass is O(all gates); this timer re-propagates only
+    the mutated gate's downstream cone, pruning branches whose arrival
+    did not change — with *exact* float equality, so committed state is
+    always bit-identical to a from-scratch propagation of the same
+    delay vector (the equivalence tests pin this).
+
+    Under a **fixed** ``required_time`` the backward state is likewise
+    cone-maintained: a delay change re-derives required times only for
+    the mutated gates' fanin cones.  Without a fixed constraint the
+    required target floats with the circuit delay (every row shifts),
+    so :meth:`required_rows` recomputes through the vectorized backward
+    kernel instead.
+    """
+
+    def __init__(self, compiled: CompiledTiming, delays: np.ndarray, *,
+                 required_time: Optional[float] = None):
+        self._ct = compiled
+        # State lives in plain Python lists: the cone walk does a few
+        # dozen scalar reads/writes per move, which lists serve ~10x
+        # faster than per-element ndarray access.  Conversions are exact
+        # (both sides are IEEE float64).
+        self._d: List[float] = [float(x) for x in delays]
+        self._arr: List[float] = compiled.propagate(
+            np.asarray(delays, dtype=np.float64)).tolist()
+        self._required_time = required_time
+        self._req: Optional[np.ndarray] = None
+
+    # -- state reads -------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledTiming:
+        return self._ct
+
+    @property
+    def circuit_delay(self) -> float:
+        """Worst primary-output arrival under the current delays."""
+        return self._worst_po(self._arr)
+
+    def _worst_po(self, arr: List[float]) -> float:
+        rows = self._ct.po_row_list
+        if not rows:
+            return 0.0
+        worst = max(arr[r] for r in rows)
+        return worst if worst > 0.0 else 0.0
+
+    def delays_of(self, name: str) -> Tuple[float, float]:
+        """Current (rise, fall) delay of one gate."""
+        i = self._ct.gate_index[name]
+        return self._d[2 * i], self._d[2 * i + 1]
+
+    def arrival(self, net: str, edge: str) -> float:
+        """Current arrival time of one net edge (seconds)."""
+        row = 2 * self._ct.node_index[net] + _EDGE_INDEX[edge]
+        return self._arr[row]
+
+    def arrival_rows(self) -> np.ndarray:
+        """The arrival rows as an array (a fresh copy)."""
+        return np.asarray(self._arr, dtype=np.float64)
+
+    def delay_rows(self) -> np.ndarray:
+        """The per-gate-edge delay vector as an array (a fresh copy)."""
+        return np.asarray(self._d, dtype=np.float64)
+
+    # -- mutation ----------------------------------------------------------
+
+    def trial(self, changes: Mapping[str, Tuple[float, float]]) -> float:
+        """Circuit delay if ``changes`` were applied, without committing.
+
+        ``changes`` maps gate name -> (rise delay, fall delay).
+        """
+        arr = self._arr.copy()
+        d = self._d.copy()
+        self._propagate_changes(changes, arr, d)
+        return self._worst_po(arr)
+
+    def update(self, changes: Mapping[str, Tuple[float, float]]) -> float:
+        """Apply ``changes`` and return the new circuit delay."""
+        touched = self._propagate_changes(changes, self._arr, self._d)
+        if self._req is not None:
+            if self._required_time is None:
+                self._req = None
+            else:
+                self._update_required(touched)
+        return self._worst_po(self._arr)
+
+    def _propagate_changes(self, changes: Mapping[str, Tuple[float, float]],
+                           arr: List[float], d: List[float]) -> List[int]:
+        """Level-ordered cone re-propagation; returns recomputed nodes."""
+        ct = self._ct
+        n_pi = ct.n_pi
+        fanin_lists = ct.fanin_lists
+        fanout_nodes = ct._fanout_nodes
+        node_levels = ct.node_levels
+        heap: List[Tuple[int, int]] = []
+        queued = set()
+        for name, (d_rise, d_fall) in changes.items():
+            i = ct.gate_index[name]
+            d[2 * i] = d_rise
+            d[2 * i + 1] = d_fall
+            node = n_pi + i
+            if node not in queued:
+                queued.add(node)
+                heapq.heappush(heap, (node_levels[node], node))
+        touched: List[int] = []
+        while heap:
+            _, node = heapq.heappop(heap)
+            queued.discard(node)
+            i = node - n_pi
+            touched.append(node)
+            changed = False
+            for e in (0, 1):
+                seg = 2 * i + e
+                worst = -1.0
+                for r in fanin_lists[seg]:
+                    a = arr[r]
+                    if a > worst:
+                        worst = a
+                value = worst + d[seg]
+                row = 2 * node + e
+                if value != arr[row]:
+                    arr[row] = value
+                    changed = True
+            if changed:
+                for consumer in fanout_nodes[node]:
+                    if consumer not in queued:
+                        queued.add(consumer)
+                        heapq.heappush(heap,
+                                       (node_levels[consumer], consumer))
+        return touched
+
+    # -- required times / slack --------------------------------------------
+
+    def required_rows(self) -> np.ndarray:
+        """Required-time rows against the active timing target.
+
+        With a fixed ``required_time`` the array is cached and cone-
+        maintained across :meth:`update` calls; otherwise (target =
+        current circuit delay) it is recomputed by the vectorized
+        backward kernel.
+        """
+        if self._required_time is None:
+            return self._ct.required(self.arrival_rows(), self.delay_rows(),
+                                     self.circuit_delay)
+        if self._req is None:
+            self._req = self._ct.required(self.arrival_rows(),
+                                          self.delay_rows(),
+                                          self._required_time)
+        return self._req
+
+    def _recompute_required_row(self, row: int, req: np.ndarray) -> float:
+        """Exact per-row required time: min over consumer segments."""
+        ct = self._ct
+        ptr, data = ct._reverse_csr()
+        value = (self._required_time
+                 if row in self._po_row_set() else float("inf"))
+        # Row of segment s is 2*(n_pi + i) + e with s = 2*i + e, i.e.
+        # 2*n_pi + s.
+        base = 2 * ct.n_pi
+        for s in data[ptr[row]:ptr[row + 1]]:
+            contrib = req[base + s] - self._d[s]
+            if contrib < value:
+                value = contrib
+        return float(value)
+
+    def _po_row_set(self) -> set:
+        cached = getattr(self, "_po_rows_cache", None)
+        if cached is None:
+            cached = set(self._ct.po_row_list)
+            self._po_rows_cache = cached
+        return cached
+
+    def _update_required(self, touched: List[int]) -> None:
+        """Backward-cone maintenance of the fixed-target required times.
+
+        Seeds: every fanin row of a touched gate (their ``req_out - d``
+        contributions changed), processed in *decreasing* level order so
+        each row settles after all its consumers.
+        """
+        ct = self._ct
+        req = self._req
+        assert req is not None
+        node_levels = ct.node_levels
+        heap: List[Tuple[int, int]] = []
+        queued = set()
+
+        def push_row(row: int) -> None:
+            if row not in queued:
+                queued.add(row)
+                heapq.heappush(heap, (-node_levels[row >> 1], row))
+
+        for node in touched:
+            i = node - ct.n_pi
+            for seg in (2 * i, 2 * i + 1):
+                for row in ct.fanin_lists[seg]:
+                    push_row(row)
+        while heap:
+            _, row = heapq.heappop(heap)
+            queued.discard(row)
+            value = self._recompute_required_row(row, req)
+            if value != req[row]:
+                req[row] = value
+                node = row >> 1
+                if node >= ct.n_pi:  # gates have fanins to push further
+                    seg = 2 * (node - ct.n_pi) + (row & 1)
+                    for child in ct.fanin_lists[seg]:
+                        push_row(child)
+
+    def gate_slacks(self) -> np.ndarray:
+        """Worst slack per gate (topological order), ``+inf`` dangling.
+
+        Matches the scalar cone logic: min over edges with a finite
+        required time of ``required - arrival``.
+        """
+        req = self.required_rows()
+        start = 2 * self._ct.n_pi
+        arr = np.asarray(self._arr[start:], dtype=np.float64)
+        diff = (req[start:] - arr).reshape(-1, 2)
+        return diff.min(axis=1)
+
+    def critical_gates(self, *, initial_best: float = 0.0) -> List[str]:
+        """Gates on the worst path, endpoint first (scalar walk order).
+
+        ``initial_best`` reproduces the scalar tie-break seed: the
+        sizing timer starts its running max at 0.0 (an all-zero fanin
+        yields no predecessor), ``analyze()`` at -1.0 (one is always
+        chosen).
+        """
+        ct = self._ct
+        arr = self._arr
+        worst = initial_best
+        endpoint: Optional[int] = None
+        for k, row in enumerate(ct.po_row_list):
+            if arr[row] > worst:
+                worst = arr[row]
+                endpoint = k
+        critical: List[str] = []
+        if endpoint is None:
+            return critical
+        po, edge = ct.po_order[endpoint]
+        node = ct.node_index[po]
+        e = _EDGE_INDEX[edge]
+        while node >= ct.n_pi:
+            name = ct.gate_names[node - ct.n_pi]
+            critical.append(name)
+            rows = ct.fanin_lists[2 * (node - ct.n_pi) + e]
+            best, best_row = initial_best, None
+            for r in rows:
+                a = arr[r]
+                if a > best:
+                    best, best_row = a, r
+            if best_row is None:
+                break
+            node, e = best_row >> 1, best_row & 1
+        return critical
+
+    def __repr__(self) -> str:
+        return (f"IncrementalTimer({self._ct.circuit.name!r}, "
+                f"delay={self.circuit_delay:.3e})")

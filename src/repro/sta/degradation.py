@@ -200,7 +200,7 @@ class AgingAnalyzer:
                                       standby=standby,
                                       active_probs=active_probs)
         aged = analyze(circuit, library, delta_vth=shifts, loads=loads,
-                       supply_drop=supply_drop)
+                       supply_drop=supply_drop, context=context)
         return AgedTimingResult(circuit=circuit, fresh=fresh, aged=aged,
                                 shifts=shifts)
 

@@ -43,12 +43,14 @@ class TimingPath:
 def enumerate_paths(circuit: Circuit, k: int = 10, *,
                     library: Optional[Library] = None,
                     delta_vth: Optional[Dict[str, float]] = None,
-                    ) -> List[TimingPath]:
+                    context=None) -> List[TimingPath]:
     """The ``k`` longest PI-to-PO paths, descending by delay.
 
     Args:
         delta_vth: per-gate aged shifts; paths are ranked by *aged*
             delay when given (per-gate eq. 22 mode).
+        context: shared :class:`~repro.context.AnalysisContext`
+            supplying the memoized loads and STA.
 
     The search is exact: a max-heap of partial paths grown backward from
     every PO endpoint, keyed by (accumulated delay + arrival upper bound
@@ -56,18 +58,31 @@ def enumerate_paths(circuit: Circuit, k: int = 10, *,
     """
     if k < 1:
         raise ValueError("k must be positive")
+    if context is not None and library is None:
+        library = context.library
     library = library or default_library()
-    loads = gate_loads(circuit, library)
-    base = analyze(circuit, library, delta_vth=delta_vth, loads=loads)
+    if context is not None and (context.circuit is not circuit
+                                or context.library is not library):
+        context = None
+    if context is not None:
+        loads = context.gate_loads()
+        base = (context.fresh_timing() if delta_vth is None
+                else analyze(circuit, library, delta_vth=delta_vth,
+                             context=context))
+    else:
+        loads = gate_loads(circuit, library)
+        base = analyze(circuit, library, delta_vth=delta_vth, loads=loads)
     tech = library.tech
-    slope = tech.alpha / (tech.vdd - tech.pmos.vth0)
     delta_vth = delta_vth or {}
 
-    # Aged per-gate delays per output edge (matching analyze()).
+    # Aged per-gate delays per output edge (matching analyze(): same
+    # eq. 22 operand order, so the path delays recompose the arrivals
+    # bit-for-bit).
+    overdrive = tech.vdd - tech.pmos.vth0
     gate_delay: Dict[Tuple[str, str], float] = {}
     for name, gate in circuit.gates.items():
         cell = library.get(gate.cell)
-        factor = 1.0 + slope * delta_vth.get(name, 0.0)
+        factor = 1.0 + (tech.alpha * delta_vth.get(name, 0.0)) / overdrive
         for edge in _EDGES:
             gate_delay[(name, edge)] = cell.delay(tech, loads[name], edge) * factor
 
@@ -124,12 +139,13 @@ def enumerate_paths(circuit: Circuit, k: int = 10, *,
 
 
 def path_slack_profile(circuit: Circuit, k: int = 10, *,
-                       library: Optional[Library] = None) -> List[float]:
+                       library: Optional[Library] = None,
+                       context=None) -> List[float]:
     """Slack of the k longest paths relative to the critical delay.
 
     A flat profile (many ~0 slacks) is the "path swarm" that defeats
     single-path optimizations like greedy control points.
     """
-    paths = enumerate_paths(circuit, k, library=library)
+    paths = enumerate_paths(circuit, k, library=library, context=context)
     worst = paths[0].delay
     return [worst - p.delay for p in paths]

@@ -25,39 +25,39 @@ from repro.constants import TEN_YEARS, years
 from repro.core.profiles import OperatingProfile
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
-from repro.sta.analysis import _EDGES, _input_edges_for, gate_loads
+from repro.sta.analysis import _EDGES, _input_edges_for
+from repro.sta.compiled import CompiledTiming
 from repro.sta.degradation import ALL_ZERO, AgingAnalyzer, StandbyStates
 from repro.variation.sampling import VariationModel
 
 
 class FastAgedTimer:
-    """Arrival-only STA with cached fresh delays.
+    """Arrival-only STA with cached fresh delays (kernel shim).
 
     Valid for the paper's ``per_gate`` aging mode, where an aged gate's
     delay is its fresh delay times ``1 + alpha dVth/(Vdd - Vth0)`` on
-    both edges.
+    both edges.  Historically this class carried its own copy of the
+    arrival propagation; it is now a thin facade over
+    :class:`repro.sta.compiled.CompiledTiming` (sharing the context's
+    memoized artifact when one is supplied), with the legacy dict-walk
+    retained behind ``engine="scalar"`` as the equivalence oracle.
     """
 
     def __init__(self, circuit: Circuit, library: Optional[Library] = None,
-                 *, context=None):
+                 *, context=None, engine: str = "compiled"):
+        if engine not in ("compiled", "scalar"):
+            raise ValueError(f"engine must be 'compiled' or 'scalar', "
+                             f"got {engine!r}")
         self.circuit = circuit
         if library is None and context is not None:
             library = context.library
         self.library = library or default_library()
-        tech = self.library.tech
-        if context is not None and context.library is self.library:
-            loads = context.gate_loads()
+        self.engine = engine
+        if (context is not None and context.library is self.library
+                and context.circuit is circuit):
+            self.compiled = context.compiled_timing()
         else:
-            loads = gate_loads(circuit, self.library)
-        self._order = circuit.topological_order()
-        self._fresh: Dict[str, Dict[str, float]] = {}
-        for name in self._order:
-            gate = circuit.gates[name]
-            cell = self.library.get(gate.cell)
-            self._fresh[name] = {
-                edge: cell.delay(tech, loads[name], edge) for edge in _EDGES
-            }
-        self._slope = tech.alpha / (tech.vdd - tech.pmos.vth0)
+            self.compiled = CompiledTiming(circuit, self.library)
 
     def circuit_delay(self, delta_vth: Optional[Dict[str, float]] = None,
                       delay_factors: Optional[Dict[str, float]] = None
@@ -68,19 +68,39 @@ class FastAgedTimer:
         by an arbitrary factor *before* the aging term — used by the
         dual-Vth extension to model high-Vth cell swaps.
         """
+        if self.engine == "compiled":
+            return self.compiled.delay(delta_vth, delay_factors)
+        return self._scalar_delay(delta_vth, delay_factors)
+
+    def delays_batch(self, delta_vth=None, delay_factors=None) -> "np.ndarray":
+        """Circuit delay per scenario for ``(n_gates, B)`` batch inputs.
+
+        Delegates to :meth:`CompiledTiming.delays_batch` regardless of
+        ``engine`` — the batch axis only exists in the kernel.
+        """
+        return self.compiled.delays_batch(delta_vth, delay_factors)
+
+    def _scalar_delay(self, delta_vth: Optional[Dict[str, float]] = None,
+                      delay_factors: Optional[Dict[str, float]] = None
+                      ) -> float:
+        """The legacy per-gate Python walk (oracle for the kernel)."""
         delta_vth = delta_vth or {}
         delay_factors = delay_factors or {}
         circuit = self.circuit
+        tech = self.library.tech
+        overdrive = tech.vdd - tech.pmos.vth0
+        fresh = self.compiled.base_delays()
         arrival: Dict[str, Dict[str, float]] = {
             pi: {"rise": 0.0, "fall": 0.0} for pi in circuit.primary_inputs
         }
-        for name in self._order:
+        for i, name in enumerate(self.compiled.gate_names):
             gate = circuit.gates[name]
+            # Eq. (22) in the canonical operand order of analyze().
             factor = delay_factors.get(name, 1.0) * (
-                1.0 + self._slope * delta_vth.get(name, 0.0))
+                1.0 + (tech.alpha * delta_vth.get(name, 0.0)) / overdrive)
             out: Dict[str, float] = {}
-            for edge in _EDGES:
-                d = self._fresh[name][edge] * factor
+            for e, edge in enumerate(_EDGES):
+                d = fresh[2 * i + e] * factor
                 worst = 0.0
                 for net in gate.inputs:
                     for in_edge in _input_edges_for(gate.cell, edge):
@@ -177,7 +197,8 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                       standby: StandbyStates = ALL_ZERO,
                       analyzer: Optional[AgingAnalyzer] = None,
                       seed: int = 0,
-                      context=None) -> StatisticalAgingResult:
+                      context=None,
+                      engine: str = "compiled") -> StatisticalAgingResult:
     """Monte-Carlo delay distribution across lifetime points.
 
     Args:
@@ -189,12 +210,20 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
         context: shared :class:`~repro.context.AnalysisContext`; the
             per-lifetime nominal shifts and the timer's loads come from
             its memo (the per-die sampling itself stays Monte-Carlo).
+        engine: ``"compiled"`` (default) assembles one (gates, samples)
+            ΔVth matrix per lifetime point and times all dies in a
+            single batched kernel call; ``"scalar"`` keeps the historic
+            one-STA-per-die Python loop.  Both produce bit-identical
+            delay matrices.
 
     Returns:
         :class:`StatisticalAgingResult` with shape (len(times), n_samples).
     """
     if n_samples < 2:
         raise ValueError("need at least two samples for a distribution")
+    if engine not in ("compiled", "scalar"):
+        raise ValueError(f"engine must be 'compiled' or 'scalar', "
+                         f"got {engine!r}")
     if analyzer is None:
         analyzer = context.analyzer if context is not None else AgingAnalyzer()
     library = analyzer.library or default_library()
@@ -202,7 +231,7 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
     vth0 = library.tech.pmos.vth0
     base_field = calibration.field_factor(vth0)
 
-    timer = FastAgedTimer(circuit, library, context=context)
+    timer = FastAgedTimer(circuit, library, context=context, engine=engine)
     base_shifts = [
         analyzer.gate_shifts(circuit, profile, t, standby=standby,
                              context=context)
@@ -212,13 +241,29 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
     offsets = variation.sample_many(circuit, n_samples, seed)
 
     delays = np.empty((len(times), n_samples))
-    for s, offset in enumerate(offsets):
-        scale = {g: calibration.field_factor(vth0 + off) / base_field
-                 for g, off in offset.items()}
+    if engine == "compiled":
+        # One (gates, samples) matrix per lifetime point, one batched
+        # propagation each.  The per-element arithmetic keeps the scalar
+        # operand order (offset + base * scale), so the matrix rows are
+        # bit-identical to the per-die dict math; the field-factor scale
+        # stays a Python comprehension (math.exp bit-compatibility).
+        names = timer.compiled.gate_names
+        offv = np.array([[off[g] for off in offsets] for g in names])
+        scalev = np.array(
+            [[calibration.field_factor(vth0 + off[g]) / base_field
+              for off in offsets] for g in names])
         for k in range(len(times)):
-            total = {g: offset[g] + base_shifts[k][g] * scale[g]
-                     for g in circuit.gates}
-            delays[k, s] = timer.circuit_delay(total)
+            base_vec = np.array([base_shifts[k][g] for g in names])
+            total = offv + base_vec[:, None] * scalev
+            delays[k] = timer.delays_batch(total)
+    else:
+        for s, offset in enumerate(offsets):
+            scale = {g: calibration.field_factor(vth0 + off) / base_field
+                     for g, off in offset.items()}
+            for k in range(len(times)):
+                total = {g: offset[g] + base_shifts[k][g] * scale[g]
+                         for g in circuit.gates}
+                delays[k, s] = timer.circuit_delay(total)
     return StatisticalAgingResult(circuit_name=circuit.name,
                                   times=np.asarray(list(times), dtype=float),
                                   delays=delays)
