@@ -28,7 +28,9 @@ artifact                  cache key
 ``expected_leakage``      PI-probability map
 ``fresh_timing``          ``supply_drop``
 ``compiled_timing``       ``(wire_cap, po_cap)``
-``gate_shifts``           ``(profile, lifetime, standby spec)``
+``gate_shifts``           ``(profile, lifetime, standby spec, engine)``
+``aging_plan``            PI-probability map
+``field_factor``          ``vth0``
 ``packed_simulator``      structural (one entry)
 ``activity``              ``(n_vectors, seed)``
 ========================  =====================================================
@@ -561,25 +563,62 @@ class AnalysisContext:
 
     # -- aging -------------------------------------------------------------
 
-    def gate_shifts(self, profile: OperatingProfile, t_total: float, *,
-                    standby: Any = None) -> Dict[str, float]:
-        """Worst-PMOS dVth per gate, keyed by (profile, lifetime, standby).
+    def field_factor(self, vth0: float) -> float:
+        """Memoized :meth:`NbtiCalibration.field_factor` (eq. 23).
 
-        Uses the memoized stress duties, standby simulations, and
-        per-cell standby stress tables; repeated queries (internal-node
-        bounding, lifetime sweeps, MLV candidate loops) only pay the
-        per-gate model evaluation once per distinct key.
+        Keyed by ``vth0``: flows that repeatedly form HVT/LVT aging
+        ratios (dual-Vth assignment inside the co-optimization loop)
+        reuse the exponential instead of recomputing it per call.
+        """
+        return self._memo(
+            "field_factor", float(vth0),
+            lambda: self.model.calibration.field_factor(vth0))
+
+    def aging_plan(self, pi_one_prob: Optional[Mapping[str, float]] = None):
+        """The flattened per-PMOS shift plan of this (circuit, library).
+
+        One :class:`~repro.sta.degradation.CompiledShiftPlan` per
+        PI-probability setting — the lowering walks every cell's PMOS
+        stack once; each ``engine="compiled"`` gate-shift query then
+        reduces to a single vectorized
+        :class:`~repro.core.aging_compiled.CompiledNbtiModel` call.
+        """
+        from repro.sta.degradation import CompiledShiftPlan
+
+        return self._memo(
+            "aging_plan", self._prob_key(pi_one_prob),
+            lambda: CompiledShiftPlan(self.circuit, self.library,
+                                      self.stress_duties(pi_one_prob)))
+
+    def gate_shifts(self, profile: OperatingProfile, t_total: float, *,
+                    standby: Any = None,
+                    engine: str = "auto") -> Dict[str, float]:
+        """Worst-PMOS dVth per gate, keyed by (profile, lifetime,
+        standby, resolved engine).
+
+        Uses the memoized stress duties, standby simulations, per-cell
+        standby stress tables, and the flattened shift plan; repeated
+        queries (internal-node bounding, lifetime sweeps, MLV candidate
+        loops) only pay the kernel evaluation once per distinct key.
+        The engine sits in the key so an explicit ``engine="scalar"``
+        query really runs the oracle loop rather than reusing a
+        compiled entry (the two are bit-identical, but differential
+        tests must not short-circuit through the cache).
         """
         from repro.sta.degradation import ALL_ZERO
 
+        if engine not in ("auto", "compiled", "scalar"):
+            raise ValueError(f"engine must be 'auto', 'compiled' or "
+                             f"'scalar', got {engine!r}")
         if standby is None:
             standby = ALL_ZERO
-        key = (profile, float(t_total), self.standby_key(standby))
+        resolved = "compiled" if engine == "auto" else engine
+        key = (profile, float(t_total), self.standby_key(standby), resolved)
         return self._memo(
             "gate_shifts", key,
             lambda: self.analyzer.gate_shifts(
                 self.circuit, profile, t_total, standby=standby,
-                context=self))
+                context=self, engine=resolved))
 
     def aged_timing(self, profile: OperatingProfile, t_total: float, *,
                     standby: Any = None, supply_drop: float = 0.0):

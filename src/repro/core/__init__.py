@@ -13,6 +13,10 @@ Layering, bottom-up:
 * :mod:`repro.core.calibration` — K_V pinned to the paper's Fig. 8
   anchors (eqs. 12, 23).
 * :mod:`repro.core.aging` — the :class:`NbtiModel` facade.
+* :mod:`repro.core.numerics` — shared ufunc-exact ``exp`` / ``x**0.25``
+  primitives keeping scalar and vectorized paths bit-identical.
+* :mod:`repro.core.aging_compiled` — the batched
+  :class:`CompiledNbtiModel` kernel (``engine="compiled"``).
 """
 
 from repro.core.rd_model import (
@@ -49,6 +53,8 @@ from repro.core.calibration import (
     calibrate_from_anchors,
 )
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.aging_compiled import DEFAULT_COMPILED_MODEL, CompiledNbtiModel
+from repro.core.numerics import quarter_root, uexp
 from repro.core.lifetime import (
     GuardBand,
     bisect_lifetime,
@@ -67,6 +73,8 @@ __all__ = [
     "BEST_CASE_DEVICE", "WORST_CASE_DEVICE", "DeviceStress", "OperatingProfile",
     "DEFAULT_CALIBRATION", "NbtiCalibration", "calibrate_from_anchors",
     "DEFAULT_MODEL", "NbtiModel",
+    "DEFAULT_COMPILED_MODEL", "CompiledNbtiModel",
+    "quarter_root", "uexp",
     "GuardBand", "bisect_lifetime", "guard_band",
     "time_to_degradation", "time_to_vth_shift",
 ]

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.calibration import DEFAULT_CALIBRATION, NbtiCalibration
 from repro.core.multicycle import s_closed_form, s_sequence
+from repro.core.numerics import quarter_root
 from repro.core.profiles import DeviceStress, OperatingProfile
 from repro.core.temperature import equivalent_duty, equivalent_times
 
@@ -51,7 +52,7 @@ class NbtiModel:
         if t < 0:
             raise ValueError("time must be non-negative")
         vth0 = self.calibration.vth_ref if vth0 is None else vth0
-        return self.calibration.kv(vth0, temperature) * t ** 0.25
+        return self.calibration.kv(vth0, temperature) * quarter_root(t)
 
     def equivalent_duty(self, profile: OperatingProfile,
                         device: DeviceStress) -> tuple:
@@ -79,7 +80,7 @@ class NbtiModel:
         # S in units of tau_eq^(1/4): dVth = K_V * S * tau_eq^(1/4).
         s = s_closed_form(c_eq, n_cycles)
         kv = self.calibration.kv(vth0, profile.t_active)
-        return kv * s * tau_eq ** 0.25
+        return kv * s * quarter_root(tau_eq)
 
     def delta_vth_series(self, profile: OperatingProfile, device: DeviceStress,
                          times: Sequence[float],
@@ -102,7 +103,7 @@ class NbtiModel:
             return np.zeros(n_cycles)
         s = s_sequence(c_eq, n_cycles)
         kv = self.calibration.kv(vth0, profile.t_active)
-        return kv * s * tau_eq ** 0.25
+        return kv * s * quarter_root(tau_eq)
 
     # -- convenience wrappers used by the experiments -----------------------
 

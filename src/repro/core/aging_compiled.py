@@ -1,0 +1,169 @@
+"""Vectorized temperature-aware NBTI kernel (batched eqs. 9-19, 23).
+
+:class:`CompiledNbtiModel` evaluates the same closed-form ΔVth model as
+:class:`~repro.core.aging.NbtiModel`, but over *arrays* of devices and
+scenarios in one shot: the per-device stress description arrives as two
+float arrays (active stress duty, standby stress fraction) instead of
+one :class:`~repro.core.profiles.DeviceStress` at a time, and every
+argument broadcasts, so a trailing batch axis carries year-series, RAS
+sweeps, or per-die Vth0 offsets for free.
+
+Exactness contract
+------------------
+The kernel is **bit-identical** to the scalar model, which stays the
+oracle (``engine="scalar"`` everywhere).  Three ingredients make that
+hold rather than merely approximately true:
+
+* every arithmetic step keeps the scalar path's operand order — IEEE 754
+  ``+ - * /`` and ``sqrt`` are exact given identical operands;
+* both paths route ``exp`` and ``x**0.25`` through the same NumPy ufunc
+  inner loops via :mod:`repro.core.numerics` (libm and NumPy disagree in
+  the last bit);
+* the one transcendental that stays scalar — the per-profile
+  diffusivity ratio of eq. (17) — is literally the same
+  :func:`~repro.core.temperature.diffusivity_ratio` call in both paths.
+
+``tests/test_aging_compiled.py`` asserts the equality with ``==``, never
+``approx``, across the ISCAS85 suite and the paper's scenario grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.numerics import quarter_root, uexp
+from repro.core.profiles import OperatingProfile
+from repro.core.temperature import diffusivity_ratio
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CompiledNbtiModel:
+    """Array-evaluating twin of one :class:`~repro.core.aging.NbtiModel`.
+
+    Stateless beyond the wrapped model: construction is free, so callers
+    may build one per call or share one instance — the
+    :class:`~repro.context.AnalysisContext` does the latter through its
+    ``aging_plan`` memo.
+    """
+
+    model: NbtiModel = DEFAULT_MODEL
+
+    # -- calibration products ----------------------------------------------
+
+    def field_factors(self, vth0: ArrayLike) -> np.ndarray:
+        """Vectorized :meth:`NbtiCalibration.field_factor` (eq. 23).
+
+        Accepts any broadcastable Vth0 array — e.g. ``vth0 + offsets``
+        for a per-die (gates, samples) matrix — and validates the same
+        ``(0, Vdd)`` range the scalar method enforces.
+        """
+        cal = self.model.calibration
+        arr = np.asarray(vth0, dtype=float)
+        if np.any(arr <= 0.0) or np.any(arr >= cal.vdd):
+            raise ValueError(f"vth0 outside (0, Vdd): "
+                             f"[{arr.min()}, {arr.max()}]")
+        overdrive = cal.vdd - arr
+        ref_overdrive = cal.vdd - cal.vth_ref
+        return np.sqrt(overdrive / ref_overdrive) * uexp(
+            (cal.vth_ref - arr) / cal.e0_volts)
+
+    def kv(self, vth0: Optional[ArrayLike], temperature: float) -> np.ndarray:
+        """Vectorized ``K_V``: ``kv_ref * field * temperature`` factors."""
+        cal = self.model.calibration
+        if vth0 is None:
+            vth0 = cal.vth_ref
+        return (cal.kv_ref * self.field_factors(vth0)
+                * cal.temperature_factor(temperature))
+
+    # -- equivalent-time transformation ------------------------------------
+
+    def equivalent_duty(self, profile: OperatingProfile, duties: ArrayLike,
+                        fractions: ArrayLike
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized eqs. (17)-(19) over per-device stress arrays.
+
+        Args:
+            duties: active-mode stress duty per device, in [0, 1].
+            fractions: standby stress fraction per device, in [0, 1].
+
+        Returns:
+            (c_eq, tau_eq) arrays; stress-free devices get ``(0, 0)``
+            exactly like the scalar path.
+        """
+        duties = np.asarray(duties, dtype=float)
+        fractions = np.asarray(fractions, dtype=float)
+        if np.any(duties < 0.0) or np.any(duties > 1.0):
+            raise ValueError("active_stress_duty must be in [0, 1]")
+        if np.any(fractions < 0.0) or np.any(fractions > 1.0):
+            raise ValueError("standby stress fraction must be in [0, 1]")
+        # DeviceStress.mode_times + equivalent_times, operand for operand.
+        t_act = profile.active_fraction * profile.period
+        t_st = profile.standby_fraction * profile.period
+        stress_active = duties * t_act
+        recovery_active = (1.0 - duties) * t_act
+        stress_standby = fractions * t_st
+        recovery_standby = (1.0 - fractions) * t_st
+        ratio = diffusivity_ratio(profile.t_standby, profile.t_active,
+                                  self.model.calibration.ed)
+        t_s = stress_active + stress_standby * ratio
+        if self.model.scale_recovery:
+            t_r = recovery_active + recovery_standby * ratio
+        else:
+            t_r = recovery_active + recovery_standby
+        tau_eq = t_s + t_r
+        dead = tau_eq <= 0.0
+        c_eq = t_s / np.where(dead, 1.0, tau_eq)
+        return np.where(dead, 0.0, c_eq), np.where(dead, 0.0, tau_eq)
+
+    # -- core evaluations ---------------------------------------------------
+
+    def delta_vth(self, profile: OperatingProfile, duties: ArrayLike,
+                  fractions: ArrayLike, t_total: ArrayLike,
+                  vth0: Optional[ArrayLike] = None) -> np.ndarray:
+        """Batched :meth:`NbtiModel.delta_vth` (volts).
+
+        All array arguments broadcast together: pass per-device
+        ``duties``/``fractions`` of shape ``(n,)`` with a scalar
+        ``t_total`` for one scenario, or shape ``(n, 1)`` against a
+        ``(B,)`` batch of times / Vth0 offsets for an ``(n, B)`` sweep.
+        """
+        t = np.asarray(t_total, dtype=float)
+        if np.any(t < 0.0):
+            raise ValueError("time must be non-negative")
+        c_eq, tau_eq = self.equivalent_duty(profile, duties, fractions)
+        n_cycles = t / profile.period
+        # s_closed_form on the equivalent duty; sqrt is exact, the
+        # quarter root shares the scalar path's ufunc loop.
+        s = quarter_root(n_cycles * c_eq / (1.0 + np.sqrt((1.0 - c_eq)
+                                                          / 2.0)))
+        kv = self.kv(vth0, profile.t_active)
+        dv = kv * s * quarter_root(tau_eq)
+        return np.where((c_eq <= 0.0) | (tau_eq <= 0.0), 0.0, dv)
+
+    def delta_vth_series(self, profile: OperatingProfile, duties: ArrayLike,
+                         fractions: ArrayLike, times: Sequence[float],
+                         vth0: Optional[ArrayLike] = None) -> np.ndarray:
+        """ΔVth over a lifetime series: shape ``(n_devices, n_times)``."""
+        duties = np.asarray(duties, dtype=float)
+        fractions = np.asarray(fractions, dtype=float)
+        t = np.asarray(times, dtype=float)
+        return self.delta_vth(profile, duties[..., None],
+                              fractions[..., None], t, vth0)
+
+    def delta_vth_dc(self, t: ArrayLike, temperature: float,
+                     vth0: Optional[ArrayLike] = None) -> np.ndarray:
+        """Batched DC-stress bound ``K_V(T) t^(1/4)`` (volts)."""
+        arr = np.asarray(t, dtype=float)
+        if np.any(arr < 0.0):
+            raise ValueError("time must be non-negative")
+        return self.kv(vth0, temperature) * quarter_root(arr)
+
+
+#: Kernel twin of the shared default model.
+DEFAULT_COMPILED_MODEL = CompiledNbtiModel(DEFAULT_MODEL)

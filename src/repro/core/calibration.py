@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.constants import TEN_YEARS
 from repro.core.multicycle import s_closed_form
+from repro.core.numerics import quarter_root, uexp
 from repro.core.temperature import diffusivity_ratio
 
 
@@ -69,12 +70,15 @@ class NbtiCalibration:
             raise ValueError(f"vth0={vth0} outside (0, Vdd)")
         overdrive = self.vdd - vth0
         ref_overdrive = self.vdd - self.vth_ref
-        return math.sqrt(overdrive / ref_overdrive) * math.exp(
+        # uexp (not math.exp) so the vectorized kernel reproduces this
+        # bit-for-bit; sqrt is correctly rounded everywhere.
+        return math.sqrt(overdrive / ref_overdrive) * uexp(
             (self.vth_ref - vth0) / self.e0_volts)
 
     def temperature_factor(self, temperature: float) -> float:
         """``(D(T)/D(T_ref))^(1/4)``: the N_it Arrhenius factor."""
-        return diffusivity_ratio(temperature, self.t_ref, self.ed) ** 0.25
+        return quarter_root(diffusivity_ratio(temperature, self.t_ref,
+                                              self.ed))
 
     def kv(self, vth0: float, temperature: float) -> float:
         """K_V for a device with fresh threshold ``vth0`` at ``temperature``."""

@@ -27,6 +27,8 @@ from typing import Iterable, List
 
 import numpy as np
 
+from repro.core.numerics import quarter_root
+
 
 def delta_factor(duty: float) -> float:
     """The recovery factor ``delta = sqrt((1 - c)/2)``.
@@ -85,7 +87,8 @@ def s_closed_form(duty: float, n_cycles: float) -> float:
     """
     if n_cycles < 0:
         raise ValueError("cycle count must be non-negative")
-    return (n_cycles * duty / (1.0 + delta_factor(duty))) ** 0.25
+    # quarter_root so the vectorized aging kernel matches bit-for-bit.
+    return quarter_root(n_cycles * duty / (1.0 + delta_factor(duty)))
 
 
 def ac_to_dc_ratio(duty: float) -> float:

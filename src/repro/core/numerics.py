@@ -1,0 +1,67 @@
+"""Transcendental primitives shared by the scalar model and the kernels.
+
+The engine-equivalence contract of this repo is *bit*-identity, not
+"close": every ``engine="compiled"`` path must reproduce the scalar
+oracle float for float.  For plain arithmetic (+, -, *, /) IEEE 754
+already guarantees that — the same operands in the same order give the
+same bits whether they flow through Python floats or NumPy arrays.
+Transcendentals are the exception:
+
+* NumPy's SIMD ``exp`` / ``power`` inner loops are accurate to ~1 ulp
+  but are **not** bit-equal to libm (``math.exp`` / ``float.__pow__``),
+  and
+* NumPy *scalar* power (``np.float64 ** y``) takes the libm path while
+  arrays take the SIMD loop, so even staying inside NumPy mixes two
+  implementations.
+
+The one rule that makes scalar and vectorized engines agree on every
+platform: **route every transcendental through the ufunc inner loop,
+whether the input is a scalar or an array.**  A ufunc call on a scalar
+(or 0-d array) runs the same inner loop as an n-element array — the
+SIMD tail path — so ``uexp(x) == uexp(xs)[i]`` bit-for-bit whenever
+``x == xs[i]``, regardless of array length, stride, or alignment.
+
+``sqrt`` needs no wrapper: IEEE 754 requires correctly-rounded square
+roots, so ``math.sqrt``, NumPy scalar sqrt, and NumPy array sqrt agree
+bit-for-bit already.
+
+The scalar :class:`~repro.core.aging.NbtiModel` closed-form path and
+the vectorized :class:`~repro.core.aging_compiled.CompiledNbtiModel`
+both call these helpers; the exact-recursion ablation path
+(:func:`repro.core.multicycle.s_sequence`) intentionally stays on pure
+libm — it is never mirrored by a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["uexp", "quarter_root"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def uexp(x: ArrayLike) -> ArrayLike:
+    """``e**x`` through NumPy's ufunc loop, scalar in -> scalar out.
+
+    Bit-identical to ``np.exp`` applied elementwise to any array
+    containing ``x``; *not* necessarily bit-identical to ``math.exp``.
+    """
+    if isinstance(x, np.ndarray):
+        return np.exp(x)
+    return float(np.exp(x))
+
+
+def quarter_root(x: ArrayLike) -> ArrayLike:
+    """``x ** 0.25`` through NumPy's ufunc power loop.
+
+    Scalars are routed through :func:`np.power` (the ufunc), never
+    ``float.__pow__`` or ``np.float64.__pow__`` — NumPy dispatches
+    scalar ``**`` to libm ``pow`` while arrays take the SIMD loop, and
+    the two differ in the last bit on a fraction of inputs.
+    """
+    if isinstance(x, np.ndarray):
+        return np.power(x, 0.25)
+    return float(np.power(x, 0.25))

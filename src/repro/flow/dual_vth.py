@@ -167,11 +167,18 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
                 if context is not None and context.model == model
                 else AgingAnalyzer(library=library, model=model))
     shifts_lvt = analyzer.gate_shifts(circuit, profile, lifetime,
-                                      standby=ALL_ZERO, context=context)
+                                      standby=ALL_ZERO, context=context,
+                                      engine=engine)
     vth0 = library.tech.pmos.vth0
     calibration = model.calibration
-    hvt_scale = (calibration.field_factor(vth0 + delta_vth_hvt)
-                 / calibration.field_factor(vth0))
+    if context is not None and context.model == model:
+        # Hoisted through the context memo: co-optimization loops call
+        # this flow repeatedly with the same Vth pair.
+        hvt_scale = (context.field_factor(vth0 + delta_vth_hvt)
+                     / context.field_factor(vth0))
+    else:
+        hvt_scale = (calibration.field_factor(vth0 + delta_vth_hvt)
+                     / calibration.field_factor(vth0))
     shifts_dual = {g: dv * (hvt_scale if g in hvt else 1.0)
                    for g, dv in shifts_lvt.items()}
     aged_lvt = timer.circuit_delay(delta_vth=shifts_lvt)

@@ -168,18 +168,21 @@ def gated_aged_delay(circuit: Circuit, design: SleepTransistorDesign,
                      analyzer: Optional[AgingAnalyzer] = None,
                      model: NbtiModel = DEFAULT_MODEL,
                      library: Optional[Library] = None,
-                     context=None) -> GatedTimingPoint:
+                     context=None,
+                     engine: str = "auto") -> GatedTimingPoint:
     """Circuit delay after ``t_total`` seconds with the ST inserted.
 
     Internal gates age only from active-mode stress (standby parks every
     PMOS at Vgs ~ 0 in all three styles); headers additionally raise the
     virtual-rail drop as they age.  With ``context=`` the per-gate
-    shifts and loads are memoized across lifetime sweep points.
+    shifts and loads are memoized across lifetime sweep points.  The
+    ``engine`` setting selects the vectorized or oracle shift path (see
+    :meth:`~repro.sta.degradation.AgingAnalyzer.gate_shifts`).
     """
     analyzer = analyzer or AgingAnalyzer(library=library, model=model)
     library = library or default_library()
     shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=ALL_ONE,
-                                  context=context)
+                                  context=context, engine=engine)
     st_shift = 0.0
     if design.style.has_header:
         device = DeviceStress(active_stress_duty=1.0, standby_stressed=False)

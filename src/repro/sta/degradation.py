@@ -16,7 +16,9 @@ Sec. 3.3), then re-runs STA with those shifts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.cells.library import Library
 from repro.cells.stress import (
@@ -24,6 +26,7 @@ from repro.cells.stress import (
     stress_under_vector,
 )
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
+from repro.core.aging_compiled import CompiledNbtiModel
 from repro.core.profiles import DeviceStress, OperatingProfile
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library, evaluate
@@ -63,6 +66,84 @@ def standby_net_states(circuit: Circuit, standby: StandbyStates,
     return evaluate(circuit, standby, library)
 
 
+class CompiledShiftPlan:
+    """Flattened device-axis layout for the vectorized gate-shift kernel.
+
+    Lowers one ``(circuit, library, stress-duty table)`` triple into flat
+    per-PMOS arrays once, so every subsequent ``gate_shifts`` query —
+    any lifetime, profile, or standby spec — is a handful of NumPy calls
+    instead of a per-device Python loop.  Devices are laid out in
+    ``circuit.gates`` iteration order, ``cell.pmos_devices()`` order
+    within a gate (the exact order the scalar loop visits); gates with
+    no PMOS devices get one stress-free sentinel slot so the segmented
+    max below never sees an empty segment.
+
+    The :class:`~repro.context.AnalysisContext` memoizes one plan per
+    PI-probability setting under its ``aging_plan`` artifact.
+    """
+
+    def __init__(self, circuit: Circuit, library: Library,
+                 duty_table: Dict[str, Dict[str, float]]):
+        self.circuit = circuit
+        self.library = library
+        self.gate_names: List[str] = []
+        #: gate name -> {PMOS device name -> flat slot}.
+        self.slots: Dict[str, Dict[str, int]] = {}
+        duties: List[float] = []
+        starts: List[int] = []
+        sentinels: List[int] = []
+        for gate in circuit.gates.values():
+            cell = library.get(gate.cell)
+            self.gate_names.append(gate.name)
+            starts.append(len(duties))
+            table = duty_table[gate.name]
+            gate_slots: Dict[str, int] = {}
+            for mosfet in cell.pmos_devices():
+                gate_slots[mosfet.name] = len(duties)
+                duties.append(table.get(mosfet.name, 0.0))
+            if not gate_slots:
+                sentinels.append(len(duties))
+                duties.append(0.0)
+            self.slots[gate.name] = gate_slots
+        self.duties = np.asarray(duties, dtype=float)
+        self.starts = np.asarray(starts, dtype=np.intp)
+        self._sentinels = np.asarray(sentinels, dtype=np.intp)
+        self.n_devices = len(duties)
+
+    def uniform_fractions(self, value: float) -> np.ndarray:
+        """Standby stress fractions for the ALL_ZERO / ALL_ONE bounds."""
+        frac = np.full(self.n_devices, value)
+        frac[self._sentinels] = 0.0
+        return frac
+
+    def accumulate_fractions(self, state_maps: Sequence[Dict[str, int]],
+                             stressed_lookup) -> np.ndarray:
+        """Per-device standby stress fraction over rotated standby maps.
+
+        ``stressed_lookup(cell_name, bits)`` returns the stressed PMOS
+        names (the context's memoized table, or a direct
+        :func:`stress_under_vector` walk).  Mirrors the scalar loop's
+        count-then-divide arithmetic so the fractions are bit-equal.
+        """
+        frac = np.zeros(self.n_devices)
+        for states in state_maps:
+            for gate in self.circuit.gates.values():
+                bits = tuple(states[net] for net in gate.inputs)
+                slots = self.slots[gate.name]
+                for name in stressed_lookup(gate.cell, bits):
+                    slot = slots.get(name)
+                    if slot is not None:
+                        frac[slot] += 1.0
+        frac /= len(state_maps)
+        return frac
+
+    def worst_per_gate(self, dv: np.ndarray) -> np.ndarray:
+        """Worst-PMOS reduction (Sec. 3.3), floored at the scalar 0.0."""
+        if not self.gate_names:
+            return np.empty(0)
+        return np.maximum(np.maximum.reduceat(dv, self.starts), 0.0)
+
+
 @dataclass(frozen=True)
 class AgingAnalyzer:
     """Computes per-gate NBTI shifts and aged timing for a circuit.
@@ -82,7 +163,8 @@ class AgingAnalyzer:
                     t_total: float, *,
                     standby: StandbyStates = ALL_ZERO,
                     active_probs: Optional[Dict[str, float]] = None,
-                    context=None) -> Dict[str, float]:
+                    context=None,
+                    engine: str = "auto") -> Dict[str, float]:
         """Worst-PMOS dVth (volts) per gate after ``t_total`` seconds.
 
         Args:
@@ -95,10 +177,18 @@ class AgingAnalyzer:
                 SP = 0.5 inputs when omitted (the paper's setting).
             context: an :class:`~repro.context.AnalysisContext` whose
                 memoized probabilities, stress-duty tables, standby
-                simulations, and per-cell standby-stress sets are
-                reused.  Ignored for the probability side when an
-                explicit ``active_probs`` is supplied.
+                simulations, per-cell standby-stress sets, and flattened
+                shift plan are reused.  Ignored for the probability side
+                when an explicit ``active_probs`` is supplied.
+            engine: ``"auto"``/``"compiled"`` evaluate every PMOS in one
+                :class:`~repro.core.aging_compiled.CompiledNbtiModel`
+                call over a :class:`CompiledShiftPlan`; ``"scalar"``
+                keeps the historic per-device Python loop, which is the
+                bit-identical oracle.
         """
+        if engine not in ("auto", "compiled", "scalar"):
+            raise ValueError(f"engine must be 'auto', 'compiled' or "
+                             f"'scalar', got {engine!r}")
         library = self._lib()
         if context is not None and context.library is not library:
             # A context bound to a different technology must not feed
@@ -128,6 +218,10 @@ class AgingAnalyzer:
             state_maps = [standby_net_states(circuit, v, library,
                                              context=context)
                           for v in standby]
+        if engine != "scalar":
+            return self._compiled_shifts(circuit, profile, t_total, vth0,
+                                         duty_table, active_probs,
+                                         force_all, state_maps, context)
         shifts: Dict[str, float] = {}
         for gate in circuit.gates.values():
             cell = library.get(gate.cell)
@@ -162,6 +256,40 @@ class AgingAnalyzer:
                 worst = max(worst, dv)
             shifts[gate.name] = worst
         return shifts
+
+    def _compiled_shifts(self, circuit, profile, t_total, vth0, duty_table,
+                         active_probs, force_all, state_maps, context
+                         ) -> Dict[str, float]:
+        """The vectorized gate_shifts body (one kernel call per query)."""
+        library = self._lib()
+        if context is not None and duty_table is not None:
+            plan = context.aging_plan()
+        else:
+            if duty_table is None:
+                duty_table = {}
+                for gate in circuit.gates.values():
+                    cell = library.get(gate.cell)
+                    pin_probs = {pin: active_probs[net]
+                                 for pin, net in zip(cell.inputs,
+                                                     gate.inputs)}
+                    duty_table[gate.name] = stress_probabilities_for_cell(
+                        cell, pin_probs)
+            plan = CompiledShiftPlan(circuit, library, duty_table)
+        if force_all is True:
+            fractions = plan.uniform_fractions(1.0)
+        elif force_all is False:
+            fractions = plan.uniform_fractions(0.0)
+        else:
+            if context is not None:
+                lookup = context.standby_stress
+            else:
+                def lookup(cell_name, bits):
+                    return stress_under_vector(library.get(cell_name), bits)
+            fractions = plan.accumulate_fractions(state_maps, lookup)
+        kernel = CompiledNbtiModel(self.model)
+        dv = kernel.delta_vth(profile, plan.duties, fractions, t_total, vth0)
+        worst = plan.worst_per_gate(dv)
+        return {name: float(w) for name, w in zip(plan.gate_names, worst)}
 
     def aged_timing(self, circuit: Circuit, profile: OperatingProfile,
                     t_total: float, *,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS, years
+from repro.core.aging_compiled import CompiledNbtiModel
 from repro.core.profiles import OperatingProfile
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
@@ -229,12 +230,15 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
     library = analyzer.library or default_library()
     calibration = analyzer.model.calibration
     vth0 = library.tech.pmos.vth0
-    base_field = calibration.field_factor(vth0)
+    if context is not None and context.model == analyzer.model:
+        base_field = context.field_factor(vth0)
+    else:
+        base_field = calibration.field_factor(vth0)
 
     timer = FastAgedTimer(circuit, library, context=context, engine=engine)
     base_shifts = [
         analyzer.gate_shifts(circuit, profile, t, standby=standby,
-                             context=context)
+                             context=context, engine=engine)
         if t > 0 else {g: 0.0 for g in circuit.gates}
         for t in times
     ]
@@ -246,12 +250,13 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
         # propagation each.  The per-element arithmetic keeps the scalar
         # operand order (offset + base * scale), so the matrix rows are
         # bit-identical to the per-die dict math; the field-factor scale
-        # stays a Python comprehension (math.exp bit-compatibility).
+        # is one vectorized kernel call over the whole offset matrix
+        # (same ufunc loops as the scalar calibration after the
+        # numerics unification).
         names = timer.compiled.gate_names
         offv = np.array([[off[g] for off in offsets] for g in names])
-        scalev = np.array(
-            [[calibration.field_factor(vth0 + off[g]) / base_field
-              for off in offsets] for g in names])
+        kernel = CompiledNbtiModel(analyzer.model)
+        scalev = kernel.field_factors(vth0 + offv) / base_field
         for k in range(len(times)):
             base_vec = np.array([base_shifts[k][g] for g in names])
             total = offv + base_vec[:, None] * scalev

@@ -1,0 +1,84 @@
+"""Shared engine-equivalence oracle for the differential test suites.
+
+Every vectorized kernel in this repo (compiled STA, bit-packed
+simulation, the aging kernel) carries the same contract: given the same
+inputs, ``engine="<kernel>"`` must return **bit-identical** results to
+the scalar oracle — not approximately equal.  :func:`assert_engines_match`
+runs one flow once per engine and compares the results *exactly*,
+recursing through dicts (including key order — callers iterate them),
+sequences, NumPy arrays, and dataclasses.
+
+Usage::
+
+    result = assert_engines_match(
+        lambda engine: statistical_aging(circuit, profile, engine=engine))
+
+    assert_engines_match(
+        lambda engine: probability_based_mlv_search(circuit, table,
+                                                    engine=engine),
+        engines=("packed", "scalar"))
+
+The first engine's result is returned so tests can make further
+assertions on it.
+"""
+
+import dataclasses
+
+import numpy as np
+
+
+def assert_identical(a, b, path="result"):
+    """Recursively assert exact equality; ``path`` labels failures."""
+    assert type(a) is type(b) or (
+        isinstance(a, (int, float)) and isinstance(b, (int, float))
+    ), f"{path}: type {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, np.ndarray):
+        assert a.shape == b.shape, f"{path}: shape {a.shape} != {b.shape}"
+        assert np.array_equal(a, b), f"{path}: arrays differ"
+    elif isinstance(a, dict):
+        assert list(a) == list(b), f"{path}: dict keys/order differ"
+        for key in a:
+            assert_identical(a[key], b[key], f"{path}[{key!r}]")
+    elif dataclasses.is_dataclass(a) and not isinstance(a, type):
+        for f in dataclasses.fields(a):
+            assert_identical(getattr(a, f.name), getattr(b, f.name),
+                             f"{path}.{f.name}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_identical(x, y, f"{path}[{i}]")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def assert_engines_match(fn, *, engines=("compiled", "scalar"), fields=None):
+    """Run ``fn(engine=e)`` per engine and assert exact agreement.
+
+    Args:
+        fn: a callable taking an ``engine=`` keyword and returning the
+            flow's result (any nesting of dicts / sequences / arrays /
+            dataclasses / scalars).
+        engines: engine names to compare; the first is the reference
+            (by convention the kernel, with ``"scalar"`` last as the
+            oracle).
+        fields: optionally restrict the comparison to these attribute
+            names of the results instead of full recursion — for
+            results that legitimately carry engine-specific extras.
+
+    Returns:
+        The first engine's result.
+    """
+    if len(engines) < 2:
+        raise ValueError("need at least two engines to compare")
+    reference = fn(engine=engines[0])
+    for engine in engines[1:]:
+        other = fn(engine=engine)
+        if fields is not None:
+            for name in fields:
+                assert_identical(getattr(reference, name),
+                                 getattr(other, name),
+                                 f"{engines[0]}-vs-{engine}.{name}")
+        else:
+            assert_identical(reference, other,
+                             f"{engines[0]}-vs-{engine}")
+    return reference

@@ -1,0 +1,127 @@
+"""Golden regression tests for the headline figure reproductions.
+
+The Fig. 5 and Fig. 12 benchmark drivers are the repo's end-to-end
+deliverables; these tests pin their exact numerical output (every float,
+exact equality) against checked-in series under ``tests/golden/`` so an
+accidental model, calibration, or kernel change cannot silently move a
+published curve.  The run configurations mirror
+``benchmarks/test_fig05_c432_degradation.py`` and
+``benchmarks/test_fig12_statistical.py`` verbatim (the benchmark modules
+themselves are not importable from the test tree).
+
+JSON stores floats via ``repr`` round-trip, so ``json.load`` returns the
+bit-identical doubles that were dumped — the comparisons below are plain
+``==``, never ``approx``.  To regenerate after an *intentional* model
+change::
+
+    PYTHONPATH=src python tests/test_golden_outputs.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.constants import TEN_YEARS, years
+from repro.core import DEFAULT_MODEL, WORST_CASE_DEVICE, OperatingProfile
+from repro.netlist import iscas85
+from repro.sta import ALL_ZERO, AgingAnalyzer
+from repro.tech import PTM90
+from repro.variation import VariationModel, statistical_aging
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def run_fig05():
+    """Exact configuration of benchmarks/test_fig05_c432_degradation.py."""
+    times = np.logspace(6, np.log10(TEN_YEARS), 8)
+    circuit = iscas85.load("c432")
+    analyzer = AgingAnalyzer()
+    curves = {}
+    for tst in (330.0, 370.0, 400.0):
+        profile = OperatingProfile.from_ras("1:9", t_standby=tst)
+        curves[tst] = [
+            analyzer.aged_timing(circuit, profile, t,
+                                 standby=ALL_ZERO).relative_degradation
+            for t in times
+        ]
+    profile = OperatingProfile.from_ras("1:9", t_standby=330.0)
+    vth_rel = [DEFAULT_MODEL.delta_vth(profile, WORST_CASE_DEVICE, t, 0.22)
+               / PTM90.pmos.vth0 for t in times]
+    return {
+        "times": [float(t) for t in times],
+        "curves": {f"{tst:g}": [float(v) for v in series]
+                   for tst, series in curves.items()},
+        "vth_rel": [float(v) for v in vth_rel],
+    }
+
+
+def run_fig12():
+    """Exact configuration of benchmarks/test_fig12_statistical.py."""
+    circuit = iscas85.load("c880")
+    profile = OperatingProfile.from_ras("1:9", t_standby=400.0)
+    result = statistical_aging(circuit, profile,
+                               times=(0.0, years(3.0), TEN_YEARS),
+                               n_samples=150,
+                               variation=VariationModel(sigma_local=0.010),
+                               seed=12)
+    return {
+        "times": [float(t) for t in result.times],
+        "mean": [float(v) for v in result.mean()],
+        "std": [float(v) for v in result.std()],
+        "lower_3sigma": [float(v) for v in result.lower_3sigma()],
+        "upper_3sigma": [float(v) for v in result.upper_3sigma()],
+        "delays": [[float(v) for v in row] for row in result.delays],
+    }
+
+
+RUNNERS = {"fig05_c432_degradation": run_fig05,
+           "fig12_statistical": run_fig12}
+
+
+def load_golden(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.fail(f"missing golden file {path}; regenerate with "
+                    f"'PYTHONPATH=src python tests/test_golden_outputs.py "
+                    f"--regen'")
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_golden_exact(name):
+    """The figure pipeline reproduces its checked-in series bit-for-bit."""
+    got = RUNNERS[name]()
+    want = load_golden(name)
+    assert got == want, (
+        f"{name} drifted from tests/golden/{name}.json — if the model "
+        f"change is intentional, regenerate the golden files")
+
+
+def test_golden_files_round_trip():
+    """The checked-in JSON itself survives a dump/load cycle unchanged
+    (guards against hand edits that lose the repr round-trip)."""
+    for name in RUNNERS:
+        want = load_golden(name)
+        assert json.loads(json.dumps(want)) == want
+
+
+def _regenerate():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, runner in RUNNERS.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(runner(), fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

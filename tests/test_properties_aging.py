@@ -1,0 +1,145 @@
+"""Property-based tests of the temperature-aware NBTI model (eqs. 9-22).
+
+Hypothesis draws random operating profiles, device stress descriptions,
+and lifetimes, and checks the physical invariants the paper's model must
+satisfy regardless of parameters: ΔVth grows with stress time, standby
+temperature, and stress duty; recovery keeps AC degradation below the DC
+bound; and the worst/best bounding cases of Sec. 3.1 really bound the
+per-device shift.  Each invariant is asserted on the scalar oracle and
+the vectorized kernel at once (their bit-identity is enforced separately
+by ``tests/test_aging_compiled.py``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import TEN_YEARS
+from repro.core import DeviceStress, OperatingProfile
+from repro.core.aging import DEFAULT_MODEL
+from repro.core.aging_compiled import CompiledNbtiModel
+
+KERNEL = CompiledNbtiModel(DEFAULT_MODEL)
+
+_SETTINGS = dict(max_examples=50, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+#: Random but physical operating profiles (active hotter than standby,
+#: as in the paper; equality allowed for the isothermal edge case).
+profiles = st.builds(
+    OperatingProfile,
+    active_fraction=st.floats(min_value=0.01, max_value=0.99),
+    t_active=st.just(400.0),
+    t_standby=st.floats(min_value=280.0, max_value=400.0),
+)
+
+devices = st.builds(
+    DeviceStress,
+    active_stress_duty=st.floats(min_value=0.0, max_value=1.0),
+    standby_stressed=st.floats(min_value=0.0, max_value=1.0),
+)
+
+lifetimes = st.floats(min_value=1e3, max_value=TEN_YEARS)
+vth0s = st.floats(min_value=0.1, max_value=0.5)
+
+
+def shift(profile, device, t, vth0):
+    """Scalar and kernel ΔVth together (sanity: they must agree)."""
+    scalar = DEFAULT_MODEL.delta_vth(profile, device, t, vth0)
+    batch = KERNEL.delta_vth(profile,
+                             np.array([device.active_stress_duty]),
+                             np.array([device.standby_fraction]), t, vth0)
+    assert batch[0] == scalar
+    return scalar
+
+
+class TestMonotonicity:
+    @given(profiles, devices, lifetimes, vth0s)
+    @settings(**_SETTINGS)
+    def test_monotone_in_time(self, profile, device, t, vth0):
+        early = shift(profile, device, t, vth0)
+        late = shift(profile, device, t * 2.0, vth0)
+        assert late >= early >= 0.0
+
+    @given(profiles, devices, lifetimes, vth0s,
+           st.floats(min_value=1.0, max_value=60.0))
+    @settings(**_SETTINGS)
+    def test_monotone_in_standby_temperature(self, profile, device, t, vth0,
+                                             dt):
+        """Hotter standby diffuses H faster: more equivalent stress."""
+        hotter = OperatingProfile(profile.active_fraction, profile.t_active,
+                                  min(profile.t_standby + dt, 400.0),
+                                  profile.period)
+        assert (shift(hotter, device, t, vth0)
+                >= shift(profile, device, t, vth0))
+
+    @given(profiles, lifetimes, vth0s,
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(**_SETTINGS)
+    def test_monotone_in_duty(self, profile, t, vth0, duty_lo, duty_hi,
+                              frac):
+        lo, hi = sorted((duty_lo, duty_hi))
+        assert (shift(profile, DeviceStress(hi, frac), t, vth0)
+                >= shift(profile, DeviceStress(lo, frac), t, vth0))
+
+    @given(profiles, devices, lifetimes, vth0s)
+    @settings(**_SETTINGS)
+    def test_monotone_in_standby_fraction(self, profile, device, t, vth0):
+        parked = DeviceStress(device.active_stress_duty, 1.0)
+        relaxed = DeviceStress(device.active_stress_duty, 0.0)
+        dv = shift(profile, device, t, vth0)
+        assert (shift(profile, parked, t, vth0) >= dv
+                >= shift(profile, relaxed, t, vth0))
+
+
+class TestBounds:
+    @given(profiles, devices, lifetimes, vth0s)
+    @settings(**_SETTINGS)
+    def test_recovery_bounded_by_dc_worst_case(self, profile, device, t,
+                                               vth0):
+        """Any AC/recovering pattern degrades no more than permanent DC
+        stress at the active temperature (the Fig. 1 upper bound)."""
+        dc = DEFAULT_MODEL.delta_vth_dc(t, profile.t_active, vth0)
+        assert shift(profile, device, t, vth0) <= dc
+
+    @given(profiles, lifetimes, vth0s,
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(**_SETTINGS)
+    def test_worst_best_case_bracket(self, profile, t, vth0, duty, frac):
+        """worst_case_shift >= delta_vth >= best_case_shift at equal
+        active duty (Sec. 3.1's bounding standby states)."""
+        device = DeviceStress(duty, frac)
+        dv = shift(profile, device, t, vth0)
+        worst = DEFAULT_MODEL.worst_case_shift(profile, t, vth0,
+                                               active_duty=duty)
+        best = DEFAULT_MODEL.best_case_shift(profile, t, vth0,
+                                             active_duty=duty)
+        assert worst >= dv >= best >= 0.0
+
+    @given(profiles, devices, lifetimes)
+    @settings(**_SETTINGS)
+    def test_lower_vth_ages_faster(self, profile, device, t):
+        """Eq. (23): higher oxide field (lower Vth0) means more shift —
+        the Fig. 12 / [51] variance-compensation mechanism."""
+        assert (shift(profile, device, t, 0.15)
+                >= shift(profile, device, t, 0.35))
+
+    @given(devices, lifetimes, vth0s)
+    @settings(**_SETTINGS)
+    def test_isothermal_profile_has_no_temperature_discount(self, device, t,
+                                                            vth0):
+        """At T_standby == T_active the equivalent-time map is identity:
+        the shift depends only on the total stress fraction."""
+        iso = OperatingProfile(0.3, 400.0, 400.0)
+        duty = device.active_stress_duty
+        frac = device.standby_fraction
+        total = duty * iso.active_fraction + frac * iso.standby_fraction
+        flat = OperatingProfile(1.0, 400.0, 400.0)
+        merged = DeviceStress(min(total, 1.0), 0.0)
+        a = shift(iso, device, t, vth0)
+        b = shift(flat, merged, t, vth0)
+        assert a == pytest.approx(b, rel=1e-9)

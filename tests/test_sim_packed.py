@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests._engines import assert_engines_match
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import build_library
 from repro.context import AnalysisContext
@@ -235,22 +236,19 @@ class TestMlvEngineEquivalence:
     @pytest.mark.parametrize("name", ["c432", "c880"])
     def test_search_engines_identical(self, name, table):
         circuit = iscas85.load(name)
-        packed = probability_based_mlv_search(circuit, table, n_vectors=24,
-                                              seed=5)
-        scalar = probability_based_mlv_search(circuit, table, n_vectors=24,
-                                              seed=5, engine="scalar")
-        assert packed.records == scalar.records
-        assert packed.iterations == scalar.iterations
-        assert packed.converged == scalar.converged
-        assert packed.evaluated == scalar.evaluated
+        assert_engines_match(
+            lambda engine: probability_based_mlv_search(
+                circuit, table, n_vectors=24, seed=5, engine=engine),
+            engines=("packed", "scalar"))
 
     def test_exhaustive_engines_identical(self, table):
         circuit = random_logic("ex", n_inputs=7, n_outputs=3, n_gates=25,
                                seed=13)
-        packed = exhaustive_mlv_search(circuit, table)
-        scalar = exhaustive_mlv_search(circuit, table, engine="scalar")
-        assert packed.records == scalar.records
-        assert packed.evaluated == scalar.evaluated == 2 ** 7
+        packed = assert_engines_match(
+            lambda engine: exhaustive_mlv_search(circuit, table,
+                                                 engine=engine),
+            engines=("packed", "scalar"))
+        assert packed.evaluated == 2 ** 7
 
     def test_unknown_engine_rejected(self, table):
         with pytest.raises(ValueError, match="engine"):

@@ -9,6 +9,7 @@ here is exact (``==`` / ``array_equal``), never ``approx``.
 import numpy as np
 import pytest
 
+from tests._engines import assert_engines_match
 from repro import AnalysisContext
 from repro.constants import TEN_YEARS
 from repro.core import OperatingProfile
@@ -326,28 +327,16 @@ class TestEngineEquivalenceFlows:
     def test_statistical_aging_engines_identical(self):
         circuit = bench("c432")
         kwargs = dict(times=(0.0, TEN_YEARS), n_samples=20, seed=4)
-        fast = statistical_aging(circuit, PROFILE, engine="compiled",
-                                 **kwargs)
-        slow = statistical_aging(circuit, PROFILE, engine="scalar",
-                                 **kwargs)
-        assert np.array_equal(np.asarray(fast.delays),
-                              np.asarray(slow.delays))
+        assert_engines_match(
+            lambda engine: statistical_aging(circuit, PROFILE,
+                                             engine=engine, **kwargs))
 
     def test_sizing_engines_identical(self):
         circuit = bench("c432")
-        fast = size_for_aging(circuit, PROFILE, engine="compiled")
-        slow = size_for_aging(circuit, PROFILE, engine="scalar")
-        assert fast.sizes == slow.sizes
-        assert fast.achieved_delay == slow.achieved_delay
-        assert fast.area_factor == slow.area_factor
-        assert fast.met == slow.met
+        assert_engines_match(
+            lambda engine: size_for_aging(circuit, PROFILE, engine=engine))
 
     def test_dual_vth_engines_identical(self):
         circuit = bench("c880")
-        fast = assign_dual_vth(circuit, engine="compiled")
-        slow = assign_dual_vth(circuit, engine="scalar")
-        assert fast.hvt_gates == slow.hvt_gates
-        assert fast.fresh_delay_dual == slow.fresh_delay_dual
-        assert fast.aged_delay_lvt == slow.aged_delay_lvt
-        assert fast.aged_delay_dual == slow.aged_delay_dual
-        assert fast.leakage_factor == slow.leakage_factor
+        assert_engines_match(
+            lambda engine: assign_dual_vth(circuit, engine=engine))
