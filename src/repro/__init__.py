@@ -24,7 +24,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro import constants
+import logging
+
+from repro import constants, obs
 from repro.cells import LeakageTable, Library, build_library
 from repro.context import AnalysisContext, CacheStats
 from repro.core import (
@@ -58,10 +60,15 @@ from repro.tech import PTM90, PTM90_HVT, PTM90_LP, Technology
 from repro.thermal import ThermalRC, random_task_set, task_set_trace
 from repro.variation import VariationModel, statistical_aging
 
-__version__ = "1.0.0"
+# Library logging convention: modules log under the "repro" hierarchy;
+# the null handler keeps imports silent until an application (or the
+# CLI's -v flag) attaches a real one.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+__version__ = "1.1.0"
 
 __all__ = [
-    "constants",
+    "constants", "obs",
     "LeakageTable", "Library", "build_library",
     "AnalysisContext", "CacheStats",
     "DEFAULT_CALIBRATION", "DEFAULT_MODEL", "DeviceStress",

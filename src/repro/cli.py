@@ -19,10 +19,12 @@ Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__, obs
 from repro.constants import TEN_YEARS, years
 from repro.core import (
     DEFAULT_MODEL,
@@ -67,8 +69,29 @@ def _profile_from(args) -> OperatingProfile:
                                      t_standby=args.t_standby)
 
 
+def _engine_lines() -> List[str]:
+    """Availability of each evaluation engine, one line per engine."""
+    lines = []
+    try:
+        import numpy
+        from repro.sta.compiled import CompiledTiming  # noqa: F401
+
+        lines.append("compiled STA/aging kernels: available "
+                     f"(numpy {numpy.__version__})")
+    except ImportError:
+        lines.append("compiled STA/aging kernels: unavailable (no numpy)")
+    try:
+        from repro.sim.packed import PackedSimulator  # noqa: F401
+
+        lines.append("packed bit-parallel simulation: available")
+    except ImportError:
+        lines.append("packed bit-parallel simulation: unavailable")
+    lines.append("scalar oracle paths: available")
+    return lines
+
+
 def cmd_info(args) -> int:
-    """``info``: netlist statistics and cell mix."""
+    """``info``: netlist statistics, cell mix, engine availability."""
     circuit = resolve_circuit(args.circuit)
     stats = circuit.stats()
     print(f"{circuit.name}: {stats['inputs']} inputs, "
@@ -76,6 +99,9 @@ def cmd_info(args) -> int:
           f"depth {stats['depth']}")
     rows = [[cell, count] for cell, count in circuit.cell_histogram().items()]
     print(format_table(["cell", "count"], rows))
+    print(f"repro {__version__}")
+    for line in _engine_lines():
+        print(line)
     return 0
 
 
@@ -242,16 +268,87 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _add_obs_args(parser: argparse.ArgumentParser, *,
+                  suppress: bool = False) -> None:
+    """The global observability/verbosity flags.
+
+    Added once to the root parser (real defaults) and once per
+    subcommand with ``default=argparse.SUPPRESS`` — an absent
+    post-subcommand flag then leaves the root-parsed value alone, so
+    both ``repro --trace f age c17`` and ``repro age c17 --trace f``
+    work.  The ``-v`` count action *increments* whatever the root
+    already counted, so ``repro -v age c17 -v`` means ``-vv``.
+    """
+    kw = {"default": argparse.SUPPRESS} if suppress else {}
+    parser.add_argument("--trace", metavar="FILE",
+                        **(kw or {"default": None}),
+                        help="write a span trace (JSONL) to FILE")
+    parser.add_argument("--metrics", metavar="FILE",
+                        **(kw or {"default": None}),
+                        help="write a RunReport (JSON) to FILE")
+    parser.add_argument("-v", "--verbose", action="count",
+                        **(kw or {"default": 0}),
+                        help="log progress (-v info, -vv debug)")
+
+
+def _configure_logging(verbose: int) -> None:
+    """Attach a stderr handler to the ``repro`` logger per ``-v`` count."""
+    if not verbose:
+        return
+    level = logging.INFO if verbose == 1 else logging.DEBUG
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(level)
+
+
+def _run_observed(args) -> int:
+    """Run the selected subcommand, collecting and writing observability.
+
+    With ``--trace`` or ``--metrics``, installs a real tracer (which is
+    the collection-active switch for metrics and cache-stats too), runs
+    the command under a root ``repro.<command>`` span, and writes the
+    requested artifacts; otherwise calls straight through on the no-op
+    path.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return args.func(args)
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    captured: List[dict] = []
+    with obs.use_tracer(tracer), obs.use_metrics(registry), \
+            obs.cache_scope(captured):
+        with obs.span(f"repro.{args.command}"):
+            code = args.func(args)
+    if trace_path:
+        tracer.write_jsonl(trace_path)
+    if metrics_path:
+        report = obs.RunReport(f"repro {args.command}",
+                               spans=tracer.span_dicts(),
+                               metrics=registry.snapshot(),
+                               cache_stats=captured)
+        report.write(metrics_path)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Temperature-aware NBTI analysis (Wang et al. "
                     "DATE'07/TDSC'11 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    _add_obs_args(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="netlist statistics")
     p.add_argument("circuit")
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("age", help="temperature-aware aged timing")
@@ -259,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(p)
     p.add_argument("--standby", choices=("worst", "best"), default="worst",
                    help="bounding standby state (default worst)")
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_age)
 
     p = sub.add_parser("mlv", help="leakage/NBTI co-optimized standby vector")
@@ -269,6 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set-size", type=int, default=6,
                    help="MLV set size (default 6)")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_mlv)
 
     p = sub.add_parser("sleep", help="sleep-transistor sizing + aged timing")
@@ -284,16 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vth-st", type=float, default=0.22, dest="vth_st")
     p.add_argument("--nbti-aware", action="store_true",
                    help="apply the eq. 31 end-of-life upsizing")
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_sleep)
 
     p = sub.add_parser("guardband", help="device-level lifetime guard-band")
     _add_profile_args(p)
     p.add_argument("--vth0", type=float, default=0.22)
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_guardband)
 
     p = sub.add_parser("table1", help="print the paper's Table 1 grid")
     p.add_argument("--years", type=float, default=10.0)
     p.add_argument("--vth0", type=float, default=0.22)
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("paths", help="K longest (optionally aged) paths")
@@ -302,12 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--aged", action="store_true",
                    help="rank by 10-year aged delay")
     _add_profile_args(p)
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_paths)
 
     p = sub.add_parser("table4", help="internal-node-control potential sweep")
     p.add_argument("circuit")
     p.add_argument("--ras", default="1:9")
     p.add_argument("--years", type=float, default=10.0)
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_table4)
 
     p = sub.add_parser("sweep",
@@ -323,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: one per circuit, "
                         "capped at the CPU count; 1 = serial)")
+    _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_sweep)
 
     return parser
@@ -331,7 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    _configure_logging(getattr(args, "verbose", 0))
+    return _run_observed(args)
 
 
 if __name__ == "__main__":

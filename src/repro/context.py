@@ -63,6 +63,7 @@ facade that keeps one context per circuit.
 
 from __future__ import annotations
 
+import logging
 from typing import (
     Any,
     Callable,
@@ -77,6 +78,7 @@ from typing import (
     Union,
 )
 
+from repro import obs
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import Library
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
@@ -85,6 +87,8 @@ from repro.netlist.circuit import Circuit
 
 #: Default temperature of the leakage lookup tables (the paper
 #: characterizes leakage at 400 K).
+logger = logging.getLogger(__name__)
+
 DEFAULT_LEAKAGE_TEMPERATURE = 400.0
 
 
@@ -189,6 +193,7 @@ class AnalysisContext:
         self.analyzer = AgingAnalyzer(library=self.library, model=model)
         self.stats = CacheStats()
         self._caches: Dict[str, Dict[Hashable, Any]] = {}
+        obs.register_cache_stats(circuit.name, self.stats)
 
     # -- cache machinery ---------------------------------------------------
 
@@ -211,6 +216,9 @@ class AnalysisContext:
         one call is enough after an in-place netlist edit.  Counters are
         *not* reset: invalidation is part of the measured history.
         """
+        logger.debug("invalidating context of %s (%d hits / %d misses "
+                     "so far)", self.circuit.name, self.stats.hits(),
+                     self.stats.misses())
         self._caches.clear()
         self.circuit.invalidate_caches()
 

@@ -34,6 +34,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
 from repro.core.numerics import quarter_root, uexp
 from repro.core.profiles import OperatingProfile
@@ -136,15 +137,20 @@ class CompiledNbtiModel:
         t = np.asarray(t_total, dtype=float)
         if np.any(t < 0.0):
             raise ValueError("time must be non-negative")
-        c_eq, tau_eq = self.equivalent_duty(profile, duties, fractions)
-        n_cycles = t / profile.period
-        # s_closed_form on the equivalent duty; sqrt is exact, the
-        # quarter root shares the scalar path's ufunc loop.
-        s = quarter_root(n_cycles * c_eq / (1.0 + np.sqrt((1.0 - c_eq)
-                                                          / 2.0)))
-        kv = self.kv(vth0, profile.t_active)
-        dv = kv * s * quarter_root(tau_eq)
-        return np.where((c_eq <= 0.0) | (tau_eq <= 0.0), 0.0, dv)
+        with obs.span("aging.kernel.delta_vth"):
+            c_eq, tau_eq = self.equivalent_duty(profile, duties, fractions)
+            n_cycles = t / profile.period
+            # s_closed_form on the equivalent duty; sqrt is exact, the
+            # quarter root shares the scalar path's ufunc loop.
+            s = quarter_root(n_cycles * c_eq / (1.0 + np.sqrt((1.0 - c_eq)
+                                                              / 2.0)))
+            kv = self.kv(vth0, profile.t_active)
+            dv = kv * s * quarter_root(tau_eq)
+            out = np.where((c_eq <= 0.0) | (tau_eq <= 0.0), 0.0, dv)
+            obs.annotate(devices=int(out.size))
+        obs.count("aging.kernel.calls")
+        obs.observe("aging.kernel.devices", out.size)
+        return out
 
     def delta_vth_series(self, profile: OperatingProfile, duties: ArrayLike,
                          fractions: ArrayLike, times: Sequence[float],

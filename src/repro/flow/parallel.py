@@ -23,19 +23,73 @@ rebuilt per process rather than pickled).
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
+from repro import obs
 from repro.constants import TEN_YEARS
 from repro.core.profiles import OperatingProfile
 from repro.netlist.circuit import Circuit
 
+logger = logging.getLogger(__name__)
+
 J = TypeVar("J")
 R = TypeVar("R")
+
+
+@dataclass
+class WorkerObservation:
+    """One worker's observability payload, shipped across the pool.
+
+    Everything is plain dicts/lists (picklable, no live objects): the
+    worker's span trees, its metrics snapshot, and the cache-stats
+    entries of the contexts it built.
+    """
+
+    result: Any = None
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    cache_stats: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class _ObservedWorker:
+    """Picklable wrapper running a worker under fresh per-process
+    observability state.
+
+    Each call installs its own tracer, metrics registry, and cache
+    scope — in a pool worker that isolates the payload per process; on
+    the serial path it nests cleanly inside the parent's collection
+    (the save/restore contextmanagers make both cases identical in
+    structure).
+    """
+
+    def __init__(self, worker: Callable[[J], R]):
+        self.worker = worker
+
+    def __call__(self, job: J) -> WorkerObservation:
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        captured: List[Dict[str, Any]] = []
+        with obs.use_tracer(tracer), obs.use_metrics(registry), \
+                obs.cache_scope(captured):
+            result = self.worker(job)
+        return WorkerObservation(result=result, spans=tracer.span_dicts(),
+                                 metrics=registry.snapshot(),
+                                 cache_stats=captured)
 
 
 def load_circuit(name: str) -> Circuit:
@@ -75,29 +129,73 @@ def run_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
     Pool-infrastructure failures (a pool that cannot start or breaks
     mid-run, unpicklable jobs) fall back to the serial loop; exceptions
     raised *by the worker itself* propagate unchanged.
+
+    When collection is active (:func:`repro.obs.tracing_enabled`), each
+    worker runs under its own tracer/metrics/cache scope and its payload
+    is merged back in **job order** — a pooled sweep and a serial sweep
+    produce the same span structure, metric totals, and cache-stats
+    list regardless of which worker finished first.
     """
     jobs = list(jobs)
     if not jobs:
         return []
     if max_workers is None:
         max_workers = min(len(jobs), os.cpu_count() or 1)
+
+    observed = obs.tracing_enabled()
+    call = _ObservedWorker(worker) if observed else worker
+
+    def serial() -> List[R]:
+        with obs.span("flow.run_sweep", jobs=len(jobs), pooled=False):
+            return _merge_observations([call(job) for job in jobs],
+                                       observed)
+
     if max_workers <= 1:
-        return [worker(job) for job in jobs]
+        return serial()
     try:
         # Probe up front: an unpicklable worker/job would otherwise
         # surface from inside the pool's feeder thread with a
         # hard-to-catch exception type.
-        pickle.dumps((worker, jobs))
+        pickle.dumps((call, jobs))
     except Exception:
-        return [worker(job) for job in jobs]
+        logger.warning("run_sweep: jobs not picklable, running serially")
+        return serial()
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(worker, job) for job in jobs]
-            return [f.result() for f in futures]
+        with obs.span("flow.run_sweep", jobs=len(jobs), pooled=True,
+                      max_workers=max_workers):
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(call, job) for job in jobs]
+                outcomes = [f.result() for f in futures]
+            return _merge_observations(outcomes, observed)
     except (OSError, NotImplementedError, ImportError,
             BrokenProcessPool, pickle.PicklingError):
         # The *pool* failed, not the analysis: degrade to serial.
-        return [worker(job) for job in jobs]
+        logger.warning("run_sweep: process pool unavailable, "
+                       "falling back to serial execution")
+        return serial()
+
+
+def _merge_observations(outcomes: List[Any], observed: bool) -> List[Any]:
+    """Unwrap :class:`WorkerObservation` payloads, merging in job order.
+
+    Spans are adopted under the current span with a ``worker`` index
+    attribute, metric snapshots are folded into the installed registry,
+    and cache-stats entries are re-registered in the parent scope.
+    Merge order is the job order of ``outcomes`` — deterministic by
+    construction.
+    """
+    if not observed:
+        return outcomes
+    tracer = obs.get_tracer()
+    registry = obs.get_metrics()
+    results = []
+    for i, payload in enumerate(outcomes):
+        tracer.adopt(payload.spans, worker=i)
+        registry.merge(payload.metrics)
+        for entry in payload.cache_stats:
+            obs.register_cache_snapshot(entry)
+        results.append(payload.result)
+    return results
 
 
 # -- Table 3: leakage/NBTI co-optimization per circuit -----------------------

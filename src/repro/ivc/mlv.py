@@ -20,12 +20,14 @@ delay is smallest — the leakage/NBTI co-optimization.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS
@@ -39,6 +41,8 @@ from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
 from repro.sim.vectors import all_vectors, bits_to_vector, vector_to_bits
 from repro.sta.degradation import AgingAnalyzer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -173,58 +177,70 @@ def probability_based_mlv_search(
     if engine not in ("packed", "scalar"):
         raise ValueError(f"engine must be 'packed' or 'scalar', "
                          f"got {engine!r}")
-    library = library or default_library()
-    reference = _window_reference(circuit, table, library, context,
-                                  window_policy)
-    rng = random.Random(seed)
-    pis = circuit.primary_inputs
+    obs.count("ivc.mlv.searches")
+    with obs.span("ivc.mlv.search", circuit=circuit.name, engine=engine):
+        library = library or default_library()
+        reference = _window_reference(circuit, table, library, context,
+                                      window_policy)
+        rng = random.Random(seed)
+        pis = circuit.primary_inputs
 
-    seen: Dict[Tuple[int, ...], float] = {}
+        seen: Dict[Tuple[int, ...], float] = {}
 
-    if engine == "packed":
-        evaluate_all = _batch_evaluator(circuit, table, library, context,
-                                        seen)
-    else:
-        def evaluate_all(batch: Sequence[Tuple[int, ...]]) -> None:
-            for bits in batch:
-                if bits not in seen:
-                    seen[bits] = leakage_for_vector(
-                        circuit, bits_to_vector(circuit, bits), table,
-                        library, context=context)
+        if engine == "packed":
+            evaluate_all = _batch_evaluator(circuit, table, library, context,
+                                            seen)
+        else:
+            def evaluate_all(batch: Sequence[Tuple[int, ...]]) -> None:
+                for bits in batch:
+                    if bits not in seen:
+                        seen[bits] = leakage_for_vector(
+                            circuit, bits_to_vector(circuit, bits), table,
+                            library, context=context)
 
-    # Line 0: initial random population.  The whole round is generated
-    # before evaluation (evaluation draws no randomness), so the RNG
-    # stream is identical between engines.
-    randint = rng.randint
-    random_draw = rng.random
-    n_pis = len(pis)
-    evaluate_all([tuple([randint(0, 1) for _ in range(n_pis)])
-                  for _ in range(n_vectors)])
-
-    iterations = 0
-    converged = False
-    for iterations in range(1, max_iterations + 1):
-        mlv_set = _filter_set(seen, range_fraction,
-                              max_keep=max(n_vectors, 64),
-                              reference=reference)
-        # Line 2: per-PI probability of 1 inside the MLV set.  Integer
-        # column sums divided by the set size — the numpy division
-        # yields the exact same floats as the historical per-column
-        # ``sum(...) / len`` python division.
-        counts = np.array([r.bits for r in mlv_set],
-                          dtype=np.int64).sum(axis=0)
-        probs = (counts / len(mlv_set)).tolist()
-        # Line 5/6: convergence when all probabilities are saturated.
-        if all(p <= convergence_margin or p >= 1.0 - convergence_margin
-               for p in probs):
-            converged = True
-            break
-        # Lines 3-4: new vectors from the learned distribution.
-        evaluate_all([tuple([1 if random_draw() < p else 0 for p in probs])
+        # Line 0: initial random population.  The whole round is
+        # generated before evaluation (evaluation draws no randomness),
+        # so the RNG stream is identical between engines.
+        randint = rng.randint
+        random_draw = rng.random
+        n_pis = len(pis)
+        evaluate_all([tuple([randint(0, 1) for _ in range(n_pis)])
                       for _ in range(n_vectors)])
 
-    final = _filter_set(seen, range_fraction, max_keep=max_set_size,
-                        reference=reference)
+        iterations = 0
+        converged = False
+        for iterations in range(1, max_iterations + 1):
+            with obs.span("ivc.mlv.round", iteration=iterations):
+                mlv_set = _filter_set(seen, range_fraction,
+                                      max_keep=max(n_vectors, 64),
+                                      reference=reference)
+                # Line 2: per-PI probability of 1 inside the MLV set.
+                # Integer column sums divided by the set size — the
+                # numpy division yields the exact same floats as the
+                # historical per-column ``sum(...) / len`` division.
+                counts = np.array([r.bits for r in mlv_set],
+                                  dtype=np.int64).sum(axis=0)
+                probs = (counts / len(mlv_set)).tolist()
+                # Line 5/6: convergence when all probabilities are
+                # saturated.
+                if all(p <= convergence_margin
+                       or p >= 1.0 - convergence_margin for p in probs):
+                    converged = True
+                else:
+                    # Lines 3-4: new vectors from the learned
+                    # distribution.
+                    evaluate_all([tuple([1 if random_draw() < p else 0
+                                         for p in probs])
+                                  for _ in range(n_vectors)])
+            logger.debug("mlv round %d: %d vectors evaluated, set=%d",
+                         iterations, len(seen), len(mlv_set))
+            if converged:
+                break
+
+        final = _filter_set(seen, range_fraction, max_keep=max_set_size,
+                            reference=reference)
+        obs.annotate(iterations=iterations, converged=converged,
+                     evaluated=len(seen))
     return MLVSearchResult(records=final, iterations=iterations,
                            converged=converged, evaluated=len(seen))
 
@@ -256,24 +272,26 @@ def exhaustive_mlv_search(circuit: Circuit, table: LeakageTable,
     evaluated in one bit-parallel population pass.
     """
     library = library or default_library()
-    reference = _window_reference(circuit, table, library, context,
-                                  window_policy)
-    seen: Dict[Tuple[int, ...], float] = {}
-    if engine == "packed":
-        evaluate_all = _batch_evaluator(circuit, table, library, context,
-                                        seen)
-        evaluate_all([vector_to_bits(circuit, v)
-                      for v in all_vectors(circuit)])
-    elif engine == "scalar":
-        for vector in all_vectors(circuit):
-            bits = vector_to_bits(circuit, vector)
-            seen[bits] = leakage_for_vector(circuit, vector, table, library,
-                                            context=context)
-    else:
-        raise ValueError(f"engine must be 'packed' or 'scalar', "
-                         f"got {engine!r}")
-    final = _filter_set(seen, range_fraction, max_set_size,
-                        reference=reference)
+    with obs.span("ivc.mlv.exhaustive", circuit=circuit.name, engine=engine):
+        reference = _window_reference(circuit, table, library, context,
+                                      window_policy)
+        seen: Dict[Tuple[int, ...], float] = {}
+        if engine == "packed":
+            evaluate_all = _batch_evaluator(circuit, table, library, context,
+                                            seen)
+            evaluate_all([vector_to_bits(circuit, v)
+                          for v in all_vectors(circuit)])
+        elif engine == "scalar":
+            for vector in all_vectors(circuit):
+                bits = vector_to_bits(circuit, vector)
+                seen[bits] = leakage_for_vector(circuit, vector, table,
+                                                library, context=context)
+        else:
+            raise ValueError(f"engine must be 'packed' or 'scalar', "
+                             f"got {engine!r}")
+        final = _filter_set(seen, range_fraction, max_set_size,
+                            reference=reference)
+        obs.annotate(evaluated=len(seen))
     return MLVSearchResult(records=final, iterations=1, converged=True,
                            evaluated=len(seen))
 

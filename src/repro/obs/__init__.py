@@ -1,0 +1,86 @@
+"""Zero-dependency observability: tracing, metrics, and run reports.
+
+The instrumentation layer of the analysis stack (PR 5 of the roadmap's
+"production-scale system" arc).  Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.trace` — nested wall-time spans via context managers
+  and the :func:`traced` decorator, exported as JSONL or nested dicts.
+* :mod:`repro.obs.metrics` — typed counters and histograms (kernel
+  invocations, batch sizes, engine selection, compile vs evaluate
+  time) with deterministic snapshot/merge semantics.
+* :mod:`repro.obs.report` — the :class:`RunReport` document merging
+  span trees, metric snapshots, and per-context
+  :class:`~repro.context.CacheStats` into one schema-validated JSON.
+
+Collection is **off by default** and near-free while off: the
+module-level :func:`span` / :func:`count` / :func:`observe` helpers
+no-op after a single identity check against the :data:`NULL_TRACER`
+singleton (``benchmarks/test_perf_obs.py`` asserts the disabled
+overhead stays under 2 % of the headline aging benchmark).  Enable by
+installing a tracer::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    captured = []
+    with obs.use_tracer(tracer), obs.use_metrics(registry), \\
+            obs.cache_scope(captured):
+        platform.co_optimize(circuit, profile, TEN_YEARS)
+
+    report = obs.RunReport("my run", spans=tracer.span_dicts(),
+                           metrics=registry.snapshot(),
+                           cache_stats=captured)
+    report.write("report.json")
+
+or pass ``--trace FILE`` / ``--metrics FILE`` to any CLI subcommand.
+See docs/OBSERVABILITY.md for the span taxonomy and report schema.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    count,
+    get_metrics,
+    observe,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    RunReport,
+    cache_scope,
+    register_cache_snapshot,
+    register_cache_stats,
+    reset_cache_registry,
+    schema_errors,
+    snapshot_cache_stats,
+    validate_report,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    annotate,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Span", "Tracer", "NullTracer", "NULL_TRACER",
+    "span", "annotate", "traced",
+    "get_tracer", "set_tracer", "use_tracer", "tracing_enabled",
+    "Counter", "Histogram", "MetricsRegistry",
+    "count", "observe", "get_metrics", "set_metrics", "use_metrics",
+    "RunReport", "REPORT_SCHEMA", "SCHEMA_VERSION",
+    "schema_errors", "validate_report",
+    "register_cache_stats", "register_cache_snapshot",
+    "snapshot_cache_stats", "cache_scope", "reset_cache_registry",
+]

@@ -1,0 +1,13 @@
+"""``python -m repro.obs REPORT.json ...`` — validate RunReport files.
+
+Thin alias of :func:`repro.obs.report.main` that avoids the runpy
+double-import warning of ``python -m repro.obs.report`` (the package
+``__init__`` already imports that module).
+"""
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""Run reports: span trees + metric snapshots + cache stats in one JSON.
+
+A :class:`RunReport` is the single document a traced run emits (the
+CLI's ``--metrics FILE``): the tracer's span trees, the metrics
+registry snapshot, and the hit/miss accounting of every
+:class:`~repro.context.CacheStats` that registered during the run, all
+under one versioned schema.
+
+Cache-stats registration is scope-stacked: each
+:class:`~repro.context.AnalysisContext` registers its stats (keyed by
+circuit name) into the innermost open scope when collection is active.
+The parallel sweep runner pushes a fresh scope around each worker
+(:func:`cache_scope`) so a worker's contexts land in that worker's
+payload, then re-registers the snapshots in the parent in job order —
+pooled and serial runs produce the same merged list.
+
+The schema is validated by a small hand-rolled checker (this package
+is zero-dependency by design — no ``jsonschema``), exposed both as
+:func:`validate_report` and as a command::
+
+    python -m repro.obs.report report.json
+
+which CI runs against the traced smoke invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.trace import tracing_enabled
+
+#: Version stamp of the report document format.
+SCHEMA_VERSION = 1
+
+#: Human-readable sketch of the report schema (see docs/OBSERVABILITY.md
+#: for the narrative version; validate_report is the executable one).
+REPORT_SCHEMA: Dict[str, Any] = {
+    "schema_version": "int == 1",
+    "label": "str",
+    "meta": {"repro_version": "str", "python": "str"},
+    "spans": [{"name": "str", "start": "float >= 0",
+               "duration": "float >= 0 | None", "attributes": "dict",
+               "children": "[span...]"}],
+    "metrics": {"<name>": {"type": "'counter' | 'histogram'", "...": "..."}},
+    "cache_stats": [{"scope": "str", "hits": "int >= 0",
+                     "misses": "int >= 0",
+                     "artifacts": {"<artifact>": {"hits": "int",
+                                                  "misses": "int"}}}],
+}
+
+# -- cache-stats registry ----------------------------------------------------
+
+#: Scope stack: entries are (scope name, live CacheStats | snapshot
+#: dict).  The root scope always exists; cache_scope pushes/pops.
+_scopes: List[List[Tuple[str, Any]]] = [[]]
+
+
+def register_cache_stats(scope: str, stats: Any) -> None:
+    """Register a live ``CacheStats`` under the innermost open scope.
+
+    Called by :class:`~repro.context.AnalysisContext` on construction;
+    a no-op unless collection is active, so idle sessions never grow
+    the registry.  The reference is strong on purpose — transient
+    contexts (built and dropped inside one flow call) must still appear
+    in the end-of-scope snapshot — and is released when the enclosing
+    :func:`cache_scope` pops (or :func:`reset_cache_registry` runs).
+    """
+    if not tracing_enabled():
+        return
+    _scopes[-1].append((scope, stats))
+
+
+def register_cache_snapshot(entry: Dict[str, Any]) -> None:
+    """Register an already-snapshotted cache-stats entry.
+
+    Used when merging worker payloads: the worker's contexts are gone,
+    only their snapshots crossed the pool boundary.
+    """
+    if not tracing_enabled():
+        return
+    _scopes[-1].append((str(entry.get("scope", "")), dict(entry)))
+
+
+def snapshot_cache_stats() -> List[Dict[str, Any]]:
+    """Snapshot the innermost scope, merged by scope name.
+
+    Entries sharing a scope (two contexts on the same circuit, or a
+    live context plus a worker snapshot) are summed artifact by
+    artifact; output order is first-registration order, so repeated
+    runs of the same flow produce the same list.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for scope, entry_src in _scopes[-1]:
+        if isinstance(entry_src, dict):
+            artifacts = entry_src.get("artifacts", {})
+        else:
+            artifacts = entry_src.snapshot()
+        entry = merged.get(scope)
+        if entry is None:
+            entry = merged[scope] = {"scope": scope, "artifacts": {}}
+            order.append(scope)
+        for name, counts in artifacts.items():
+            slot = entry["artifacts"].setdefault(
+                name, {"hits": 0, "misses": 0})
+            slot["hits"] += int(counts.get("hits", 0))
+            slot["misses"] += int(counts.get("misses", 0))
+    out = []
+    for scope in order:
+        entry = merged[scope]
+        entry["hits"] = sum(a["hits"] for a in entry["artifacts"].values())
+        entry["misses"] = sum(a["misses"]
+                              for a in entry["artifacts"].values())
+        out.append(entry)
+    return out
+
+
+@contextmanager
+def cache_scope(out: List[Dict[str, Any]]):
+    """Collect cache-stats registrations of a block into ``out``.
+
+    Pushes a fresh scope so registrations inside the block do not leak
+    into the surrounding one; on exit the scope is snapshotted (merged
+    by scope name) into ``out`` and popped.  The parallel runner wraps
+    each worker call in one of these.
+    """
+    _scopes.append([])
+    try:
+        yield out
+    finally:
+        out.extend(snapshot_cache_stats())
+        _scopes.pop()
+
+
+def reset_cache_registry() -> None:
+    """Drop every registration (test isolation hook)."""
+    del _scopes[1:]
+    _scopes[0].clear()
+
+
+# -- the report document -----------------------------------------------------
+
+
+class RunReport:
+    """One JSON document describing a traced run.
+
+    Args:
+        label: human-readable run label (e.g. ``"repro sweep"``).
+        spans: nested span dicts (:meth:`Tracer.span_dicts`).
+        metrics: a :meth:`MetricsRegistry.snapshot`.
+        cache_stats: merged cache-stats entries
+            (:func:`snapshot_cache_stats` output).
+        meta: extra environment facts; repro/python versions are always
+            stamped in.
+    """
+
+    def __init__(self, label: str, *,
+                 spans: Optional[List[Dict[str, Any]]] = None,
+                 metrics: Optional[Dict[str, Any]] = None,
+                 cache_stats: Optional[List[Dict[str, Any]]] = None,
+                 meta: Optional[Dict[str, Any]] = None):
+        self.label = label
+        self.spans = list(spans or [])
+        self.metrics = dict(metrics or {})
+        self.cache_stats = list(cache_stats or [])
+        self.meta = dict(meta or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full document, schema-versioned and JSON-ready."""
+        from repro import __version__
+
+        meta = {"repro_version": __version__,
+                "python": "%d.%d.%d" % sys.version_info[:3]}
+        meta.update(self.meta)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "meta": meta,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "cache_stats": self.cache_stats,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The document serialized as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> None:
+        """Validate and write the document to ``path``."""
+        doc = self.to_dict()
+        validate_report(doc)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the document violates the schema."""
+        validate_report(self.to_dict())
+
+    def __repr__(self) -> str:
+        return (f"RunReport({self.label!r}, spans={len(self.spans)}, "
+                f"metrics={len(self.metrics)}, "
+                f"cache_stats={len(self.cache_stats)})")
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def _check_span(span: Any, path: str, errors: List[str]) -> None:
+    if not isinstance(span, dict):
+        errors.append(f"{path}: span must be an object")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{path}.name: must be a non-empty string")
+    start = span.get("start")
+    if not isinstance(start, (int, float)) or start < 0:
+        errors.append(f"{path}.start: must be a number >= 0")
+    duration = span.get("duration")
+    if duration is not None and (not isinstance(duration, (int, float))
+                                 or duration < 0):
+        errors.append(f"{path}.duration: must be null or a number >= 0")
+    if not isinstance(span.get("attributes", {}), dict):
+        errors.append(f"{path}.attributes: must be an object")
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        errors.append(f"{path}.children: must be an array")
+        return
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}.children[{i}]", errors)
+
+
+def _check_metric(name: str, metric: Any, errors: List[str]) -> None:
+    path = f"metrics[{name!r}]"
+    if not isinstance(metric, dict):
+        errors.append(f"{path}: must be an object")
+        return
+    kind = metric.get("type")
+    if kind == "counter":
+        values = metric.get("values")
+        if not isinstance(values, dict):
+            errors.append(f"{path}.values: must be an object")
+        elif not all(isinstance(v, (int, float)) for v in values.values()):
+            errors.append(f"{path}.values: values must be numbers")
+    elif kind == "histogram":
+        if not isinstance(metric.get("count"), int):
+            errors.append(f"{path}.count: must be an integer")
+        if not isinstance(metric.get("sum"), (int, float)):
+            errors.append(f"{path}.sum: must be a number")
+        if not isinstance(metric.get("buckets", {}), dict):
+            errors.append(f"{path}.buckets: must be an object")
+    else:
+        errors.append(f"{path}.type: must be 'counter' or 'histogram', "
+                      f"got {kind!r}")
+
+
+def _check_cache_entry(entry: Any, path: str, errors: List[str]) -> None:
+    if not isinstance(entry, dict):
+        errors.append(f"{path}: must be an object")
+        return
+    if not isinstance(entry.get("scope"), str):
+        errors.append(f"{path}.scope: must be a string")
+    for key in ("hits", "misses"):
+        value = entry.get(key)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{path}.{key}: must be an integer >= 0")
+    artifacts = entry.get("artifacts")
+    if not isinstance(artifacts, dict):
+        errors.append(f"{path}.artifacts: must be an object")
+        return
+    for name, counts in artifacts.items():
+        if (not isinstance(counts, dict)
+                or not isinstance(counts.get("hits"), int)
+                or not isinstance(counts.get("misses"), int)):
+            errors.append(f"{path}.artifacts[{name!r}]: must be "
+                          "{'hits': int, 'misses': int}")
+
+
+def schema_errors(doc: Any) -> List[str]:
+    """Every schema violation of a report document (empty when valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["report must be a JSON object"]
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(f"schema_version: must be {SCHEMA_VERSION}, "
+                      f"got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("label"), str):
+        errors.append("label: must be a string")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        errors.append("meta: must be an object")
+    else:
+        for key in ("repro_version", "python"):
+            if not isinstance(meta.get(key), str):
+                errors.append(f"meta.{key}: must be a string")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        errors.append("spans: must be an array")
+    else:
+        for i, span in enumerate(spans):
+            _check_span(span, f"spans[{i}]", errors)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics: must be an object")
+    else:
+        for name, metric in metrics.items():
+            _check_metric(name, metric, errors)
+    cache_stats = doc.get("cache_stats")
+    if not isinstance(cache_stats, list):
+        errors.append("cache_stats: must be an array")
+    else:
+        for i, entry in enumerate(cache_stats):
+            _check_cache_entry(entry, f"cache_stats[{i}]", errors)
+    return errors
+
+
+def validate_report(doc: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation of ``doc``."""
+    errors = schema_errors(doc)
+    if errors:
+        raise ValueError("invalid RunReport document:\n  "
+                         + "\n  ".join(errors))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate report files: ``python -m repro.obs.report FILE...``."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.report REPORT.json ...",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        errors = schema_errors(doc)
+        if errors:
+            print(f"{path}: INVALID")
+            for err in errors:
+                print(f"  {err}")
+            failed = True
+        else:
+            spans = doc.get("spans", [])
+            print(f"{path}: ok ({_span_count(spans)} spans, "
+                  f"{len(doc.get('metrics', {}))} metrics, "
+                  f"{len(doc.get('cache_stats', []))} cache scopes)")
+    return 1 if failed else 0
+
+
+def _span_count(spans: List[Dict[str, Any]]) -> int:
+    return sum(1 + _span_count(s.get("children", [])) for s in spans
+               if isinstance(s, dict))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""Structured tracing: nested spans with wall time and attributes.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+``with tracer.span("name"):`` block (or per call of a
+:func:`traced`-decorated function).  Spans carry wall-clock start /
+duration (from :func:`time.perf_counter`, relative to the tracer's
+first span) plus arbitrary JSON-serializable attributes, and export as
+nested dicts (for :class:`~repro.obs.report.RunReport`) or flat JSONL
+(one line per span, depth-first, for grepping).
+
+Disabled-by-default contract
+----------------------------
+The module-level :func:`span` / :func:`annotate` helpers and the
+:func:`traced` decorator check the installed tracer against the
+:data:`NULL_TRACER` singleton and return immediately when tracing is
+off — no span objects, no clock reads, no allocation beyond the call
+itself.  ``benchmarks/test_perf_obs.py`` pins that the per-call cost of
+the disabled path stays far below 2 % of the headline kernel runtimes.
+
+The installed tracer is process-global (swap it with
+:func:`set_tracer` / :func:`use_tracer`); the design is single-threaded
+per process, matching the process-parallel architecture of
+:mod:`repro.flow.parallel`, where each worker process installs its own
+tracer and ships its span dicts back for :meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region: name, start, duration, attributes, children.
+
+    ``start`` is relative to the owning tracer's first span (seconds);
+    ``duration`` is ``None`` while the span is open.  Treat instances as
+    tracer-owned: mutate them only through :meth:`Tracer.annotate`.
+    """
+
+    __slots__ = ("name", "start", "duration", "attributes", "children")
+
+    def __init__(self, name: str, start: float,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.start = start
+        self.duration: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested-dict form (the RunReport / cross-process format)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output."""
+        span = cls(str(data.get("name", "")), float(data.get("start") or 0.0),
+                   data.get("attributes"))
+        duration = data.get("duration")
+        span.duration = None if duration is None else float(duration)
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+    def iter(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def __repr__(self) -> str:
+        dur = "open" if self.duration is None else f"{self.duration:.3e}s"
+        return (f"Span({self.name!r}, {dur}, "
+                f"children={len(self.children)})")
+
+
+class _SpanHandle:
+    """Context manager closing one span on exit (tracer-internal)."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span, t0: float):
+        self._tracer = tracer
+        self._span = span
+        self._t0 = t0
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.duration = perf_counter() - self._t0
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects a span tree for one run (or one worker process).
+
+    Spans nest by ``with`` scoping: a span opened while another is open
+    becomes its child.  All timestamps come from
+    :func:`time.perf_counter` and are stored relative to the tracer's
+    first span, so span dicts from different processes are individually
+    consistent (compare durations, not starts, across processes).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._epoch: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("x", key=val):``."""
+        now = perf_counter()
+        if self._epoch is None:
+            self._epoch = now
+        span = Span(name, now - self._epoch, attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanHandle(self, span, now)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span (no-op if none)."""
+        if self._stack:
+            self._stack[-1].attributes.update(attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def adopt(self, span_dicts: List[Dict[str, Any]],
+              **attributes: Any) -> None:
+        """Attach serialized span trees (e.g. from a worker process).
+
+        Each tree is rebuilt via :meth:`Span.from_dict`, given the extra
+        ``attributes`` on its root, and appended under the current open
+        span (or as a new root).  Order of calls is preserved, so
+        merging worker payloads in job order yields a deterministic
+        tree.
+        """
+        container = (self._stack[-1].children if self._stack
+                     else self.roots)
+        for data in span_dicts:
+            span = Span.from_dict(data)
+            span.attributes.update(attributes)
+            container.append(span)
+
+    # -- export ------------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first over all roots."""
+        for root in self.roots:
+            yield from root.iter()
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name (depth-first order)."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        """The root span trees as nested dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def write_jsonl(self, path: str) -> None:
+        """One JSON object per span, depth-first, with a ``path`` field.
+
+        Every line is self-contained (``name``, slash-joined ``path``
+        from its root, ``depth``, ``start``, ``duration``,
+        ``attributes``) so traces can be filtered with grep/jq without
+        reassembling the tree.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for root in self.roots:
+                self._write_flat(fh, root, "", 0)
+
+    def _write_flat(self, fh, span: Span, prefix: str, depth: int) -> None:
+        path = f"{prefix}/{span.name}" if prefix else span.name
+        fh.write(json.dumps({
+            "name": span.name,
+            "path": path,
+            "depth": depth,
+            "start": span.start,
+            "duration": span.duration,
+            "attributes": span.attributes,
+        }, sort_keys=True) + "\n")
+        for child in span.children:
+            self._write_flat(fh, child, path, depth + 1)
+
+    def __repr__(self) -> str:
+        total = sum(1 for _ in self.iter_spans())
+        return f"Tracer(roots={len(self.roots)}, spans={total})"
+
+
+class _NullHandle:
+    """The shared do-nothing context manager of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Do-nothing tracer installed while tracing is disabled.
+
+    Mirrors the :class:`Tracer` API so instrumented code never branches
+    on availability; every method is a constant-time no-op and
+    :meth:`span` returns one shared context-manager instance (no
+    allocation per call).
+    """
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str = "", **attributes: Any) -> _NullHandle:
+        """No-op span: returns the shared null context manager."""
+        return _NULL_HANDLE
+
+    def annotate(self, **attributes: Any) -> None:
+        """No-op."""
+
+    @property
+    def current(self) -> None:
+        """Always ``None``."""
+        return None
+
+    def adopt(self, span_dicts: List[Dict[str, Any]],
+              **attributes: Any) -> None:
+        """No-op."""
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Empty iterator."""
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        """Always empty."""
+        return []
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        """Always empty."""
+        return []
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The disabled-tracing singleton; identity-compared on every fast path.
+NULL_TRACER = NullTracer()
+
+_tracer: "Tracer | NullTracer" = NULL_TRACER
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The currently installed tracer (the null singleton when off)."""
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Install ``tracer`` (``None`` disables); returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """True when a real tracer is installed (collection is active)."""
+    return _tracer is not NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer"):
+    """Install a tracer for the duration of a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the installed tracer (shared no-op when disabled).
+
+    This is the instrumentation entry point used across the analysis
+    stack::
+
+        with obs.span("sta.compiled.delays_batch", batch=b):
+            ...
+    """
+    tracer = _tracer
+    if tracer is NULL_TRACER:
+        return _NULL_HANDLE
+    return tracer.span(name, **attributes)
+
+
+def annotate(**attributes: Any) -> None:
+    """Attach attributes to the current span (no-op when disabled)."""
+    tracer = _tracer
+    if tracer is not NULL_TRACER:
+        tracer.annotate(**attributes)
+
+
+def traced(name: Optional[Callable] = None, **attributes: Any):
+    """Decorator tracing every call of a function as one span.
+
+    Usable bare (``@traced``, span named after ``__qualname__``) or
+    with arguments (``@traced("my.span", key=val)``).  When tracing is
+    disabled the wrapper calls straight through after one identity
+    check.
+    """
+    def decorate(fn: Callable, label: Optional[str] = None) -> Callable:
+        span_name = label or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = _tracer
+            if tracer is NULL_TRACER:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name):
+        return decorate(name)
+    return lambda fn: decorate(fn, name)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.cells.leakage import LeakageTable
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
@@ -129,6 +130,13 @@ class PackedSimulator:
     def __init__(self, circuit: Circuit, library: Optional[Library] = None):
         from repro.sim.logic import _cell_lut, default_library
 
+        obs.count("sim.packed.compiles")
+        with obs.span("sim.packed.compile", circuit=circuit.name):
+            self._compile_all(circuit, library, _cell_lut, default_library)
+
+    def _compile_all(self, circuit: Circuit, library: Optional[Library],
+                     _cell_lut, default_library) -> None:
+        """The one-time program compilation (spanned by ``__init__``)."""
         self.circuit = circuit
         self.library = library or default_library()
         order = circuit.topological_order()
@@ -271,6 +279,8 @@ class PackedSimulator:
                 raise KeyError(
                     f"missing array for primary input {pi!r}") from None
         pop = self._population(np.stack(columns, axis=1))
+        obs.count("sim.packed.simulate_calls")
+        obs.observe("sim.packed.batch_size", pop.shape[0])
         vals, _, n_bytes = self._states(pop)
         unpacked = self._unpack(vals, pop.shape[0], n_bytes)
         return {name: unpacked[i] for i, name in enumerate(self.net_names)}
@@ -287,6 +297,8 @@ class PackedSimulator:
                    for pi in self.circuit.primary_inputs]
         pop = self._population(np.stack(columns, axis=1))
         count = pop.shape[0]
+        obs.count("sim.packed.mean_ones_calls")
+        obs.observe("sim.packed.batch_size", count)
         vals, _, _ = self._states(pop)
         return {name: vals[i].bit_count() / count
                 for i, name in enumerate(self.net_names)}
@@ -304,21 +316,25 @@ class PackedSimulator:
         :func:`repro.leakage.circuit.leakage_for_vector` bit for bit.
         """
         pop = self._population(population)
-        luts = _leakage_luts(table)
-        gate_luts = [luts[cell] for cell in self._gate_cells]
-        totals = np.empty(pop.shape[0], dtype=np.float64)
-        for start in range(0, pop.shape[0], _CHUNK):
-            chunk = pop[start:start + _CHUNK]
-            count = chunk.shape[0]
-            vals, _, n_bytes = self._states(chunk)
-            unpacked = self._unpack(vals, count, n_bytes)
-            index = np.zeros((len(gate_luts), count), dtype=np.uint8)
-            for k in range(self._max_arity):
-                index |= unpacked[self._gate_in_rows[:, k]] << k
-            part = np.zeros(count, dtype=np.float64)
-            for gi, lut in enumerate(gate_luts):
-                part += lut[index[gi]]
-            totals[start:start + count] = part
+        obs.count("sim.packed.leakage_calls")
+        obs.observe("sim.packed.batch_size", pop.shape[0])
+        with obs.span("sim.packed.population_leakage",
+                      batch=int(pop.shape[0])):
+            luts = _leakage_luts(table)
+            gate_luts = [luts[cell] for cell in self._gate_cells]
+            totals = np.empty(pop.shape[0], dtype=np.float64)
+            for start in range(0, pop.shape[0], _CHUNK):
+                chunk = pop[start:start + _CHUNK]
+                count = chunk.shape[0]
+                vals, _, n_bytes = self._states(chunk)
+                unpacked = self._unpack(vals, count, n_bytes)
+                index = np.zeros((len(gate_luts), count), dtype=np.uint8)
+                for k in range(self._max_arity):
+                    index |= unpacked[self._gate_in_rows[:, k]] << k
+                part = np.zeros(count, dtype=np.float64)
+                for gi, lut in enumerate(gate_luts):
+                    part += lut[index[gi]]
+                totals[start:start + count] = part
         return totals
 
 

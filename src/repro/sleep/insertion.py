@@ -24,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import obs
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS
 from repro.core.aging import DEFAULT_MODEL, NbtiModel
@@ -181,14 +182,31 @@ def gated_aged_delay(circuit: Circuit, design: SleepTransistorDesign,
     """
     analyzer = analyzer or AgingAnalyzer(library=library, model=model)
     library = library or default_library()
-    shifts = analyzer.gate_shifts(circuit, profile, t_total, standby=ALL_ONE,
-                                  context=context, engine=engine)
-    st_shift = 0.0
-    if design.style.has_header:
-        device = DeviceStress(active_stress_duty=1.0, standby_stressed=False)
-        st_shift = model.delta_vth(profile, device, t_total, design.vth_st)
-    v_st = design.virtual_rail_drop(st_shift)
-    delay = analyze(circuit, library, delta_vth=shifts,
-                    supply_drop=v_st, context=context).circuit_delay
+    obs.count("sleep.gated_points")
+    with obs.span("sleep.gated_point", t=float(t_total),
+                  style=design.style.value):
+        shifts = analyzer.gate_shifts(circuit, profile, t_total,
+                                      standby=ALL_ONE, context=context,
+                                      engine=engine)
+        st_shift = 0.0
+        if design.style.has_header:
+            device = DeviceStress(active_stress_duty=1.0,
+                                  standby_stressed=False)
+            st_shift = model.delta_vth(profile, device, t_total,
+                                       design.vth_st)
+        v_st = design.virtual_rail_drop(st_shift)
+        # Only the worst-arrival scalar is needed here, so matching
+        # contexts read it straight off the compiled kernel instead of
+        # paying analyze()'s full slack/arrival-map assembly (the
+        # ``sta.compiled.assemble`` span prices what this skips); both
+        # routes floor the same propagated PO arrivals at 0.0, so the
+        # floats are identical.
+        if (context is not None and context.circuit is circuit
+                and context.library is library):
+            delay = context.compiled_timing().delay(shifts,
+                                                    supply_drop=v_st)
+        else:
+            delay = analyze(circuit, library, delta_vth=shifts,
+                            supply_drop=v_st, context=context).circuit_delay
     return GatedTimingPoint(time=t_total, st_delta_vth=st_shift,
                             v_st=v_st, circuit_delay=delay)

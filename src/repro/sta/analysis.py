@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
@@ -183,9 +184,11 @@ def analyze(circuit: Circuit, library: Optional[Library] = None, *,
 
             compiled = CompiledTiming(circuit, library, loads=loads)
         if compiled is not None:
+            obs.count("sta.analyze.engine", label="compiled")
             return compiled.analyze(delta_vth, supply_drop=supply_drop,
                                     temperature=temperature,
                                     required_time=required_time)
+    obs.count("sta.analyze.engine", label="scalar")
     if context is not None:
         if library is None:
             library = context.library

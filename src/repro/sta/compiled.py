@@ -44,10 +44,12 @@ only the affected backward cone of required times.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
 from repro.sta.analysis import (
@@ -102,6 +104,18 @@ class CompiledTiming:
     def __init__(self, circuit: Circuit, library: Optional[Library] = None,
                  *, loads: Optional[Mapping[str, float]] = None,
                  wire_cap: float = WIRE_CAP, po_cap: float = PO_CAP):
+        t0 = perf_counter()
+        with obs.span("sta.compiled.lower", circuit=circuit.name):
+            self._lower(circuit, library, loads, wire_cap, po_cap)
+            obs.annotate(gates=self.n_gates,
+                         candidates=int(self.fanin_idx.size))
+        obs.count("sta.compiled.lowerings")
+        obs.observe("sta.compiled.lower_seconds", perf_counter() - t0)
+
+    def _lower(self, circuit: Circuit, library: Optional[Library],
+               loads: Optional[Mapping[str, float]],
+               wire_cap: float, po_cap: float) -> None:
+        """The one-time topological lowering walk (spanned by __init__)."""
         from repro.sim.logic import default_library
 
         self.circuit = circuit
@@ -211,17 +225,23 @@ class CompiledTiming:
         key = (float(supply_drop), float(temperature))
         cached = self._base_delays.get(key)
         if cached is None:
-            tech = self.library.tech
-            cached = np.empty(2 * self.n_gates, dtype=np.float64)
-            for i, name in enumerate(self.gate_names):
-                cell = self.library.get(self.circuit.gates[name].cell)
-                load = self.loads[name]
-                for e, edge in enumerate(_EDGES):
-                    cached[2 * i + e] = cell.delay(
-                        tech, load, edge, supply_drop=supply_drop,
-                        temperature=temperature)
-            cached.setflags(write=False)
-            self._base_delays[key] = cached
+            t0 = perf_counter()
+            with obs.span("sta.compiled.base_delays",
+                          supply_drop=key[0], temperature=key[1]):
+                tech = self.library.tech
+                cached = np.empty(2 * self.n_gates, dtype=np.float64)
+                for i, name in enumerate(self.gate_names):
+                    cell = self.library.get(self.circuit.gates[name].cell)
+                    load = self.loads[name]
+                    for e, edge in enumerate(_EDGES):
+                        cached[2 * i + e] = cell.delay(
+                            tech, load, edge, supply_drop=supply_drop,
+                            temperature=temperature)
+                cached.setflags(write=False)
+                self._base_delays[key] = cached
+            obs.count("sta.compiled.base_delay_builds")
+            obs.observe("sta.compiled.base_delay_seconds",
+                        perf_counter() - t0)
         return cached
 
     def gate_vector(self, values: GateValues, default: float = 0.0,
@@ -336,6 +356,7 @@ class CompiledTiming:
               delay_factors: GateValues = None, *,
               supply_drop: float = 0.0, temperature: float = 300.0) -> float:
         """Circuit delay of one scenario (seconds)."""
+        obs.count("sta.compiled.delay_calls")
         d = self.delay_vector(delta_vth, delay_factors,
                               supply_drop=supply_drop, temperature=temperature)
         if d.ndim != 1:
@@ -357,7 +378,12 @@ class CompiledTiming:
                               supply_drop=supply_drop, temperature=temperature)
         if d.ndim == 1:
             d = d[:, None]
-        return np.asarray(self.circuit_delays(self.propagate(d)))
+        batch = int(d.shape[1])
+        with obs.span("sta.compiled.delays_batch", batch=batch):
+            out = np.asarray(self.circuit_delays(self.propagate(d)))
+        obs.count("sta.compiled.batch_calls")
+        obs.observe("sta.compiled.batch_size", batch)
+        return out
 
     def analyze(self, delta_vth: GateValues = None, *,
                 supply_drop: float = 0.0, temperature: float = 300.0,
@@ -368,77 +394,87 @@ class CompiledTiming:
         input order wins), same slacks, same arrival maps, same dict
         iteration orders.
         """
-        d = self.delay_vector(delta_vth, supply_drop=supply_drop,
-                              temperature=temperature)
-        arr = self.propagate(d)
+        obs.count("sta.compiled.analyze_calls")
+        with obs.span("sta.compiled.analyze", circuit=self.circuit.name):
+            with obs.span("sta.compiled.sweep"):
+                d = self.delay_vector(delta_vth, supply_drop=supply_drop,
+                                      temperature=temperature)
+                arr = self.propagate(d)
 
-        # Critical output: first strict max in the scalar scan order.
-        circuit_delay = 0.0
-        critical_output = self.circuit.primary_outputs[0]
-        critical_edge = "rise"
-        if self.po_rows.size:
-            po_arr = arr[self.po_rows]
-            best = int(np.argmax(po_arr))
-            if po_arr[best] > 0.0:
-                circuit_delay = float(po_arr[best])
-                critical_output, critical_edge = self.po_order[best]
+                # Critical output: first strict max in the scalar scan
+                # order.
+                circuit_delay = 0.0
+                critical_output = self.circuit.primary_outputs[0]
+                critical_edge = "rise"
+                if self.po_rows.size:
+                    po_arr = arr[self.po_rows]
+                    best = int(np.argmax(po_arr))
+                    if po_arr[best] > 0.0:
+                        circuit_delay = float(po_arr[best])
+                        critical_output, critical_edge = self.po_order[best]
 
-        req_target = circuit_delay if required_time is None else required_time
-        req = self.required(arr, d, req_target)
+                req_target = (circuit_delay if required_time is None
+                              else required_time)
+                req = self.required(arr, d, req_target)
 
-        # Slack per node: min over edges with a finite required time;
-        # dangling nodes get the loosest meaningful bound.
-        arr2 = arr.reshape(-1, 2)
-        diff = (req - arr).reshape(-1, 2)
-        worst = diff.min(axis=1)
-        dangling = np.isinf(worst)
-        if dangling.any():
-            worst = worst.copy()
-            worst[dangling] = req_target - arr2.max(axis=1)[dangling]
+                # Slack per node: min over edges with a finite required
+                # time; dangling nodes get the loosest meaningful bound.
+                arr2 = arr.reshape(-1, 2)
+                diff = (req - arr).reshape(-1, 2)
+                worst = diff.min(axis=1)
+                dangling = np.isinf(worst)
+                if dangling.any():
+                    worst = worst.copy()
+                    worst[dangling] = req_target - arr2.max(axis=1)[dangling]
 
-        # Predecessors: first candidate achieving the segment max (the
-        # scalar loop starts best at -1.0, so one is always chosen).
-        pred: Dict[Tuple[str, str], Optional[Tuple[str, str]]] = {}
-        for pi in self.circuit.primary_inputs:
-            pred[(pi, "rise")] = None
-            pred[(pi, "fall")] = None
-        if self.n_gates:
-            cand = arr[self.fanin_idx]
-            seg_max = np.maximum.reduceat(cand, self.seg_ptr[:-1])
-            match = cand == np.repeat(seg_max, self._seg_counts)
-            position = np.where(match, np.arange(cand.size), cand.size)
-            first = np.minimum.reduceat(position, self.seg_ptr[:-1])
-            pred_rows = self.fanin_idx[first]
-            node_names = list(self.circuit.primary_inputs) + self.gate_names
-            for i, name in enumerate(self.gate_names):
-                for e, edge in enumerate(_EDGES):
-                    row = int(pred_rows[2 * i + e])
-                    pred[(name, edge)] = (node_names[row >> 1],
-                                          _EDGES[row & 1])
+            with obs.span("sta.compiled.assemble"):
+                # Predecessors: first candidate achieving the segment max
+                # (the scalar loop starts best at -1.0, so one is always
+                # chosen).
+                pred: Dict[Tuple[str, str], Optional[Tuple[str, str]]] = {}
+                for pi in self.circuit.primary_inputs:
+                    pred[(pi, "rise")] = None
+                    pred[(pi, "fall")] = None
+                if self.n_gates:
+                    cand = arr[self.fanin_idx]
+                    seg_max = np.maximum.reduceat(cand, self.seg_ptr[:-1])
+                    match = cand == np.repeat(seg_max, self._seg_counts)
+                    position = np.where(match, np.arange(cand.size),
+                                        cand.size)
+                    first = np.minimum.reduceat(position, self.seg_ptr[:-1])
+                    pred_rows = self.fanin_idx[first]
+                    node_names = (list(self.circuit.primary_inputs)
+                                  + self.gate_names)
+                    for i, name in enumerate(self.gate_names):
+                        for e, edge in enumerate(_EDGES):
+                            row = int(pred_rows[2 * i + e])
+                            pred[(name, edge)] = (node_names[row >> 1],
+                                                  _EDGES[row & 1])
 
-        arrival: Dict[str, Dict[str, float]] = {}
-        slack: Dict[str, float] = {}
-        for pi in self.circuit.primary_inputs:
-            node = self.node_index[pi]
-            arrival[pi] = {"rise": float(arr[2 * node]),
-                           "fall": float(arr[2 * node + 1])}
-        for i, name in enumerate(self.gate_names):
-            row = 2 * (self.n_pi + i)
-            arrival[name] = {"rise": float(arr[row]),
-                             "fall": float(arr[row + 1])}
-        for net in arrival:
-            slack[net] = float(worst[self.node_index[net]])
+                arrival: Dict[str, Dict[str, float]] = {}
+                slack: Dict[str, float] = {}
+                for pi in self.circuit.primary_inputs:
+                    node = self.node_index[pi]
+                    arrival[pi] = {"rise": float(arr[2 * node]),
+                                   "fall": float(arr[2 * node + 1])}
+                for i, name in enumerate(self.gate_names):
+                    row = 2 * (self.n_pi + i)
+                    arrival[name] = {"rise": float(arr[row]),
+                                     "fall": float(arr[row + 1])}
+                for net in arrival:
+                    slack[net] = float(worst[self.node_index[net]])
 
-        result = TimingResult(
-            circuit_delay=circuit_delay,
-            arrival=arrival,
-            slack=slack,
-            critical_output=critical_output,
-            critical_edge=critical_edge,
-            required_time=req_target,
-            _pred=pred,
-        )
-        result._is_gate = {net: net in self.circuit.gates for net in arrival}
+                result = TimingResult(
+                    circuit_delay=circuit_delay,
+                    arrival=arrival,
+                    slack=slack,
+                    critical_output=critical_output,
+                    critical_edge=critical_edge,
+                    required_time=req_target,
+                    _pred=pred,
+                )
+                result._is_gate = {net: net in self.circuit.gates
+                                   for net in arrival}
         return result
 
     def incremental(self, delta_vth: GateValues = None,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.cells.library import Library
 from repro.cells.stress import (
     stress_probabilities_for_cell,
@@ -84,31 +85,34 @@ class CompiledShiftPlan:
 
     def __init__(self, circuit: Circuit, library: Library,
                  duty_table: Dict[str, Dict[str, float]]):
-        self.circuit = circuit
-        self.library = library
-        self.gate_names: List[str] = []
-        #: gate name -> {PMOS device name -> flat slot}.
-        self.slots: Dict[str, Dict[str, int]] = {}
-        duties: List[float] = []
-        starts: List[int] = []
-        sentinels: List[int] = []
-        for gate in circuit.gates.values():
-            cell = library.get(gate.cell)
-            self.gate_names.append(gate.name)
-            starts.append(len(duties))
-            table = duty_table[gate.name]
-            gate_slots: Dict[str, int] = {}
-            for mosfet in cell.pmos_devices():
-                gate_slots[mosfet.name] = len(duties)
-                duties.append(table.get(mosfet.name, 0.0))
-            if not gate_slots:
-                sentinels.append(len(duties))
-                duties.append(0.0)
-            self.slots[gate.name] = gate_slots
-        self.duties = np.asarray(duties, dtype=float)
-        self.starts = np.asarray(starts, dtype=np.intp)
-        self._sentinels = np.asarray(sentinels, dtype=np.intp)
-        self.n_devices = len(duties)
+        with obs.span("aging.plan.lower", circuit=circuit.name):
+            self.circuit = circuit
+            self.library = library
+            self.gate_names: List[str] = []
+            #: gate name -> {PMOS device name -> flat slot}.
+            self.slots: Dict[str, Dict[str, int]] = {}
+            duties: List[float] = []
+            starts: List[int] = []
+            sentinels: List[int] = []
+            for gate in circuit.gates.values():
+                cell = library.get(gate.cell)
+                self.gate_names.append(gate.name)
+                starts.append(len(duties))
+                table = duty_table[gate.name]
+                gate_slots: Dict[str, int] = {}
+                for mosfet in cell.pmos_devices():
+                    gate_slots[mosfet.name] = len(duties)
+                    duties.append(table.get(mosfet.name, 0.0))
+                if not gate_slots:
+                    sentinels.append(len(duties))
+                    duties.append(0.0)
+                self.slots[gate.name] = gate_slots
+            self.duties = np.asarray(duties, dtype=float)
+            self.starts = np.asarray(starts, dtype=np.intp)
+            self._sentinels = np.asarray(sentinels, dtype=np.intp)
+            self.n_devices = len(duties)
+            obs.annotate(devices=self.n_devices)
+        obs.count("aging.plan.lowerings")
 
     def uniform_fractions(self, value: float) -> np.ndarray:
         """Standby stress fractions for the ALL_ZERO / ALL_ONE bounds."""
@@ -189,73 +193,81 @@ class AgingAnalyzer:
         if engine not in ("auto", "compiled", "scalar"):
             raise ValueError(f"engine must be 'auto', 'compiled' or "
                              f"'scalar', got {engine!r}")
-        library = self._lib()
-        if context is not None and context.library is not library:
-            # A context bound to a different technology must not feed
-            # this analyzer: fall back to direct computation.
-            context = None
-        vth0 = library.tech.pmos.vth0
-        duty_table: Optional[Dict[str, Dict[str, float]]] = None
-        if context is not None and active_probs is None:
-            duty_table = context.stress_duties()
-        elif active_probs is None:
-            active_probs = propagate_probabilities(circuit, library=library)
-        force_all = None
-        state_maps: list = []
-        if isinstance(standby, str):
-            if standby == ALL_ZERO:
-                force_all = True    # every PMOS gate driven 0 -> stressed
-            elif standby == ALL_ONE:
-                force_all = False   # every PMOS gate driven 1 -> relaxing
+        obs.count("aging.gate_shift_queries", label=engine)
+        with obs.span("aging.gate_shifts", circuit=circuit.name,
+                      engine=engine):
+            library = self._lib()
+            if context is not None and context.library is not library:
+                # A context bound to a different technology must not feed
+                # this analyzer: fall back to direct computation.
+                context = None
+            vth0 = library.tech.pmos.vth0
+            duty_table: Optional[Dict[str, Dict[str, float]]] = None
+            if context is not None and active_probs is None:
+                duty_table = context.stress_duties()
+            elif active_probs is None:
+                active_probs = propagate_probabilities(circuit,
+                                                       library=library)
+            force_all = None
+            state_maps: list = []
+            if isinstance(standby, str):
+                if standby == ALL_ZERO:
+                    force_all = True    # every PMOS driven 0 -> stressed
+                elif standby == ALL_ONE:
+                    force_all = False   # every PMOS driven 1 -> relaxing
+                else:
+                    raise ValueError(f"unknown standby setting {standby!r}")
+            elif isinstance(standby, dict):
+                state_maps = [standby_net_states(circuit, standby, library,
+                                                 context=context)]
             else:
-                raise ValueError(f"unknown standby setting {standby!r}")
-        elif isinstance(standby, dict):
-            state_maps = [standby_net_states(circuit, standby, library,
-                                             context=context)]
-        else:
-            if not standby:
-                raise ValueError("empty standby vector sequence")
-            state_maps = [standby_net_states(circuit, v, library,
-                                             context=context)
-                          for v in standby]
-        if engine != "scalar":
-            return self._compiled_shifts(circuit, profile, t_total, vth0,
-                                         duty_table, active_probs,
-                                         force_all, state_maps, context)
-        shifts: Dict[str, float] = {}
-        for gate in circuit.gates.values():
-            cell = library.get(gate.cell)
-            if duty_table is not None:
-                duties = duty_table[gate.name]
-            else:
-                pin_probs = {pin: active_probs[net]
-                             for pin, net in zip(cell.inputs, gate.inputs)}
-                duties = stress_probabilities_for_cell(cell, pin_probs)
-            fractions: Dict[str, float] = {}
-            if force_all is None:
-                for states in state_maps:
-                    standby_bits = tuple(states[net] for net in gate.inputs)
-                    if context is not None:
-                        stressed = context.standby_stress(gate.cell,
-                                                          standby_bits)
-                    else:
-                        stressed = stress_under_vector(cell, standby_bits)
-                    for name in stressed:
-                        fractions[name] = fractions.get(name, 0.0) + 1.0
-                for name in fractions:
-                    fractions[name] /= len(state_maps)
-            elif force_all:
-                fractions = {m.name: 1.0 for m in cell.pmos_devices()}
-            worst = 0.0
-            for mosfet in cell.pmos_devices():
-                device = DeviceStress(
-                    active_stress_duty=duties.get(mosfet.name, 0.0),
-                    standby_stressed=fractions.get(mosfet.name, 0.0),
-                )
-                dv = self.model.delta_vth(profile, device, t_total, vth0)
-                worst = max(worst, dv)
-            shifts[gate.name] = worst
-        return shifts
+                if not standby:
+                    raise ValueError("empty standby vector sequence")
+                state_maps = [standby_net_states(circuit, v, library,
+                                                 context=context)
+                              for v in standby]
+            if engine != "scalar":
+                return self._compiled_shifts(circuit, profile, t_total,
+                                             vth0, duty_table, active_probs,
+                                             force_all, state_maps, context)
+            shifts: Dict[str, float] = {}
+            for gate in circuit.gates.values():
+                cell = library.get(gate.cell)
+                if duty_table is not None:
+                    duties = duty_table[gate.name]
+                else:
+                    pin_probs = {pin: active_probs[net]
+                                 for pin, net in zip(cell.inputs,
+                                                     gate.inputs)}
+                    duties = stress_probabilities_for_cell(cell, pin_probs)
+                fractions: Dict[str, float] = {}
+                if force_all is None:
+                    for states in state_maps:
+                        standby_bits = tuple(states[net]
+                                             for net in gate.inputs)
+                        if context is not None:
+                            stressed = context.standby_stress(gate.cell,
+                                                              standby_bits)
+                        else:
+                            stressed = stress_under_vector(cell,
+                                                           standby_bits)
+                        for name in stressed:
+                            fractions[name] = fractions.get(name, 0.0) + 1.0
+                    for name in fractions:
+                        fractions[name] /= len(state_maps)
+                elif force_all:
+                    fractions = {m.name: 1.0 for m in cell.pmos_devices()}
+                worst = 0.0
+                for mosfet in cell.pmos_devices():
+                    device = DeviceStress(
+                        active_stress_duty=duties.get(mosfet.name, 0.0),
+                        standby_stressed=fractions.get(mosfet.name, 0.0),
+                    )
+                    dv = self.model.delta_vth(profile, device, t_total,
+                                              vth0)
+                    worst = max(worst, dv)
+                shifts[gate.name] = worst
+            return shifts
 
     def _compiled_shifts(self, circuit, profile, t_total, vth0, duty_table,
                          active_probs, force_all, state_maps, context

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS, years
 from repro.core.aging_compiled import CompiledNbtiModel
@@ -227,48 +228,54 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                          f"got {engine!r}")
     if analyzer is None:
         analyzer = context.analyzer if context is not None else AgingAnalyzer()
-    library = analyzer.library or default_library()
-    calibration = analyzer.model.calibration
-    vth0 = library.tech.pmos.vth0
-    if context is not None and context.model == analyzer.model:
-        base_field = context.field_factor(vth0)
-    else:
-        base_field = calibration.field_factor(vth0)
+    with obs.span("variation.statistical_aging", circuit=circuit.name,
+                  engine=engine, samples=n_samples, points=len(times)):
+        library = analyzer.library or default_library()
+        calibration = analyzer.model.calibration
+        vth0 = library.tech.pmos.vth0
+        if context is not None and context.model == analyzer.model:
+            base_field = context.field_factor(vth0)
+        else:
+            base_field = calibration.field_factor(vth0)
 
-    timer = FastAgedTimer(circuit, library, context=context, engine=engine)
-    base_shifts = [
-        analyzer.gate_shifts(circuit, profile, t, standby=standby,
-                             context=context, engine=engine)
-        if t > 0 else {g: 0.0 for g in circuit.gates}
-        for t in times
-    ]
-    offsets = variation.sample_many(circuit, n_samples, seed)
+        timer = FastAgedTimer(circuit, library, context=context,
+                              engine=engine)
+        base_shifts = [
+            analyzer.gate_shifts(circuit, profile, t, standby=standby,
+                                 context=context, engine=engine)
+            if t > 0 else {g: 0.0 for g in circuit.gates}
+            for t in times
+        ]
+        offsets = variation.sample_many(circuit, n_samples, seed)
 
-    delays = np.empty((len(times), n_samples))
-    if engine == "compiled":
-        # One (gates, samples) matrix per lifetime point, one batched
-        # propagation each.  The per-element arithmetic keeps the scalar
-        # operand order (offset + base * scale), so the matrix rows are
-        # bit-identical to the per-die dict math; the field-factor scale
-        # is one vectorized kernel call over the whole offset matrix
-        # (same ufunc loops as the scalar calibration after the
-        # numerics unification).
-        names = timer.compiled.gate_names
-        offv = np.array([[off[g] for off in offsets] for g in names])
-        kernel = CompiledNbtiModel(analyzer.model)
-        scalev = kernel.field_factors(vth0 + offv) / base_field
-        for k in range(len(times)):
-            base_vec = np.array([base_shifts[k][g] for g in names])
-            total = offv + base_vec[:, None] * scalev
-            delays[k] = timer.delays_batch(total)
-    else:
-        for s, offset in enumerate(offsets):
-            scale = {g: calibration.field_factor(vth0 + off) / base_field
-                     for g, off in offset.items()}
+        delays = np.empty((len(times), n_samples))
+        if engine == "compiled":
+            # One (gates, samples) matrix per lifetime point, one
+            # batched propagation each.  The per-element arithmetic
+            # keeps the scalar operand order (offset + base * scale),
+            # so the matrix rows are bit-identical to the per-die dict
+            # math; the field-factor scale is one vectorized kernel
+            # call over the whole offset matrix (same ufunc loops as
+            # the scalar calibration after the numerics unification).
+            names = timer.compiled.gate_names
+            offv = np.array([[off[g] for off in offsets] for g in names])
+            kernel = CompiledNbtiModel(analyzer.model)
+            scalev = kernel.field_factors(vth0 + offv) / base_field
             for k in range(len(times)):
-                total = {g: offset[g] + base_shifts[k][g] * scale[g]
-                         for g in circuit.gates}
-                delays[k, s] = timer.circuit_delay(total)
+                with obs.span("variation.lifetime_point", index=k):
+                    base_vec = np.array([base_shifts[k][g] for g in names])
+                    total = offv + base_vec[:, None] * scalev
+                    delays[k] = timer.delays_batch(total)
+        else:
+            # No inner spans: the scalar oracle runs one STA per die
+            # per point (thousands of calls on real sample counts).
+            for s, offset in enumerate(offsets):
+                scale = {g: calibration.field_factor(vth0 + off)
+                         / base_field for g, off in offset.items()}
+                for k in range(len(times)):
+                    total = {g: offset[g] + base_shifts[k][g] * scale[g]
+                             for g in circuit.gates}
+                    delays[k, s] = timer.circuit_delay(total)
     return StatisticalAgingResult(circuit_name=circuit.name,
                                   times=np.asarray(list(times), dtype=float),
                                   delays=delays)

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main, resolve_circuit
+from repro.obs import schema_errors
 
 
 class TestResolveCircuit:
@@ -105,9 +110,102 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_info_reports_engines(self, capsys):
+        assert main(["info", "c17"]) == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__}" in out
+        assert "compiled STA/aging kernels: available" in out
+        assert "packed bit-parallel simulation: available" in out
+        assert "scalar oracle paths: available" in out
+
     def test_parser_help_lists_commands(self):
         parser = build_parser()
         help_text = parser.format_help()
         for cmd in ("info", "age", "mlv", "sleep", "guardband", "table1",
-                    "paths", "table4"):
+                    "paths", "table4", "sweep"):
             assert cmd in help_text
+
+
+class TestObservabilityFlags:
+    """--trace / --metrics / -v on any subcommand, before or after it."""
+
+    def test_age_writes_trace_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        report = tmp_path / "report.json"
+        assert main(["age", "c17", "--trace", str(trace),
+                     "--metrics", str(report)]) == 0
+        capsys.readouterr()  # command output, not under test here
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert lines[0]["path"] == "repro.age"
+        assert any(line["path"].startswith("repro.age/aging.")
+                   for line in lines)
+        doc = json.loads(report.read_text())
+        assert schema_errors(doc) == []
+        assert doc["label"] == "repro age"
+        assert doc["meta"]["repro_version"] == __version__
+        assert "aging.kernel.calls" in doc["metrics"]
+
+    def test_flags_accepted_before_subcommand(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["--metrics", str(report), "info", "c17"]) == 0
+        capsys.readouterr()
+        assert schema_errors(json.loads(report.read_text())) == []
+
+    def test_no_flags_means_no_collection(self, capsys):
+        from repro import obs
+
+        assert main(["info", "c17"]) == 0
+        capsys.readouterr()
+        assert not obs.tracing_enabled()
+
+    def test_verbose_configures_repro_logger(self, capsys):
+        root = logging.getLogger("repro")
+        before = list(root.handlers)
+        old_level = root.level
+        try:
+            assert main(["-vv", "info", "c17"]) == 0
+            assert root.level == logging.DEBUG
+            added = [h for h in root.handlers if h not in before]
+            assert added  # a real stderr handler beyond the NullHandler
+        finally:
+            for handler in list(root.handlers):
+                if handler not in before:
+                    root.removeHandler(handler)
+            root.setLevel(old_level)
+
+    def test_sweep_report_acceptance(self, tmp_path, capsys):
+        # The ISSUE acceptance criterion: one CLI sweep emits a
+        # schema-valid RunReport holding spans from the STA, aging, and
+        # simulation kernels plus merged per-worker cache stats.
+        report = tmp_path / "sweep.json"
+        assert main(["sweep", "c17", "c17", "--vectors", "8",
+                     "--workers", "2", "--metrics", str(report)]) == 0
+        capsys.readouterr()
+        doc = json.loads(report.read_text())
+        assert schema_errors(doc) == []
+
+        def walk(spans):
+            for span in spans:
+                yield span
+                yield from walk(span.get("children", []))
+
+        names = {s["name"] for s in walk(doc["spans"])}
+        assert "flow.run_sweep" in names
+        assert any(n.startswith("sta.compiled.") for n in names)
+        assert any(n.startswith("aging.") for n in names)
+        assert any(n.startswith("sim.packed.") for n in names)
+        assert any(n.startswith("ivc.mlv.") for n in names)
+        workers = {s["attributes"]["worker"] for s in walk(doc["spans"])
+                   if "worker" in s.get("attributes", {})}
+        assert workers == {0, 1}
+        [entry] = doc["cache_stats"]  # both c17 workers merged
+        assert entry["scope"] == "c17"
+        assert entry["hits"] > 0 and entry["misses"] > 0
+        assert doc["metrics"]["sta.analyze.engine"]["type"] == "counter"

@@ -305,3 +305,59 @@ class TestCacheStatsStandalone:
         assert stats.hits() == 0
         assert stats.misses("anything") == 0
         assert stats.snapshot() == {}
+
+
+class TestCacheStatsReporting:
+    """CacheStats feeds the observability registry and the RunReport."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro import obs
+
+        obs.reset_cache_registry()
+        yield
+        obs.reset_cache_registry()
+
+    def test_accounting_survives_invalidate(self, ctx):
+        ctx.probabilities()
+        ctx.probabilities()
+        ctx.invalidate()
+        ctx.probabilities()
+        # invalidate() drops the cached artifacts but keeps the running
+        # hit/miss history: the recompute shows up as a second miss.
+        assert ctx.stats.snapshot()["probabilities"] == \
+            {"hits": 1, "misses": 2}
+        assert "probabilities" in repr(ctx.stats)
+
+    def test_no_registration_while_disabled(self):
+        from repro import obs
+
+        AnalysisContext(c17())
+        assert obs.snapshot_cache_stats() == []
+
+    def test_context_registers_when_collecting(self):
+        from repro import obs
+
+        with obs.use_tracer(obs.Tracer()):
+            context = AnalysisContext(c17())
+            context.probabilities()
+            context.invalidate()
+            context.probabilities()
+            [entry] = obs.snapshot_cache_stats()
+        assert entry["scope"] == "c17"
+        assert entry["artifacts"]["probabilities"] == \
+            {"hits": 0, "misses": 2}
+
+    def test_stats_merge_into_run_report(self):
+        from repro import obs
+
+        with obs.use_tracer(obs.Tracer()):
+            for _ in range(2):  # two contexts on the same circuit
+                AnalysisContext(c17()).probabilities()
+            entries = obs.snapshot_cache_stats()
+        doc = obs.RunReport("ctx run", cache_stats=entries).to_dict()
+        assert obs.schema_errors(doc) == []
+        [entry] = doc["cache_stats"]
+        assert entry["scope"] == "c17"
+        assert entry["artifacts"]["probabilities"]["misses"] == 2
+        assert entry["misses"] >= 2

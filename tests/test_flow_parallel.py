@@ -9,6 +9,7 @@ import concurrent.futures
 
 import pytest
 
+from repro import obs
 from repro.constants import TEN_YEARS
 from repro.core import OperatingProfile
 from repro.flow.parallel import (
@@ -129,6 +130,86 @@ class TestPotentialSweep:
         assert len(sweep) == 2
         assert sweep[0].t_standby == 330.0
         assert sweep[1].worst_degradation >= sweep[0].worst_degradation
+
+
+# -- observability: pooled and serial sweeps must merge identically ----------
+
+
+# Instrumented workers, module-level so the pool can pickle them.
+def _traced_negate(x):
+    with obs.span("worker.compute", job=x):
+        obs.count("worker.calls")
+        obs.observe("worker.input", x)
+    return -x
+
+
+def _context_probe(name):
+    from repro.context import AnalysisContext
+
+    ctx = AnalysisContext(load_circuit(name))
+    ctx.probabilities()
+    ctx.probabilities()
+    return ctx.fresh_delay()
+
+
+class TestObservedSweep:
+    """With collection active, a pooled sweep and a serial sweep produce
+    the same span structure, metric totals, and merged cache stats —
+    payloads fold back in job order, not completion order."""
+
+    def _run(self, worker, jobs, max_workers):
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        captured = []
+        with obs.use_tracer(tracer), obs.use_metrics(registry), \
+                obs.cache_scope(captured):
+            results = run_sweep(worker, jobs, max_workers=max_workers)
+        return results, tracer, registry.snapshot(), captured
+
+    @staticmethod
+    def _shape(span):
+        # Structure + attributes, ignoring wall-clock fields.
+        return (span.name, dict(span.attributes),
+                [TestObservedSweep._shape(c) for c in span.children])
+
+    def test_results_unwrapped_when_observed(self):
+        results, tracer, metrics, _ = self._run(_traced_negate, [1, 2, 3], 1)
+        assert results == [-1, -2, -3]
+        assert tracer.roots[0].name == "flow.run_sweep"
+        assert metrics["worker.calls"]["values"][""] == 3
+
+    def test_pooled_matches_serial(self):
+        jobs = [1, 2, 3, 4]
+        s_res, s_tr, s_metrics, _ = self._run(_traced_negate, jobs, 1)
+        p_res, p_tr, p_metrics, _ = self._run(_traced_negate, jobs, 2)
+        assert s_res == p_res == [-1, -2, -3, -4]
+        assert s_metrics == p_metrics
+        assert s_metrics["worker.input"]["count"] == 4
+        [s_root] = s_tr.roots
+        [p_root] = p_tr.roots
+        assert s_root.attributes["pooled"] is False
+        assert p_root.attributes["pooled"] is True
+        # Adopted worker spans: same names, attributes (including the
+        # worker index), and nesting on both paths.
+        assert [self._shape(c) for c in s_root.children] == \
+            [self._shape(c) for c in p_root.children]
+        assert [c.attributes["worker"] for c in p_root.children] == \
+            [0, 1, 2, 3]
+
+    def test_cache_stats_merge_identically(self):
+        jobs = ["c17", "c17"]
+        _, _, _, s_cache = self._run(_context_probe, jobs, 1)
+        _, _, _, p_cache = self._run(_context_probe, jobs, 2)
+        assert s_cache == p_cache
+        [entry] = s_cache  # two same-circuit workers merge to one scope
+        assert entry["scope"] == "c17"
+        assert entry["artifacts"]["probabilities"] == \
+            {"hits": 2, "misses": 2}
+
+    def test_workers_not_wrapped_when_disabled(self):
+        assert not obs.tracing_enabled()
+        assert run_sweep(_traced_negate, [5], max_workers=1) == [-5]
+        assert run_sweep(_traced_negate, [5], max_workers=2) == [-5]
 
 
 def test_pool_actually_used_when_forced():

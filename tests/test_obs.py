@@ -1,0 +1,391 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the tracer (span nesting, decorator, adoption, JSONL export),
+the metrics registry (counters, histograms, deterministic merging),
+the cache-stats registry (scoping, strong refs, merge-by-scope), and
+the RunReport document (schema validation both ways).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Counter, Histogram
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    RunReport,
+    register_cache_snapshot,
+    register_cache_stats,
+    reset_cache_registry,
+    schema_errors,
+    snapshot_cache_stats,
+    validate_report,
+)
+from repro.obs.trace import NULL_TRACER, Span, _NULL_HANDLE
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with collection disabled and no
+    leftover cache registrations."""
+    obs.set_tracer(None)
+    reset_cache_registry()
+    yield
+    obs.set_tracer(None)
+    reset_cache_registry()
+
+
+class TestSpanTree:
+    def test_with_scoping_builds_nesting(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer", circuit="c17"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        [root] = tracer.roots
+        assert root.name == "outer"
+        assert root.attributes == {"circuit": "c17"}
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert all(s.duration is not None and s.duration >= 0
+                   for s in tracer.iter_spans())
+
+    def test_starts_relative_to_first_span(self):
+        tracer = obs.Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert tracer.roots[0].start == 0.0
+        assert tracer.roots[1].start >= tracer.roots[0].start
+
+    def test_annotate_targets_innermost(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate(devices=42)
+        assert tracer.roots[0].children[0].attributes == {"devices": 42}
+        assert "devices" not in tracer.roots[0].attributes
+
+    def test_exception_closes_span_and_records_error(self):
+        tracer = obs.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        [span] = tracer.roots
+        assert span.duration is not None
+        assert span.attributes["error"] == "RuntimeError"
+        assert tracer.current is None  # stack unwound
+
+    def test_find_and_iter_depth_first(self):
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "b"]
+        assert len(tracer.find("b")) == 2
+
+    def test_round_trip_through_dicts(self):
+        tracer = obs.Tracer()
+        with tracer.span("root", k=1):
+            with tracer.span("child"):
+                pass
+        [d] = tracer.span_dicts()
+        rebuilt = Span.from_dict(d)
+        assert rebuilt.to_dict() == d
+
+    def test_adopt_appends_under_current_span(self):
+        worker = obs.Tracer()
+        with worker.span("work"):
+            pass
+        parent = obs.Tracer()
+        with parent.span("sweep"):
+            parent.adopt(worker.span_dicts(), worker=0)
+        [root] = parent.roots
+        [adopted] = root.children
+        assert adopted.name == "work"
+        assert adopted.attributes["worker"] == 0
+
+
+class TestModuleHelpers:
+    def test_span_routes_to_installed_tracer(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("kernel", batch=8):
+                obs.annotate(engine="compiled")
+        [span] = tracer.roots
+        assert span.attributes == {"batch": 8, "engine": "compiled"}
+
+    def test_disabled_span_is_shared_null_handle(self):
+        assert obs.get_tracer() is NULL_TRACER
+        assert not obs.tracing_enabled()
+        # No per-call allocation: every disabled call returns the
+        # single shared handle instance.
+        assert obs.span("x") is obs.span("y")
+        assert obs.span("x") is _NULL_HANDLE
+        with obs.span("x", k=1):
+            obs.annotate(ignored=True)  # must not raise
+
+    def test_use_tracer_restores_previous(self):
+        inner = obs.Tracer()
+        with obs.use_tracer(inner):
+            assert obs.get_tracer() is inner
+            assert obs.tracing_enabled()
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_traced_decorator_bare_and_named(self):
+        @obs.traced
+        def plain(x):
+            """Doc."""
+            return x + 1
+
+        @obs.traced("custom.name", kind="test")
+        def named(x):
+            """Doc."""
+            return x * 2
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            assert plain(1) == 2
+            assert named(2) == 4
+        names = [s.name for s in tracer.iter_spans()]
+        assert any("plain" in n for n in names)
+        assert "custom.name" in names
+        assert tracer.find("custom.name")[0].attributes == {"kind": "test"}
+        # Disabled: calls straight through.
+        assert plain(5) == 6
+
+    def test_write_jsonl_flat_paths(self, tmp_path):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("repro.age"):
+                with obs.span("aging.gate_shifts", circuit="c17"):
+                    pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [l["path"] for l in lines] == \
+            ["repro.age", "repro.age/aging.gate_shifts"]
+        assert [l["depth"] for l in lines] == [0, 1]
+        assert lines[1]["attributes"] == {"circuit": "c17"}
+
+
+class TestCounters:
+    def test_labeled_series(self):
+        c = Counter("sta.analyze.engine")
+        c.inc(label="compiled")
+        c.inc(label="compiled")
+        c.inc(label="scalar")
+        assert c.value("compiled") == 2
+        assert c.value("scalar") == 1
+        assert c.value("missing") == 0
+        assert c.total() == 3
+
+    def test_snapshot_merge_round_trip(self):
+        a = Counter("n")
+        a.inc(3)
+        b = Counter("n")
+        b.inc(4, label="x")
+        a.merge_snapshot(b.snapshot())
+        assert a.value() == 3 and a.value("x") == 4
+
+    def test_count_helper_gated_on_collection(self):
+        registry = obs.MetricsRegistry()
+        with obs.use_metrics(registry):
+            obs.count("calls")  # no tracer installed -> dropped
+            with obs.use_tracer(obs.Tracer()):
+                obs.count("calls", 2)
+        assert registry.counter("calls").total() == 2
+
+
+class TestHistograms:
+    def test_bucket_key_power_of_two(self):
+        assert Histogram.bucket_key(0) == "le0"
+        assert Histogram.bucket_key(-1.5) == "le0"
+        assert Histogram.bucket_key(1) == "0"
+        assert Histogram.bucket_key(7) == "2"
+        assert Histogram.bucket_key(8) == "3"
+        assert Histogram.bucket_key(0.25) == "-2"
+
+    def test_observe_stats(self):
+        h = Histogram("batch")
+        for v in (1, 4, 4, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1.0 and h.max == 100.0
+        assert h.mean() == pytest.approx(109 / 4)
+        assert h.buckets == {"0": 1, "2": 2, "6": 1}
+
+    def test_merge_snapshot_exact(self):
+        a = Histogram("x")
+        a.observe(2)
+        b = Histogram("x")
+        b.observe(16)
+        b.observe(0.5)
+        a.merge_snapshot(b.snapshot())
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 16.0
+        assert a.buckets == {"1": 1, "4": 1, "-1": 1}
+
+    def test_merge_into_empty(self):
+        a = Histogram("x")
+        b = Histogram("x")
+        b.observe(3)
+        a.merge_snapshot(b.snapshot())
+        assert a.snapshot() == b.snapshot()
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_conflicts(self):
+        r = obs.MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        r.histogram("h").observe(1)
+        with pytest.raises(TypeError, match="histogram"):
+            r.counter("h")
+        with pytest.raises(TypeError, match="counter"):
+            r.histogram("a")
+        assert r.get("missing") is None
+        assert r.names() == ["a", "h"]
+
+    def test_merge_order_independent(self):
+        def worker_snapshot(seed):
+            r = obs.MetricsRegistry()
+            r.counter("calls").inc(seed)
+            r.histogram("size").observe(seed)
+            return r.snapshot()
+
+        snaps = [worker_snapshot(s) for s in (1, 2, 4)]
+        forward, backward = obs.MetricsRegistry(), obs.MetricsRegistry()
+        for s in snaps:
+            forward.merge(s)
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.counter("calls").total() == 7
+
+    def test_merge_rejects_unknown_type(self):
+        r = obs.MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown type"):
+            r.merge({"bad": {"type": "gauge"}})
+
+
+class TestCacheRegistry:
+    def test_registration_gated_on_collection(self):
+        from repro.context import CacheStats
+
+        stats = CacheStats()
+        register_cache_stats("c17", stats)  # disabled -> dropped
+        assert snapshot_cache_stats() == []
+        with obs.use_tracer(obs.Tracer()):
+            register_cache_stats("c17", stats)
+        assert len(snapshot_cache_stats()) == 1
+
+    def test_same_scope_entries_merge(self):
+        with obs.use_tracer(obs.Tracer()):
+            register_cache_snapshot(
+                {"scope": "c17",
+                 "artifacts": {"probabilities": {"hits": 1, "misses": 2}}})
+            register_cache_snapshot(
+                {"scope": "c17",
+                 "artifacts": {"probabilities": {"hits": 3, "misses": 0},
+                               "gate_loads": {"hits": 0, "misses": 1}}})
+            register_cache_snapshot(
+                {"scope": "c432",
+                 "artifacts": {"gate_loads": {"hits": 5, "misses": 5}}})
+        merged = snapshot_cache_stats()
+        assert [e["scope"] for e in merged] == ["c17", "c432"]
+        c17 = merged[0]
+        assert c17["artifacts"]["probabilities"] == {"hits": 4, "misses": 2}
+        assert c17["hits"] == 4 and c17["misses"] == 3
+
+    def test_cache_scope_isolates_and_captures(self):
+        with obs.use_tracer(obs.Tracer()):
+            register_cache_snapshot(
+                {"scope": "outer", "artifacts": {}})
+            captured = []
+            with obs.cache_scope(captured):
+                register_cache_snapshot(
+                    {"scope": "inner",
+                     "artifacts": {"x": {"hits": 1, "misses": 0}}})
+            assert [e["scope"] for e in captured] == ["inner"]
+            # Inner registration did not leak into the outer scope.
+            assert [e["scope"] for e in snapshot_cache_stats()] == ["outer"]
+
+    def test_live_stats_survive_context_drop(self):
+        # The registry holds strong references on purpose: a context
+        # built and dropped inside the traced block must still appear.
+        from repro.context import AnalysisContext
+        from repro.netlist import load_packaged
+
+        with obs.use_tracer(obs.Tracer()):
+            ctx = AnalysisContext(load_packaged("c17"))
+            ctx.probabilities()
+            del ctx
+            [entry] = snapshot_cache_stats()
+        assert entry["scope"] == "c17"
+        assert entry["misses"] >= 1
+
+
+class TestRunReport:
+    def _report(self):
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            with obs.span("repro.test"):
+                obs.count("calls")
+                obs.observe("size", 8)
+            register_cache_snapshot(
+                {"scope": "c17",
+                 "artifacts": {"x": {"hits": 1, "misses": 2}}})
+            cache = snapshot_cache_stats()
+        return RunReport("test run", spans=tracer.span_dicts(),
+                         metrics=registry.snapshot(), cache_stats=cache)
+
+    def test_document_is_schema_valid(self):
+        doc = self._report().to_dict()
+        assert schema_errors(doc) == []
+        validate_report(doc)  # must not raise
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["meta"]["repro_version"]
+        assert doc["metrics"]["calls"]["type"] == "counter"
+        assert doc["cache_stats"][0]["hits"] == 1
+
+    def test_write_and_reload(self, tmp_path):
+        path = tmp_path / "report.json"
+        self._report().write(str(path))
+        doc = json.loads(path.read_text())
+        assert schema_errors(doc) == []
+        assert doc["label"] == "test run"
+
+    def test_corrupt_documents_rejected(self):
+        good = self._report().to_dict()
+        assert schema_errors("not a dict")
+        bad_version = dict(good, schema_version=99)
+        assert any("schema_version" in e
+                   for e in schema_errors(bad_version))
+        bad_span = dict(good, spans=[{"name": "", "start": -1}])
+        errs = schema_errors(bad_span)
+        assert any(".name" in e for e in errs)
+        assert any(".start" in e for e in errs)
+        bad_metric = dict(good, metrics={"m": {"type": "gauge"}})
+        assert any("counter" in e for e in schema_errors(bad_metric))
+        bad_cache = dict(good, cache_stats=[{"scope": 7}])
+        assert schema_errors(bad_cache)
+        with pytest.raises(ValueError, match="invalid RunReport"):
+            validate_report(bad_version)
+
+    def test_validator_cli(self, tmp_path, capsys):
+        from repro.obs.report import main as validate_main
+
+        path = tmp_path / "report.json"
+        self._report().write(str(path))
+        assert validate_main([str(path)]) == 0
+        assert "ok (" in capsys.readouterr().out
+        path.write_text("{}")
+        assert validate_main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+        assert validate_main([]) == 2

@@ -118,7 +118,14 @@ class TestBounds:
                                                active_duty=duty)
         best = DEFAULT_MODEL.best_case_shift(profile, t, vth0,
                                              active_duty=duty)
-        assert worst >= dv >= best >= 0.0
+        # The closed form is monotone in the standby fraction, but its
+        # float evaluation is not *exactly* so: at frac = 1 - 1ulp the
+        # transcendental rounding can land one ulp past the frac = 1.0
+        # bound, so the bracket is asserted to ulp-scale tolerance.
+        slack = 1e-12
+        assert worst >= dv * (1.0 - slack)
+        assert dv >= best * (1.0 - slack)
+        assert best >= 0.0
 
     @given(profiles, devices, lifetimes)
     @settings(**_SETTINGS)
