@@ -14,11 +14,12 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
-# Kernel-vs-scalar perf harnesses (MLV, STA, aging) plus the disabled
-# observability overhead bound; write the benchmarks/BENCH_*.json
-# artifacts.  BENCH_SMOKE=1 for the seconds-scale CI variant.
+# Kernel-vs-scalar perf harnesses (MLV, STA, aging, artifact warm
+# starts) plus the disabled observability overhead bound; write the
+# benchmarks/BENCH_*.json artifacts.  BENCH_SMOKE=1 for the
+# seconds-scale CI variant.
 bench-perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py --benchmark-only -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py benchmarks/test_perf_artifacts.py --benchmark-only -q -s
 
 lint:
 	ruff check src tests benchmarks examples

@@ -1,0 +1,140 @@
+"""Perf harness — content-addressed artifact warm starts.
+
+Three measurements of the same full artifact build (compiled STA
+kernel + base delays, packed simulator, aging plan, stress duties,
+leakage table, one aged STA):
+
+* **cold** — a fresh :class:`~repro.context.AnalysisContext` paying
+  every lowering;
+* **hydrate** — the same state seeded from an in-memory
+  :class:`~repro.artifacts.bundle.ArtifactBundle`;
+* **store** — bundle loaded from an on-disk
+  :class:`~repro.artifacts.store.ArtifactStore` (npz read + manifest
+  parse included), then hydrated.
+
+All three must produce bit-identical aged delays, and the warm paths
+must rebuild **zero** lowering artifacts (asserted on the context's
+cache counters, not inferred from wall clock).  Default configuration
+is the acceptance run (c7552); ``BENCH_SMOKE=1`` runs a seconds-scale
+c432 pass with relaxed bars and still emits ``BENCH_artifacts.json``.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from _common import emit
+from repro import AnalysisContext
+from repro.artifacts import ArtifactBundle, ArtifactStore
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.netlist import iscas85
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+CIRCUIT = "c432" if SMOKE else "c7552"
+MIN_SPEEDUP_HYDRATE = 3.0 if SMOKE else 1.5
+MIN_SPEEDUP_STORE = 2.0 if SMOKE else 1.2
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=330.0)
+ARTIFACT = Path(__file__).with_name("BENCH_artifacts.json")
+
+LOWERINGS = ("gate_loads", "compiled_timing", "packed_simulator",
+             "stress_duties", "aging_plan", "leakage_table")
+
+
+def _force_all(ctx):
+    """Touch every artifact a bundle carries; returns the aged delay."""
+    ctx.compiled_timing().base_delays()
+    ctx.packed_simulator()
+    ctx.aging_plan()
+    ctx.stress_duties()
+    ctx.leakage_table
+    return ctx.aged_timing(PROFILE, TEN_YEARS).aged_delay
+
+
+def run_perf_artifacts():
+    circuit = iscas85.load(CIRCUIT)
+
+    start = time.perf_counter()
+    cold_ctx = AnalysisContext(circuit)
+    cold_delay = _force_all(cold_ctx)
+    t_cold = time.perf_counter() - start
+
+    bundle = ArtifactBundle.snapshot(cold_ctx)
+
+    start = time.perf_counter()
+    hydrated = bundle.hydrate()
+    hydrate_delay = _force_all(hydrated)
+    t_hydrate = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as d:
+        store = ArtifactStore(d)
+        store.save_bundle(bundle)
+        start = time.perf_counter()
+        loaded = store.load_bundle(bundle.bundle_key).hydrate()
+        store_delay = _force_all(loaded)
+        t_store = time.perf_counter() - start
+        stored_bytes = store.info()["bytes"]
+
+    return {
+        "smoke": SMOKE,
+        "circuit": CIRCUIT,
+        "n_gates": circuit.n_gates(),
+        "cold_seconds": t_cold,
+        "hydrate_seconds": t_hydrate,
+        "store_seconds": t_store,
+        "hydrate_speedup": t_cold / t_hydrate,
+        "store_speedup": t_cold / t_store,
+        "bundle_bytes": stored_bytes,
+        "identical": (cold_delay == hydrate_delay
+                      and cold_delay == store_delay),
+        "hydrate_lowering_misses": sum(hydrated.stats.misses(n)
+                                       for n in LOWERINGS),
+        "store_lowering_misses": sum(loaded.stats.misses(n)
+                                     for n in LOWERINGS),
+    }
+
+
+def check(row):
+    assert row["identical"], \
+        "hydrated artifacts diverged from the cold build"
+    assert row["hydrate_lowering_misses"] == 0, \
+        "in-memory hydration recompiled a lowering"
+    assert row["store_lowering_misses"] == 0, \
+        "store hydration recompiled a lowering"
+    assert row["hydrate_speedup"] >= MIN_SPEEDUP_HYDRATE, (
+        f"hydration only {row['hydrate_speedup']:.1f}x faster "
+        f"(bar: {MIN_SPEEDUP_HYDRATE:.1f}x)")
+    assert row["store_speedup"] >= MIN_SPEEDUP_STORE, (
+        f"store warm start only {row['store_speedup']:.1f}x faster "
+        f"(bar: {MIN_SPEEDUP_STORE:.1f}x)")
+
+
+def report(row):
+    emit(f"Artifact warm start — {row['circuit']}, "
+         f"{row['n_gates']} gates",
+         ["path", "wall (s)", "speedup"],
+         [["cold build", f"{row['cold_seconds']:.3f}", "1.0x"],
+          ["bundle hydrate", f"{row['hydrate_seconds']:.3f}",
+           f"{row['hydrate_speedup']:.1f}x"],
+          ["store round-trip", f"{row['store_seconds']:.3f}",
+           f"{row['store_speedup']:.1f}x"]])
+    print(f"bundle on disk: {row['bundle_bytes']:,} bytes; "
+          f"recomputed lowerings (warm): "
+          f"{row['hydrate_lowering_misses']}/{row['store_lowering_misses']}; "
+          f"bit-identical: {row['identical']}")
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+
+def test_perf_artifacts(run_once):
+    row = run_once(run_perf_artifacts)
+    check(row)
+    report(row)
+
+
+if __name__ == "__main__":
+    r = run_perf_artifacts()
+    check(r)
+    report(r)

@@ -1,0 +1,38 @@
+"""Content-addressed artifact plane.
+
+Three layers, bottom-up:
+
+- :mod:`repro.artifacts.fingerprint` — stable structural hashes for
+  circuits, libraries, and NBTI models, composed into content-hash
+  bundle/scenario keys.
+- :mod:`repro.artifacts.bundle` — :class:`ArtifactBundle`, a picklable
+  snapshot of one :class:`~repro.context.AnalysisContext`'s compiled
+  artifacts that hydrates into a warm context without recompiling.
+- :mod:`repro.artifacts.store` — :class:`ArtifactStore`, an on-disk
+  content-hash-keyed bundle directory plus a (circuit, scenario)
+  result cache.
+"""
+
+from repro.artifacts.bundle import BUNDLE_VERSION, ArtifactBundle
+from repro.artifacts.fingerprint import (
+    SCHEMA_VERSION,
+    bundle_key,
+    circuit_fingerprint,
+    library_fingerprint,
+    model_fingerprint,
+    scenario_key,
+)
+from repro.artifacts.store import STORE_VERSION, ArtifactStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BUNDLE_VERSION",
+    "STORE_VERSION",
+    "ArtifactBundle",
+    "ArtifactStore",
+    "bundle_key",
+    "circuit_fingerprint",
+    "library_fingerprint",
+    "model_fingerprint",
+    "scenario_key",
+]

@@ -1,0 +1,216 @@
+"""Persistent content-addressed artifact/result store.
+
+Layout (all writes atomic: temp file in the target directory, then
+``os.replace``)::
+
+    <root>/store.json                          # {"schema_version": 1}
+    <root>/bundles/<k[:2]>/<key>.npz           # bundle arrays
+    <root>/bundles/<k[:2]>/<key>.json          # bundle manifest
+    <root>/results/<circuit_fp>/<scenario>.json  # cached result payloads
+
+The manifest is written *after* the ``.npz`` it references, so a
+manifest on disk marks a complete bundle — a crash between the two
+writes leaves an orphan array file that is simply never read (and is
+swept by :meth:`ArtifactStore.clear`).
+
+Invalidation is purely by content address: a structural change to the
+circuit, library, or model produces a different
+:func:`~repro.artifacts.fingerprint.bundle_key`, so stale bundles are
+never *wrong*, only unreferenced.  Bumping the fingerprint or bundle
+schema version changes every key/payload check the same way.
+
+Hit/miss counters live in a :class:`~repro.context.CacheStats` (the
+same class the in-memory contexts use) registered with the obs layer
+under ``store:<root name>`` — store traffic shows up in RunReports
+next to the per-circuit context stats with zero schema changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.artifacts.bundle import ArtifactBundle
+
+#: On-disk layout version (checked against ``store.json``).
+STORE_VERSION = 1
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_write_json(path: Path, payload: Any) -> None:
+    _atomic_write_bytes(path, json.dumps(payload, indent=1).encode("utf-8"))
+
+
+class ArtifactStore:
+    """A content-hash-keyed directory of bundles plus a result cache.
+
+    Args:
+        root: store directory; created lazily on the first write.
+
+    The store never deletes on read and never overwrites an existing
+    bundle (content-addressed payloads are immutable), so concurrent
+    readers and writers on one directory are safe: the worst race is
+    two processes writing the same bytes.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        from repro.context import CacheStats
+
+        self.stats = CacheStats()
+        obs.register_cache_stats(f"store:{self.root.name}", self.stats)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _bundle_dir(self, key: str) -> Path:
+        return self.root / "bundles" / key[:2]
+
+    def _manifest_path(self, key: str) -> Path:
+        return self._bundle_dir(key) / f"{key}.json"
+
+    def _arrays_path(self, key: str) -> Path:
+        return self._bundle_dir(key) / f"{key}.npz"
+
+    def _result_path(self, circuit_fp: str, scenario_key: str) -> Path:
+        return self.root / "results" / circuit_fp / f"{scenario_key}.json"
+
+    def _ensure_marker(self) -> None:
+        marker = self.root / "store.json"
+        if not marker.exists():
+            _atomic_write_json(marker, {"schema_version": STORE_VERSION})
+
+    # -- bundles -------------------------------------------------------------
+
+    def has_bundle(self, key: str) -> bool:
+        """Whether a complete bundle for ``key`` is on disk."""
+        return self._manifest_path(key).exists()
+
+    def save_bundle(self, bundle: ArtifactBundle) -> None:
+        """Persist a bundle (no-op when its key is already stored)."""
+        key = bundle.bundle_key
+        if self.has_bundle(key):
+            return
+        with obs.span("artifacts.store.save", key=key[:12]):
+            self._ensure_marker()
+            manifest, arrays = bundle.to_payload()
+            arrays_path = self._arrays_path(key)
+            arrays_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=arrays_path.parent,
+                                       prefix=f".{arrays_path.name}.")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **arrays)
+                os.replace(tmp, arrays_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            # Manifest last: its presence marks the bundle complete.
+            _atomic_write_json(self._manifest_path(key), manifest)
+        obs.count("store.bundle_saves")
+
+    def load_bundle(self, key: str) -> Optional[ArtifactBundle]:
+        """The stored bundle for ``key``, or ``None`` (counted miss)."""
+        path = self._manifest_path(key)
+        if not path.exists():
+            self.stats.record_miss("bundle")
+            obs.count("store.bundle_misses")
+            return None
+        with obs.span("artifacts.store.load", key=key[:12]):
+            manifest = json.loads(path.read_text("utf-8"))
+            with np.load(self._arrays_path(key)) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+            bundle = ArtifactBundle.from_payload(manifest, arrays)
+        self.stats.record_hit("bundle")
+        obs.count("store.bundle_hits")
+        return bundle
+
+    # -- results -------------------------------------------------------------
+
+    def save_result(self, circuit_fp: str, scenario_key: str,
+                    payload: Dict[str, Any]) -> None:
+        """Cache a JSON-able result payload under (circuit, scenario)."""
+        self._ensure_marker()
+        _atomic_write_json(self._result_path(circuit_fp, scenario_key),
+                           payload)
+        obs.count("store.result_saves")
+
+    def load_result(self, circuit_fp: str, scenario_key: str
+                    ) -> Optional[Dict[str, Any]]:
+        """The cached payload, or ``None`` (counted miss)."""
+        path = self._result_path(circuit_fp, scenario_key)
+        if not path.exists():
+            self.stats.record_miss("result")
+            obs.count("store.result_misses")
+            return None
+        payload = json.loads(path.read_text("utf-8"))
+        self.stats.record_hit("result")
+        obs.count("store.result_hits")
+        return payload
+
+    # -- maintenance ---------------------------------------------------------
+
+    def info(self) -> Dict[str, Any]:
+        """Inventory summary: bundle/result counts and on-disk bytes."""
+        bundles = sorted(self.root.glob("bundles/*/*.json"))
+        results = sorted(self.root.glob("results/*/*.json"))
+        total = 0
+        for pattern in ("bundles/*/*", "results/*/*", "store.json"):
+            for path in self.root.glob(pattern):
+                if path.is_file():
+                    total += path.stat().st_size
+        return {
+            "root": str(self.root),
+            "schema_version": STORE_VERSION,
+            "bundles": len(bundles),
+            "results": len(results),
+            "bytes": total,
+            "bundle_keys": [p.stem for p in bundles],
+        }
+
+    def clear(self) -> int:
+        """Delete every stored bundle and result; returns files removed.
+
+        Only touches the store's own subtrees (``bundles/``,
+        ``results/``, ``store.json``) — a mistyped ``--store`` pointing
+        at a source directory cannot lose anything else.
+        """
+        import shutil
+
+        removed = 0
+        for sub in ("bundles", "results"):
+            path = self.root / sub
+            if path.is_dir():
+                removed += sum(1 for p in path.rglob("*") if p.is_file())
+                shutil.rmtree(path)
+        marker = self.root / "store.json"
+        if marker.exists():
+            marker.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

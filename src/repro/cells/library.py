@@ -284,6 +284,15 @@ class Library:
         """Sorted cell names."""
         return sorted(self.cells)
 
+    def content_fingerprint(self) -> str:
+        """Structural content hash: technology constants + every cell's
+        transistor trees, cells sorted by name.  Two independently built
+        libraries on the same technology hash equal (lookups are by
+        name; registration order never enters a computation)."""
+        from repro.artifacts.fingerprint import library_fingerprint
+
+        return library_fingerprint(self)
+
 
 def build_library(tech: Technology = PTM90) -> Library:
     """Build the full standard-cell library on ``tech``.

@@ -10,10 +10,17 @@ Gives the paper's main analyses a shell-friendly surface:
 * ``table1``    — the paper's Table 1 dVth grid,
 * ``paths``     — K longest (optionally aged) paths,
 * ``table4``    — internal-node-control potential sweep,
-* ``sweep``     — co-optimize many circuits, one process per circuit.
+* ``sweep``     — co-optimize many circuits, one process per circuit,
+* ``cache``     — inspect / warm / clear a persistent artifact store.
 
 Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
 (``c17``), or a ``.bench`` file path.
+
+``age`` and ``sweep`` accept ``--store DIR``: compiled artifacts (and,
+for ``age``, the final numbers) persist in a content-addressed
+:class:`~repro.artifacts.store.ArtifactStore`, so a repeated run
+recomputes nothing.  Store diagnostics go to stderr; stdout carries
+only the results and is byte-identical between cold and warm runs.
 """
 
 from __future__ import annotations
@@ -105,23 +112,68 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _store_note(store) -> None:
+    """Print the store's hit/miss counters (stderr: diagnostics only)."""
+    snap = store.stats.snapshot()
+    b = snap.get("bundle", {"hits": 0, "misses": 0})
+    r = snap.get("result", {"hits": 0, "misses": 0})
+    print(f"store: bundle hits={b['hits']} misses={b['misses']}, "
+          f"result hits={r['hits']} misses={r['misses']}", file=sys.stderr)
+
+
 def cmd_age(args) -> int:
-    """``age``: temperature-aware aged timing of one circuit."""
+    """``age``: temperature-aware aged timing of one circuit.
+
+    With ``--store`` the compiled artifacts hydrate from (and persist
+    to) the artifact store and the final numbers are served from its
+    result cache; JSON round-trips floats exactly, so a warm run's
+    stdout is byte-identical to the cold run's.
+    """
     from repro.sta import ALL_ONE, ALL_ZERO, AgingAnalyzer
     circuit = resolve_circuit(args.circuit)
     profile = _profile_from(args)
-    analyzer = AgingAnalyzer()
     standby = {"worst": ALL_ZERO, "best": ALL_ONE}[args.standby]
-    res = analyzer.aged_timing(circuit, profile, years(args.years),
-                               standby=standby)
+    store_dir = getattr(args, "store", None)
+    if store_dir is None:
+        res = AgingAnalyzer().aged_timing(circuit, profile,
+                                          years(args.years),
+                                          standby=standby)
+        numbers = {"fresh_delay": res.fresh_delay,
+                   "aged_delay": res.aged_delay,
+                   "degradation": res.relative_degradation,
+                   "max_shift": res.max_shift}
+    else:
+        from repro.artifacts import ArtifactStore, scenario_key
+        from repro.context import AnalysisContext
+
+        store = ArtifactStore(store_dir)
+        context = AnalysisContext(circuit, store=store)
+        key = scenario_key({"command": "age", "ras": args.ras,
+                            "t_active": args.t_active,
+                            "t_standby": args.t_standby,
+                            "years": args.years,
+                            "standby": args.standby})
+        circuit_fp = context.content_fingerprints()["circuit"]
+        numbers = store.load_result(circuit_fp, key)
+        if numbers is None:
+            res = context.aged_timing(profile, years(args.years),
+                                      standby=standby)
+            numbers = {"fresh_delay": res.fresh_delay,
+                       "aged_delay": res.aged_delay,
+                       "degradation": res.relative_degradation,
+                       "max_shift": res.max_shift}
+            store.save_result(circuit_fp, key, numbers)
+        if not store.has_bundle(context.content_key()):
+            context.save_to_store()
+        _store_note(store)
     print(f"circuit        : {circuit.name}")
     print(f"scenario       : RAS {profile.ras_label()}, "
           f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
           f"{args.years:g} years, {args.standby}-case standby")
-    print(f"fresh delay    : {ns(res.fresh_delay)} ns")
-    print(f"aged delay     : {ns(res.aged_delay)} ns")
-    print(f"degradation    : {pct(res.relative_degradation)}")
-    print(f"worst gate dVth: {mv(res.max_shift)} mV")
+    print(f"fresh delay    : {ns(numbers['fresh_delay'])} ns")
+    print(f"aged delay     : {ns(numbers['aged_delay'])} ns")
+    print(f"degradation    : {pct(numbers['degradation'])}")
+    print(f"worst gate dVth: {mv(numbers['max_shift'])} mV")
     return 0
 
 
@@ -149,7 +201,7 @@ def cmd_mlv(args) -> int:
 def cmd_sleep(args) -> int:
     """``sleep``: sleep-transistor sizing and aged gated timing."""
     from repro.sleep import (SleepStyle, design_sleep_transistor,
-                             gated_aged_delay, st_vth_shift)
+                             gated_lifetime_series, st_vth_shift)
     from repro.sta import AgingAnalyzer
     circuit = resolve_circuit(args.circuit)
     profile = _profile_from(args)
@@ -158,8 +210,8 @@ def cmd_sleep(args) -> int:
     design = design_sleep_transistor(circuit, style, args.beta,
                                      vth_st=args.vth_st, nbti_margin=margin)
     fresh = AgingAnalyzer().aged_timing(circuit, profile, 0.0).fresh_delay
-    t0 = gated_aged_delay(circuit, design, profile, 0.0)
-    t_end = gated_aged_delay(circuit, design, profile, years(args.years))
+    t0, t_end = gated_lifetime_series(circuit, design, profile,
+                                      [0.0, years(args.years)])
     print(f"circuit        : {circuit.name}")
     print(f"style          : {style.value}, beta {pct(args.beta, 0)}"
           + (", NBTI-aware sizing" if args.nbti_aware else ""))
@@ -230,10 +282,17 @@ def cmd_sweep(args) -> int:
     profile = _profile_from(args)
     for name in args.circuits:
         resolve_circuit(name)  # fail fast on unknown names
+    store = None
+    if getattr(args, "store", None):
+        from repro.artifacts import ArtifactStore
+
+        store = ArtifactStore(args.store)
     rows = run_co_optimization_sweep(
         args.circuits, profile, years(args.years),
         n_vectors=args.vectors, max_set_size=args.set_size,
-        seed=args.seed, max_workers=args.workers)
+        seed=args.seed, max_workers=args.workers, store=store)
+    if store is not None:
+        _store_note(store)
     printable = [
         [r.name, ns(r.fresh_delay), pct(r.min_degradation),
          pct(r.mlv_diff, 3), pct(r.worst_degradation),
@@ -247,6 +306,38 @@ def cmd_sweep(args) -> int:
         title=f"co-optimization sweep (RAS {profile.ras_label()}, "
               f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
               f"{args.years:g} years)"))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """``cache``: inspect, pre-warm, or clear an artifact store."""
+    from repro.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.action == "info":
+        info = store.info()
+        print(f"store          : {info['root']}")
+        print(f"schema version : {info['schema_version']}")
+        print(f"bundles        : {info['bundles']}")
+        print(f"results        : {info['results']}")
+        print(f"size           : {info['bytes']} bytes")
+        for key in info["bundle_keys"]:
+            print(f"  {key}")
+        return 0
+    if args.action == "warm":
+        from repro.context import AnalysisContext
+
+        if not args.circuits:
+            raise SystemExit("error: cache warm needs at least one circuit")
+        for name in args.circuits:
+            circuit = resolve_circuit(name)
+            context = AnalysisContext(circuit, store=store)
+            bundle = context.save_to_store()
+            print(f"{name}: {bundle.bundle_key}")
+        _store_note(store)
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} file(s)")
     return 0
 
 
@@ -356,6 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(p)
     p.add_argument("--standby", choices=("worst", "best"), default="worst",
                    help="bounding standby state (default worst)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent artifact store: hydrate compiled "
+                        "bundles and cache the result")
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_age)
 
@@ -427,8 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="worker processes (default: one per circuit, "
                         "capped at the CPU count; 1 = serial)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="persistent artifact store for the shipped "
+                        "compiled bundles")
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("cache",
+                       help="inspect/warm/clear a persistent artifact store")
+    p.add_argument("action", choices=("info", "warm", "clear"))
+    p.add_argument("circuits", nargs="*",
+                   help="circuits to pre-warm (for 'warm')")
+    p.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store directory")
+    _add_obs_args(p, suppress=True)
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -33,7 +33,19 @@ artifact                  cache key
 ``field_factor``          ``vth0``
 ``packed_simulator``      structural (one entry)
 ``activity``              ``(n_vectors, seed)``
+``content_fingerprints``  structural (one entry)
 ========================  =====================================================
+
+Persistence story: a context may be given an
+:class:`~repro.artifacts.store.ArtifactStore` (``store=``).  On
+construction it asks the store for the bundle matching its
+content-hash key (:meth:`AnalysisContext.content_key`) and, on a hit,
+seeds its caches with the stored compiled artifacts — the expensive
+lowerings (compiled timing, packed program, aging plan, leakage table)
+are skipped entirely.  :meth:`AnalysisContext.save_to_store` snapshots
+the warm state back.  Content keys are structural fingerprints
+(:mod:`repro.artifacts.fingerprint`), so a stale store entry is
+unreachable rather than wrong.
 
 Batch queries share the per-vector caches: :meth:`population_leakage`
 evaluates a whole candidate population through the bit-packed kernel
@@ -168,6 +180,9 @@ class AnalysisContext:
             :class:`~repro.flow.platform.AnalysisPlatform` share one
             (circuit-independent) table across the contexts of many
             circuits without forcing an eager build.
+        store: optional :class:`~repro.artifacts.store.ArtifactStore`;
+            when given, construction tries to hydrate the compiled
+            artifacts from the store's bundle for this content key.
 
     All returned artifacts are cached, shared objects: treat them as
     read-only.  The public free functions that wrap this layer hand out
@@ -179,7 +194,8 @@ class AnalysisContext:
                  leakage_temperature: float = DEFAULT_LEAKAGE_TEMPERATURE,
                  leakage_table: Union[LeakageTable,
                                       Callable[[], LeakageTable],
-                                      None] = None):
+                                      None] = None,
+                 store: Optional[Any] = None):
         from repro.sim.logic import default_library
         from repro.sta.degradation import AgingAnalyzer
 
@@ -188,12 +204,15 @@ class AnalysisContext:
         self.model = model
         self.leakage_temperature = leakage_temperature
         self._leakage_source = leakage_table
+        self.store = store
         #: The analyzer bound to this context's library and model; its
         #: methods accept ``context=self`` to reuse the memoized state.
         self.analyzer = AgingAnalyzer(library=self.library, model=model)
         self.stats = CacheStats()
         self._caches: Dict[str, Dict[Hashable, Any]] = {}
         obs.register_cache_stats(circuit.name, self.stats)
+        if store is not None:
+            self._hydrate_from_store()
 
     # -- cache machinery ---------------------------------------------------
 
@@ -209,6 +228,17 @@ class AnalysisContext:
         self.stats.record_hit(name)
         return value
 
+    def seed_artifact(self, name: str, key: Hashable, value: Any) -> None:
+        """Install a pre-built artifact under its cache key.
+
+        The hydration entry point used by
+        :meth:`repro.artifacts.bundle.ArtifactBundle.seed`: the value is
+        placed where :meth:`_memo` will find it, recording *neither* a
+        hit nor a miss — seeded artifacts are free, and the zero-miss
+        invariant is what warm-start tests assert.
+        """
+        self._caches.setdefault(name, {})[key] = value
+
     def invalidate(self) -> None:
         """Drop every memoized artifact (netlist-mutation hook).
 
@@ -221,6 +251,55 @@ class AnalysisContext:
                      self.stats.misses())
         self._caches.clear()
         self.circuit.invalidate_caches()
+
+    # -- content addressing ------------------------------------------------
+
+    def content_fingerprints(self) -> Dict[str, str]:
+        """Structural hashes of the bound circuit, library, and model."""
+        return self._memo(
+            "content_fingerprints", (),
+            lambda: {
+                "circuit": self.circuit.content_fingerprint(),
+                "library": self.library.content_fingerprint(),
+                "model": self.model.content_fingerprint(),
+            })
+
+    def content_key(self) -> str:
+        """The content-hash bundle key of this context's artifacts."""
+        from repro.artifacts.fingerprint import bundle_key
+
+        fps = self.content_fingerprints()
+        return bundle_key(fps["circuit"], fps["library"], fps["model"],
+                          self.leakage_temperature)
+
+    def _hydrate_from_store(self) -> bool:
+        """Seed the caches from the backing store, if it has our bundle."""
+        bundle = self.store.load_bundle(self.content_key())
+        if bundle is None:
+            return False
+        bundle.seed(self)
+        return True
+
+    def save_to_store(self):
+        """Snapshot the compiled artifacts into the backing store.
+
+        Forces the compiled artifacts (so a cold context pays its
+        lowerings now, once), then persists the bundle unless the store
+        already holds this content key.  Returns the
+        :class:`~repro.artifacts.bundle.ArtifactBundle` either way, so
+        callers can also ship it to pool workers.
+
+        Raises:
+            ValueError: when the context has no backing store.
+        """
+        from repro.artifacts.bundle import ArtifactBundle
+
+        if self.store is None:
+            raise ValueError("context has no backing store")
+        bundle = ArtifactBundle.snapshot(self)
+        if not self.store.has_bundle(bundle.bundle_key):
+            self.store.save_bundle(bundle)
+        return bundle
 
     # -- cache keys --------------------------------------------------------
 

@@ -43,6 +43,12 @@ class NbtiModel:
     calibration: NbtiCalibration = DEFAULT_CALIBRATION
     scale_recovery: bool = False
 
+    def content_fingerprint(self) -> str:
+        """Structural content hash of the calibration + recovery flag."""
+        from repro.artifacts.fingerprint import model_fingerprint
+
+        return model_fingerprint(self)
+
     # -- core evaluations ---------------------------------------------------
 
     def delta_vth_dc(self, t: float, temperature: float,

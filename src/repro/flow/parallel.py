@@ -16,9 +16,17 @@ circuit.  Design points:
   all degrade to an in-process loop.  Worker *logic* errors are not
   swallowed: they propagate with their original exception type.
 
-Jobs are small frozen dataclasses naming the circuit (workers load
-netlists themselves — circuits, libraries, and leakage tables are
-rebuilt per process rather than pickled).
+Jobs are small frozen dataclasses naming the circuit.  By default the
+parent lowers each distinct circuit **once** and ships the compiled
+artifacts to the workers as an
+:class:`~repro.artifacts.bundle.ArtifactBundle` (plain ndarrays/tuples,
+cheap to pickle): a worker hydrates a warm
+:class:`~repro.context.AnalysisContext` instead of re-running the
+lowerings.  Hydrated state is bit-identical to rebuilt state, so the
+pooled==serial and bundled==rebuilt (``ship_bundles=False``) results
+are equal field for field.  An optional
+:class:`~repro.artifacts.store.ArtifactStore` persists the bundles
+across runs.
 """
 
 from __future__ import annotations
@@ -155,8 +163,10 @@ def run_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
     try:
         # Probe up front: an unpicklable worker/job would otherwise
         # surface from inside the pool's feeder thread with a
-        # hard-to-catch exception type.
-        pickle.dumps((call, jobs))
+        # hard-to-catch exception type.  Jobs of one sweep are
+        # structurally homogeneous, so probing the first is enough —
+        # probing all of them would re-serialize every shipped bundle.
+        pickle.dumps((call, jobs[0]))
     except Exception:
         logger.warning("run_sweep: jobs not picklable, running serially")
         return serial()
@@ -198,12 +208,49 @@ def _merge_observations(outcomes: List[Any], observed: bool) -> List[Any]:
     return results
 
 
+# -- bundle shipping ---------------------------------------------------------
+
+
+def _bundle_for(name: str, store: Any = None):
+    """Lower one circuit in the parent and snapshot its artifacts.
+
+    With a store, the snapshot is served from (and persisted to) the
+    content-addressed store; without one it is built in memory.
+    """
+    from repro.artifacts.bundle import ArtifactBundle
+    from repro.context import AnalysisContext
+
+    circuit = load_circuit(name)
+    context = AnalysisContext(circuit, store=store)
+    if store is not None:
+        return context.save_to_store()
+    return ArtifactBundle.snapshot(context)
+
+
+def _bundles_for(names: Sequence[str], store: Any = None) -> List[Any]:
+    """One bundle per job, lowering each *distinct* circuit only once."""
+    built: Dict[str, Any] = {}
+    out = []
+    for name in names:
+        if name not in built:
+            built[name] = _bundle_for(name, store)
+        out.append(built[name])
+    return out
+
+
 # -- Table 3: leakage/NBTI co-optimization per circuit -----------------------
 
 
 @dataclass(frozen=True)
 class CoOptimizationJob:
-    """One circuit's co-optimization run (the Table 3 recipe)."""
+    """One circuit's co-optimization run (the Table 3 recipe).
+
+    ``bundle`` optionally carries the parent's compiled artifacts; a
+    worker that receives one hydrates a warm context instead of
+    re-lowering the circuit.  It is excluded from equality/repr — two
+    jobs describing the same run compare equal whether or not artifacts
+    ride along.
+    """
 
     circuit: str
     profile: OperatingProfile
@@ -212,6 +259,7 @@ class CoOptimizationJob:
     max_set_size: int = 8
     range_fraction: float = 0.04
     seed: int = 0
+    bundle: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -235,12 +283,23 @@ class SweepRow:
 
 
 def co_optimize_circuit(job: CoOptimizationJob) -> SweepRow:
-    """Worker: full co-optimization + worst-case bound for one circuit."""
+    """Worker: full co-optimization + worst-case bound for one circuit.
+
+    With ``job.bundle`` set, the worker hydrates the shipped artifacts
+    (bit-identical to rebuilding) and adopts them into its platform;
+    otherwise it loads and lowers the circuit itself.
+    """
     from repro.flow.platform import AnalysisPlatform
     from repro.sta.degradation import ALL_ZERO
 
-    circuit = load_circuit(job.circuit)
-    platform = AnalysisPlatform()
+    if job.bundle is not None:
+        context = job.bundle.hydrate()
+        circuit = context.circuit
+        platform = AnalysisPlatform(library=context.library)
+        platform.adopt_context(context)
+    else:
+        circuit = load_circuit(job.circuit)
+        platform = AnalysisPlatform()
     co = platform.co_optimize(circuit, job.profile, job.lifetime,
                               n_vectors=job.n_vectors,
                               max_set_size=job.max_set_size,
@@ -272,18 +331,29 @@ def run_co_optimization_sweep(circuits: Sequence[str],
                               max_set_size: int = 8,
                               range_fraction: float = 0.04,
                               seed: int = 0,
-                              max_workers: Optional[int] = None
-                              ) -> List[SweepRow]:
+                              max_workers: Optional[int] = None,
+                              ship_bundles: bool = True,
+                              store: Any = None) -> List[SweepRow]:
     """Co-optimize many circuits, one worker per circuit.
 
     Returns one :class:`SweepRow` per circuit, in input order;
     ``max_workers=1`` runs the identical computation serially.
+
+    With ``ship_bundles`` (the default) the parent lowers each distinct
+    circuit once and ships the compiled artifacts to the workers;
+    ``ship_bundles=False`` restores the rebuild-per-worker path (the
+    two are bit-identical).  ``store`` optionally persists/serves the
+    parent's bundles through an
+    :class:`~repro.artifacts.store.ArtifactStore`.
     """
+    bundles = (_bundles_for(circuits, store) if ship_bundles
+               else [None] * len(circuits))
     jobs = [CoOptimizationJob(circuit=name, profile=profile,
                               lifetime=lifetime, n_vectors=n_vectors,
                               max_set_size=max_set_size,
-                              range_fraction=range_fraction, seed=seed)
-            for name in circuits]
+                              range_fraction=range_fraction, seed=seed,
+                              bundle=bundle)
+            for name, bundle in zip(circuits, bundles)]
     return run_sweep(co_optimize_circuit, jobs, max_workers=max_workers)
 
 
@@ -292,12 +362,17 @@ def run_co_optimization_sweep(circuits: Sequence[str],
 
 @dataclass(frozen=True)
 class PotentialSweepJob:
-    """One circuit's standby-temperature potential sweep (Table 4)."""
+    """One circuit's standby-temperature potential sweep (Table 4).
+
+    ``bundle`` works as on :class:`CoOptimizationJob`: optional shipped
+    artifacts, excluded from equality/repr.
+    """
 
     circuit: str
     t_standby_values: Tuple[float, ...]
     ras: str = "1:9"
     t_total: float = TEN_YEARS
+    bundle: Optional[Any] = field(default=None, compare=False, repr=False)
 
 
 def potential_sweep_circuit(job: PotentialSweepJob) -> list:
@@ -305,8 +380,12 @@ def potential_sweep_circuit(job: PotentialSweepJob) -> list:
     from repro.context import AnalysisContext
     from repro.ivc.internal_node import potential_sweep
 
-    circuit = load_circuit(job.circuit)
-    context = AnalysisContext(circuit)
+    if job.bundle is not None:
+        context = job.bundle.hydrate()
+        circuit = context.circuit
+    else:
+        circuit = load_circuit(job.circuit)
+        context = AnalysisContext(circuit)
     return potential_sweep(circuit, job.t_standby_values, ras=job.ras,
                            t_total=job.t_total, context=context)
 
@@ -315,17 +394,21 @@ def run_potential_sweep(circuits: Sequence[str],
                         t_standby_values: Sequence[float],
                         ras: str = "1:9",
                         t_total: float = TEN_YEARS, *,
-                        max_workers: Optional[int] = None
-                        ) -> Dict[str, list]:
+                        max_workers: Optional[int] = None,
+                        ship_bundles: bool = True,
+                        store: Any = None) -> Dict[str, list]:
     """Table 4 sweeps for many circuits, one worker per circuit.
 
     Returns ``{circuit name: [InternalNodePotential, ...]}`` preserving
-    input order (dict insertion order).
+    input order (dict insertion order).  ``ship_bundles``/``store`` as
+    on :func:`run_co_optimization_sweep`.
     """
+    bundles = (_bundles_for(circuits, store) if ship_bundles
+               else [None] * len(circuits))
     jobs = [PotentialSweepJob(circuit=name,
                               t_standby_values=tuple(t_standby_values),
-                              ras=ras, t_total=t_total)
-            for name in circuits]
+                              ras=ras, t_total=t_total, bundle=bundle)
+            for name, bundle in zip(circuits, bundles)]
     results = run_sweep(potential_sweep_circuit, jobs,
                         max_workers=max_workers)
     return dict(zip(circuits, results))

@@ -158,6 +158,31 @@ class AnalysisPlatform:
             self._contexts[id(circuit)] = ctx
         return ctx
 
+    def adopt_context(self, context: AnalysisContext) -> None:
+        """Install a pre-warmed context as this platform's context for
+        its circuit.
+
+        The pool-worker hydration path: a context rebuilt from an
+        :class:`~repro.artifacts.bundle.ArtifactBundle` arrives with its
+        compiled artifacts already seeded; adopting it makes
+        :meth:`context_for` return it instead of building a cold one.
+        If the platform has no leakage table yet and the context owns a
+        built one, the platform adopts that too (the table is
+        circuit-independent).
+
+        Raises:
+            ValueError: when the context is bound to a different library
+                object — the platform's analyzer and the context's
+                caches must agree on identity.
+        """
+        if context.library is not self.library:
+            raise ValueError("context is bound to a different library; "
+                             "build the platform on context.library")
+        self._contexts[id(context.circuit)] = context
+        if (self._leakage_table is None
+                and "leakage_table" in context._caches):
+            self._leakage_table = context.leakage_table
+
     def analyze_scenario(self, circuit: Circuit, profile: OperatingProfile,
                          lifetime: float = TEN_YEARS, *,
                          standby: StandbyStates = ALL_ZERO) -> ScenarioReport:

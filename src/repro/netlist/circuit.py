@@ -195,6 +195,20 @@ class Circuit:
             self.invalidate_caches()
             raise
 
+    def content_fingerprint(self) -> str:
+        """Structural content hash (name-independent, identity-free).
+
+        Equal for any two circuits with the same PIs, POs, and gate
+        rows in the same accumulation order — across renames, reloads,
+        and process boundaries; changed by any structural edit
+        (:meth:`replace_gate` included).  Not cached: mutation flows
+        edit gates in place, and hashing is cheap relative to any
+        artifact keyed by it.
+        """
+        from repro.artifacts.fingerprint import circuit_fingerprint
+
+        return circuit_fingerprint(self)
+
     def depth(self) -> int:
         """Maximum logic level across all nets."""
         lv = self.levels()

@@ -137,6 +137,13 @@ class PackedSimulator:
     def _compile_all(self, circuit: Circuit, library: Optional[Library],
                      _cell_lut, default_library) -> None:
         """The one-time program compilation (spanned by ``__init__``)."""
+        order = self._bind_layout(circuit, library, default_library)
+        self._ops = [self._compile(circuit.gates[name], _cell_lut)
+                     for name in order]
+
+    def _bind_layout(self, circuit: Circuit, library: Optional[Library],
+                     default_library) -> List[str]:
+        """Cheap row/layout binding; returns the gate compile order."""
         self.circuit = circuit
         self.library = library or default_library()
         order = circuit.topological_order()
@@ -146,8 +153,6 @@ class PackedSimulator:
         self.row: Dict[str, int] = {n: i for i, n in
                                     enumerate(self.net_names)}
         self.n_pis = len(circuit.primary_inputs)
-        self._ops = [self._compile(circuit.gates[name], _cell_lut)
-                     for name in order]
         # Gate-order arrays for the leakage kernel; iteration follows
         # circuit.gates so the float accumulation order matches the
         # scalar leakage_for_states sum exactly.
@@ -161,6 +166,55 @@ class PackedSimulator:
         for gi, gate in enumerate(gates):
             for k, net in enumerate(gate.inputs):
                 self._gate_in_rows[gi, k] = self.row[net]
+        return order
+
+    # -- snapshot / hydrate --------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        """The compiled program as plain lists (picklable, JSON-able).
+
+        Only ``_ops`` needs shipping — truth-table classification is the
+        expensive part; the row layout rebinds from the circuit.
+        """
+        ops = []
+        for code, out, ins, extra in self._ops:
+            if extra is None:
+                ops.append([code, out, list(ins), None])
+            else:
+                products, invert = extra
+                ops.append([code, out, list(ins),
+                            [[[row, pos] for row, pos in product]
+                             for product in products],
+                            bool(invert)])
+        return {"net_names": list(self.net_names), "ops": ops}
+
+    @classmethod
+    def from_state(cls, circuit: Circuit, library: Optional[Library],
+                   state) -> "PackedSimulator":
+        """Hydrate a compiled simulator from :meth:`export_state` output."""
+        from repro.sim.logic import default_library
+
+        self = cls.__new__(cls)
+        with obs.span("sim.packed.hydrate", circuit=circuit.name):
+            self._bind_layout(circuit, library, default_library)
+            if list(state["net_names"]) != self.net_names:
+                raise ValueError(
+                    "packed-simulator state does not match the circuit "
+                    "(net order differs)")
+            ops = []
+            for entry in state["ops"]:
+                code, out, ins = int(entry[0]), int(entry[1]), entry[2]
+                if entry[3] is None:
+                    extra = None
+                else:
+                    products = tuple(
+                        tuple((int(row), int(pos)) for row, pos in product)
+                        for product in entry[3])
+                    extra = (products, bool(entry[4]))
+                ops.append((code, out, tuple(int(r) for r in ins), extra))
+            self._ops = ops
+        obs.count("sim.packed.hydrations")
+        return self
 
     # -- compilation --------------------------------------------------------
 

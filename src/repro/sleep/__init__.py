@@ -30,6 +30,7 @@ from repro.sleep.insertion import (
     design_sleep_transistor,
     estimate_block_current,
     gated_aged_delay,
+    gated_lifetime_series,
 )
 
 __all__ = [
@@ -42,4 +43,5 @@ __all__ = [
     "FineGrainDesign", "design_fine_grain", "uniform_fine_grain_area",
     "GatedTimingPoint", "SleepStyle", "SleepTransistorDesign",
     "design_sleep_transistor", "estimate_block_current", "gated_aged_delay",
+    "gated_lifetime_series",
 ]

@@ -210,3 +210,58 @@ def gated_aged_delay(circuit: Circuit, design: SleepTransistorDesign,
                             supply_drop=v_st, context=context).circuit_delay
     return GatedTimingPoint(time=t_total, st_delta_vth=st_shift,
                             v_st=v_st, circuit_delay=delay)
+
+
+def gated_lifetime_series(circuit: Circuit, design: SleepTransistorDesign,
+                          profile: OperatingProfile, times, *,
+                          analyzer: Optional[AgingAnalyzer] = None,
+                          model: NbtiModel = DEFAULT_MODEL,
+                          library: Optional[Library] = None,
+                          context=None,
+                          engine: str = "auto") -> "list[GatedTimingPoint]":
+    """Gated aged timing over a whole lifetime grid in one STA batch.
+
+    Bit-identical to calling :func:`gated_aged_delay` once per instant
+    with the same shared context, but the final timing step runs as a
+    single :meth:`~repro.sta.compiled.CompiledTiming.delays_batch` call
+    with a per-column virtual-rail drop — one arrival propagation for
+    the whole (year, drop) grid instead of one per point.  The per-gate
+    shifts and the header's own aging are still evaluated per instant
+    (each lifetime has its own dVth field); those are the cheap part.
+    """
+    import numpy as np
+
+    analyzer = analyzer or AgingAnalyzer(library=library, model=model)
+    library = library or default_library()
+    if (context is None or context.circuit is not circuit
+            or context.library is not library):
+        from repro.context import AnalysisContext
+
+        context = AnalysisContext(circuit, library=library)
+    times = [float(t) for t in times]
+    with obs.span("sleep.gated_series", points=len(times),
+                  style=design.style.value):
+        st_shifts = []
+        v_sts = []
+        columns = []
+        ct = context.compiled_timing()
+        for t in times:
+            obs.count("sleep.gated_points")
+            shifts = analyzer.gate_shifts(circuit, profile, t,
+                                          standby=ALL_ONE, context=context,
+                                          engine=engine)
+            st_shift = 0.0
+            if design.style.has_header:
+                device = DeviceStress(active_stress_duty=1.0,
+                                      standby_stressed=False)
+                st_shift = model.delta_vth(profile, device, t,
+                                           design.vth_st)
+            st_shifts.append(st_shift)
+            v_sts.append(design.virtual_rail_drop(st_shift))
+            columns.append(ct.gate_vector(shifts, 0.0))
+        matrix = np.stack(columns, axis=1)
+        delays = ct.delays_batch(matrix,
+                                 supply_drop=np.asarray(v_sts))
+    return [GatedTimingPoint(time=t, st_delta_vth=st, v_st=v,
+                             circuit_delay=float(d))
+            for t, st, v, d in zip(times, st_shifts, v_sts, delays)]

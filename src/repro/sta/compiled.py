@@ -116,6 +116,14 @@ class CompiledTiming:
                loads: Optional[Mapping[str, float]],
                wire_cap: float, po_cap: float) -> None:
         """The one-time topological lowering walk (spanned by __init__)."""
+        self._bind(circuit, library, loads, wire_cap, po_cap)
+        self._build_fanin_csr()
+        self._build_schedule()
+
+    def _bind(self, circuit: Circuit, library: Optional[Library],
+              loads: Optional[Mapping[str, float]],
+              wire_cap: float, po_cap: float) -> None:
+        """Cheap identity/layout binding (no cell evaluation)."""
         from repro.sim.logic import default_library
 
         self.circuit = circuit
@@ -139,7 +147,9 @@ class CompiledTiming:
             self.node_index[name] = self.n_pi + i
         self.n_rows = 2 * (self.n_pi + self.n_gates)
 
-        # Fanin CSR over gate-edge segments (s = 2*topo_i + edge).
+    def _build_fanin_csr(self) -> None:
+        """Fanin CSR over gate-edge segments (s = 2*topo_i + edge)."""
+        circuit = self.circuit
         fanin: List[int] = []
         ptr: List[int] = [0]
         for name in self.gate_names:
@@ -154,6 +164,9 @@ class CompiledTiming:
         self.seg_ptr = np.asarray(ptr, dtype=np.int64)
         self._seg_counts = np.diff(self.seg_ptr)
 
+    def _build_schedule(self) -> None:
+        """Derived traversal structures (recomputable from the CSR)."""
+        circuit = self.circuit
         # Levelized schedule: all inputs of a level-L gate sit strictly
         # below L, so one gather/reduceat per level is a valid order.
         levels_map = circuit.levels()
@@ -199,7 +212,7 @@ class CompiledTiming:
         # an order of magnitude (same rationale as the big-int packed
         # simulator; see docs/PERFORMANCE.md).
         self.fanin_lists: List[List[int]] = [
-            [int(r) for r in self.fanin_idx[ptr[s]:ptr[s + 1]]]
+            [int(r) for r in self.fanin_idx[self.seg_ptr[s]:self.seg_ptr[s + 1]]]
             for s in range(2 * self.n_gates)]
         self.po_row_list: List[int] = [int(r) for r in self.po_rows]
         self.node_levels: List[int] = [0] * (self.n_pi + self.n_gates)
@@ -210,6 +223,62 @@ class CompiledTiming:
         # incremental required-time backward cone.
         self._rev: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._base_delays: Dict[Tuple[float, float], np.ndarray] = {}
+
+    # -- snapshot / hydrate ------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """The expensive lowering products as plain ndarrays/lists.
+
+        Everything here is picklable and ``.npz``-serializable: the
+        fanin CSR (the topological cell walk), the per-gate loads, and
+        every memoized base-delay vector.  Cheap derived structures
+        (levels, fanout adjacency, Python mirrors) are *not* exported —
+        :meth:`from_state` recomputes them from the CSR in microseconds.
+        """
+        keys = sorted(self._base_delays)
+        return {
+            "gate_names": list(self.gate_names),
+            "n_pi": self.n_pi,
+            "load_names": list(self.loads),
+            "load_values": np.asarray(
+                [self.loads[n] for n in self.loads], dtype=np.float64),
+            "fanin_idx": self.fanin_idx,
+            "seg_ptr": self.seg_ptr,
+            "base_delay_keys": [list(k) for k in keys],
+            "base_delay_arrays": [self._base_delays[k] for k in keys],
+        }
+
+    @classmethod
+    def from_state(cls, circuit: Circuit, library: Optional[Library],
+                   state: Mapping[str, Any]) -> "CompiledTiming":
+        """Hydrate a warm instance from :meth:`export_state` output.
+
+        Skips the topological cell walk and every exported base-delay
+        build; raises :class:`ValueError` when the state's gate order
+        does not match ``circuit`` (stale or foreign state).
+        """
+        t0 = perf_counter()
+        self = cls.__new__(cls)
+        with obs.span("sta.compiled.hydrate", circuit=circuit.name):
+            loads = dict(zip(state["load_names"],
+                             (float(v) for v in state["load_values"])))
+            self._bind(circuit, library, loads, WIRE_CAP, PO_CAP)
+            if list(state["gate_names"]) != self.gate_names:
+                raise ValueError(
+                    "compiled-timing state does not match the circuit "
+                    "(gate order differs)")
+            self.fanin_idx = np.asarray(state["fanin_idx"], dtype=np.int64)
+            self.seg_ptr = np.asarray(state["seg_ptr"], dtype=np.int64)
+            self._seg_counts = np.diff(self.seg_ptr)
+            self._build_schedule()
+            for key, arr in zip(state["base_delay_keys"],
+                                state["base_delay_arrays"]):
+                cached = np.asarray(arr, dtype=np.float64)
+                cached.setflags(write=False)
+                self._base_delays[(float(key[0]), float(key[1]))] = cached
+        obs.count("sta.compiled.hydrations")
+        obs.observe("sta.compiled.hydrate_seconds", perf_counter() - t0)
+        return self
 
     # -- delay vectors -----------------------------------------------------
 
@@ -293,16 +362,33 @@ class CompiledTiming:
 
     def delay_vector(self, delta_vth: GateValues = None,
                      delay_factors: GateValues = None, *,
-                     supply_drop: float = 0.0,
+                     supply_drop: Union[float, np.ndarray, Sequence[float]]
+                     = 0.0,
                      temperature: float = 300.0) -> np.ndarray:
-        """Aged per-gate-edge delays: ``(2G,)`` or ``(2G, B)`` batched."""
-        base = self.base_delays(supply_drop, temperature)
+        """Aged per-gate-edge delays: ``(2G,)`` or ``(2G, B)`` batched.
+
+        ``supply_drop`` may be a per-scenario ``(B,)`` array: column
+        ``k`` then uses the memoized base delays of ``supply_drop[k]``,
+        so each column is bit-identical to the scalar call with that
+        drop (the sleep-transistor lifetime grid batches this way).
+        """
+        if np.ndim(supply_drop) == 0:
+            base = self.base_delays(supply_drop, temperature)
+        else:
+            base = np.stack([self.base_delays(float(d), temperature)
+                             for d in np.asarray(supply_drop)], axis=1)
         factor = self.aging_factors(delta_vth, delay_factors)
         if factor is None:
             return base.copy()
         factor_edges = np.repeat(factor, 2, axis=0)
-        if factor_edges.ndim == 1:
+        if factor_edges.ndim == base.ndim:
+            if base.ndim == 2 and factor_edges.shape[1] != base.shape[1]:
+                raise ValueError(
+                    f"batched supply_drop ({base.shape[1]}) and gate values "
+                    f"({factor_edges.shape[1]}) disagree on batch size")
             return base * factor_edges
+        if base.ndim == 2:  # 1-D factor against per-scenario drops
+            return base * factor_edges[:, None]
         return base[:, None] * factor_edges
 
     # -- forward / backward kernels ----------------------------------------

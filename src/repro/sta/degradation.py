@@ -114,6 +114,38 @@ class CompiledShiftPlan:
             obs.annotate(devices=self.n_devices)
         obs.count("aging.plan.lowerings")
 
+    def export_state(self) -> Dict[str, object]:
+        """The flattened device layout as plain arrays/dicts (picklable)."""
+        return {
+            "gate_names": list(self.gate_names),
+            "slots": {g: dict(s) for g, s in self.slots.items()},
+            "duties": np.asarray(self.duties),
+            "starts": np.asarray(self.starts),
+            "sentinels": np.asarray(self._sentinels),
+            "n_devices": self.n_devices,
+        }
+
+    @classmethod
+    def from_state(cls, circuit: Circuit, library: Library,
+                   state) -> "CompiledShiftPlan":
+        """Hydrate a plan (duties included) without the lowering walk."""
+        self = cls.__new__(cls)
+        self.circuit = circuit
+        self.library = library
+        names = [g.name for g in circuit.gates.values()]
+        if list(state["gate_names"]) != names:
+            raise ValueError("aging-plan state does not match the circuit "
+                             "(gate order differs)")
+        self.gate_names = list(state["gate_names"])
+        self.slots = {g: {n: int(i) for n, i in s.items()}
+                      for g, s in state["slots"].items()}
+        self.duties = np.asarray(state["duties"], dtype=float)
+        self.starts = np.asarray(state["starts"], dtype=np.intp)
+        self._sentinels = np.asarray(state["sentinels"], dtype=np.intp)
+        self.n_devices = int(state["n_devices"])
+        obs.count("aging.plan.hydrations")
+        return self
+
     def uniform_fractions(self, value: float) -> np.ndarray:
         """Standby stress fractions for the ALL_ZERO / ALL_ONE bounds."""
         frac = np.full(self.n_devices, value)

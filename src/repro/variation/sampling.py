@@ -14,11 +14,44 @@ which our calibration's ``field_factor`` reproduces.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
+import numpy as np
+
 from repro.netlist.circuit import Circuit
+
+
+def _gauss_stream(rng: random.Random, n: int) -> np.ndarray:
+    """First ``n`` draws of ``rng.gauss(0, 1)``, bit-identical, vectorized.
+
+    CPython's ``gauss`` is a paired Box-Muller over ``random()`` doubles,
+    and each ``random()`` consumes exactly two 32-bit Mersenne-Twister
+    words — so one ``getrandbits`` call captures the whole word stream
+    and the transform vectorizes.  The only libm/numpy ulp mismatch is
+    ``log``, which stays scalar; ``cos``/``sin``/``sqrt`` and the
+    ``2*pi`` product match ``math`` exactly.  Consumes the same RNG
+    state as ``n`` (rounded up to even) scalar ``gauss`` calls.
+    """
+    if n <= 0:
+        return np.empty(0)
+    npairs = (n + 1) // 2
+    nwords = 4 * npairs
+    big = rng.getrandbits(32 * nwords)
+    raw = big.to_bytes(4 * nwords, "little")
+    w = np.frombuffer(raw, dtype="<u4").astype(np.uint64)
+    # random(): (a >> 5) * 2^26 + (b >> 6), scaled by 2^-53.
+    u = ((w[0::2] >> np.uint64(5)).astype(np.float64) * 67108864.0
+         + (w[1::2] >> np.uint64(6)).astype(np.float64)) / 9007199254740992.0
+    x2pi = u[0::2] * (2.0 * math.pi)
+    logs = np.array([math.log(v) for v in (1.0 - u[1::2])])
+    g2rad = np.sqrt(-2.0 * logs)
+    z = np.empty(2 * npairs)
+    z[0::2] = np.cos(x2pi) * g2rad
+    z[1::2] = np.sin(x2pi) * g2rad
+    return z[:n]
 
 
 @dataclass(frozen=True)
@@ -57,8 +90,42 @@ class VariationModel:
 
     def sample_many(self, circuit: Circuit, n_samples: int, seed: int = 0
                     ) -> List[Dict[str, float]]:
-        """``n_samples`` independent dies, deterministic in ``seed``."""
+        """``n_samples`` independent dies, deterministic in ``seed``.
+
+        Bit-identical to ``[self.sample(circuit, Random(seed))...]``
+        run sequentially, but the whole population's Gaussian draws come
+        from **one** vectorized RNG call (:func:`_gauss_stream`) instead
+        of one ``gauss`` call per device — a zero-sigma component
+        consumes no draws, exactly like :meth:`_draw`.
+        """
         if n_samples < 1:
             raise ValueError("need at least one sample")
         rng = random.Random(seed)
-        return [self.sample(circuit, rng) for _ in range(n_samples)]
+        names = list(circuit.gates)
+        per_die = ((1 if self.sigma_global > 0.0 else 0)
+                   + (len(names) if self.sigma_local > 0.0 else 0))
+        if per_die == 0:
+            return [{name: 0.0 for name in names}
+                    for _ in range(n_samples)]
+        z = _gauss_stream(rng, per_die * n_samples)
+        g_bound = self.truncate_sigmas * self.sigma_global
+        l_bound = self.truncate_sigmas * self.sigma_local
+        dies: List[Dict[str, float]] = []
+        pos = 0
+        for _ in range(n_samples):
+            if self.sigma_global > 0.0:
+                value = 0.0 + float(z[pos]) * self.sigma_global
+                shared = max(-g_bound, min(g_bound, value))
+                pos += 1
+            else:
+                shared = 0.0
+            if self.sigma_local > 0.0:
+                die = {}
+                for name in names:
+                    value = 0.0 + float(z[pos]) * self.sigma_local
+                    die[name] = shared + max(-l_bound, min(l_bound, value))
+                    pos += 1
+            else:
+                die = {name: shared + 0.0 for name in names}
+            dies.append(die)
+        return dies

@@ -1,0 +1,397 @@
+"""Content-addressed artifact plane: fingerprints, bundles, store,
+bundle-shipping sweeps — plus the satellite guarantees (vectorized
+variation sampling, batched sleep lifetime grid)."""
+
+import os
+import pickle
+import random
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.artifacts import (
+    ArtifactBundle,
+    ArtifactStore,
+    bundle_key,
+    scenario_key,
+)
+from repro.cells.library import build_library
+from repro.constants import TEN_YEARS
+from repro.context import AnalysisContext
+from repro.core.aging import NbtiModel
+from repro.core.profiles import OperatingProfile
+from repro.flow.parallel import (
+    CoOptimizationJob,
+    co_optimize_circuit,
+    load_circuit,
+    run_co_optimization_sweep,
+    run_potential_sweep,
+)
+from repro.netlist.circuit import Circuit, Gate
+from repro.tech.ptm import PTM90_HVT
+
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+#: The lowering artifacts a hydrated context must never rebuild.
+LOWERINGS = ("gate_loads", "compiled_timing", "packed_simulator",
+             "stress_duties", "aging_plan", "leakage_table")
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _counter_total(snapshot, name) -> float:
+    entry = snapshot.get(name)
+    if not entry:
+        return 0
+    return sum(entry.get("values", {}).values())
+
+
+def _run_py(code: str) -> str:
+    out = subprocess.run([sys.executable, "-c", code], env=_env(),
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+class TestFingerprints(unittest.TestCase):
+    def test_stable_across_reloads(self):
+        a = load_circuit("c432").content_fingerprint()
+        b = load_circuit("c432").content_fingerprint()
+        self.assertEqual(a, b)
+
+    def test_name_independent(self):
+        c = load_circuit("c17")
+        renamed = Circuit(name="totally-else",
+                          primary_inputs=c.primary_inputs,
+                          primary_outputs=c.primary_outputs,
+                          gates=list(c.gates.values()))
+        self.assertEqual(c.content_fingerprint(),
+                         renamed.content_fingerprint())
+
+    def test_stable_across_processes(self):
+        local = load_circuit("c432").content_fingerprint()
+        remote = _run_py(
+            "from repro.flow.parallel import load_circuit\n"
+            "print(load_circuit('c432').content_fingerprint())")
+        self.assertEqual(local, remote)
+
+    def test_changed_by_replace_gate(self):
+        c = load_circuit("c17")
+        before = c.content_fingerprint()
+        name = next(iter(c.gates))
+        old = c.gates[name]
+        c.replace_gate(Gate(name=name, cell="NOR2", inputs=old.inputs))
+        self.assertNotEqual(before, c.content_fingerprint())
+
+    def test_library_fingerprint_structural(self):
+        self.assertEqual(build_library().content_fingerprint(),
+                         build_library().content_fingerprint())
+        self.assertNotEqual(build_library().content_fingerprint(),
+                            build_library(PTM90_HVT).content_fingerprint())
+
+    def test_model_fingerprint(self):
+        self.assertEqual(NbtiModel().content_fingerprint(),
+                         NbtiModel().content_fingerprint())
+        self.assertNotEqual(
+            NbtiModel().content_fingerprint(),
+            NbtiModel(scale_recovery=True).content_fingerprint())
+
+    def test_bundle_key_covers_temperature(self):
+        ctx = AnalysisContext(load_circuit("c17"))
+        fps = ctx.content_fingerprints()
+        self.assertNotEqual(
+            bundle_key(fps["circuit"], fps["library"], fps["model"], 400.0),
+            bundle_key(fps["circuit"], fps["library"], fps["model"], 330.0))
+
+    def test_scenario_key_order_insensitive(self):
+        self.assertEqual(scenario_key({"a": 1, "b": 2.5}),
+                         scenario_key({"b": 2.5, "a": 1}))
+        self.assertNotEqual(scenario_key({"a": 1}), scenario_key({"a": 2}))
+
+
+class TestArtifactBundle(unittest.TestCase):
+    def _warm_context(self, name="c17"):
+        ctx = AnalysisContext(load_circuit(name))
+        ctx.aged_timing(PROFILE, TEN_YEARS)
+        return ctx
+
+    def test_pickle_round_trip_equality(self):
+        bundle = ArtifactBundle.snapshot(self._warm_context())
+        clone = pickle.loads(pickle.dumps(bundle))
+        self.assertEqual(clone, bundle)
+
+    def test_hydrated_matches_fresh_bit_for_bit(self):
+        fresh = self._warm_context("c432")
+        hydrated = ArtifactBundle.snapshot(fresh).hydrate()
+        a = fresh.aged_timing(PROFILE, TEN_YEARS)
+        b = hydrated.aged_timing(PROFILE, TEN_YEARS)
+        self.assertEqual(a.fresh_delay, b.fresh_delay)
+        self.assertEqual(a.aged_delay, b.aged_delay)
+        self.assertEqual(a.max_shift, b.max_shift)
+        self.assertTrue(np.array_equal(
+            fresh.compiled_timing().base_delays(),
+            hydrated.compiled_timing().base_delays()))
+        pop = np.array([[0] * 36, [1] * 36, [0, 1] * 18], dtype=np.uint8)
+        self.assertTrue(np.array_equal(fresh.population_leakage(pop),
+                                       hydrated.population_leakage(pop)))
+
+    def test_hydrated_context_recomputes_nothing(self):
+        hydrated = ArtifactBundle.snapshot(self._warm_context()).hydrate()
+        hydrated.aged_timing(PROFILE, TEN_YEARS)
+        for name in LOWERINGS:
+            self.assertEqual(hydrated.stats.misses(name), 0, name)
+
+    def test_hydration_skips_lowering_kernels(self):
+        bundle = ArtifactBundle.snapshot(self._warm_context())
+        registry = obs.MetricsRegistry()
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            ctx = bundle.hydrate()
+            ctx.aged_timing(PROFILE, TEN_YEARS)
+        snapshot = registry.snapshot()
+        for kernel in ("sta.compiled.lowerings", "sim.packed.compiles",
+                       "aging.plan.lowerings"):
+            self.assertEqual(_counter_total(snapshot, kernel), 0, kernel)
+        self.assertGreaterEqual(
+            _counter_total(snapshot, "artifacts.hydrations"), 1)
+
+    def test_cross_process_round_trip(self):
+        import tempfile
+
+        ctx = self._warm_context()
+        expected = ctx.aged_timing(PROFILE, TEN_YEARS).aged_delay
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "bundle.pkl"
+            path.write_bytes(pickle.dumps(ArtifactBundle.snapshot(ctx)))
+            remote = _run_py(
+                "import pickle\n"
+                "from repro.core.profiles import OperatingProfile\n"
+                "from repro.constants import TEN_YEARS\n"
+                f"bundle = pickle.loads(open({str(path)!r}, 'rb').read())\n"
+                "ctx = bundle.hydrate()\n"
+                "profile = OperatingProfile.from_ras('1:5', t_standby=330.0)\n"
+                "res = ctx.aged_timing(profile, TEN_YEARS)\n"
+                "print(repr(res.aged_delay))")
+        self.assertEqual(float(remote), expected)
+
+    def test_seed_rejects_mismatched_circuit(self):
+        bundle = ArtifactBundle.snapshot(self._warm_context())
+        other = load_circuit("c17")
+        name = next(iter(other.gates))
+        old = other.gates[name]
+        other.replace_gate(Gate(name=name, cell="NOR2", inputs=old.inputs))
+        with self.assertRaises(ValueError):
+            bundle.seed(AnalysisContext(other))
+
+    def test_payload_schema_version_checked(self):
+        bundle = ArtifactBundle.snapshot(self._warm_context())
+        manifest, arrays = bundle.to_payload()
+        manifest = dict(manifest, schema_version=999)
+        with self.assertRaises(ValueError):
+            ArtifactBundle.from_payload(manifest, arrays)
+
+
+class TestArtifactStore(unittest.TestCase):
+    def setUp(self):
+        import tempfile
+
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_bundle_round_trip_and_counters(self):
+        store = ArtifactStore(self.root)
+        ctx = AnalysisContext(load_circuit("c17"), store=store)
+        self.assertEqual(store.stats.misses("bundle"), 1)
+        bundle = ctx.save_to_store()
+        self.assertTrue(store.has_bundle(bundle.bundle_key))
+        loaded = store.load_bundle(bundle.bundle_key)
+        self.assertEqual(loaded, bundle)
+        self.assertEqual(store.stats.hits("bundle"), 1)
+
+    def test_warm_context_hydrates_from_store(self):
+        store = ArtifactStore(self.root)
+        cold = AnalysisContext(load_circuit("c17"), store=store)
+        expected = cold.aged_timing(PROFILE, TEN_YEARS).aged_delay
+        cold.save_to_store()
+        warm = AnalysisContext(load_circuit("c17"), store=store)
+        got = warm.aged_timing(PROFILE, TEN_YEARS).aged_delay
+        self.assertEqual(got, expected)
+        for name in LOWERINGS:
+            self.assertEqual(warm.stats.misses(name), 0, name)
+
+    def test_result_cache(self):
+        store = ArtifactStore(self.root)
+        self.assertIsNone(store.load_result("fp", "key"))
+        store.save_result("fp", "key", {"x": 0.12345678901234567})
+        self.assertEqual(store.load_result("fp", "key"),
+                         {"x": 0.12345678901234567})
+        self.assertEqual(store.stats.hits("result"), 1)
+        self.assertEqual(store.stats.misses("result"), 1)
+
+    def test_orphan_arrays_are_invisible(self):
+        # A crash between the .npz and its manifest leaves an orphan
+        # array file; the manifest-last protocol means it reads as a
+        # clean miss.
+        store = ArtifactStore(self.root)
+        ctx = AnalysisContext(load_circuit("c17"))
+        bundle = ArtifactBundle.snapshot(ctx)
+        store.save_bundle(bundle)
+        store._manifest_path(bundle.bundle_key).unlink()
+        self.assertFalse(store.has_bundle(bundle.bundle_key))
+        self.assertIsNone(store.load_bundle(bundle.bundle_key))
+
+    def test_info_and_clear(self):
+        store = ArtifactStore(self.root)
+        ctx = AnalysisContext(load_circuit("c17"), store=store)
+        ctx.save_to_store()
+        store.save_result("fp", "key", {"x": 1})
+        info = store.info()
+        self.assertEqual(info["bundles"], 1)
+        self.assertEqual(info["results"], 1)
+        self.assertGreater(info["bytes"], 0)
+        removed = store.clear()
+        self.assertGreaterEqual(removed, 3)  # npz + manifest + result...
+        self.assertEqual(store.info()["bundles"], 0)
+        self.assertEqual(store.info()["results"], 0)
+
+
+class TestBundledSweeps(unittest.TestCase):
+    CIRCUITS = ["c17", "c17"]
+
+    def test_bundled_equals_rebuilt_co_optimization(self):
+        kw = dict(n_vectors=8, max_set_size=3, seed=1, max_workers=1)
+        shipped = run_co_optimization_sweep(self.CIRCUITS, PROFILE,
+                                            TEN_YEARS, **kw)
+        rebuilt = run_co_optimization_sweep(self.CIRCUITS, PROFILE,
+                                            TEN_YEARS, ship_bundles=False,
+                                            **kw)
+        self.assertEqual(shipped, rebuilt)
+
+    def test_pooled_bundled_equals_serial_bundled(self):
+        kw = dict(n_vectors=8, max_set_size=3, seed=1)
+        serial = run_co_optimization_sweep(self.CIRCUITS, PROFILE,
+                                           TEN_YEARS, max_workers=1, **kw)
+        pooled = run_co_optimization_sweep(self.CIRCUITS, PROFILE,
+                                           TEN_YEARS, max_workers=2, **kw)
+        self.assertEqual(serial, pooled)
+
+    def test_direct_worker_without_bundle_matches(self):
+        job = CoOptimizationJob(circuit="c17", profile=PROFILE,
+                                lifetime=TEN_YEARS, n_vectors=8,
+                                max_set_size=3, seed=1)
+        direct = co_optimize_circuit(job)
+        [row] = run_co_optimization_sweep(["c17"], PROFILE, TEN_YEARS,
+                                          n_vectors=8, max_set_size=3,
+                                          seed=1, max_workers=1)
+        self.assertEqual(direct, row)
+
+    def test_bundled_equals_rebuilt_potential_sweep(self):
+        temps = (330.0, 400.0)
+        shipped = run_potential_sweep(["c17"], temps, max_workers=1)
+        rebuilt = run_potential_sweep(["c17"], temps, max_workers=1,
+                                      ship_bundles=False)
+        self.assertEqual(shipped, rebuilt)
+
+    def test_sweep_with_store_round_trip(self):
+        import tempfile
+
+        kw = dict(n_vectors=8, max_set_size=3, seed=1, max_workers=1)
+        plain = run_co_optimization_sweep(["c17"], PROFILE, TEN_YEARS, **kw)
+        with tempfile.TemporaryDirectory() as d:
+            s1 = ArtifactStore(d)
+            cold = run_co_optimization_sweep(["c17"], PROFILE, TEN_YEARS,
+                                             store=s1, **kw)
+            self.assertEqual(s1.stats.misses("bundle"), 1)
+            s2 = ArtifactStore(d)
+            warm = run_co_optimization_sweep(["c17"], PROFILE, TEN_YEARS,
+                                             store=s2, **kw)
+            self.assertEqual(s2.stats.hits("bundle"), 1)
+            self.assertEqual(s2.stats.misses("bundle"), 0)
+        self.assertEqual(cold, plain)
+        self.assertEqual(warm, plain)
+
+
+class TestVectorizedSampling(unittest.TestCase):
+    """Satellite: one RNG call per population, bit-identical draws."""
+
+    def _oracle(self, model, circuit, n, seed):
+        rng = random.Random(seed)
+        return [model.sample(circuit, rng) for _ in range(n)]
+
+    def test_bit_identical_to_scalar_loop(self):
+        from repro.variation.sampling import VariationModel
+
+        circuit = load_circuit("c432")
+        models = [VariationModel(),
+                  VariationModel(sigma_local=0.01, sigma_global=0.02),
+                  VariationModel(sigma_local=0.0, sigma_global=0.02),
+                  VariationModel(sigma_local=0.0, sigma_global=0.0),
+                  VariationModel(sigma_local=0.5, sigma_global=0.3,
+                                 truncate_sigmas=1.0)]
+        for model in models:
+            for seed in (0, 7, 12345):
+                for n in (1, 2, 3, 17):
+                    self.assertEqual(
+                        model.sample_many(circuit, n, seed),
+                        self._oracle(model, circuit, n, seed),
+                        (model, seed, n))
+
+    def test_returns_plain_floats(self):
+        from repro.variation.sampling import VariationModel
+
+        dies = VariationModel().sample_many(load_circuit("c17"), 3, seed=2)
+        for die in dies:
+            for value in die.values():
+                self.assertIs(type(value), float)
+
+
+class TestGatedLifetimeSeries(unittest.TestCase):
+    """Satellite: the (year, drop) grid through one delays_batch call."""
+
+    def test_bit_identical_to_per_point_calls(self):
+        from repro.sleep import (SleepStyle, design_sleep_transistor,
+                                 gated_aged_delay, gated_lifetime_series)
+
+        circuit = load_circuit("c432")
+        ctx = AnalysisContext(circuit)
+        times = [0.0, TEN_YEARS * 0.25, TEN_YEARS]
+        for style in (SleepStyle.HEADER, SleepStyle.FOOTER, SleepStyle.BOTH):
+            design = design_sleep_transistor(circuit, style, beta=0.05,
+                                             context=ctx)
+            series = gated_lifetime_series(circuit, design, PROFILE, times,
+                                           context=ctx)
+            oracle = [gated_aged_delay(circuit, design, PROFILE, t,
+                                       context=ctx) for t in times]
+            self.assertEqual(series, oracle, style)
+
+    def test_single_propagation_for_whole_grid(self):
+        from repro.sleep import (SleepStyle, design_sleep_transistor,
+                                 gated_lifetime_series)
+
+        circuit = load_circuit("c17")
+        ctx = AnalysisContext(circuit)
+        design = design_sleep_transistor(circuit, SleepStyle.HEADER,
+                                         beta=0.05, context=ctx)
+        registry = obs.MetricsRegistry()
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            gated_lifetime_series(circuit, design, PROFILE,
+                                  [0.0, TEN_YEARS * 0.5, TEN_YEARS],
+                                  context=ctx)
+        snapshot = registry.snapshot()
+        self.assertEqual(
+            _counter_total(snapshot, "sta.compiled.batch_calls"), 1)
+        self.assertEqual(_counter_total(snapshot, "sleep.gated_points"), 3)
+
+
+if __name__ == "__main__":
+    unittest.main()
