@@ -19,7 +19,7 @@ bench:
 # benchmarks/BENCH_*.json artifacts.  BENCH_SMOKE=1 for the
 # seconds-scale CI variant.
 bench-perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py benchmarks/test_perf_artifacts.py --benchmark-only -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py benchmarks/test_perf_artifacts.py benchmarks/test_perf_hotpaths.py --benchmark-only -q -s
 
 lint:
 	ruff check src tests benchmarks examples

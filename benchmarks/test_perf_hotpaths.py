@@ -1,0 +1,205 @@
+"""Perf harness — array-native flow loops vs their scalar oracles.
+
+Closes out the measured Python-loop hot paths: the three greedy flows
+that historically assembled a ``TimingResult`` dict per trial now drive
+their loops through :class:`~repro.sta.compiled.TimingSurface` and the
+incremental timer, and the per-``(supply_drop, temperature)`` base-delay
+compile is vectorized over the gate axis.  Four measurements, every one
+asserting bit-identical results in-run:
+
+* **Dual-Vth assignment** — ``assign_dual_vth`` compiled vs scalar on a
+  shared pre-primed context (aging-model work excluded from both).
+* **Aging-driven sizing** — ``size_for_aging`` likewise.
+* **Control-point search** — ``greedy_control_points`` end to end; each
+  round re-derives a context for the mutated circuit variant, so this
+  row times the whole search loop including the per-variant lowering.
+* **Base-delay grid** — the vectorized ``CompiledTiming.base_delays``
+  compile over a RAS-drop x temperature grid against the retained
+  serial ``cell.delay`` oracle, ``np.array_equal`` per grid point.
+
+Default configuration is the acceptance-criterion run (c880 flows with
+>= 3x bars, c7552 grid with >= 5x).  Set ``BENCH_SMOKE=1`` for a
+seconds-scale CI smoke run (c432, speedup merely > 0.5x) that still
+exercises the whole harness and emits ``BENCH_hotpaths.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import emit
+from repro import AnalysisContext
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.flow.dual_vth import assign_dual_vth
+from repro.flow.sizing import size_for_aging
+from repro.ivc.control_points import greedy_control_points
+from repro.netlist import iscas85
+from repro.sta.compiled import CompiledTiming
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+FLOW_CIRCUIT = "c432" if SMOKE else "c880"
+MIN_SPEEDUP_DUAL_VTH = 0.5 if SMOKE else 8.0
+MIN_SPEEDUP_SIZING = 0.5 if SMOKE else 3.0
+MIN_SPEEDUP_CONTROL = 0.5 if SMOKE else 3.0
+CONTROL_POINTS = 4 if SMOKE else 6
+GRID_CIRCUIT = "c432" if SMOKE else "c7552"
+MIN_SPEEDUP_GRID = 1.0 if SMOKE else 5.0
+#: RAS-induced supply drops x standby temperatures — every pair is a
+#: distinct memo key, so each point is a full fresh compile.
+GRID_DROPS = (0.0, 0.02, 0.04, 0.06)
+GRID_TEMPS = (300.0, 330.0, 370.0, 400.0)
+PROFILE = OperatingProfile.from_ras("1:9", t_standby=330.0)
+ARTIFACT = Path(__file__).with_name("BENCH_hotpaths.json")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run_perf_dual_vth():
+    """High-Vth swap loop: surface/incremental trials vs scalar STA."""
+    circuit = iscas85.load(FLOW_CIRCUIT)
+    ctx = AnalysisContext(circuit)
+    ctx.gate_shifts(PROFILE, TEN_YEARS)  # prime: exclude model work
+    t_fast, fast = _timed(
+        lambda: assign_dual_vth(circuit, context=ctx, engine="compiled"))
+    t_slow, slow = _timed(
+        lambda: assign_dual_vth(circuit, context=ctx, engine="scalar"))
+    return {
+        "circuit": FLOW_CIRCUIT,
+        "n_gates": circuit.n_gates(),
+        "scalar_seconds": t_slow,
+        "compiled_seconds": t_fast,
+        "speedup": t_slow / t_fast,
+        "identical": fast == slow,
+    }
+
+
+def run_perf_sizing():
+    """Greedy aging-driven sizing: incremental cone vs full re-walk."""
+    circuit = iscas85.load(FLOW_CIRCUIT)
+    ctx = AnalysisContext(circuit)
+    ctx.gate_shifts(PROFILE, TEN_YEARS)
+    t_fast, fast = _timed(
+        lambda: size_for_aging(circuit, PROFILE, context=ctx,
+                               engine="compiled"))
+    t_slow, slow = _timed(
+        lambda: size_for_aging(circuit, PROFILE, context=ctx,
+                               engine="scalar"))
+    return {
+        "circuit": FLOW_CIRCUIT,
+        "n_gates": circuit.n_gates(),
+        "scalar_seconds": t_slow,
+        "compiled_seconds": t_fast,
+        "speedup": t_slow / t_fast,
+        "identical": fast == slow,
+    }
+
+
+def run_perf_control_points():
+    """Greedy control-point search, whole loop, both engines."""
+    circuit = iscas85.load(FLOW_CIRCUIT)
+    t_fast, fast = _timed(
+        lambda: greedy_control_points(circuit, PROFILE, TEN_YEARS,
+                                      max_points=CONTROL_POINTS,
+                                      engine="compiled"))
+    t_slow, slow = _timed(
+        lambda: greedy_control_points(circuit, PROFILE, TEN_YEARS,
+                                      max_points=CONTROL_POINTS,
+                                      engine="scalar"))
+    return {
+        "circuit": FLOW_CIRCUIT,
+        "max_points": CONTROL_POINTS,
+        "controlled": len(fast.controlled),
+        "scalar_seconds": t_slow,
+        "compiled_seconds": t_fast,
+        "speedup": t_slow / t_fast,
+        "identical": fast == slow,
+    }
+
+
+def run_perf_base_grid():
+    """Vectorized base-delay compile over a (drop, temperature) grid."""
+    circuit = iscas85.load(GRID_CIRCUIT)
+    compiled = CompiledTiming(circuit)
+    grid = [(d, t) for d in GRID_DROPS for t in GRID_TEMPS]
+
+    start = time.perf_counter()
+    fast = [compiled.base_delays(drop, temp) for drop, temp in grid]
+    t_fast = time.perf_counter() - start
+
+    start = time.perf_counter()
+    oracle = [compiled._base_delays_oracle(drop, temp)
+              for drop, temp in grid]
+    t_slow = time.perf_counter() - start
+
+    identical = all(np.array_equal(a, b) for a, b in zip(fast, oracle))
+    return {
+        "circuit": GRID_CIRCUIT,
+        "n_gates": circuit.n_gates(),
+        "grid_points": len(grid),
+        "scalar_seconds": t_slow,
+        "vectorized_seconds": t_fast,
+        "speedup": t_slow / t_fast,
+        "identical": identical,
+    }
+
+
+def run_perf_hotpaths():
+    return {
+        "smoke": SMOKE,
+        "dual_vth": run_perf_dual_vth(),
+        "sizing": run_perf_sizing(),
+        "control_points": run_perf_control_points(),
+        "base_delay_grid": run_perf_base_grid(),
+    }
+
+
+BARS = {
+    "dual_vth": MIN_SPEEDUP_DUAL_VTH,
+    "sizing": MIN_SPEEDUP_SIZING,
+    "control_points": MIN_SPEEDUP_CONTROL,
+    "base_delay_grid": MIN_SPEEDUP_GRID,
+}
+
+
+def check(row):
+    for name, bar in BARS.items():
+        r = row[name]
+        assert r["identical"], f"{name}: compiled diverged from scalar"
+        assert r["speedup"] >= bar, (
+            f"{name} only {r['speedup']:.1f}x faster (bar: {bar:.1f}x)")
+
+
+def report(row):
+    fast_key = {"base_delay_grid": "vectorized_seconds"}
+    rows = []
+    for name, bar in BARS.items():
+        r = row[name]
+        fast = r.get(fast_key.get(name, "compiled_seconds"))
+        rows.append([name, r["circuit"], f"{r['scalar_seconds']:.3f}",
+                     f"{fast:.3f}", f"{r['speedup']:.1f}x",
+                     f"{bar:.1f}x", str(r["identical"])])
+    emit("Array-native hot paths — scalar oracle vs compiled loop",
+         ["loop", "circuit", "scalar (s)", "compiled (s)", "speedup",
+          "bar", "identical"], rows)
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+
+def test_perf_hotpaths(run_once):
+    row = run_once(run_perf_hotpaths)
+    check(row)
+    report(row)
+
+
+if __name__ == "__main__":
+    r = run_perf_hotpaths()
+    check(r)
+    report(r)

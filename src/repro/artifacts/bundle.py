@@ -31,7 +31,9 @@ from repro.artifacts.fingerprint import (
 )
 
 #: Bundle layout version; stored in every payload and checked on load.
-BUNDLE_VERSION = 1
+#: v2: the base-delay memo ships as one stacked ``base_delay_matrix``
+#: npz member instead of one member per (drop, temperature) key.
+BUNDLE_VERSION = 2
 
 
 def encode_leakage_entries(entries: Dict[str, Dict[Tuple[int, ...], float]]
@@ -263,6 +265,7 @@ class ArtifactBundle:
         ("timing_state", "load_values"),
         ("timing_state", "fanin_idx"),
         ("timing_state", "seg_ptr"),
+        ("timing_state", "base_delay_matrix"),
         ("plan_state", "duties"),
         ("plan_state", "starts"),
         ("plan_state", "sentinels"),
@@ -291,9 +294,6 @@ class ArtifactBundle:
         for section, name in self._ARRAY_FIELDS:
             arrays[f"{section}.{name}"] = np.asarray(
                 manifest[section].pop(name))
-        base = manifest["timing_state"].pop("base_delay_arrays")
-        for i, arr in enumerate(base):
-            arrays[f"timing_state.base_delay.{i}"] = np.asarray(arr)
         return manifest, arrays
 
     @classmethod
@@ -310,10 +310,6 @@ class ArtifactBundle:
         for section, name in cls._ARRAY_FIELDS:
             target = timing_state if section == "timing_state" else plan_state
             target[name] = np.asarray(arrays[f"{section}.{name}"])
-        n_base = len(timing_state["base_delay_keys"])
-        timing_state["base_delay_arrays"] = [
-            np.asarray(arrays[f"timing_state.base_delay.{i}"])
-            for i in range(n_base)]
         return cls(
             schema_version=int(manifest["schema_version"]),
             bundle_key=manifest["bundle_key"],

@@ -21,7 +21,12 @@ from repro.cells.network import (
     devices,
     max_series_depth,
 )
-from repro.tech.mosfet import Mosfet, alpha_power_delay, threshold_at_temperature
+from repro.tech.mosfet import (
+    Mosfet,
+    alpha_power_delay,
+    alpha_power_delay_denominator,
+    threshold_at_temperature,
+)
 from repro.tech.ptm import Technology
 
 
@@ -212,3 +217,52 @@ class Cell:
                 stage, tech, cap, edges[i], delta_vth_pmos, supply_drop, temperature
             )
         return total
+
+    def delay_terms(self, tech: Technology, edge: str, *,
+                    delta_vth_pmos: float = 0.0, supply_drop: float = 0.0,
+                    temperature: float = 300.0,
+                    internal_load_cap: float = 2e-16) -> Tuple[float, float]:
+        """``(prefix, denominator)`` of the affine form of :meth:`delay`.
+
+        For any non-negative load,
+        ``delay(tech, load, edge, ...) == prefix + load * tech.vdd / denom``
+        bit-for-bit: internal stages see the fixed ``internal_load_cap``
+        so their delays accumulate into the load-independent ``prefix``
+        in the same left-to-right order :meth:`delay` adds them, and the
+        final stage contributes the load-proportional term whose
+        denominator this returns (see
+        :func:`~repro.tech.mosfet.alpha_power_delay_denominator`).  The
+        compiled STA lowering evaluates one ``(cell, edge)`` class for a
+        whole load vector through this decomposition.
+        """
+        n = len(self.stages)
+        stage_edge = edge
+        edges: List[str] = []
+        for _ in range(n):
+            edges.append(stage_edge)
+            stage_edge = "fall" if stage_edge == "rise" else "rise"
+        edges.reverse()
+        prefix = 0.0
+        for i, stage in enumerate(self.stages[:-1]):
+            prefix += self._stage_edge_delay(
+                stage, tech, internal_load_cap, edges[i], delta_vth_pmos,
+                supply_drop, temperature
+            )
+        final = self.stages[-1]
+        if edges[-1] == "rise":
+            net, polarity, aged = final.pull_up, "pmos", delta_vth_pmos
+        elif edges[-1] == "fall":
+            net, polarity, aged = final.pull_down, "nmos", 0.0
+        else:
+            raise ValueError(f"edge must be 'rise' or 'fall', got {edge!r}")
+        ds = devices(net)
+        width = sum(m.w for m in ds) / len(ds)
+        length = ds[0].l
+        vth = threshold_at_temperature(
+            tech.params(polarity), temperature, tech.reference_temperature
+        ) + aged
+        denom = alpha_power_delay_denominator(
+            tech, polarity, w=width, l=length, vth=vth,
+            series_stack=max_series_depth(net), supply_drop=supply_drop,
+        )
+        return prefix, denom

@@ -29,6 +29,7 @@ artifact                  cache key
 ``fresh_timing``          ``supply_drop``
 ``compiled_timing``       ``(wire_cap, po_cap)``
 ``gate_shifts``           ``(profile, lifetime, standby spec, engine)``
+``gate_shift_vectors``    ``(profile, lifetime, standby spec, engine)``
 ``aging_plan``            PI-probability map
 ``field_factor``          ``vth0``
 ``packed_simulator``      structural (one entry)
@@ -76,6 +77,7 @@ facade that keeps one context per circuit.
 from __future__ import annotations
 
 import logging
+import weakref
 from typing import (
     Any,
     Callable,
@@ -102,6 +104,16 @@ from repro.netlist.circuit import Circuit
 logger = logging.getLogger(__name__)
 
 DEFAULT_LEAKAGE_TEMPERATURE = 400.0
+
+#: Cross-context memo for the per-cell series-parallel stress walk.
+#: ``stress_probabilities_for_cell`` is a pure function of the cell and
+#: its exact pin probabilities, so greedy flows that re-derive a context
+#: per circuit *variant* (control-point insertion, sizing trials) reuse
+#: the walk for every gate whose input cone is untouched — bit-identical
+#: by construction.  Keyed weakly on the cell so a dropped library frees
+#: its entries; the inner map is bounded by distinct probability
+#: patterns, which repeat heavily across variants.
+_STRESS_WALK_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 class CacheStats:
@@ -530,11 +542,21 @@ class AnalysisContext:
         """
         from repro.cells.stress import stress_probabilities_for_cell
 
+        def cached_walk(cell, pin_one: Dict[str, float]) -> Dict[str, float]:
+            per_cell = _STRESS_WALK_CACHE.setdefault(cell, {})
+            key = tuple(sorted(pin_one.items()))
+            hit = per_cell.get(key)
+            if hit is None:
+                hit = per_cell[key] = stress_probabilities_for_cell(
+                    cell, pin_one)
+            # Copy: aging plans may hold (and must own) their duty maps.
+            return dict(hit)
+
         def compute() -> Dict[str, Dict[str, float]]:
             pin_probs = self.gate_input_probabilities(pi_one_prob)
             return {
-                gate.name: stress_probabilities_for_cell(
-                    self.library.get(gate.cell), pin_probs[gate.name])
+                gate.name: cached_walk(self.library.get(gate.cell),
+                                       pin_probs[gate.name])
                 for gate in self.circuit.gates.values()
             }
 
@@ -706,6 +728,37 @@ class AnalysisContext:
             lambda: self.analyzer.gate_shifts(
                 self.circuit, profile, t_total, standby=standby,
                 context=self, engine=resolved))
+
+    def gate_shift_vector(self, profile: OperatingProfile, t_total: float, *,
+                          standby: Any = None,
+                          engine: str = "auto") -> "np.ndarray":
+        """:meth:`gate_shifts` as a read-only ``(n_gates,)`` float64 array.
+
+        Rows follow the compiled kernel's topological gate axis
+        (``compiled_timing().gate_names``), so array-native flows
+        (batched Monte-Carlo scenarios, lifetime grids) consume the
+        memoized shifts without a per-gate dict walk.  Keyed exactly
+        like ``gate_shifts``; entries equal the dict's floats.
+        """
+        from repro.sta.degradation import ALL_ZERO
+
+        if engine not in ("auto", "compiled", "scalar"):
+            raise ValueError(f"engine must be 'auto', 'compiled' or "
+                             f"'scalar', got {engine!r}")
+        if standby is None:
+            standby = ALL_ZERO
+        resolved = "compiled" if engine == "auto" else engine
+        key = (profile, float(t_total), self.standby_key(standby), resolved)
+
+        def compute():
+            vec = self.compiled_timing().gate_vector(
+                self.gate_shifts(profile, t_total, standby=standby,
+                                 engine=engine),
+                0.0, batch=False)
+            vec.setflags(write=False)
+            return vec
+
+        return self._memo("gate_shift_vectors", key, compute)
 
     def aged_timing(self, profile: OperatingProfile, t_total: float, *,
                     standby: Any = None, supply_drop: float = 0.0):

@@ -123,27 +123,29 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
                                 or context.library is not library):
         context = None
     profile = profile or OperatingProfile.from_ras("1:9", t_standby=330.0)
-    base = analyze(circuit, library, context=context,
-                   engine="auto" if engine == "compiled" else "scalar")
-    budget_delay = base.circuit_delay * (1.0 + timing_budget)
     factor = hvt_delay_factor(delta_vth_hvt, library)
     timer = FastAgedTimer(circuit, library, context=context, engine=engine)
-
-    # Greedy: most-slack first.
-    order = sorted(circuit.gates, key=lambda g: base.slack[g], reverse=True)
     factors: Dict[str, float] = {}
     hvt: Set[str] = set()
     if engine == "compiled":
-        # A swap trial changes exactly one gate's delay (the HVT factor
-        # has no load coupling), so each check re-times only its fanout
-        # cone instead of the whole circuit.
+        # Array-native base STA: the fresh delay and the per-gate slack
+        # ordering come off the timing surface (no TimingResult dict
+        # assembly), and each HVT swap trial re-times only the swapped
+        # gate's fanout cone (the factor has no load coupling).
         ct = timer.compiled
+        surf = ct.surface()
+        fresh_lvt = surf.circuit_delay
+        budget_delay = fresh_lvt * (1.0 + timing_budget)
+        gate_slack = surf.gate_slacks()
+        gate_index = ct.gate_index
+        order = sorted(circuit.gates,
+                       key=lambda g: gate_slack[gate_index[g]], reverse=True)
         base_d = ct.base_delays()
         inc = ct.incremental(delays=base_d)
         for gate in order:
-            if base.slack[gate] <= 0:
+            if gate_slack[gate_index[gate]] <= 0:
                 continue
-            i = ct.gate_index[gate]
+            i = gate_index[gate]
             changes = {gate: (float(base_d[2 * i] * factor),
                               float(base_d[2 * i + 1] * factor))}
             if inc.trial(changes) <= budget_delay:
@@ -152,6 +154,11 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
                 inc.update(changes)
         fresh_dual = inc.circuit_delay
     else:
+        base = analyze(circuit, library, context=context, engine="scalar")
+        fresh_lvt = base.circuit_delay
+        budget_delay = fresh_lvt * (1.0 + timing_budget)
+        order = sorted(circuit.gates, key=lambda g: base.slack[g],
+                       reverse=True)
         for gate in order:
             if base.slack[gate] <= 0:
                 continue
@@ -192,7 +199,7 @@ def assign_dual_vth(circuit: Circuit, *, delta_vth_hvt: float = 0.10,
         circuit_name=circuit.name,
         hvt_gates=hvt,
         n_gates=n,
-        fresh_delay_lvt=base.circuit_delay,
+        fresh_delay_lvt=fresh_lvt,
         fresh_delay_dual=fresh_dual,
         aged_delay_lvt=aged_lvt,
         aged_delay_dual=aged_dual,

@@ -203,6 +203,21 @@ class SizingTimer:
         return cone
 
 
+def _sizing_delay_vector(timer: SizingTimer, compiled,
+                         sizes: Dict[str, float],
+                         delta_vth: Dict[str, float]):
+    """The ``(2G,)`` per-gate-edge delay vector of one sizing scenario,
+    built through :meth:`SizingTimer.delay_edges` so the compiled and
+    scalar engines price every gate identically."""
+    import numpy as np
+
+    delays = np.empty(2 * compiled.n_gates, dtype=np.float64)
+    for i, name in enumerate(compiled.gate_names):
+        delays[2 * i], delays[2 * i + 1] = timer.delay_edges(
+            name, sizes, delta_vth)
+    return delays
+
+
 class _CompiledSizingState:
     """Incremental cone-retiming state for the compiled sizing engine.
 
@@ -216,16 +231,11 @@ class _CompiledSizingState:
 
     def __init__(self, timer: SizingTimer, compiled, sizes: Dict[str, float],
                  delta_vth: Dict[str, float]):
-        import numpy as np
-
         self.timer = timer
         self.compiled = compiled
         self.delta_vth = delta_vth
-        delays = np.empty(2 * compiled.n_gates, dtype=np.float64)
-        for i, name in enumerate(compiled.gate_names):
-            delays[2 * i], delays[2 * i + 1] = timer.delay_edges(
-                name, sizes, delta_vth)
-        self.inc = compiled.incremental(delays=delays)
+        self.inc = compiled.incremental(
+            delays=_sizing_delay_vector(timer, compiled, sizes, delta_vth))
 
     def affected(self, gate: str) -> List[str]:
         """Gates whose delay moves when ``gate`` is resized."""
@@ -338,7 +348,24 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
                           else default_library())
     analyzer = analyzer or AgingAnalyzer(library=library)
     timer = SizingTimer(circuit, library)
-    fresh_delay, _ = timer.circuit_delay()
+    compiled = None
+    if engine == "compiled":
+        if (context is not None and context.circuit is circuit
+                and context.library is library):
+            compiled = context.compiled_timing()
+        else:
+            from repro.sta.compiled import CompiledTiming
+
+            compiled = CompiledTiming(circuit, library)
+        # Fresh spec off the timing surface: the sizing delay model's
+        # forward walk floors every arrival max at 0.0, exactly the
+        # propagate/reduceat semantics, so this is bit-identical to the
+        # scalar engine's full Python walk.
+        fresh_delay = compiled.surface(
+            delays=_sizing_delay_vector(timer, compiled, {}, {})
+        ).circuit_delay
+    else:
+        fresh_delay, _ = timer.circuit_delay()
     target = fresh_delay * (1.0 - slack_target)
     if target <= 0:
         raise ValueError("slack_target leaves no positive delay budget")
@@ -355,13 +382,6 @@ def size_for_aging(circuit: Circuit, profile: OperatingProfile,
     steps = sorted({step, step ** 2, 2.0})
     state: Optional[_CompiledSizingState] = None
     if engine == "compiled":
-        if (context is not None and context.circuit is circuit
-                and context.library is library):
-            compiled = context.compiled_timing()
-        else:
-            from repro.sta.compiled import CompiledTiming
-
-            compiled = CompiledTiming(circuit, library)
         state = _CompiledSizingState(timer, compiled, sizes, shifts)
         delay, critical = state.evaluate()
     else:

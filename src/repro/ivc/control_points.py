@@ -29,9 +29,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cells.library import Library
 from repro.constants import TEN_YEARS
+from repro.context import AnalysisContext
 from repro.core.profiles import OperatingProfile
 from repro.netlist.circuit import Circuit, Gate
 from repro.sim.logic import default_library
+from repro.sta.analysis import analyze, gate_loads
 from repro.sta.degradation import AgingAnalyzer
 
 
@@ -243,12 +245,35 @@ class ControlPointResult:
         return max(0.0, min(1.0, captured / gap))
 
 
+@dataclass(frozen=True)
+class _AgedEval:
+    """One circuit variant's fresh + aged evaluation for the greedy loop.
+
+    The compiled engine fills this straight off two
+    :class:`~repro.sta.compiled.TimingSurface` passes (no
+    ``TimingResult`` dict assembly); the scalar oracle fills it from
+    full Python STA.  ``relative_degradation`` mirrors
+    :attr:`~repro.sta.degradation.AgedTimingResult.relative_degradation`
+    operation-for-operation so both engines return identical floats.
+    """
+
+    fresh_delay: float
+    aged_delay: float
+    shifts: Dict[str, float]
+    critical: Tuple[str, ...]
+
+    @property
+    def relative_degradation(self) -> float:
+        return (self.aged_delay - self.fresh_delay) / self.fresh_delay
+
+
 def greedy_control_points(circuit: Circuit, profile: OperatingProfile,
                           t_total: float = TEN_YEARS, *,
                           max_points: int = 10,
                           standby_vector: Optional[Dict[str, int]] = None,
                           analyzer: Optional[AgingAnalyzer] = None,
-                          sleep_net: str = "SLEEP") -> ControlPointResult:
+                          sleep_net: str = "SLEEP",
+                          engine: str = "compiled") -> ControlPointResult:
     """Greedy insertion targeting the aged critical path.
 
     The baseline parks the circuit at a *realizable* standby vector
@@ -259,21 +284,62 @@ def greedy_control_points(circuit: Circuit, profile: OperatingProfile,
     controlled, controls it, and repeats until ``max_points`` or no
     stressed critical gate remains.  The ALL-PMOS-at-1 Table 4 bound is
     reported alongside as the ceiling.
+
+    Args:
+        engine: ``"compiled"`` (default) evaluates each circuit variant
+            through one shared compiled lowering — shifts from the
+            vectorized gate-shift kernel, fresh and aged delays plus the
+            aged critical path off a
+            :class:`~repro.sta.compiled.TimingSurface`; ``"scalar"``
+            runs the pure-Python STA and per-device aging loops.  Both
+            take identical decisions and return identical floats.
     """
+    if engine not in ("compiled", "scalar"):
+        raise ValueError(f"engine must be 'compiled' or 'scalar', "
+                         f"got {engine!r}")
     analyzer = analyzer or AgingAnalyzer()
     library = analyzer.library or default_library()
     if max_points < 0:
         raise ValueError("max_points must be non-negative")
     if standby_vector is None:
         standby_vector = {pi: 0 for pi in circuit.primary_inputs}
-
-    base = analyzer.aged_timing(circuit, profile, t_total,
-                                standby=dict(standby_vector))
     from repro.sta.degradation import ALL_ONE
-    best = analyzer.aged_timing(circuit, profile, t_total, standby=ALL_ONE)
+
+    def evaluate(c: Circuit, standby,
+                 ctx: Optional[AnalysisContext] = None) -> _AgedEval:
+        if engine == "compiled":
+            if ctx is None:
+                ctx = AnalysisContext(c, library, analyzer.model)
+            shifts = analyzer.gate_shifts(c, profile, t_total,
+                                          standby=standby, context=ctx,
+                                          engine="compiled")
+            ct = ctx.compiled_timing()
+            fresh = ct.surface()
+            aged = ct.surface(delta_vth=shifts)
+            return _AgedEval(fresh.circuit_delay, aged.circuit_delay,
+                             shifts, tuple(aged.critical_gates()))
+        loads = gate_loads(c, library)
+        shifts = analyzer.gate_shifts(c, profile, t_total, standby=standby,
+                                      engine="scalar")
+        fresh = analyze(c, library, loads=loads, engine="scalar")
+        aged = analyze(c, library, delta_vth=shifts, loads=loads,
+                       engine="scalar")
+        return _AgedEval(fresh.circuit_delay, aged.circuit_delay,
+                         shifts, tuple(aged.critical_gates()))
+
+    # The baseline and the Table-4 bound look at the *same* circuit
+    # under two standby vectors: one shared context serves both (one
+    # lowering, one load pass, one active-probability walk).
+    base_ctx = (AnalysisContext(circuit, library, analyzer.model)
+                if engine == "compiled" else None)
+    base = evaluate(circuit, dict(standby_vector), base_ctx)
+    best = evaluate(circuit, ALL_ONE, base_ctx)
 
     controlled: List[str] = []
     current = circuit
+    #: evaluation of `current` (seeded with the uncontrolled baseline,
+    #: refreshed whenever a round rebuilds `current`).
+    result = base
 
     def parked_standby(c: Circuit) -> Dict[str, int]:
         vec = dict(standby_vector)
@@ -281,17 +347,12 @@ def greedy_control_points(circuit: Circuit, profile: OperatingProfile,
         return vec
 
     while len(controlled) < max_points:
-        if not controlled:
-            result = base
-        else:
-            result = analyzer.aged_timing(current, profile, t_total,
-                                          standby=parked_standby(current))
         # Most-stressed original gates on the aged critical path.  A
         # stressed gate relaxes when its *input* nets are forced to 1,
         # so the control points go on its drivers.
         candidates = sorted(
             ((result.shifts.get(g, 0.0), g)
-             for g in result.aged.critical_gates()
+             for g in result.critical
              if g in circuit.gates and result.shifts.get(g, 0.0) > 0),
             reverse=True)
         new_points: List[str] = []
@@ -307,12 +368,11 @@ def greedy_control_points(circuit: Circuit, profile: OperatingProfile,
         controlled.extend(new_points)
         current = insert_control_points(circuit, controlled, force_value=1,
                                         sleep_net=sleep_net)
+        result = evaluate(current, parked_standby(current))
 
     if controlled:
-        final = analyzer.aged_timing(current, profile, t_total,
-                                     standby=parked_standby(current))
-        achieved = final.relative_degradation
-        fresh_overhead = final.fresh_delay / base.fresh_delay - 1.0
+        achieved = result.relative_degradation
+        fresh_overhead = result.fresh_delay / base.fresh_delay - 1.0
         area = current.n_gates() - circuit.n_gates()
     else:
         achieved = base.relative_degradation

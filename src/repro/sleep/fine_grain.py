@@ -27,7 +27,7 @@ from repro.cells.library import Library
 from repro.netlist.circuit import Circuit
 from repro.sim.logic import default_library
 from repro.sleep.sizing import K_TRIODE_P
-from repro.sta.analysis import _EDGES, analyze, gate_loads
+from repro.sta.analysis import analyze, gate_loads
 from repro.variation.statistical import FastAgedTimer
 
 
@@ -110,12 +110,16 @@ def design_fine_grain(circuit: Circuit, beta: float, *,
     overdrive = tech.vdd - tech.pmos.vth0
     budget_delay = base.circuit_delay * (1.0 + beta)
 
-    # Per-gate fresh delay (worst edge) for the current estimate.
-    fresh_gate_delay: Dict[str, float] = {}
-    for name in circuit.gates:
-        cell = library.get(circuit.gates[name].cell)
-        fresh_gate_delay[name] = max(
-            cell.delay(tech, loads[name], edge) for edge in _EDGES)
+    # Per-gate fresh delay (worst edge) for the current estimate,
+    # straight off the kernel's memoized base-delay vector (row 2i is
+    # topo-gate i's rise delay, 2i+1 its fall — bit-identical to the
+    # historic per-edge cell.delay loop).
+    fresh = timer.compiled.base_delays()
+    gate_index = timer.compiled.gate_index
+    fresh_gate_delay: Dict[str, float] = {
+        name: float(max(fresh[2 * gate_index[name]],
+                        fresh[2 * gate_index[name] + 1]))
+        for name in circuit.gates}
 
     def build(share: float) -> Tuple[Dict[str, float], float]:
         drops: Dict[str, float] = {}
@@ -176,15 +180,22 @@ def uniform_fine_grain_area(circuit: Circuit, beta: float, *,
     tech = library.tech
     if context is not None and context.library is library:
         loads = context.gate_loads()
+        ct = context.compiled_timing()
     else:
+        from repro.sta.compiled import CompiledTiming
         loads = gate_loads(circuit, library)
+        ct = CompiledTiming(circuit, library, loads=loads)
     overdrive = tech.vdd - tech.pmos.vth0
     drop = _drop_for_slowdown(beta, overdrive, tech.alpha)
     st_overdrive = tech.vdd - vth_st
+    fresh = ct.base_delays()
+    gate_index = ct.gate_index
     total = 0.0
-    for name, gate in circuit.gates.items():
-        cell = library.get(gate.cell)
-        d = max(cell.delay(tech, loads[name], edge) for edge in _EDGES)
+    # Accumulate in circuit.gates order: float addition is
+    # order-sensitive, and this matches the historic per-gate loop.
+    for name in circuit.gates:
+        i = gate_index[name]
+        d = max(fresh[2 * i], fresh[2 * i + 1])
         i_on = loads[name] * tech.vdd / d
         total += i_on / (K_TRIODE_P * st_overdrive * drop)
     return total

@@ -147,6 +147,18 @@ class CompiledTiming:
             self.node_index[name] = self.n_pi + i
         self.n_rows = 2 * (self.n_pi + self.n_gates)
 
+        # Cell-class groups for the vectorized base-delay compile: every
+        # gate sharing a cell evaluates the alpha-power closed form once
+        # per (cell, edge) and broadcasts over its load vector.
+        self._loads_vec = np.asarray(
+            [self.loads[n] for n in self.gate_names], dtype=np.float64)
+        groups: Dict[str, List[int]] = {}
+        for i, name in enumerate(self.gate_names):
+            groups.setdefault(circuit.gates[name].cell, []).append(i)
+        self._cell_groups: List[Tuple[str, np.ndarray]] = [
+            (cell, np.asarray(idxs, dtype=np.int64))
+            for cell, idxs in groups.items()]
+
     def _build_fanin_csr(self) -> None:
         """Fanin CSR over gate-edge segments (s = 2*topo_i + edge)."""
         circuit = self.circuit
@@ -231,11 +243,19 @@ class CompiledTiming:
 
         Everything here is picklable and ``.npz``-serializable: the
         fanin CSR (the topological cell walk), the per-gate loads, and
-        every memoized base-delay vector.  Cheap derived structures
+        every memoized base-delay vector.  The memo ships as one
+        stacked ``(n_keys, 2 * n_gates)`` ``base_delay_matrix`` (row
+        ``k`` is the vector of ``base_delay_keys[k]``) so the artifact
+        store serializes a single npz member regardless of how many
+        (drop, temperature) keys were warmed.  Cheap derived structures
         (levels, fanout adjacency, Python mirrors) are *not* exported —
         :meth:`from_state` recomputes them from the CSR in microseconds.
         """
         keys = sorted(self._base_delays)
+        if keys:
+            matrix = np.stack([self._base_delays[k] for k in keys])
+        else:
+            matrix = np.empty((0, 2 * self.n_gates), dtype=np.float64)
         return {
             "gate_names": list(self.gate_names),
             "n_pi": self.n_pi,
@@ -245,7 +265,7 @@ class CompiledTiming:
             "fanin_idx": self.fanin_idx,
             "seg_ptr": self.seg_ptr,
             "base_delay_keys": [list(k) for k in keys],
-            "base_delay_arrays": [self._base_delays[k] for k in keys],
+            "base_delay_matrix": matrix,
         }
 
     @classmethod
@@ -271,9 +291,10 @@ class CompiledTiming:
             self.seg_ptr = np.asarray(state["seg_ptr"], dtype=np.int64)
             self._seg_counts = np.diff(self.seg_ptr)
             self._build_schedule()
-            for key, arr in zip(state["base_delay_keys"],
-                                state["base_delay_arrays"]):
-                cached = np.asarray(arr, dtype=np.float64)
+            matrix = np.asarray(state["base_delay_matrix"],
+                                dtype=np.float64)
+            for key, arr in zip(state["base_delay_keys"], matrix):
+                cached = np.array(arr, dtype=np.float64)
                 cached.setflags(write=False)
                 self._base_delays[(float(key[0]), float(key[1]))] = cached
         obs.count("sta.compiled.hydrations")
@@ -290,6 +311,15 @@ class CompiledTiming:
         the fall delay — exactly ``cell.delay(tech, load, edge,
         supply_drop=..., temperature=...)``.  Memoized per
         ``(supply_drop, temperature)``; treat the array as read-only.
+
+        The compile is vectorized over the gate axis: the cell delay is
+        exactly affine in the load (see
+        :meth:`~repro.cells.cell.Cell.delay_terms`), so each
+        ``(cell class, edge)`` evaluates the closed form once and
+        broadcasts ``prefix + load * Vdd / denom`` over its load vector
+        — bit-identical to the historic ``2 * n_gates`` scalar
+        ``cell.delay`` loop, which :meth:`_base_delays_oracle` retains
+        as the differential-test oracle.
         """
         key = (float(supply_drop), float(temperature))
         cached = self._base_delays.get(key)
@@ -299,19 +329,39 @@ class CompiledTiming:
                           supply_drop=key[0], temperature=key[1]):
                 tech = self.library.tech
                 cached = np.empty(2 * self.n_gates, dtype=np.float64)
-                for i, name in enumerate(self.gate_names):
-                    cell = self.library.get(self.circuit.gates[name].cell)
-                    load = self.loads[name]
+                if self.n_gates and float(self._loads_vec.min()) < 0:
+                    raise ValueError("load capacitance must be non-negative")
+                for cell_name, idxs in self._cell_groups:
+                    cell = self.library.get(cell_name)
+                    group_loads = self._loads_vec[idxs]
                     for e, edge in enumerate(_EDGES):
-                        cached[2 * i + e] = cell.delay(
-                            tech, load, edge, supply_drop=supply_drop,
+                        prefix, denom = cell.delay_terms(
+                            tech, edge, supply_drop=supply_drop,
                             temperature=temperature)
+                        cached[2 * idxs + e] = (
+                            prefix + (group_loads * tech.vdd) / denom)
                 cached.setflags(write=False)
                 self._base_delays[key] = cached
             obs.count("sta.compiled.base_delay_builds")
             obs.observe("sta.compiled.base_delay_seconds",
                         perf_counter() - t0)
         return cached
+
+    def _base_delays_oracle(self, supply_drop: float = 0.0,
+                            temperature: float = 300.0) -> np.ndarray:
+        """The historic serial base-delay compile (one ``cell.delay``
+        call per gate edge), kept as the oracle for the vectorized
+        :meth:`base_delays`; not memoized."""
+        tech = self.library.tech
+        out = np.empty(2 * self.n_gates, dtype=np.float64)
+        for i, name in enumerate(self.gate_names):
+            cell = self.library.get(self.circuit.gates[name].cell)
+            load = self.loads[name]
+            for e, edge in enumerate(_EDGES):
+                out[2 * i + e] = cell.delay(
+                    tech, load, edge, supply_drop=supply_drop,
+                    temperature=temperature)
+        return out
 
     def gate_vector(self, values: GateValues, default: float = 0.0,
                     *, batch: bool = True) -> Optional[np.ndarray]:
@@ -436,6 +486,43 @@ class CompiledTiming:
         worst = np.maximum(worst, 0.0)
         return float(worst) if arrivals.ndim == 1 else worst
 
+    def _critical_endpoint(self, arr: np.ndarray) -> Tuple[float, str, str]:
+        """Worst PO arrival and the first strict-max endpoint.
+
+        Scalar scan order: ``np.argmax`` returns the first maximum, and
+        nothing beating the 0.0 floor keeps the defaults (first PO,
+        rise) — exactly the ``analyze()`` tie-breaks.
+        """
+        circuit_delay = 0.0
+        critical_output = self.circuit.primary_outputs[0]
+        critical_edge = "rise"
+        if self.po_rows.size:
+            po_arr = arr[self.po_rows]
+            best = int(np.argmax(po_arr))
+            if po_arr[best] > 0.0:
+                circuit_delay = float(po_arr[best])
+                critical_output, critical_edge = self.po_order[best]
+        return circuit_delay, critical_output, critical_edge
+
+    def node_slacks(self, arr: np.ndarray, req: np.ndarray,
+                    req_target: float) -> np.ndarray:
+        """Worst slack per node (PI nodes first, then topological gates).
+
+        Min over edges with a finite required time; dangling nodes
+        (unreachable from any primary output) get the loosest meaningful
+        bound ``req_target - worst arrival`` — the scalar convention.
+        Entry ``node_index[net]`` equals ``TimingResult.slack[net]``
+        bit-for-bit.
+        """
+        arr2 = arr.reshape(-1, 2)
+        diff = (req - arr).reshape(-1, 2)
+        worst = diff.min(axis=1)
+        dangling = np.isinf(worst)
+        if dangling.any():
+            worst = worst.copy()
+            worst[dangling] = req_target - arr2.max(axis=1)[dangling]
+        return worst
+
     # -- public evaluation entry points ------------------------------------
 
     def delay(self, delta_vth: GateValues = None,
@@ -486,32 +573,12 @@ class CompiledTiming:
                 d = self.delay_vector(delta_vth, supply_drop=supply_drop,
                                       temperature=temperature)
                 arr = self.propagate(d)
-
-                # Critical output: first strict max in the scalar scan
-                # order.
-                circuit_delay = 0.0
-                critical_output = self.circuit.primary_outputs[0]
-                critical_edge = "rise"
-                if self.po_rows.size:
-                    po_arr = arr[self.po_rows]
-                    best = int(np.argmax(po_arr))
-                    if po_arr[best] > 0.0:
-                        circuit_delay = float(po_arr[best])
-                        critical_output, critical_edge = self.po_order[best]
-
+                (circuit_delay, critical_output,
+                 critical_edge) = self._critical_endpoint(arr)
                 req_target = (circuit_delay if required_time is None
                               else required_time)
                 req = self.required(arr, d, req_target)
-
-                # Slack per node: min over edges with a finite required
-                # time; dangling nodes get the loosest meaningful bound.
-                arr2 = arr.reshape(-1, 2)
-                diff = (req - arr).reshape(-1, 2)
-                worst = diff.min(axis=1)
-                dangling = np.isinf(worst)
-                if dangling.any():
-                    worst = worst.copy()
-                    worst[dangling] = req_target - arr2.max(axis=1)[dangling]
+                worst = self.node_slacks(arr, req, req_target)
 
             with obs.span("sta.compiled.assemble"):
                 # Predecessors: first candidate achieving the segment max
@@ -563,6 +630,33 @@ class CompiledTiming:
                                    for net in arrival}
         return result
 
+    def surface(self, delta_vth: GateValues = None,
+                delay_factors: GateValues = None, *,
+                supply_drop: float = 0.0, temperature: float = 300.0,
+                required_time: Optional[float] = None,
+                delays: Optional[np.ndarray] = None) -> "TimingSurface":
+        """A :class:`TimingSurface` for one propagated scenario.
+
+        The array-side alternative to :meth:`analyze`: one forward pass,
+        then scalars/ndarrays straight off the propagated rows — no
+        per-net dict assembly (the ``sta.compiled.assemble`` span never
+        opens).  Pass ``delays`` (a ``(2G,)`` vector) to skip the
+        delay-vector build, as the greedy loops do with a mutated copy.
+        """
+        obs.count("sta.compiled.surface_calls")
+        with obs.span("sta.compiled.surface", circuit=self.circuit.name):
+            if delays is None:
+                delays = self.delay_vector(delta_vth, delay_factors,
+                                           supply_drop=supply_drop,
+                                           temperature=temperature)
+            else:
+                delays = np.asarray(delays, dtype=np.float64)
+            if delays.ndim != 1:
+                raise ValueError("surface() takes one scenario; "
+                                 "use delays_batch")
+            arr = self.propagate(delays)
+        return TimingSurface(self, delays, arr, required_time=required_time)
+
     def incremental(self, delta_vth: GateValues = None,
                     delay_factors: GateValues = None, *,
                     supply_drop: float = 0.0, temperature: float = 300.0,
@@ -608,6 +702,145 @@ class CompiledTiming:
         return (f"CompiledTiming({self.circuit.name!r}, "
                 f"gates={self.n_gates}, levels={len(self._levels)}, "
                 f"candidates={self.fanin_idx.size})")
+
+
+class TimingSurface:
+    """Array-side query surface over one propagated STA scenario.
+
+    Wraps the ``(delays, arrivals)`` pair of one forward pass and
+    answers the queries the greedy mitigation loops actually make —
+    worst arrival, per-gate slacks, the critical-gate walk — as scalars
+    and ndarrays read straight off the propagated rows.  Every accessor
+    is bit-identical to the matching :class:`TimingResult` field of
+    :meth:`CompiledTiming.analyze` (and hence the scalar oracle); the
+    per-net dict assembly priced by the ``sta.compiled.assemble`` span
+    simply never runs.
+
+    The backward pass (required times and slacks) is computed lazily on
+    the first slack query and cached.  Returned arrays are views of
+    surface-owned state: treat them as read-only.
+    """
+
+    __slots__ = ("_ct", "_delays", "_arr", "_required_time",
+                 "_endpoint", "_slacks")
+
+    def __init__(self, compiled: CompiledTiming, delays: np.ndarray,
+                 arrivals: np.ndarray, *,
+                 required_time: Optional[float] = None):
+        self._ct = compiled
+        self._delays = delays
+        self._arr = arrivals
+        self._required_time = required_time
+        self._endpoint: Optional[Tuple[float, str, str]] = None
+        self._slacks: Optional[np.ndarray] = None
+
+    # -- scalars -----------------------------------------------------------
+
+    def _critical(self) -> Tuple[float, str, str]:
+        if self._endpoint is None:
+            self._endpoint = self._ct._critical_endpoint(self._arr)
+        return self._endpoint
+
+    @property
+    def compiled(self) -> CompiledTiming:
+        return self._ct
+
+    @property
+    def circuit_delay(self) -> float:
+        """Worst primary-output arrival (>= 0.0); == the analyze field."""
+        return self._critical()[0]
+
+    @property
+    def critical_output(self) -> str:
+        """First strict-max endpoint net (scalar scan order)."""
+        return self._critical()[1]
+
+    @property
+    def critical_edge(self) -> str:
+        """Edge of the critical endpoint ("rise" / "fall")."""
+        return self._critical()[2]
+
+    @property
+    def required_time(self) -> float:
+        """The slack target: the fixed constraint or the circuit delay."""
+        return (self.circuit_delay if self._required_time is None
+                else self._required_time)
+
+    # -- arrays ------------------------------------------------------------
+
+    def delay_rows(self) -> np.ndarray:
+        """The ``(2G,)`` per-gate-edge delay vector of this scenario."""
+        return self._delays
+
+    def arrival_rows(self) -> np.ndarray:
+        """All ``(n_rows,)`` arrival rows (PIs included, 0.0)."""
+        return self._arr
+
+    def gate_arrivals(self) -> np.ndarray:
+        """``(n_gates, 2)`` arrivals, topo order, columns (rise, fall)."""
+        return self._arr[2 * self._ct.n_pi:].reshape(-1, 2)
+
+    def node_slacks(self) -> np.ndarray:
+        """Worst slack per node (PIs first, then topological gates)."""
+        if self._slacks is None:
+            target = self.required_time
+            req = self._ct.required(self._arr, self._delays, target)
+            self._slacks = self._ct.node_slacks(self._arr, req, target)
+        return self._slacks
+
+    def gate_slacks(self) -> np.ndarray:
+        """``(n_gates,)`` worst slack per gate, topological order."""
+        return self.node_slacks()[self._ct.n_pi:]
+
+    # -- point reads / derived sets ----------------------------------------
+
+    def arrival(self, net: str, edge: str) -> float:
+        """Arrival time of one net edge (seconds)."""
+        row = 2 * self._ct.node_index[net] + _EDGE_INDEX[edge]
+        return float(self._arr[row])
+
+    def slack_of(self, net: str) -> float:
+        """Worst slack of one net; == ``TimingResult.slack[net]``."""
+        return float(self.node_slacks()[self._ct.node_index[net]])
+
+    def critical_gates(self) -> List[str]:
+        """Gates on the worst path, PI-to-PO order.
+
+        Same walk as the assembled predecessor maps: from the critical
+        endpoint, each step takes the *first* fanin row achieving the
+        segment max (running best seeded at -1.0, so one is always
+        chosen) — list-identical to ``TimingResult.critical_gates()``.
+        """
+        ct = self._ct
+        arr = self._arr
+        _, po, edge = self._critical()
+        node = ct.node_index[po]
+        e = _EDGE_INDEX[edge]
+        critical: List[str] = []
+        while node >= ct.n_pi:
+            critical.append(ct.gate_names[node - ct.n_pi])
+            rows = ct.fanin_lists[2 * (node - ct.n_pi) + e]
+            best, best_row = -1.0, None
+            for r in rows:
+                a = arr[r]
+                if a > best:
+                    best, best_row = a, r
+            if best_row is None:
+                break
+            node, e = best_row >> 1, best_row & 1
+        critical.reverse()
+        return critical
+
+    def gates_with_slack_below(self, threshold: float) -> List[str]:
+        """Near-critical gates (slack <= threshold), topological order;
+        list-identical to ``TimingResult.gates_with_slack_below``."""
+        slacks = self.gate_slacks()
+        names = self._ct.gate_names
+        return [names[i] for i in np.flatnonzero(slacks <= threshold)]
+
+    def __repr__(self) -> str:
+        return (f"TimingSurface({self._ct.circuit.name!r}, "
+                f"delay={self.circuit_delay:.3e})")
 
 
 class IncrementalTimer:

@@ -72,19 +72,21 @@ def enumerate_paths(circuit: Circuit, k: int = 10, *,
     else:
         loads = gate_loads(circuit, library)
         base = analyze(circuit, library, delta_vth=delta_vth, loads=loads)
-    tech = library.tech
     delta_vth = delta_vth or {}
 
-    # Aged per-gate delays per output edge (matching analyze(): same
-    # eq. 22 operand order, so the path delays recompose the arrivals
-    # bit-for-bit).
-    overdrive = tech.vdd - tech.pmos.vth0
+    # Aged per-gate delays per output edge off the kernel's memoized
+    # base-delay vector (matching analyze(): same eq. 22 operand order,
+    # so the path delays recompose the arrivals bit-for-bit).
+    if context is not None:
+        ct = context.compiled_timing()
+    else:
+        from repro.sta.compiled import CompiledTiming
+        ct = CompiledTiming(circuit, library, loads=loads)
+    aged = ct.delay_vector(delta_vth)
     gate_delay: Dict[Tuple[str, str], float] = {}
-    for name, gate in circuit.gates.items():
-        cell = library.get(gate.cell)
-        factor = 1.0 + (tech.alpha * delta_vth.get(name, 0.0)) / overdrive
-        for edge in _EDGES:
-            gate_delay[(name, edge)] = cell.delay(tech, loads[name], edge) * factor
+    for i, name in enumerate(ct.gate_names):
+        for e, edge in enumerate(_EDGES):
+            gate_delay[(name, edge)] = float(aged[2 * i + e])
 
     arrival = base.arrival
 

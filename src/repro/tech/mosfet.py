@@ -134,9 +134,28 @@ def alpha_power_delay(tech: Technology, polarity: str, *, load_cap: float,
     4x its input cap lands in the tens-of-ps range at 90 nm; all paper
     results are relative degradations, so only consistency matters.
     """
-    params = tech.params(polarity)
     if load_cap < 0:
         raise ValueError("load capacitance must be non-negative")
+    denom = alpha_power_delay_denominator(
+        tech, polarity, w=w, l=l, vth=vth, series_stack=series_stack,
+        supply_drop=supply_drop)
+    return load_cap * tech.vdd / denom
+
+
+def alpha_power_delay_denominator(tech: Technology, polarity: str, *,
+                                  w: float, l: float, vth: float,
+                                  series_stack: int = 1,
+                                  supply_drop: float = 0.0) -> float:
+    """The load-independent denominator of :func:`alpha_power_delay`.
+
+    :func:`alpha_power_delay` is exactly affine in the load:
+    ``d = load_cap * Vdd / denom`` with this denominator.  Exposing it
+    lets the compiled STA lowering evaluate the closed form once per
+    cell class and broadcast over a load vector while staying
+    bit-identical to the scalar call (same operand grouping: Python
+    parses the original expression as ``(load*Vdd) / ((k*drive)*od^a)``).
+    """
+    params = tech.params(polarity)
     overdrive = tech.vdd - supply_drop - vth
     if overdrive <= 0:
         raise ValueError(
@@ -144,7 +163,7 @@ def alpha_power_delay(tech: Technology, polarity: str, *, load_cap: float,
         )
     drive = (w / l) * params.mobility_factor / series_stack
     k = 0.5e-3
-    return load_cap * tech.vdd / (k * drive * overdrive ** tech.alpha)
+    return k * drive * overdrive ** tech.alpha
 
 
 @dataclass(frozen=True)

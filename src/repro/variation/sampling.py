@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -129,3 +129,61 @@ class VariationModel:
                 die = {name: shared + 0.0 for name in names}
             dies.append(die)
         return dies
+
+    def sample_matrix(self, circuit: Circuit, n_samples: int, seed: int = 0,
+                      *, gate_order: Optional[Sequence[str]] = None
+                      ) -> np.ndarray:
+        """``(gates, samples)`` Vth0 offset matrix, deterministic in ``seed``.
+
+        The array-native form of :meth:`sample_many`: column ``s`` holds
+        die ``s``'s offsets, every entry bit-identical to
+        ``sample_many(circuit, n_samples, seed)[s][gate]`` (same RNG
+        word stream, same clip arithmetic), but assembled without any
+        per-die dict walk.  Rows follow ``gate_order`` when given (e.g.
+        ``CompiledTiming.gate_names``, so the matrix aligns with the
+        compiled kernel's gate axis), else ``circuit.gates`` order.
+
+        Raises:
+            ValueError: on an empty population or an unknown gate name
+                in ``gate_order``.
+        """
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        rng = random.Random(seed)
+        names = list(circuit.gates)
+        n_gates = len(names)
+        has_global = self.sigma_global > 0.0
+        has_local = self.sigma_local > 0.0
+        per_die = (1 if has_global else 0) + (n_gates if has_local else 0)
+        if per_die == 0:
+            matrix = np.zeros((n_gates, n_samples))
+        else:
+            # Dies are draw-major: die s consumed z[s*per_die:(s+1)*per_die]
+            # in the scalar loop, so one C-order reshape recovers the
+            # per-die rows.  The leading `0.0 +` mirrors the scalar
+            # normalization of -0.0 products before clipping.
+            z = _gauss_stream(rng, per_die * n_samples)
+            z = z.reshape(n_samples, per_die)
+            if has_global:
+                g_bound = self.truncate_sigmas * self.sigma_global
+                vals = 0.0 + z[:, 0] * self.sigma_global
+                shared = np.maximum(-g_bound, np.minimum(g_bound, vals))
+            else:
+                shared = np.zeros(n_samples)
+            if has_local:
+                l_bound = self.truncate_sigmas * self.sigma_local
+                vals = 0.0 + z[:, 1 if has_global else 0:] * self.sigma_local
+                local = np.maximum(-l_bound, np.minimum(l_bound, vals))
+                matrix = (shared[:, None] + local).T
+            else:
+                matrix = np.broadcast_to(shared + 0.0,
+                                         (n_gates, n_samples)).copy()
+        if gate_order is not None:
+            pos = {name: i for i, name in enumerate(names)}
+            try:
+                perm = [pos[g] for g in gate_order]
+            except KeyError as exc:
+                raise ValueError(
+                    f"unknown gate {exc.args[0]!r} in gate_order") from None
+            matrix = matrix[np.asarray(perm, dtype=np.intp)]
+        return matrix

@@ -240,35 +240,53 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
 
         timer = FastAgedTimer(circuit, library, context=context,
                               engine=engine)
-        base_shifts = [
-            analyzer.gate_shifts(circuit, profile, t, standby=standby,
-                                 context=context, engine=engine)
-            if t > 0 else {g: 0.0 for g in circuit.gates}
-            for t in times
-        ]
-        offsets = variation.sample_many(circuit, n_samples, seed)
 
         delays = np.empty((len(times), n_samples))
         if engine == "compiled":
-            # One (gates, samples) matrix per lifetime point, one
-            # batched propagation each.  The per-element arithmetic
-            # keeps the scalar operand order (offset + base * scale),
-            # so the matrix rows are bit-identical to the per-die dict
-            # math; the field-factor scale is one vectorized kernel
-            # call over the whole offset matrix (same ufunc loops as
-            # the scalar calibration after the numerics unification).
-            names = timer.compiled.gate_names
-            offv = np.array([[off[g] for off in offsets] for g in names])
+            # Fully array-native: the offset population arrives as one
+            # (gates, samples) matrix aligned to the kernel's gate axis,
+            # the nominal shifts as memoized (n_gates,) vectors — no
+            # per-die or per-gate dict walk anywhere.  The per-element
+            # arithmetic keeps the scalar operand order
+            # (offset + base * scale), so every matrix entry is
+            # bit-identical to the per-die dict math; the field-factor
+            # scale is one vectorized kernel call over the whole offset
+            # matrix (same ufunc loops as the scalar calibration after
+            # the numerics unification).
+            ct = timer.compiled
+            use_ctx = context is not None and analyzer is context.analyzer
+            base_vecs = []
+            for t in times:
+                if t <= 0:
+                    base_vecs.append(np.zeros(ct.n_gates))
+                elif use_ctx:
+                    base_vecs.append(context.gate_shift_vector(
+                        profile, t, standby=standby, engine=engine))
+                else:
+                    shifts = analyzer.gate_shifts(circuit, profile, t,
+                                                  standby=standby,
+                                                  context=context,
+                                                  engine=engine)
+                    base_vecs.append(ct.gate_vector(shifts, 0.0,
+                                                    batch=False))
+            offv = variation.sample_matrix(circuit, n_samples, seed,
+                                           gate_order=ct.gate_names)
             kernel = CompiledNbtiModel(analyzer.model)
             scalev = kernel.field_factors(vth0 + offv) / base_field
             for k in range(len(times)):
                 with obs.span("variation.lifetime_point", index=k):
-                    base_vec = np.array([base_shifts[k][g] for g in names])
-                    total = offv + base_vec[:, None] * scalev
+                    total = offv + base_vecs[k][:, None] * scalev
                     delays[k] = timer.delays_batch(total)
         else:
             # No inner spans: the scalar oracle runs one STA per die
             # per point (thousands of calls on real sample counts).
+            base_shifts = [
+                analyzer.gate_shifts(circuit, profile, t, standby=standby,
+                                     context=context, engine=engine)
+                if t > 0 else {g: 0.0 for g in circuit.gates}
+                for t in times
+            ]
+            offsets = variation.sample_many(circuit, n_samples, seed)
             for s, offset in enumerate(offsets):
                 scale = {g: calibration.field_factor(vth0 + off)
                          / base_field for g, off in offset.items()}
