@@ -1,0 +1,173 @@
+"""Perf harness — the 100k-gate scale axis.
+
+Measures wall-time and peak RSS for the full single-circuit pipeline
+(array-native construction, lowering to :class:`CompiledTiming`, and
+the surface-based aged-delay analysis) at 10k / 30k / 100k gates, and
+asserts the scaling contract:
+
+* **Near-linear time** — lower+analyze wall-time grows no faster than
+  ``gate_ratio x 1.5`` between adjacent points (a 3.3x gate step may
+  cost at most 5x the time).
+* **O(gates) memory** — the 100k-gate point completes inside a fixed
+  RSS budget; every per-net dict and Python-list mirror on the hot
+  path would blow through it.
+* **Bit-identical numbers** — at the smallest point the surface-based
+  ``aged_delays`` summary is compared field-for-field against the
+  scalar ``aged_timing`` oracle, in-run.
+
+Each gate-count point runs in a fresh child interpreter so
+``ru_maxrss`` reflects that point alone (peak RSS never shrinks inside
+one process).  Results land in ``BENCH_scale.json``.  Set
+``BENCH_SMOKE=1`` for a seconds-scale CI run (2k/4k/8k gates, relaxed
+bars) that still exercises the whole harness.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+GATE_POINTS = (2_000, 4_000, 8_000) if SMOKE else (10_000, 30_000, 100_000)
+#: time ratio between adjacent points may exceed the gate ratio by
+#: at most this factor (the near-linear-scaling bar).
+RATIO_SLACK = 3.0 if SMOKE else 1.5
+#: peak-RSS budget for the largest point (MiB).
+MAX_RSS_MIB = 512.0 if SMOKE else 1024.0
+ARTIFACT = Path(__file__).with_name("BENCH_scale.json")
+
+
+def _measure_point(n_gates: int, check_identity: bool) -> dict:
+    """Build, lower, and age one scale-corpus circuit (child side)."""
+    import resource
+
+    from repro import AnalysisContext
+    from repro.constants import TEN_YEARS
+    from repro.core import OperatingProfile
+    from repro.netlist.generators import scale_circuit
+
+    profile = OperatingProfile.from_ras("1:9", t_standby=330.0)
+
+    start = time.perf_counter()
+    circuit = scale_circuit(n_gates)
+    t_build = time.perf_counter() - start
+
+    # Two repetitions per phase, min taken: the ratio check compares
+    # adjacent points, so per-point noise multiplies straight into it.
+    # Each rep uses a fresh context — nothing is memoized across reps.
+    t_lower = t_analyze = None
+    summary = None
+    for _ in range(2):
+        start = time.perf_counter()
+        ctx = AnalysisContext(circuit)
+        ctx.compiled_timing()
+        t = time.perf_counter() - start
+        t_lower = t if t_lower is None else min(t_lower, t)
+
+        start = time.perf_counter()
+        summary = ctx.aged_delays(profile, TEN_YEARS)
+        t = time.perf_counter() - start
+        t_analyze = t if t_analyze is None else min(t_analyze, t)
+        del ctx
+
+    row = {
+        "target_gates": n_gates,
+        "n_gates": circuit.n_gates(),
+        "build_seconds": t_build,
+        "lower_seconds": t_lower,
+        "analyze_seconds": t_analyze,
+        "lower_analyze_seconds": t_lower + t_analyze,
+        "fresh_delay": summary.fresh_delay,
+        "aged_delay": summary.aged_delay,
+        "max_shift": summary.max_shift,
+        "peak_rss_mib":
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    }
+    if check_identity:
+        from repro.sta import AgingAnalyzer
+
+        oracle = AgingAnalyzer().aged_timing(circuit, profile, TEN_YEARS)
+        row["identical"] = (
+            oracle.fresh_delay == summary.fresh_delay
+            and oracle.aged_delay == summary.aged_delay
+            and max(oracle.shifts.values()) == summary.max_shift)
+    return row
+
+
+def _run_point(n_gates: int, check_identity: bool) -> dict:
+    """Measure one point in a fresh interpreter; return its row."""
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", str(n_gates),
+         "1" if check_identity else "0"],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"scale point {n_gates} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def run_perf_scale():
+    points = [_run_point(n, check_identity=(i == 0))
+              for i, n in enumerate(GATE_POINTS)]
+    return {"smoke": SMOKE, "ratio_slack": RATIO_SLACK,
+            "max_rss_mib": MAX_RSS_MIB, "points": points}
+
+
+def check(row):
+    points = row["points"]
+    assert points[0]["identical"], (
+        "surface aged_delays diverged from the scalar aged_timing "
+        f"oracle at {points[0]['n_gates']} gates")
+    for prev, cur in zip(points, points[1:]):
+        gate_ratio = cur["n_gates"] / prev["n_gates"]
+        time_ratio = (cur["lower_analyze_seconds"]
+                      / prev["lower_analyze_seconds"])
+        bar = gate_ratio * row["ratio_slack"]
+        assert time_ratio <= bar, (
+            f"lower+analyze scaled {time_ratio:.2f}x over a "
+            f"{gate_ratio:.2f}x gate step (bar: {bar:.2f}x)")
+    top = points[-1]
+    assert top["peak_rss_mib"] <= row["max_rss_mib"], (
+        f"{top['n_gates']}-gate point peaked at "
+        f"{top['peak_rss_mib']:.0f} MiB "
+        f"(budget: {row['max_rss_mib']:.0f} MiB)")
+
+
+def report(row):
+    from _common import emit
+
+    rows = []
+    for p in row["points"]:
+        rows.append([
+            str(p["n_gates"]), f"{p['build_seconds']:.2f}",
+            f"{p['lower_seconds']:.2f}", f"{p['analyze_seconds']:.2f}",
+            f"{p['peak_rss_mib']:.0f}",
+            str(p.get("identical", "-")),
+        ])
+    emit("Scale axis — wall-time and peak RSS per gate-count point",
+         ["gates", "build (s)", "lower (s)", "analyze (s)",
+          "peak RSS (MiB)", "identical"], rows)
+    ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+
+def test_perf_scale(run_once):
+    row = run_once(run_perf_scale)
+    check(row)
+    report(row)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 2 and sys.argv[1] == "--child":
+        result = _measure_point(int(sys.argv[2]), sys.argv[3] == "1")
+        print(json.dumps(result))
+    else:
+        r = run_perf_scale()
+        check(r)
+        report(r)

@@ -7,11 +7,15 @@ Layout (all writes atomic: temp file in the target directory, then
     <root>/bundles/<k[:2]>/<key>.npz           # bundle arrays
     <root>/bundles/<k[:2]>/<key>.json          # bundle manifest
     <root>/results/<circuit_fp>/<scenario>.json  # cached result payloads
+    <root>/sweeps/<sweep_key>/shard-NNNN.json  # sweep shard checkpoints
 
 The manifest is written *after* the ``.npz`` it references, so a
 manifest on disk marks a complete bundle — a crash between the two
 writes leaves an orphan array file that is simply never read (and is
-swept by :meth:`ArtifactStore.clear`).
+swept by :meth:`ArtifactStore.clear`).  Same-key bundle writers are
+additionally serialized by a per-key ``.lock`` file (O_CREAT|O_EXCL,
+with stale-lock breaking), so concurrent sweep shards sharing one
+store never interleave an array/manifest pair.
 
 Invalidation is purely by content address: a structural change to the
 circuit, library, or model produces a different
@@ -30,8 +34,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -40,6 +45,14 @@ from repro.artifacts.bundle import ArtifactBundle
 
 #: On-disk layout version (checked against ``store.json``).
 STORE_VERSION = 1
+
+#: A ``.lock`` older than this is presumed orphaned (a writer that died
+#: between acquiring and releasing) and is broken by the next writer.
+LOCK_STALE_SECONDS = 60.0
+
+#: How long a writer waits on a live lock before giving up and writing
+#: anyway — content-addressed payloads make the duplicate write benign.
+LOCK_WAIT_SECONDS = 10.0
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -95,6 +108,9 @@ class ArtifactStore:
     def _result_path(self, circuit_fp: str, scenario_key: str) -> Path:
         return self.root / "results" / circuit_fp / f"{scenario_key}.json"
 
+    def _shard_path(self, sweep_key: str, shard: int) -> Path:
+        return self.root / "sweeps" / sweep_key / f"shard-{shard:04d}.json"
+
     def _ensure_marker(self) -> None:
         marker = self.root / "store.json"
         if not marker.exists():
@@ -106,31 +122,86 @@ class ArtifactStore:
         """Whether a complete bundle for ``key`` is on disk."""
         return self._manifest_path(key).exists()
 
+    def _acquire_lock(self, lock: Path) -> bool:
+        """Best-effort exclusive ``.lock`` acquisition.
+
+        Returns True when this process owns the lock.  A lock held past
+        :data:`LOCK_STALE_SECONDS` is presumed orphaned and broken; a
+        live lock is waited on up to :data:`LOCK_WAIT_SECONDS`, after
+        which False is returned and the caller may proceed unlocked —
+        every store write is atomic and content-addressed, so the worst
+        outcome of a lost race is two processes writing the same bytes.
+        """
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + LOCK_WAIT_SECONDS
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+                return True
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > LOCK_STALE_SECONDS:
+                    obs.count("store.stale_locks_broken")
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    obs.count("store.lock_timeouts")
+                    return False
+                time.sleep(0.01)
+
+    @staticmethod
+    def _release_lock(lock: Path) -> None:
+        try:
+            lock.unlink()
+        except OSError:
+            pass
+
     def save_bundle(self, bundle: ArtifactBundle) -> None:
-        """Persist a bundle (no-op when its key is already stored)."""
+        """Persist a bundle (no-op when its key is already stored).
+
+        Safe under concurrent shard writers: a per-key ``.lock`` file
+        (O_CREAT|O_EXCL) serializes same-key writers, the key is
+        re-checked after acquisition (double-checked), and stale locks
+        from dead writers are broken after :data:`LOCK_STALE_SECONDS`.
+        """
         key = bundle.bundle_key
         if self.has_bundle(key):
             return
-        with obs.span("artifacts.store.save", key=key[:12]):
-            self._ensure_marker()
-            manifest, arrays = bundle.to_payload()
-            arrays_path = self._arrays_path(key)
-            arrays_path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=arrays_path.parent,
-                                       prefix=f".{arrays_path.name}.")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    np.savez(fh, **arrays)
-                os.replace(tmp, arrays_path)
-            except BaseException:
+        lock = self._bundle_dir(key) / f"{key}.lock"
+        owned = self._acquire_lock(lock)
+        try:
+            if self.has_bundle(key):
+                return  # another writer finished while we waited
+            with obs.span("artifacts.store.save", key=key[:12]):
+                self._ensure_marker()
+                manifest, arrays = bundle.to_payload()
+                arrays_path = self._arrays_path(key)
+                arrays_path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=arrays_path.parent,
+                                           prefix=f".{arrays_path.name}.")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-            # Manifest last: its presence marks the bundle complete.
-            _atomic_write_json(self._manifest_path(key), manifest)
-        obs.count("store.bundle_saves")
+                    with os.fdopen(fd, "wb") as fh:
+                        np.savez(fh, **arrays)
+                    os.replace(tmp, arrays_path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+                # Manifest last: its presence marks the bundle complete.
+                _atomic_write_json(self._manifest_path(key), manifest)
+            obs.count("store.bundle_saves")
+        finally:
+            if owned:
+                self._release_lock(lock)
 
     def load_bundle(self, key: str) -> Optional[ArtifactBundle]:
         """The stored bundle for ``key``, or ``None`` (counted miss)."""
@@ -171,14 +242,64 @@ class ArtifactStore:
         obs.count("store.result_hits")
         return payload
 
+    # -- sweep shard checkpoints ----------------------------------------------
+
+    def save_shard(self, sweep_key: str, shard: int,
+                   payload: Dict[str, Any]) -> None:
+        """Checkpoint one completed sweep shard (atomic tmp + replace).
+
+        A shard file either exists complete or not at all — a sweep
+        killed mid-shard simply re-runs that shard on resume.
+        """
+        self._ensure_marker()
+        _atomic_write_json(self._shard_path(sweep_key, shard), payload)
+        obs.count("store.shard_saves")
+
+    def load_shard(self, sweep_key: str, shard: int
+                   ) -> Optional[Dict[str, Any]]:
+        """One shard's checkpoint payload, or ``None`` (counted miss)."""
+        path = self._shard_path(sweep_key, shard)
+        if not path.exists():
+            self.stats.record_miss("shard")
+            obs.count("store.shard_misses")
+            return None
+        payload = json.loads(path.read_text("utf-8"))
+        self.stats.record_hit("shard")
+        obs.count("store.shard_hits")
+        return payload
+
+    def list_shards(self, sweep_key: str) -> List[int]:
+        """Sorted indices of the checkpointed shards of one sweep."""
+        sweep_dir = self.root / "sweeps" / sweep_key
+        out = []
+        for path in sweep_dir.glob("shard-*.json"):
+            try:
+                out.append(int(path.stem.split("-", 1)[1]))
+            except ValueError:
+                continue
+        return sorted(out)
+
+    def clear_sweep(self, sweep_key: str) -> int:
+        """Drop every checkpoint of one sweep; returns files removed."""
+        import shutil
+
+        sweep_dir = self.root / "sweeps" / sweep_key
+        if not sweep_dir.is_dir():
+            return 0
+        removed = sum(1 for p in sweep_dir.rglob("*") if p.is_file())
+        shutil.rmtree(sweep_dir)
+        return removed
+
     # -- maintenance ---------------------------------------------------------
 
     def info(self) -> Dict[str, Any]:
         """Inventory summary: bundle/result counts and on-disk bytes."""
-        bundles = sorted(self.root.glob("bundles/*/*.json"))
+        bundles = sorted(p for p in self.root.glob("bundles/*/*.json"))
         results = sorted(self.root.glob("results/*/*.json"))
+        shards = sorted(self.root.glob("sweeps/*/shard-*.json"))
         total = 0
-        for pattern in ("bundles/*/*", "results/*/*", "store.json"):
+        for pattern in ("bundles/*/*", "results/*/*", "sweeps/*/*",
+                        "store.json"):
             for path in self.root.glob(pattern):
                 if path.is_file():
                     total += path.stat().st_size
@@ -187,6 +308,7 @@ class ArtifactStore:
             "schema_version": STORE_VERSION,
             "bundles": len(bundles),
             "results": len(results),
+            "shards": len(shards),
             "bytes": total,
             "bundle_keys": [p.stem for p in bundles],
         }
@@ -195,13 +317,14 @@ class ArtifactStore:
         """Delete every stored bundle and result; returns files removed.
 
         Only touches the store's own subtrees (``bundles/``,
-        ``results/``, ``store.json``) — a mistyped ``--store`` pointing
-        at a source directory cannot lose anything else.
+        ``results/``, ``sweeps/``, ``store.json``) — a mistyped
+        ``--store`` pointing at a source directory cannot lose
+        anything else.
         """
         import shutil
 
         removed = 0
-        for sub in ("bundles", "results"):
+        for sub in ("bundles", "results", "sweeps"):
             path = self.root / sub
             if path.is_dir():
                 removed += sum(1 for p in path.rglob("*") if p.is_file())

@@ -332,6 +332,37 @@ def _walk_stress_prob(node: SPNode, pin_zero_prob: Dict[str, float],
     return 1.0 - p_none_on
 
 
+def _walk_stress_prob_batch(node: SPNode, pin_zero_prob: Dict[str, "object"],
+                            p_hot, out: Dict[str, "object"]):
+    """Array-lane twin of :func:`_walk_stress_prob`.
+
+    ``pin_zero_prob`` maps pins to equal-length float64 arrays (one lane
+    per cell instance); the walk performs the exact same multiply/
+    subtract sequence elementwise, so every lane is bit-identical to a
+    scalar walk over that lane's probabilities.  Inputs are validated by
+    the caller (the scalar leaf range check does not vectorize).
+    """
+    if isinstance(node, Dev):
+        p0 = pin_zero_prob[node.mosfet.gate_pin]
+        if node.mosfet.polarity == "pmos":
+            out[node.mosfet.name] = p_hot * p0
+            return p0
+        return 1.0 - p0
+    if isinstance(node, Series):
+        hot = p_hot
+        p_all = 1.0
+        for child in node.children:
+            p_on = _walk_stress_prob_batch(child, pin_zero_prob, hot, out)
+            hot = hot * p_on
+            p_all = p_all * p_on
+        return p_all
+    p_none_on = 1.0
+    for child in node.children:
+        p_on = _walk_stress_prob_batch(child, pin_zero_prob, p_hot, out)
+        p_none_on = p_none_on * (1.0 - p_on)
+    return 1.0 - p_none_on
+
+
 def max_series_depth(node: SPNode) -> int:
     """Worst-case number of series devices between rail and output."""
     if isinstance(node, Dev):

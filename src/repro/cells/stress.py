@@ -22,6 +22,7 @@ from repro.cells.network import (
     stress_probabilities,
     stressed_pmos,
     _walk_stress_prob,
+    _walk_stress_prob_batch,
 )
 
 
@@ -84,6 +85,40 @@ def stress_probabilities_for_cell(
         p_out_one = _walk_stress_prob(stage.pull_up, zero_prob, 0.0, scratch)
         # Clamp float drift before it feeds the next stage.
         p_one[stage.output] = min(1.0, max(0.0, p_out_one))
+    return result
+
+
+def stress_probabilities_for_cell_batch(cell: Cell, pin_one_prob):
+    """Vectorized twin of :func:`stress_probabilities_for_cell`.
+
+    ``pin_one_prob`` maps each external input pin to a float64 array of
+    per-instance probabilities; returns device name -> array of stress
+    probabilities.  Each lane runs the exact scalar operation sequence
+    elementwise, so lane ``i`` is bit-identical to
+    ``stress_probabilities_for_cell(cell, {pin: probs[pin][i]})`` —
+    circuits instantiate a handful of cells 10^4-10^5 times, and one
+    walk per *cell* replaces one walk per *gate*.
+    """
+    import numpy as np
+
+    p_one = dict(pin_one_prob)
+    missing = [p for p in cell.inputs if p not in p_one]
+    if missing:
+        raise ValueError(f"cell {cell.name}: missing probabilities for {missing}")
+    for pin in cell.inputs:
+        p0 = p_one[pin]
+        if ((p0 < 0.0) | (p0 > 1.0)).any():
+            raise ValueError(f"probability for {pin!r} out of range")
+    result = {}
+    for stage in cell.stages:
+        zero_prob = {pin: 1.0 - p_one[pin] for pin in stage.input_pins()}
+        _walk_stress_prob_batch(stage.pull_up, zero_prob, 1.0, result)
+        scratch = {}
+        p_out_one = _walk_stress_prob_batch(stage.pull_up, zero_prob, 0.0,
+                                            scratch)
+        # Clamp float drift before it feeds the next stage (elementwise
+        # twin of the scalar min/max clamp).
+        p_one[stage.output] = np.minimum(1.0, np.maximum(0.0, p_out_one))
     return result
 
 

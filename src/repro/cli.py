@@ -3,6 +3,7 @@
 Gives the paper's main analyses a shell-friendly surface:
 
 * ``info``      — netlist statistics and cell mix,
+* ``generate``  — emit a seeded synthetic benchmark netlist,
 * ``age``       — temperature-aware aged timing of a circuit,
 * ``mlv``       — leakage/NBTI co-optimized standby vector search,
 * ``sleep``     — sleep-transistor sizing and aged gated timing,
@@ -112,6 +113,57 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_generate(args) -> int:
+    """``generate``: emit a seeded synthetic circuit as a ``.bench`` file.
+
+    Construction uses the array-native generator engine, so 10^5-gate
+    circuits build in seconds; the same (gates, seed) always produces
+    the same file bytes (the fingerprint is printed for verification).
+    Without ``--inputs``/``--outputs`` the canonical scale-corpus
+    profile applies — identical to the benchmark suite's circuits.
+
+    The reported stats and fingerprint describe the circuit *as
+    written*: ``.bench`` has no AOI/OAI keywords, so the exporter
+    expands complex cells into exact 2-3 gate AND/OR + NAND/NOR
+    decompositions, and every later ``repro`` command sees that
+    expanded netlist.
+    """
+    import math
+
+    from repro.artifacts.fingerprint import circuit_fingerprint
+    from repro.netlist import load_bench, save_bench
+    from repro.netlist.generators import random_logic, scale_circuit
+
+    if args.inputs is None and args.outputs is None:
+        circuit = scale_circuit(args.gates, seed=args.seed, name=args.name)
+    else:
+        n_inputs = (args.inputs if args.inputs is not None
+                    else max(32, int(round(math.sqrt(args.gates)))))
+        n_outputs = (args.outputs if args.outputs is not None
+                     else max(8, n_inputs // 4))
+        name = args.name or f"r{args.gates}s{args.seed}"
+        circuit = random_logic(name, n_inputs, n_outputs, args.gates,
+                               args.seed,
+                               locality=max(64.0, math.sqrt(args.gates)),
+                               engine="array")
+    out = Path(args.out)
+    save_bench(circuit, out)
+    on_disk = load_bench(out)
+    stats = on_disk.stats()
+    print(f"generated      : {circuit.name}")
+    print(f"profile        : {stats['inputs']} inputs, "
+          f"{stats['outputs']} outputs, {stats['gates']} gates "
+          f"(target {args.gates}), depth {stats['depth']}")
+    if stats["gates"] != circuit.n_gates():
+        print(f"note           : {circuit.n_gates()} cells expanded to "
+              f"{stats['gates']} bench gates (AOI/OAI have no .bench "
+              "keyword and export as exact decompositions)")
+    print(f"seed           : {args.seed}")
+    print(f"fingerprint    : {circuit_fingerprint(on_disk)}")
+    print(f"wrote          : {out}")
+    return 0
+
+
 def _store_note(store) -> None:
     """Print the store's hit/miss counters (stderr: diagnostics only)."""
     snap = store.stats.snapshot()
@@ -129,22 +181,25 @@ def cmd_age(args) -> int:
     result cache; JSON round-trips floats exactly, so a warm run's
     stdout is byte-identical to the cold run's.
     """
-    from repro.sta import ALL_ONE, ALL_ZERO, AgingAnalyzer
+    from repro.context import AnalysisContext
+    from repro.sta import ALL_ONE, ALL_ZERO
     circuit = resolve_circuit(args.circuit)
     profile = _profile_from(args)
     standby = {"worst": ALL_ZERO, "best": ALL_ONE}[args.standby]
     store_dir = getattr(args, "store", None)
     if store_dir is None:
-        res = AgingAnalyzer().aged_timing(circuit, profile,
-                                          years(args.years),
-                                          standby=standby)
+        # Summary path: both STA passes stay on ndarrays, so generated
+        # 10^5-gate circuits age in kernel time.  Same floats as the
+        # full aged_timing() result (compiled == scalar, pinned).
+        context = AnalysisContext(circuit)
+        res = context.aged_delays(profile, years(args.years),
+                                  standby=standby)
         numbers = {"fresh_delay": res.fresh_delay,
                    "aged_delay": res.aged_delay,
                    "degradation": res.relative_degradation,
                    "max_shift": res.max_shift}
     else:
         from repro.artifacts import ArtifactStore, scenario_key
-        from repro.context import AnalysisContext
 
         store = ArtifactStore(store_dir)
         context = AnalysisContext(circuit, store=store)
@@ -156,7 +211,7 @@ def cmd_age(args) -> int:
         circuit_fp = context.content_fingerprints()["circuit"]
         numbers = store.load_result(circuit_fp, key)
         if numbers is None:
-            res = context.aged_timing(profile, years(args.years),
+            res = context.aged_delays(profile, years(args.years),
                                       standby=standby)
             numbers = {"fresh_delay": res.fresh_delay,
                        "aged_delay": res.aged_delay,
@@ -277,8 +332,15 @@ def cmd_table4(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """``sweep``: parallel leakage/NBTI co-optimization over circuits."""
-    from repro.flow.parallel import run_co_optimization_sweep
+    """``sweep``: parallel leakage/NBTI co-optimization over circuits.
+
+    With ``--shards N`` the sweep runs in deterministic round-robin
+    shards checkpointed through ``--store``; a killed (or
+    ``--max-shards``-limited) run resumes with ``--resume`` and the
+    completed table is byte-identical to an uninterrupted run.
+    """
+    from repro.flow.parallel import (run_co_optimization_sweep,
+                                     run_sharded_co_optimization_sweep)
     profile = _profile_from(args)
     for name in args.circuits:
         resolve_circuit(name)  # fail fast on unknown names
@@ -287,12 +349,33 @@ def cmd_sweep(args) -> int:
         from repro.artifacts import ArtifactStore
 
         store = ArtifactStore(args.store)
-    rows = run_co_optimization_sweep(
-        args.circuits, profile, years(args.years),
-        n_vectors=args.vectors, max_set_size=args.set_size,
-        seed=args.seed, max_workers=args.workers, store=store)
-    if store is not None:
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        if store is None:
+            print("error: --shards requires --store (checkpoints live "
+                  "in the artifact store)", file=sys.stderr)
+            return 2
+        res = run_sharded_co_optimization_sweep(
+            args.circuits, profile, years(args.years), store=store,
+            n_shards=shards, resume=args.resume,
+            max_shards_per_run=args.max_shards,
+            n_vectors=args.vectors, max_set_size=args.set_size,
+            seed=args.seed, max_workers=args.workers)
         _store_note(store)
+        if not res.complete:
+            print(f"sweep checkpointed: {len(res.completed_shards)}/"
+                  f"{res.total_shards} shards done "
+                  f"({len(res.ran_shards)} this run); re-run with "
+                  f"--resume to continue", file=sys.stderr)
+            return 0
+        rows = res.rows
+    else:
+        rows = run_co_optimization_sweep(
+            args.circuits, profile, years(args.years),
+            n_vectors=args.vectors, max_set_size=args.set_size,
+            seed=args.seed, max_workers=args.workers, store=store)
+        if store is not None:
+            _store_note(store)
     printable = [
         [r.name, ns(r.fresh_delay), pct(r.min_degradation),
          pct(r.mlv_diff, 3), pct(r.worst_degradation),
@@ -508,6 +591,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_table4)
 
+    p = sub.add_parser("generate",
+                       help="emit a seeded synthetic .bench netlist")
+    p.add_argument("out", help="output .bench path")
+    p.add_argument("--gates", type=int, required=True,
+                   help="target gate count (array engine: O(gates))")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--inputs", type=int, default=None,
+                   help="primary inputs (default: scale profile, "
+                        "~sqrt(gates))")
+    p.add_argument("--outputs", type=int, default=None,
+                   help="primary outputs (default: inputs // 4)")
+    p.add_argument("--name", default=None,
+                   help="circuit name (default: derived from gates/seed)")
+    _add_obs_args(p, suppress=True)
+    p.set_defaults(func=cmd_generate)
+
     p = sub.add_parser("sweep",
                        help="co-optimize many circuits in parallel")
     p.add_argument("circuits", nargs="+",
@@ -524,6 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", metavar="DIR", default=None,
                    help="persistent artifact store for the shipped "
                         "compiled bundles")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="split the sweep into N resumable shards "
+                        "checkpointed through --store")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a sharded sweep from its checkpoints")
+    p.add_argument("--max-shards", type=int, default=None, metavar="M",
+                   help="run at most M pending shards, checkpoint, "
+                        "and exit (resume later with --resume)")
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_sweep)
 

@@ -77,7 +77,6 @@ facade that keeps one context per circuit.
 from __future__ import annotations
 
 import logging
-import weakref
 from typing import (
     Any,
     Callable,
@@ -104,17 +103,6 @@ from repro.netlist.circuit import Circuit
 logger = logging.getLogger(__name__)
 
 DEFAULT_LEAKAGE_TEMPERATURE = 400.0
-
-#: Cross-context memo for the per-cell series-parallel stress walk.
-#: ``stress_probabilities_for_cell`` is a pure function of the cell and
-#: its exact pin probabilities, so greedy flows that re-derive a context
-#: per circuit *variant* (control-point insertion, sizing trials) reuse
-#: the walk for every gate whose input cone is untouched — bit-identical
-#: by construction.  Keyed weakly on the cell so a dropped library frees
-#: its entries; the inner map is bounded by distinct probability
-#: patterns, which repeat heavily across variants.
-_STRESS_WALK_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-
 
 class CacheStats:
     """Per-artifact hit/miss counters of one :class:`AnalysisContext`.
@@ -538,27 +526,38 @@ class AnalysisContext:
 
         This is the expensive inner product of probability propagation
         and the per-cell series-parallel stress walk; one entry per
-        PI-probability setting serves every aged-timing call.
+        PI-probability setting serves every aged-timing call.  Gates are
+        grouped by cell and each cell's walk runs once over an array
+        with one lane per instance — bit-identical per lane to the
+        scalar walk, and one Python recursion per *cell* instead of per
+        *gate* (the 100k-gate scale axis lives on this).
         """
-        from repro.cells.stress import stress_probabilities_for_cell
+        import numpy as np
 
-        def cached_walk(cell, pin_one: Dict[str, float]) -> Dict[str, float]:
-            per_cell = _STRESS_WALK_CACHE.setdefault(cell, {})
-            key = tuple(sorted(pin_one.items()))
-            hit = per_cell.get(key)
-            if hit is None:
-                hit = per_cell[key] = stress_probabilities_for_cell(
-                    cell, pin_one)
-            # Copy: aging plans may hold (and must own) their duty maps.
-            return dict(hit)
+        from repro.cells.stress import stress_probabilities_for_cell_batch
 
         def compute() -> Dict[str, Dict[str, float]]:
             pin_probs = self.gate_input_probabilities(pi_one_prob)
-            return {
-                gate.name: cached_walk(self.library.get(gate.cell),
-                                       pin_probs[gate.name])
-                for gate in self.circuit.gates.values()
-            }
+            by_cell: Dict[str, list] = {}
+            for gate in self.circuit.gates.values():
+                by_cell.setdefault(gate.cell, []).append(gate.name)
+            # Each gate owns its duty dict (aging plans may hold them).
+            result: Dict[str, Dict[str, float]] = {}
+            for cell_name, names in by_cell.items():
+                cell = self.library.get(cell_name)
+                lanes = {
+                    pin: np.fromiter(
+                        (pin_probs[name][pin] for name in names),
+                        dtype=np.float64, count=len(names))
+                    for pin in cell.inputs
+                }
+                duties = stress_probabilities_for_cell_batch(cell, lanes)
+                devs = list(duties.items())
+                for i, name in enumerate(names):
+                    result[name] = {dev: float(col[i])
+                                    for dev, col in devs}
+            return {gate.name: result[gate.name]
+                    for gate in self.circuit.gates.values()}
 
         return self._memo("stress_duties", self._prob_key(pi_one_prob),
                           compute)
@@ -768,6 +767,22 @@ class AnalysisContext:
         if standby is None:
             standby = ALL_ZERO
         return self.analyzer.aged_timing(
+            self.circuit, profile, t_total, standby=standby,
+            supply_drop=supply_drop, context=self)
+
+    def aged_delays(self, profile: OperatingProfile, t_total: float, *,
+                    standby: Any = None, supply_drop: float = 0.0):
+        """Fresh/aged delay summary with no per-net dict assembly.
+
+        Same floats as the matching :meth:`aged_timing` accessors, but
+        both STA passes stay on ndarrays (timing surfaces over the
+        compiled kernel) — the scale path for 10^5-gate circuits.
+        """
+        from repro.sta.degradation import ALL_ZERO
+
+        if standby is None:
+            standby = ALL_ZERO
+        return self.analyzer.aged_delays(
             self.circuit, profile, t_total, standby=standby,
             supply_drop=supply_drop, context=self)
 

@@ -144,19 +144,32 @@ def run_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
     produce the same span structure, metric totals, and cache-stats
     list regardless of which worker finished first.
     """
+    return _sweep_outcomes(worker, jobs, max_workers=max_workers,
+                           finalize=_merge_observations)
+
+
+def _sweep_outcomes(worker: Callable[[J], R], jobs: Sequence[J], *,
+                    max_workers: Optional[int],
+                    finalize: Callable[[List[Any], bool], Any]) -> Any:
+    """The :func:`run_sweep` engine with a pluggable finalizer.
+
+    ``finalize(outcomes, observed)`` runs inside the ``flow.run_sweep``
+    span with the raw outcomes in job order — :func:`run_sweep` merges
+    observation payloads immediately; the sharded runner keeps them raw
+    so they can be checkpointed and merged on sweep completion.
+    """
     jobs = list(jobs)
     if not jobs:
-        return []
+        return finalize([], obs.tracing_enabled())
     if max_workers is None:
         max_workers = min(len(jobs), os.cpu_count() or 1)
 
     observed = obs.tracing_enabled()
     call = _ObservedWorker(worker) if observed else worker
 
-    def serial() -> List[R]:
+    def serial() -> Any:
         with obs.span("flow.run_sweep", jobs=len(jobs), pooled=False):
-            return _merge_observations([call(job) for job in jobs],
-                                       observed)
+            return finalize([call(job) for job in jobs], observed)
 
     if max_workers <= 1:
         return serial()
@@ -176,7 +189,7 @@ def run_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 futures = [pool.submit(call, job) for job in jobs]
                 outcomes = [f.result() for f in futures]
-            return _merge_observations(outcomes, observed)
+            return finalize(outcomes, observed)
     except (OSError, NotImplementedError, ImportError,
             BrokenProcessPool, pickle.PicklingError):
         # The *pool* failed, not the analysis: degrade to serial.
@@ -355,6 +368,263 @@ def run_co_optimization_sweep(circuits: Sequence[str],
                               bundle=bundle)
             for name, bundle in zip(circuits, bundles)]
     return run_sweep(co_optimize_circuit, jobs, max_workers=max_workers)
+
+
+# -- sharded, resumable sweeps ----------------------------------------------
+
+#: Shard checkpoint payload layout version.
+SHARD_SCHEMA = 1
+
+
+def shard_jobs(n_jobs: int, n_shards: int) -> List[Tuple[int, ...]]:
+    """Deterministic round-robin job-index partition.
+
+    Shard ``k`` owns indices ``k, k + n_shards, k + 2*n_shards, ...``;
+    exactly ``n_shards`` tuples come back (trailing ones empty when
+    there are fewer jobs than shards).  Round-robin keeps every shard's
+    load representative of the whole sweep — a sorted-by-size job list
+    does not put all the big circuits in the last shard.
+    """
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    return [tuple(range(k, n_jobs, n_shards)) for k in range(n_shards)]
+
+
+@dataclass(frozen=True)
+class ShardedSweepResult:
+    """Outcome of one :func:`run_sharded_sweep` invocation.
+
+    ``rows`` is populated (results in original job order) only when
+    every shard is checkpointed; a partial run returns ``rows=None``
+    and the caller re-invokes with ``resume=True`` to continue.
+    """
+
+    rows: Optional[List[Any]]
+    total_shards: int
+    completed_shards: Tuple[int, ...]
+    ran_shards: Tuple[int, ...]
+    resumed_shards: Tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed_shards) == self.total_shards
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+def run_sharded_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
+                      store: Any, sweep_key: str, n_shards: int,
+                      resume: bool = False,
+                      max_shards_per_run: Optional[int] = None,
+                      max_workers: Optional[int] = None,
+                      encode: Callable[[R], Any] = _identity,
+                      decode: Callable[[Any], R] = _identity,
+                      prepare: Optional[Callable[[List[J]], List[J]]] = None
+                      ) -> ShardedSweepResult:
+    """Run ``jobs`` in deterministic shards with per-shard checkpoints.
+
+    Each completed shard is written atomically to ``store`` (under
+    ``sweeps/<sweep_key>/``) as JSON: encoded results plus, when
+    collection is active, the workers' observation payloads.  A killed
+    sweep loses at most the in-flight shard; ``resume=True`` loads the
+    finished shards and runs only the missing ones, and the assembled
+    results are field-for-field identical to an uninterrupted run
+    (JSON round-trips floats exactly).
+
+    On completion the checkpointed observation payloads are merged in
+    **original job order** — the same pooled==serial semantics as
+    :func:`run_sweep`, now additionally invariant to how the sweep was
+    split or interrupted.
+
+    Args:
+        store: an :class:`~repro.artifacts.store.ArtifactStore`.
+        sweep_key: content key naming this sweep's parameters; a new
+            key starts a fresh checkpoint directory.
+        n_shards: total shards (see :func:`shard_jobs`).
+        resume: load existing checkpoints instead of clearing them.
+        max_shards_per_run: stop (checkpointed) after running this many
+            pending shards — the clean interruption mechanism.
+        encode / decode: JSON (de)serializers for one worker result.
+        prepare: optional per-shard job hook (e.g. bundle attachment),
+            called only for shards that actually run.
+    """
+    jobs = list(jobs)
+    if store is None:
+        raise ValueError("sharded sweeps need an artifact store")
+    shards = shard_jobs(len(jobs), n_shards)
+    if not resume:
+        store.clear_sweep(sweep_key)
+    payloads: Dict[int, Dict[str, Any]] = {}
+    resumed: List[int] = []
+    if resume:
+        for k in store.list_shards(sweep_key):
+            payload = store.load_shard(sweep_key, k)
+            if (payload is None or payload.get("schema") != SHARD_SCHEMA
+                    or payload.get("total_shards") != n_shards):
+                continue  # unreadable/stale checkpoint: recompute it
+            payloads[k] = payload
+            resumed.append(k)
+    budget = n_shards if max_shards_per_run is None else max_shards_per_run
+    ran: List[int] = []
+    with obs.span("flow.sharded_sweep", sweep=sweep_key[:12],
+                  shards=n_shards, resume=resume):
+        for k, indices in enumerate(shards):
+            if k in payloads:
+                continue
+            if len(ran) >= budget:
+                break
+            shard_input = [jobs[i] for i in indices]
+            if prepare is not None:
+                shard_input = prepare(shard_input)
+            with obs.span("flow.sweep_shard", shard=k, jobs=len(indices)):
+                outcomes, observed = _sweep_outcomes(
+                    worker, shard_input, max_workers=max_workers,
+                    finalize=lambda out, ob: (list(out), ob))
+            if observed:
+                results = [encode(o.result) for o in outcomes]
+                observations: Optional[List[Dict[str, Any]]] = [
+                    {"spans": o.spans, "metrics": o.metrics,
+                     "cache_stats": o.cache_stats} for o in outcomes]
+            else:
+                results = [encode(o) for o in outcomes]
+                observations = None
+            payload = {"schema": SHARD_SCHEMA, "sweep_key": sweep_key,
+                       "shard": k, "total_shards": n_shards,
+                       "job_indices": list(indices), "results": results,
+                       "observations": observations}
+            store.save_shard(sweep_key, k, payload)
+            payloads[k] = payload
+            ran.append(k)
+        rows = (_assemble_sharded(payloads, len(jobs), decode)
+                if len(payloads) == n_shards else None)
+    return ShardedSweepResult(rows=rows, total_shards=n_shards,
+                              completed_shards=tuple(sorted(payloads)),
+                              ran_shards=tuple(ran),
+                              resumed_shards=tuple(sorted(resumed)))
+
+
+def _assemble_sharded(payloads: Dict[int, Dict[str, Any]], n_jobs: int,
+                      decode: Callable[[Any], Any]) -> List[Any]:
+    """Decode checkpointed shards into job order, merging observations.
+
+    Observation payloads (when the shards were run under collection)
+    are adopted/merged **by ascending job index**, exactly like
+    :func:`_merge_observations` does for a flat sweep — the final
+    RunReport does not depend on shard layout or interruption history.
+    """
+    entries: Dict[int, Tuple[Any, Optional[Dict[str, Any]]]] = {}
+    for k in sorted(payloads):
+        payload = payloads[k]
+        observations = payload.get("observations")
+        for slot, i in enumerate(payload["job_indices"]):
+            entries[i] = (payload["results"][slot],
+                          observations[slot] if observations else None)
+    if len(entries) != n_jobs:
+        raise ValueError(
+            f"shard checkpoints cover {len(entries)} of {n_jobs} jobs")
+    merge = obs.tracing_enabled()
+    tracer = obs.get_tracer() if merge else None
+    registry = obs.get_metrics() if merge else None
+    rows = []
+    for i in range(n_jobs):
+        encoded, observation = entries[i]
+        rows.append(decode(encoded))
+        if merge and observation is not None:
+            tracer.adopt(observation["spans"], worker=i)
+            registry.merge(observation["metrics"])
+            for entry in observation["cache_stats"]:
+                obs.register_cache_snapshot(entry)
+    return rows
+
+
+def _encode_row(row: SweepRow) -> Dict[str, Any]:
+    """One :class:`SweepRow` as a JSON-able dict (bits as a list)."""
+    from dataclasses import asdict
+
+    payload = asdict(row)
+    payload["chosen_bits"] = list(row.chosen_bits)
+    return payload
+
+
+def _decode_row(payload: Dict[str, Any]) -> SweepRow:
+    """Inverse of :func:`_encode_row`; floats round-trip exactly."""
+    data = dict(payload)
+    data["chosen_bits"] = tuple(data["chosen_bits"])
+    return SweepRow(**data)
+
+
+def co_optimization_sweep_key(circuits: Sequence[str],
+                              profile: OperatingProfile,
+                              lifetime: float, *, n_vectors: int,
+                              max_set_size: int, range_fraction: float,
+                              seed: int, n_shards: int) -> str:
+    """Content key of one sharded co-optimization sweep's parameters.
+
+    Any parameter change (including the shard count, which fixes the
+    job partition) yields a fresh key and hence a fresh checkpoint
+    directory — stale shards are never *wrong*, only unreferenced.
+    """
+    from repro.artifacts.fingerprint import scenario_key
+
+    return scenario_key({
+        "command": "co-optimization-sweep",
+        "circuits": list(circuits),
+        "ras": profile.ras_label(),
+        "t_active": profile.t_active,
+        "t_standby": profile.t_standby,
+        "lifetime": lifetime,
+        "n_vectors": n_vectors,
+        "max_set_size": max_set_size,
+        "range_fraction": range_fraction,
+        "seed": seed,
+        "n_shards": n_shards,
+    })
+
+
+def run_sharded_co_optimization_sweep(
+        circuits: Sequence[str], profile: OperatingProfile,
+        lifetime: float = TEN_YEARS, *, store: Any, n_shards: int,
+        resume: bool = False, max_shards_per_run: Optional[int] = None,
+        n_vectors: int = 64, max_set_size: int = 8,
+        range_fraction: float = 0.04, seed: int = 0,
+        max_workers: Optional[int] = None,
+        ship_bundles: bool = True) -> ShardedSweepResult:
+    """:func:`run_co_optimization_sweep` with shard checkpoints.
+
+    A complete (possibly resumed) run's ``rows`` are field-for-field
+    identical to the flat sweep's; bundles are lowered only for the
+    circuits of the shards that actually run in this invocation.
+    """
+    from dataclasses import replace
+
+    jobs = [CoOptimizationJob(circuit=name, profile=profile,
+                              lifetime=lifetime, n_vectors=n_vectors,
+                              max_set_size=max_set_size,
+                              range_fraction=range_fraction, seed=seed)
+            for name in circuits]
+    sweep_key = co_optimization_sweep_key(
+        circuits, profile, lifetime, n_vectors=n_vectors,
+        max_set_size=max_set_size, range_fraction=range_fraction,
+        seed=seed, n_shards=n_shards)
+    built: Dict[str, Any] = {}
+
+    def prepare(shard_input: List[CoOptimizationJob]
+                ) -> List[CoOptimizationJob]:
+        if not ship_bundles:
+            return shard_input
+        for job in shard_input:
+            if job.circuit not in built:
+                built[job.circuit] = _bundle_for(job.circuit, store)
+        return [replace(job, bundle=built[job.circuit])
+                for job in shard_input]
+
+    return run_sharded_sweep(
+        co_optimize_circuit, jobs, store=store, sweep_key=sweep_key,
+        n_shards=n_shards, resume=resume,
+        max_shards_per_run=max_shards_per_run, max_workers=max_workers,
+        encode=_encode_row, decode=_decode_row, prepare=prepare)
 
 
 # -- Table 4: internal-node-control potential per circuit --------------------

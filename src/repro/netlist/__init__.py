@@ -16,6 +16,7 @@ from repro.netlist.generators import (
     expand_xors,
     priority_controller,
     random_logic,
+    scale_circuit,
 )
 from repro.netlist.graph_export import from_networkx, to_networkx
 from repro.netlist import iscas85
@@ -24,7 +25,7 @@ __all__ = [
     "Circuit", "CircuitError", "Gate",
     "BenchParseError", "load_bench", "load_packaged", "parse_bench", "save_bench", "write_bench",
     "alu_circuit", "array_multiplier", "ecc_circuit", "expand_xors",
-    "priority_controller", "random_logic",
+    "priority_controller", "random_logic", "scale_circuit",
     "from_networkx", "to_networkx",
     "iscas85",
 ]

@@ -13,6 +13,7 @@ Everything here is deterministic: structural generators are pure, and
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -331,7 +332,7 @@ _CELL_ARITY = {
 
 def random_logic(name: str, n_inputs: int, n_outputs: int, n_gates: int,
                  seed: int, mix: Optional[Dict[str, float]] = None,
-                 locality: float = 64.0) -> Circuit:
+                 locality: float = 64.0, engine: str = "scalar") -> Circuit:
     """Seeded random combinational DAG with a controlled gate mix.
 
     Args:
@@ -345,6 +346,12 @@ def random_logic(name: str, n_inputs: int, n_outputs: int, n_gates: int,
         locality: characteristic distance (in creation order) for input
             selection; small values make deep chains, large values make
             shallow wide circuits.
+        engine: ``"scalar"`` (the historic per-gate ``random`` walk) or
+            ``"array"`` — an O(n) NumPy construction with no per-gate
+            Python RNG calls, for 10^5..10^6-gate circuits.  The two
+            engines draw from different RNG streams, so they produce
+            *different* (but each fully seed-deterministic) netlists
+            with the same statistical profile and invariants.
 
     Invariants guaranteed: acyclic, every PI feeds some gate, every gate
     is in the transitive fan-in of some PO.
@@ -354,6 +361,11 @@ def random_logic(name: str, n_inputs: int, n_outputs: int, n_gates: int,
     reserve = max(8, n_outputs)
     if n_gates < n_outputs + reserve:
         raise ValueError(f"n_gates={n_gates} too small for {n_outputs} outputs")
+    if engine == "array":
+        return _random_logic_array(name, n_inputs, n_outputs, n_gates,
+                                   seed, dict(mix or DEFAULT_MIX), locality)
+    if engine != "scalar":
+        raise ValueError(f"engine must be 'scalar' or 'array', got {engine!r}")
     rng = random.Random(seed)
     weights = dict(mix or DEFAULT_MIX)
     cells = sorted(weights)
@@ -410,3 +422,139 @@ def random_logic(name: str, n_inputs: int, n_outputs: int, n_gates: int,
     for k, net in enumerate(hanging):
         outputs.append(nl.add("BUF", [net], name=f"o{k}"))
     return Circuit(name, pis, outputs, nl.gates)
+
+
+def _random_logic_array(name: str, n_inputs: int, n_outputs: int,
+                        n_gates: int, seed: int,
+                        weights: Dict[str, float],
+                        locality: float) -> Circuit:
+    """The O(n) array-native :func:`random_logic` construction.
+
+    Every random choice comes from a handful of bulk
+    ``numpy.random.default_rng(seed)`` draws — no per-gate Python RNG
+    calls:
+
+    * cell classes by inverse-CDF over the mix weights,
+    * fanin back-distances from the same exponential locality law as
+      the scalar engine, turned into *distinct* ascending net indices
+      per gate with a sort + running-max + clamp pass,
+    * PI coverage by construction: gate ``g`` (for ``g < n_inputs``)
+      always consumes primary input ``g`` in its first slot, the
+      remaining slots drawing from the other nets.
+
+    Dangling nets are absorbed through a deterministic OR reduction to
+    exactly ``n_outputs`` BUF-driven outputs, as in the scalar engine.
+    """
+    import numpy as np
+
+    if n_inputs < 4:
+        raise ValueError("engine='array' needs >= 4 inputs "
+                         "(the widest cell arity)")
+    n_main = n_gates - n_outputs
+    if n_main < n_inputs:
+        raise ValueError(f"n_gates={n_gates} too small to cover "
+                         f"{n_inputs} inputs (engine='array')")
+    for cell in weights:
+        if cell not in _CELL_ARITY:
+            raise ValueError(f"unknown cell {cell!r} in mix")
+    cells = sorted(weights)
+    wvec = np.asarray([float(weights[c]) for c in cells], dtype=np.float64)
+    if (wvec < 0).any() or wvec.sum() <= 0:
+        raise ValueError("mix weights must be non-negative, sum > 0")
+    arity_of = np.asarray([_CELL_ARITY[c] for c in cells], dtype=np.int64)
+    cdf = np.cumsum(wvec)
+    cdf /= cdf[-1]
+
+    rng = np.random.default_rng(seed)
+    cell_ids = np.minimum(
+        np.searchsorted(cdf, rng.random(n_main), side="right"),
+        len(cells) - 1)
+    arity = arity_of[cell_ids]
+    gate_pos = np.arange(n_main, dtype=np.int64)
+    forced = gate_pos < n_inputs           # gate g consumes PI g
+    k_free = arity - forced                # remaining slots to draw
+    # Domain per gate: every net created before it (n_inputs + g), minus
+    # the forced PI for covered gates.
+    domain = n_inputs + gate_pos - forced
+    back = np.floor(-locality
+                    * np.log1p(-rng.random((n_main, 4)))).astype(np.int64)
+
+    inputs = np.zeros((n_main, 4), dtype=np.int64)
+    col = np.arange(4, dtype=np.int64)
+    for k in range(1, 5):
+        sel = np.flatnonzero(k_free == k)
+        if sel.size == 0:
+            continue
+        dom = domain[sel]
+        # Recent-biased candidates: distance `back` from the newest net,
+        # clipped into the domain, then made strictly increasing (hence
+        # distinct) by sort + running max + tail clamp.
+        raw = np.clip((dom - 1)[:, None] - back[sel, :k], 0, None)
+        raw.sort(axis=1)
+        t = np.maximum.accumulate(raw - col[:k], axis=1)
+        idx = np.minimum(t, (dom - k)[:, None]) + col[:k]
+        was_forced = forced[sel]
+        if was_forced.any():
+            # The forced PI (net index == gate position) was excluded
+            # from the domain; map the gap back around it.
+            sub = idx[was_forced]
+            sub += sub >= sel[was_forced, None]
+            idx[was_forced] = sub
+        inputs[sel[:, None], was_forced[:, None] + col[:k]] = idx
+    inputs[forced, 0] = gate_pos[forced]
+
+    pi_names = [f"i{k}" for k in range(n_inputs)]
+    net_names = pi_names + [f"g{i + 1}" for i in range(n_main)]
+    cell_list = [cells[c] for c in cell_ids.tolist()]
+    arity_list = arity.tolist()
+    rows = inputs.tolist()
+    gates = [Gate(net_names[n_inputs + i], cell_list[i],
+                  [net_names[j] for j in rows[i][:arity_list[i]]])
+             for i in range(n_main)]
+
+    consumed = np.zeros(n_inputs + n_main, dtype=bool)
+    consumed[inputs[col < arity[:, None]]] = True
+    hanging = [net_names[n_inputs + int(i)]
+               for i in np.flatnonzero(~consumed[n_inputs:])]
+    counter = n_main
+    while len(hanging) < n_outputs:
+        counter += 1
+        src = net_names[n_inputs + (counter * 7919) % n_main]
+        gates.append(Gate(f"g{counter}", "BUF", [src]))
+        hanging.append(f"g{counter}")
+    while len(hanging) > n_outputs:
+        k = max(2, min(len(hanging) - n_outputs + 1, 4))
+        chunk = hanging[:k]
+        del hanging[:k]
+        counter += 1
+        gates.append(Gate(f"g{counter}",
+                          {2: "OR2", 3: "OR3", 4: "OR4"}[k], chunk))
+        hanging.append(f"g{counter}")
+    outputs = []
+    for k, net in enumerate(hanging):
+        outputs.append(f"o{k}")
+        gates.append(Gate(f"o{k}", "BUF", [net]))
+    return Circuit(name, pi_names, outputs, gates)
+
+
+def scale_circuit(n_gates: int, seed: int = 0,
+                  name: Optional[str] = None) -> Circuit:
+    """The shared synthetic scale-corpus profile (benchmarks + CLI).
+
+    One canonical (inputs, outputs) shape per gate count — I/O widths
+    grow like sqrt(n_gates), the empirically ISCAS-like aspect — so a
+    20k-gate circuit generated by ``repro generate`` and one generated
+    inside ``benchmarks/test_perf_scale.py`` are the *same* netlist
+    (same :func:`~repro.artifacts.fingerprint.circuit_fingerprint`).
+    """
+    if n_gates < 256:
+        raise ValueError("scale corpus starts at 256 gates")
+    n_inputs = max(32, int(round(math.sqrt(n_gates))))
+    n_outputs = max(8, n_inputs // 4)
+    # Locality widens with size so logic depth grows ~sqrt(n_gates),
+    # keeping the level count (and the kernel's per-level dispatch
+    # overhead) sublinear, like real netlists rather than one long chain.
+    locality = max(64.0, math.sqrt(n_gates))
+    return random_logic(name or f"scale{n_gates}s{seed}", n_inputs,
+                        n_outputs, n_gates, seed, locality=locality,
+                        engine="array")

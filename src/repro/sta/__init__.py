@@ -11,6 +11,7 @@ from repro.sta.paths import TimingPath, enumerate_paths, path_slack_profile
 from repro.sta.degradation import (
     ALL_ONE,
     ALL_ZERO,
+    AgedDelaySummary,
     AgedTimingResult,
     AgingAnalyzer,
     standby_net_states,
@@ -19,6 +20,6 @@ from repro.sta.degradation import (
 __all__ = [
     "PO_CAP", "WIRE_CAP", "TimingResult", "analyze", "gate_loads",
     "TimingPath", "enumerate_paths", "path_slack_profile",
-    "ALL_ONE", "ALL_ZERO", "AgedTimingResult", "AgingAnalyzer",
-    "standby_net_states",
+    "ALL_ONE", "ALL_ZERO", "AgedDelaySummary", "AgedTimingResult",
+    "AgingAnalyzer", "standby_net_states",
 ]

@@ -210,31 +210,74 @@ class CompiledTiming:
             [2 * self.node_index[po] + _EDGE_INDEX[edge]
              for po, edge in self.po_order], dtype=np.int64)
 
-        # Fanout adjacency at node granularity (for incremental cones).
-        fanout = circuit.fanout()
-        self._fanout_nodes: List[List[int]] = [
-            [] for _ in range(self.n_pi + self.n_gates)]
-        for net, consumers in fanout.items():
-            node = self.node_index[net]
-            self._fanout_nodes[node] = [self.node_index[c] for c in consumers]
-
-        # Plain-Python mirrors of the hot incremental-mode structures:
-        # the cone walk touches a handful of rows per move, where list
-        # indexing + float arithmetic beat per-element ufunc dispatch by
-        # an order of magnitude (same rationale as the big-int packed
-        # simulator; see docs/PERFORMANCE.md).
-        self.fanin_lists: List[List[int]] = [
-            [int(r) for r in self.fanin_idx[self.seg_ptr[s]:self.seg_ptr[s + 1]]]
-            for s in range(2 * self.n_gates)]
-        self.po_row_list: List[int] = [int(r) for r in self.po_rows]
-        self.node_levels: List[int] = [0] * (self.n_pi + self.n_gates)
-        for i, name in enumerate(self.gate_names):
-            self.node_levels[self.n_pi + i] = levels_map[name]
+        # Plain-Python mirrors of the hot incremental-mode structures
+        # (fanin lists, fanout adjacency, node levels, PO rows) are
+        # built lazily on first incremental/critical-walk use — see
+        # :meth:`_list_mirrors`.  The batch evaluation path (lower +
+        # propagate/delays_batch/surface) never materializes them, so
+        # its footprint stays a few ndarrays even at 10^5..10^6 gates.
+        self._mirrors: Optional[Tuple[List[List[int]], List[int],
+                                      List[int], List[List[int]]]] = None
 
         # Reverse CSR (row -> consumer segments), built lazily for the
         # incremental required-time backward cone.
         self._rev: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._base_delays: Dict[Tuple[float, float], np.ndarray] = {}
+
+    def _list_mirrors(self) -> Tuple[List[List[int]], List[int],
+                                     List[int], List[List[int]]]:
+        """Python-list mirrors for the incremental cone walks.
+
+        The cone walk touches a handful of rows per move, where list
+        indexing + float arithmetic beat per-element ufunc dispatch by
+        an order of magnitude (same rationale as the big-int packed
+        simulator; see docs/PERFORMANCE.md).  These are O(gates) Python
+        containers, so they are built on demand (counted by the
+        ``sta.compiled.mirror_builds`` metric): only flows that actually
+        re-time mutation cones pay for them.
+        """
+        if self._mirrors is None:
+            with obs.span("sta.compiled.mirrors",
+                          circuit=self.circuit.name):
+                fanin_lists = [
+                    [int(r) for r in
+                     self.fanin_idx[self.seg_ptr[s]:self.seg_ptr[s + 1]]]
+                    for s in range(2 * self.n_gates)]
+                po_row_list = [int(r) for r in self.po_rows]
+                levels_map = self.circuit.levels()
+                node_levels = [0] * (self.n_pi + self.n_gates)
+                for i, name in enumerate(self.gate_names):
+                    node_levels[self.n_pi + i] = levels_map[name]
+                fanout = self.circuit.fanout()
+                fanout_nodes: List[List[int]] = [
+                    [] for _ in range(self.n_pi + self.n_gates)]
+                for net, consumers in fanout.items():
+                    fanout_nodes[self.node_index[net]] = [
+                        self.node_index[c] for c in consumers]
+                self._mirrors = (fanin_lists, po_row_list,
+                                 node_levels, fanout_nodes)
+            obs.count("sta.compiled.mirror_builds")
+        return self._mirrors
+
+    @property
+    def fanin_lists(self) -> List[List[int]]:
+        """Per-segment candidate rows as Python lists (lazy mirror)."""
+        return self._list_mirrors()[0]
+
+    @property
+    def po_row_list(self) -> List[int]:
+        """Primary-output rows as a Python list (lazy mirror)."""
+        return self._list_mirrors()[1]
+
+    @property
+    def node_levels(self) -> List[int]:
+        """Logic level per node as a Python list (lazy mirror)."""
+        return self._list_mirrors()[2]
+
+    @property
+    def _fanout_nodes(self) -> List[List[int]]:
+        """Node-granular fanout adjacency (lazy mirror)."""
+        return self._list_mirrors()[3]
 
     # -- snapshot / hydrate ------------------------------------------------
 
@@ -865,13 +908,15 @@ class IncrementalTimer:
     def __init__(self, compiled: CompiledTiming, delays: np.ndarray, *,
                  required_time: Optional[float] = None):
         self._ct = compiled
-        # State lives in plain Python lists: the cone walk does a few
-        # dozen scalar reads/writes per move, which lists serve ~10x
-        # faster than per-element ndarray access.  Conversions are exact
-        # (both sides are IEEE float64).
-        self._d: List[float] = [float(x) for x in delays]
-        self._arr: List[float] = compiled.propagate(
-            np.asarray(delays, dtype=np.float64)).tolist()
+        # State lives in two owned float64 ndarrays (O(gates) footprint,
+        # no Python-list copies).  The cone walk does a few dozen scalar
+        # reads/writes per move; those go through cached memoryviews,
+        # whose scalar indexing is ~2x faster than ndarray item access
+        # (and within ~1.5x of a plain list, without the list's memory).
+        self._d: np.ndarray = np.array(delays, dtype=np.float64)
+        self._arr: np.ndarray = compiled.propagate(self._d)
+        self._dv = self._d.data
+        self._av = self._arr.data
         self._required_time = required_time
         self._req: Optional[np.ndarray] = None
 
@@ -884,9 +929,9 @@ class IncrementalTimer:
     @property
     def circuit_delay(self) -> float:
         """Worst primary-output arrival under the current delays."""
-        return self._worst_po(self._arr)
+        return self._worst_po(self._av)
 
-    def _worst_po(self, arr: List[float]) -> float:
+    def _worst_po(self, arr) -> float:
         rows = self._ct.po_row_list
         if not rows:
             return 0.0
@@ -896,20 +941,20 @@ class IncrementalTimer:
     def delays_of(self, name: str) -> Tuple[float, float]:
         """Current (rise, fall) delay of one gate."""
         i = self._ct.gate_index[name]
-        return self._d[2 * i], self._d[2 * i + 1]
+        return self._dv[2 * i], self._dv[2 * i + 1]
 
     def arrival(self, net: str, edge: str) -> float:
         """Current arrival time of one net edge (seconds)."""
         row = 2 * self._ct.node_index[net] + _EDGE_INDEX[edge]
-        return self._arr[row]
+        return self._av[row]
 
     def arrival_rows(self) -> np.ndarray:
         """The arrival rows as an array (a fresh copy)."""
-        return np.asarray(self._arr, dtype=np.float64)
+        return self._arr.copy()
 
     def delay_rows(self) -> np.ndarray:
         """The per-gate-edge delay vector as an array (a fresh copy)."""
-        return np.asarray(self._d, dtype=np.float64)
+        return self._d.copy()
 
     # -- mutation ----------------------------------------------------------
 
@@ -920,21 +965,22 @@ class IncrementalTimer:
         """
         arr = self._arr.copy()
         d = self._d.copy()
-        self._propagate_changes(changes, arr, d)
-        return self._worst_po(arr)
+        arr_v = arr.data
+        self._propagate_changes(changes, arr_v, d.data)
+        return self._worst_po(arr_v)
 
     def update(self, changes: Mapping[str, Tuple[float, float]]) -> float:
         """Apply ``changes`` and return the new circuit delay."""
-        touched = self._propagate_changes(changes, self._arr, self._d)
+        touched = self._propagate_changes(changes, self._av, self._dv)
         if self._req is not None:
             if self._required_time is None:
                 self._req = None
             else:
                 self._update_required(touched)
-        return self._worst_po(self._arr)
+        return self._worst_po(self._av)
 
     def _propagate_changes(self, changes: Mapping[str, Tuple[float, float]],
-                           arr: List[float], d: List[float]) -> List[int]:
+                           arr, d) -> List[int]:
         """Level-ordered cone re-propagation; returns recomputed nodes."""
         ct = self._ct
         n_pi = ct.n_pi
@@ -989,11 +1035,9 @@ class IncrementalTimer:
         backward kernel.
         """
         if self._required_time is None:
-            return self._ct.required(self.arrival_rows(), self.delay_rows(),
-                                     self.circuit_delay)
+            return self._ct.required(self._arr, self._d, self.circuit_delay)
         if self._req is None:
-            self._req = self._ct.required(self.arrival_rows(),
-                                          self.delay_rows(),
+            self._req = self._ct.required(self._arr, self._d,
                                           self._required_time)
         return self._req
 
@@ -1006,8 +1050,9 @@ class IncrementalTimer:
         # Row of segment s is 2*(n_pi + i) + e with s = 2*i + e, i.e.
         # 2*n_pi + s.
         base = 2 * ct.n_pi
+        d = self._dv
         for s in data[ptr[row]:ptr[row + 1]]:
-            contrib = req[base + s] - self._d[s]
+            contrib = req[base + s] - d[s]
             if contrib < value:
                 value = contrib
         return float(value)
@@ -1063,8 +1108,7 @@ class IncrementalTimer:
         """
         req = self.required_rows()
         start = 2 * self._ct.n_pi
-        arr = np.asarray(self._arr[start:], dtype=np.float64)
-        diff = (req[start:] - arr).reshape(-1, 2)
+        diff = (req[start:] - self._arr[start:]).reshape(-1, 2)
         return diff.min(axis=1)
 
     def critical_gates(self, *, initial_best: float = 0.0) -> List[str]:
@@ -1076,7 +1120,7 @@ class IncrementalTimer:
         chosen).
         """
         ct = self._ct
-        arr = self._arr
+        arr = self._av
         worst = initial_best
         endpoint: Optional[int] = None
         for k, row in enumerate(ct.po_row_list):

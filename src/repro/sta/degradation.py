@@ -376,6 +376,48 @@ class AgingAnalyzer:
         return AgedTimingResult(circuit=circuit, fresh=fresh, aged=aged,
                                 shifts=shifts)
 
+    def aged_delays(self, circuit: Circuit, profile: OperatingProfile,
+                    t_total: float, *,
+                    standby: StandbyStates = ALL_ZERO,
+                    active_probs: Optional[Dict[str, float]] = None,
+                    supply_drop: float = 0.0,
+                    context=None) -> "AgedDelaySummary":
+        """Fresh/aged circuit delay and worst shift, array path only.
+
+        The scale-friendly sibling of :meth:`aged_timing`: the same
+        floats (:class:`~repro.sta.compiled.TimingSurface` reads are
+        bit-identical to the assembled :class:`TimingResult` fields),
+        but no per-net dict is ever built — both STA passes stay on
+        ``(rows,)`` ndarrays, so a 10^5-gate circuit summarizes in
+        kernel time.  Use :meth:`aged_timing` when per-net arrivals or
+        slacks are actually needed.
+        """
+        from repro.sta.compiled import CompiledTiming
+
+        library = self._lib()
+        if context is not None and context.library is not library:
+            context = None
+        with obs.span("aging.aged_delays", circuit=circuit.name):
+            if (context is not None and active_probs is None
+                    and context.model == self.model):
+                ct = context.compiled_timing()
+                shift_vec = context.gate_shift_vector(profile, t_total,
+                                                      standby=standby)
+            else:
+                ct = CompiledTiming(circuit, library)
+                shifts = self.gate_shifts(circuit, profile, t_total,
+                                          standby=standby,
+                                          active_probs=active_probs,
+                                          context=context)
+                shift_vec = ct.gate_vector(shifts, 0.0)
+            fresh = ct.surface(supply_drop=supply_drop).circuit_delay
+            aged = ct.surface(delta_vth=shift_vec,
+                              supply_drop=supply_drop).circuit_delay
+            max_shift = float(shift_vec.max()) if ct.n_gates else 0.0
+        return AgedDelaySummary(circuit_name=circuit.name,
+                                fresh_delay=fresh, aged_delay=aged,
+                                max_shift=max_shift)
+
 
 @dataclass(frozen=True)
 class AgedTimingResult:
@@ -408,3 +450,29 @@ class AgedTimingResult:
     def max_shift(self) -> float:
         """Largest per-gate dVth (volts)."""
         return max(self.shifts.values()) if self.shifts else 0.0
+
+
+@dataclass(frozen=True)
+class AgedDelaySummary:
+    """Scalar fresh-vs-aged summary with no per-net state.
+
+    Field-for-field equal to the matching :class:`AgedTimingResult`
+    accessors (``fresh_delay`` / ``aged_delay`` / ``delay_increase`` /
+    ``relative_degradation`` / ``max_shift``) — the value set is the
+    same, only the per-net dicts behind them are never materialized.
+    """
+
+    circuit_name: str
+    fresh_delay: float
+    aged_delay: float
+    max_shift: float
+
+    @property
+    def delay_increase(self) -> float:
+        """Absolute delay degradation (seconds)."""
+        return self.aged_delay - self.fresh_delay
+
+    @property
+    def relative_degradation(self) -> float:
+        """The paper's headline metric: dDelay / Delay (fractional)."""
+        return self.delay_increase / self.fresh_delay

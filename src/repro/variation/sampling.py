@@ -152,38 +152,89 @@ class VariationModel:
         rng = random.Random(seed)
         names = list(circuit.gates)
         n_gates = len(names)
-        has_global = self.sigma_global > 0.0
-        has_local = self.sigma_local > 0.0
-        per_die = (1 if has_global else 0) + (n_gates if has_local else 0)
+        per_die = self._draws_per_die(n_gates)
         if per_die == 0:
             matrix = np.zeros((n_gates, n_samples))
         else:
             # Dies are draw-major: die s consumed z[s*per_die:(s+1)*per_die]
             # in the scalar loop, so one C-order reshape recovers the
-            # per-die rows.  The leading `0.0 +` mirrors the scalar
-            # normalization of -0.0 products before clipping.
+            # per-die rows.
             z = _gauss_stream(rng, per_die * n_samples)
-            z = z.reshape(n_samples, per_die)
-            if has_global:
-                g_bound = self.truncate_sigmas * self.sigma_global
-                vals = 0.0 + z[:, 0] * self.sigma_global
-                shared = np.maximum(-g_bound, np.minimum(g_bound, vals))
+            matrix = self._matrix_from_z(z, n_gates, n_samples, per_die)
+        perm = self._gate_perm(names, gate_order)
+        return matrix if perm is None else matrix[perm]
+
+    def iter_sample_matrix(self, circuit: Circuit, n_samples: int,
+                           seed: int = 0, *, chunk_samples: int,
+                           gate_order: Optional[Sequence[str]] = None):
+        """Stream :meth:`sample_matrix` in ``(start, matrix)`` chunks.
+
+        Yields ``(s0, m)`` pairs where ``m`` is bit-identical to
+        ``sample_matrix(...)[:, s0:s0 + m.shape[1]]`` — the same
+        Mersenne-Twister word stream, cut at die boundaries — while only
+        ever holding ``(gates, chunk_samples)`` in memory.  This is the
+        Monte-Carlo memory-budget primitive: ``chunk_samples`` is
+        rounded up to even when the per-die draw count is odd, so every
+        chunk consumes whole Box-Muller word pairs and the stream stays
+        aligned with the one-shot call.
+        """
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        if chunk_samples < 1:
+            raise ValueError("need a positive chunk size")
+        names = list(circuit.gates)
+        n_gates = len(names)
+        perm = self._gate_perm(names, gate_order)
+        per_die = self._draws_per_die(n_gates)
+        if per_die % 2 and chunk_samples % 2:
+            chunk_samples += 1
+        rng = random.Random(seed)
+        for s0 in range(0, n_samples, chunk_samples):
+            count = min(chunk_samples, n_samples - s0)
+            if per_die == 0:
+                matrix = np.zeros((n_gates, count))
             else:
-                shared = np.zeros(n_samples)
-            if has_local:
-                l_bound = self.truncate_sigmas * self.sigma_local
-                vals = 0.0 + z[:, 1 if has_global else 0:] * self.sigma_local
-                local = np.maximum(-l_bound, np.minimum(l_bound, vals))
-                matrix = (shared[:, None] + local).T
-            else:
-                matrix = np.broadcast_to(shared + 0.0,
-                                         (n_gates, n_samples)).copy()
-        if gate_order is not None:
-            pos = {name: i for i, name in enumerate(names)}
-            try:
-                perm = [pos[g] for g in gate_order]
-            except KeyError as exc:
-                raise ValueError(
-                    f"unknown gate {exc.args[0]!r} in gate_order") from None
-            matrix = matrix[np.asarray(perm, dtype=np.intp)]
-        return matrix
+                z = _gauss_stream(rng, per_die * count)
+                matrix = self._matrix_from_z(z, n_gates, count, per_die)
+            yield s0, (matrix if perm is None else matrix[perm])
+
+    def _draws_per_die(self, n_gates: int) -> int:
+        return ((1 if self.sigma_global > 0.0 else 0)
+                + (n_gates if self.sigma_local > 0.0 else 0))
+
+    def _matrix_from_z(self, z: np.ndarray, n_gates: int, n_samples: int,
+                       per_die: int) -> np.ndarray:
+        """Gaussian stream -> clipped ``(gates, samples)`` offsets.
+
+        The one arithmetic path shared by :meth:`sample_matrix` and
+        :meth:`iter_sample_matrix` — the leading ``0.0 +`` mirrors the
+        scalar normalization of ``-0.0`` products before clipping.
+        """
+        has_global = self.sigma_global > 0.0
+        z = z.reshape(n_samples, per_die)
+        if has_global:
+            g_bound = self.truncate_sigmas * self.sigma_global
+            vals = 0.0 + z[:, 0] * self.sigma_global
+            shared = np.maximum(-g_bound, np.minimum(g_bound, vals))
+        else:
+            shared = np.zeros(n_samples)
+        if self.sigma_local > 0.0:
+            l_bound = self.truncate_sigmas * self.sigma_local
+            vals = 0.0 + z[:, 1 if has_global else 0:] * self.sigma_local
+            local = np.maximum(-l_bound, np.minimum(l_bound, vals))
+            return (shared[:, None] + local).T
+        return np.broadcast_to(shared + 0.0, (n_gates, n_samples)).copy()
+
+    @staticmethod
+    def _gate_perm(names: Sequence[str],
+                   gate_order: Optional[Sequence[str]]
+                   ) -> Optional[np.ndarray]:
+        if gate_order is None:
+            return None
+        pos = {name: i for i, name in enumerate(names)}
+        try:
+            perm = [pos[g] for g in gate_order]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown gate {exc.args[0]!r} in gate_order") from None
+        return np.asarray(perm, dtype=np.intp)

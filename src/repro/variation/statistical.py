@@ -191,6 +191,24 @@ class StatisticalAgingResult:
 #: Fig. 12's lifetime sample points: fresh, 3 years, 10 years.
 FIG12_TIMES = (0.0, years(3.0), TEN_YEARS)
 
+#: Default Monte-Carlo working-set budget (bytes): the compiled engine
+#: streams the die population in sample chunks sized so the transient
+#: (gates, chunk) matrices stay under this.  ISCAS-scale populations fit
+#: in one chunk; a 100k-gate circuit with thousands of dies streams.
+DEFAULT_MC_BUDGET = 256 * 2 ** 20
+
+
+def _mc_chunk_samples(n_gates: int, n_samples: int,
+                      memory_budget: int) -> int:
+    """Samples per chunk under the byte budget.
+
+    The compiled evaluation holds ~10 float64s per (gate, sample) at its
+    peak — the offset/scale/total matrices plus the kernel's per-edge
+    delay and arrival rows — so one sample costs ~80 * n_gates bytes.
+    """
+    per_sample = 80 * max(1, n_gates)
+    return max(1, min(n_samples, int(memory_budget) // per_sample))
+
 
 def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                       times: Sequence[float] = FIG12_TIMES, *,
@@ -200,7 +218,9 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                       analyzer: Optional[AgingAnalyzer] = None,
                       seed: int = 0,
                       context=None,
-                      engine: str = "compiled") -> StatisticalAgingResult:
+                      engine: str = "compiled",
+                      memory_budget: int = DEFAULT_MC_BUDGET
+                      ) -> StatisticalAgingResult:
     """Monte-Carlo delay distribution across lifetime points.
 
     Args:
@@ -212,11 +232,15 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
         context: shared :class:`~repro.context.AnalysisContext`; the
             per-lifetime nominal shifts and the timer's loads come from
             its memo (the per-die sampling itself stays Monte-Carlo).
-        engine: ``"compiled"`` (default) assembles one (gates, samples)
-            ΔVth matrix per lifetime point and times all dies in a
-            single batched kernel call; ``"scalar"`` keeps the historic
+        engine: ``"compiled"`` (default) streams the die population in
+            (gates, chunk) ΔVth matrices and times each chunk in one
+            batched kernel call; ``"scalar"`` keeps the historic
             one-STA-per-die Python loop.  Both produce bit-identical
-            delay matrices.
+            delay matrices, for any chunking.
+        memory_budget: compiled-engine working-set budget in bytes; the
+            sample axis is chunked so the transient matrices stay under
+            it (:data:`DEFAULT_MC_BUDGET` holds ISCAS populations in a
+            single chunk).  Results do not depend on the budget.
 
     Returns:
         :class:`StatisticalAgingResult` with shape (len(times), n_samples).
@@ -243,16 +267,18 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
 
         delays = np.empty((len(times), n_samples))
         if engine == "compiled":
-            # Fully array-native: the offset population arrives as one
-            # (gates, samples) matrix aligned to the kernel's gate axis,
-            # the nominal shifts as memoized (n_gates,) vectors — no
-            # per-die or per-gate dict walk anywhere.  The per-element
-            # arithmetic keeps the scalar operand order
+            # Fully array-native and streamed: the offset population
+            # arrives as (gates, chunk) matrices aligned to the kernel's
+            # gate axis (chunked by the memory budget; the RNG stream
+            # cuts at die boundaries, so chunking never changes a
+            # value), the nominal shifts as memoized (n_gates,) vectors
+            # — no per-die or per-gate dict walk anywhere.  The
+            # per-element arithmetic keeps the scalar operand order
             # (offset + base * scale), so every matrix entry is
             # bit-identical to the per-die dict math; the field-factor
-            # scale is one vectorized kernel call over the whole offset
-            # matrix (same ufunc loops as the scalar calibration after
-            # the numerics unification).
+            # scale is one vectorized kernel call per offset chunk
+            # (same ufunc loops as the scalar calibration after the
+            # numerics unification).
             ct = timer.compiled
             use_ctx = context is not None and analyzer is context.analyzer
             base_vecs = []
@@ -269,14 +295,20 @@ def statistical_aging(circuit: Circuit, profile: OperatingProfile,
                                                   engine=engine)
                     base_vecs.append(ct.gate_vector(shifts, 0.0,
                                                     batch=False))
-            offv = variation.sample_matrix(circuit, n_samples, seed,
-                                           gate_order=ct.gate_names)
             kernel = CompiledNbtiModel(analyzer.model)
-            scalev = kernel.field_factors(vth0 + offv) / base_field
-            for k in range(len(times)):
-                with obs.span("variation.lifetime_point", index=k):
-                    total = offv + base_vecs[k][:, None] * scalev
-                    delays[k] = timer.delays_batch(total)
+            chunk = _mc_chunk_samples(ct.n_gates, n_samples, memory_budget)
+            for s0, offv in variation.iter_sample_matrix(
+                    circuit, n_samples, seed, chunk_samples=chunk,
+                    gate_order=ct.gate_names):
+                count = offv.shape[1]
+                with obs.span("variation.mc_chunk", start=s0,
+                              samples=count):
+                    scalev = kernel.field_factors(vth0 + offv) / base_field
+                    for k in range(len(times)):
+                        with obs.span("variation.lifetime_point", index=k):
+                            total = offv + base_vecs[k][:, None] * scalev
+                            delays[k, s0:s0 + count] = \
+                                timer.delays_batch(total)
         else:
             # No inner spans: the scalar oracle runs one STA per die
             # per point (thousands of calls on real sample counts).

@@ -254,14 +254,82 @@ class TestArtifactStore(unittest.TestCase):
         ctx = AnalysisContext(load_circuit("c17"), store=store)
         ctx.save_to_store()
         store.save_result("fp", "key", {"x": 1})
+        store.save_shard("sweepkey", 0, {"schema": 1})
         info = store.info()
         self.assertEqual(info["bundles"], 1)
         self.assertEqual(info["results"], 1)
+        self.assertEqual(info["shards"], 1)
         self.assertGreater(info["bytes"], 0)
         removed = store.clear()
-        self.assertGreaterEqual(removed, 3)  # npz + manifest + result...
+        self.assertGreaterEqual(removed, 4)  # npz + manifest + result...
         self.assertEqual(store.info()["bundles"], 0)
         self.assertEqual(store.info()["results"], 0)
+        self.assertEqual(store.info()["shards"], 0)
+
+    def test_shard_checkpoints_round_trip(self):
+        store = ArtifactStore(self.root)
+        self.assertIsNone(store.load_shard("swp", 0))
+        self.assertEqual(store.list_shards("swp"), [])
+        store.save_shard("swp", 2, {"results": [0.1234567890123457]})
+        store.save_shard("swp", 0, {"results": []})
+        self.assertEqual(store.list_shards("swp"), [0, 2])
+        self.assertEqual(store.load_shard("swp", 2),
+                         {"results": [0.1234567890123457]})
+        self.assertEqual(store.stats.hits("shard"), 1)
+        self.assertEqual(store.stats.misses("shard"), 1)
+        self.assertEqual(store.clear_sweep("swp"), 2)
+        self.assertEqual(store.list_shards("swp"), [])
+        self.assertEqual(store.clear_sweep("swp"), 0)
+
+    def test_concurrent_same_key_bundle_writers(self):
+        # Satellite requirement: the store stays consistent when many
+        # shard workers save the same bundle at once.  Threads exercise
+        # the same lock/atomic-replace code paths as processes.
+        import threading
+
+        store = ArtifactStore(self.root)
+        ctx = AnalysisContext(load_circuit("c17"))
+        bundle = ArtifactBundle.snapshot(ctx)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    store.save_bundle(bundle)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self.assertEqual(errors, [])
+        self.assertTrue(store.has_bundle(bundle.bundle_key))
+        self.assertEqual(store.load_bundle(bundle.bundle_key), bundle)
+        # No stray lock or temp files survive the stampede.
+        leftovers = [p for p in self.root.rglob("*")
+                     if p.is_file() and (p.suffix == ".lock"
+                                         or p.name.startswith("."))]
+        self.assertEqual(leftovers, [])
+
+    def test_stale_lock_is_broken(self):
+        import time as _time
+
+        from repro.artifacts import store as store_mod
+
+        store = ArtifactStore(self.root)
+        ctx = AnalysisContext(load_circuit("c17"))
+        bundle = ArtifactBundle.snapshot(ctx)
+        key = bundle.bundle_key
+        lock = store._bundle_dir(key) / f"{key}.lock"
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.touch()
+        stale = _time.time() - 10 * store_mod.LOCK_STALE_SECONDS
+        os.utime(lock, (stale, stale))
+        store.save_bundle(bundle)  # breaks the orphan lock, no hang
+        self.assertTrue(store.has_bundle(key))
+        self.assertFalse(lock.exists())
 
 
 class TestBundledSweeps(unittest.TestCase):

@@ -128,8 +128,101 @@ class TestCommands:
         parser = build_parser()
         help_text = parser.format_help()
         for cmd in ("info", "age", "mlv", "sleep", "guardband", "table1",
-                    "paths", "table4", "sweep"):
+                    "paths", "table4", "sweep", "generate"):
             assert cmd in help_text
+
+
+class TestGenerateCli:
+    def test_same_seed_same_bytes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.bench", tmp_path / "b.bench"
+        assert main(["generate", str(a), "--gates", "300",
+                     "--seed", "5"]) == 0
+        out_a = capsys.readouterr().out
+        assert main(["generate", str(b), "--gates", "300",
+                     "--seed", "5"]) == 0
+        out_b = capsys.readouterr().out
+        assert a.read_bytes() == b.read_bytes()
+
+        def fingerprint(text):
+            return next(line for line in text.splitlines()
+                        if line.startswith("fingerprint"))
+
+        assert fingerprint(out_a) == fingerprint(out_b)
+
+    def test_seed_changes_netlist(self, tmp_path, capsys):
+        a, b = tmp_path / "a.bench", tmp_path / "b.bench"
+        main(["generate", str(a), "--gates", "300", "--seed", "0"])
+        main(["generate", str(b), "--gates", "300", "--seed", "1"])
+        capsys.readouterr()
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_printed_stats_match_info_on_reload(self, tmp_path, capsys):
+        # The reported profile describes the circuit *as written*, so
+        # `repro info` on the file agrees even though the exporter
+        # expands AOI/OAI cells into multi-gate decompositions.
+        path = tmp_path / "g.bench"
+        assert main(["generate", str(path), "--gates", "300"]) == 0
+        gen = capsys.readouterr().out
+        profile = next(line for line in gen.splitlines()
+                       if line.startswith("profile"))
+        counts = profile.split(":", 1)[1].split("(target")[0].strip()
+        assert main(["info", str(path)]) == 0
+        assert counts.rstrip(", ") in capsys.readouterr().out
+
+    def test_custom_dims_and_name(self, tmp_path, capsys):
+        path = tmp_path / "g.bench"
+        assert main(["generate", str(path), "--gates", "300",
+                     "--inputs", "16", "--outputs", "4",
+                     "--name", "mychip"]) == 0
+        out = capsys.readouterr().out
+        assert "generated      : mychip" in out
+        assert "16 inputs, 4 outputs" in out
+        # .bench carries no name record: reloads are named by file stem.
+        c = resolve_circuit(str(path))
+        assert len(c.primary_inputs) == 16
+        assert len(c.primary_outputs) == 4
+
+    def test_generated_circuit_ages(self, tmp_path, capsys):
+        path = tmp_path / "g.bench"
+        assert main(["generate", str(path), "--gates", "300"]) == 0
+        capsys.readouterr()
+        assert main(["age", str(path), "--ras", "1:5",
+                     "--years", "10"]) == 0
+        assert "degradation" in capsys.readouterr().out
+
+
+class TestShardedSweepCli:
+    ARGS = ["--vectors", "8", "--set-size", "2", "--workers", "1"]
+
+    def test_interrupted_then_resumed_is_byte_identical(self, tmp_path,
+                                                        capsys):
+        base = ["sweep", "c17", "c17", "c17"] + self.ARGS
+        s1, s2 = str(tmp_path / "s1"), str(tmp_path / "s2")
+        # Uninterrupted sharded run: the reference stdout.
+        assert main(base + ["--store", s1, "--shards", "2"]) == 0
+        reference = capsys.readouterr().out
+        # Interrupted run: one shard, checkpoint, exit without a table.
+        assert main(base + ["--store", s2, "--shards", "2",
+                            "--max-shards", "1"]) == 0
+        partial = capsys.readouterr()
+        assert partial.out == ""
+        assert "re-run with --resume" in partial.err
+        # Resume: the completed table is byte-identical.
+        assert main(base + ["--store", s2, "--shards", "2",
+                            "--resume"]) == 0
+        assert capsys.readouterr().out == reference
+
+    def test_sharded_matches_flat_sweep(self, tmp_path, capsys):
+        base = ["sweep", "c17", "c17"] + self.ARGS
+        assert main(base) == 0
+        flat = capsys.readouterr().out
+        assert main(base + ["--store", str(tmp_path / "s"),
+                            "--shards", "2"]) == 0
+        assert capsys.readouterr().out == flat
+
+    def test_shards_require_store(self, capsys):
+        assert main(["sweep", "c17", "--shards", "2"] + self.ARGS) == 2
+        assert "--shards requires --store" in capsys.readouterr().err
 
 
 class TestObservabilityFlags:

@@ -1,0 +1,220 @@
+"""Sharded, resumable sweeps (repro.flow.parallel + ArtifactStore).
+
+Contract under test: deterministic shards, atomic per-shard
+checkpoints, and resume semantics — a killed or shard-limited sweep
+continues from its checkpoints and the assembled results (and the
+merged observation payloads) are field-for-field identical to an
+uninterrupted run, regardless of shard layout or interruption history.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.artifacts import ArtifactStore
+from repro.constants import TEN_YEARS
+from repro.core import OperatingProfile
+from repro.flow.parallel import (
+    ShardedSweepResult,
+    _decode_row,
+    _encode_row,
+    run_co_optimization_sweep,
+    run_sharded_co_optimization_sweep,
+    run_sharded_sweep,
+    run_sweep,
+    shard_jobs,
+)
+
+PROFILE = OperatingProfile.from_ras("1:5", t_standby=330.0)
+
+
+# Module-level workers (picklable, like the real sweep workers).
+def _square(x):
+    return x * x
+
+
+def _traced_square(x):
+    with obs.span("worker.compute", job=x):
+        obs.count("worker.calls")
+    return x * x
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestShardJobs:
+    def test_round_robin_partition(self):
+        assert shard_jobs(7, 3) == [(0, 3, 6), (1, 4), (2, 5)]
+
+    def test_covers_every_index_exactly_once(self):
+        shards = shard_jobs(23, 5)
+        flat = sorted(i for shard in shards for i in shard)
+        assert flat == list(range(23))
+
+    def test_more_shards_than_jobs(self):
+        assert shard_jobs(2, 4) == [(0,), (1,), (), ()]
+
+    def test_single_shard(self):
+        assert shard_jobs(4, 1) == [(0, 1, 2, 3)]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_jobs(4, 0)
+
+
+class TestShardedSweep:
+    def test_complete_in_one_run(self, store):
+        res = run_sharded_sweep(_square, range(7), store=store,
+                                sweep_key="k1", n_shards=3, max_workers=1)
+        assert isinstance(res, ShardedSweepResult)
+        assert res.complete
+        assert res.rows == [i * i for i in range(7)]
+        assert res.ran_shards == (0, 1, 2)
+        assert res.resumed_shards == ()
+        assert store.list_shards("k1") == [0, 1, 2]
+
+    def test_max_shards_per_run_checkpoints_and_stops(self, store):
+        res = run_sharded_sweep(_square, range(6), store=store,
+                                sweep_key="k2", n_shards=3,
+                                max_shards_per_run=1, max_workers=1)
+        assert not res.complete
+        assert res.rows is None
+        assert res.ran_shards == (0,)
+        assert store.list_shards("k2") == [0]
+
+    def test_resume_completes_with_identical_rows(self, store):
+        flat = [_square(i) for i in range(6)]
+        run_sharded_sweep(_square, range(6), store=store, sweep_key="k3",
+                          n_shards=3, max_shards_per_run=1, max_workers=1)
+        mid = run_sharded_sweep(_square, range(6), store=store,
+                                sweep_key="k3", n_shards=3, resume=True,
+                                max_shards_per_run=1, max_workers=1)
+        assert not mid.complete
+        assert mid.resumed_shards == (0,)
+        assert mid.ran_shards == (1,)
+        done = run_sharded_sweep(_square, range(6), store=store,
+                                 sweep_key="k3", n_shards=3, resume=True,
+                                 max_workers=1)
+        assert done.complete
+        assert done.resumed_shards == (0, 1)
+        assert done.ran_shards == (2,)
+        assert done.rows == flat
+
+    def test_killed_mid_shard_recomputes_only_missing(self, store, tmp_path):
+        run_sharded_sweep(_square, range(6), store=store, sweep_key="k4",
+                          n_shards=3, max_workers=1)
+        # Simulate a kill mid-shard: the atomic write means the victim
+        # shard's checkpoint simply does not exist.
+        (store.root / "sweeps" / "k4" / "shard-0001.json").unlink()
+        res = run_sharded_sweep(_square, range(6), store=store,
+                                sweep_key="k4", n_shards=3, resume=True,
+                                max_workers=1)
+        assert res.complete
+        assert res.ran_shards == (1,)
+        assert res.resumed_shards == (0, 2)
+        assert res.rows == [_square(i) for i in range(6)]
+
+    def test_no_resume_clears_stale_checkpoints(self, store):
+        run_sharded_sweep(_square, range(4), store=store, sweep_key="k5",
+                          n_shards=2, max_workers=1)
+        res = run_sharded_sweep(_square, range(4), store=store,
+                                sweep_key="k5", n_shards=2, max_workers=1)
+        assert res.resumed_shards == ()
+        assert res.ran_shards == (0, 1)
+
+    def test_stale_schema_checkpoint_recomputed(self, store):
+        run_sharded_sweep(_square, range(4), store=store, sweep_key="k6",
+                          n_shards=2, max_workers=1)
+        path = store.root / "sweeps" / "k6" / "shard-0000.json"
+        payload = json.loads(path.read_text())
+        payload["total_shards"] = 99  # a different shard layout
+        path.write_text(json.dumps(payload))
+        res = run_sharded_sweep(_square, range(4), store=store,
+                                sweep_key="k6", n_shards=2, resume=True,
+                                max_workers=1)
+        assert res.complete
+        assert res.ran_shards == (0,)
+        assert res.rows == [0, 1, 4, 9]
+
+    def test_empty_trailing_shards(self, store):
+        res = run_sharded_sweep(_square, range(2), store=store,
+                                sweep_key="k7", n_shards=4, max_workers=1)
+        assert res.complete
+        assert res.rows == [0, 1]
+        assert store.list_shards("k7") == [0, 1, 2, 3]
+
+    def test_requires_store(self):
+        with pytest.raises(ValueError, match="artifact store"):
+            run_sharded_sweep(_square, range(2), store=None,
+                              sweep_key="k", n_shards=1)
+
+
+class TestShardedObservations:
+    """Checkpointed observation payloads merge with the pooled==serial
+    semantics: job-order adoption, invariant to interruption."""
+
+    def _metrics_of(self, fn):
+        tracer = obs.Tracer()
+        registry = obs.MetricsRegistry()
+        with obs.use_tracer(tracer), obs.use_metrics(registry):
+            result = fn()
+        return result, tracer, registry.snapshot()
+
+    def test_merged_metrics_match_flat_sweep(self, store):
+        _, _, flat = self._metrics_of(
+            lambda: run_sweep(_traced_square, range(5), max_workers=1))
+        res, tracer, sharded = self._metrics_of(
+            lambda: run_sharded_sweep(_traced_square, range(5),
+                                      store=store, sweep_key="o1",
+                                      n_shards=2, max_workers=1))
+        assert res.complete
+        assert sharded["worker.calls"] == flat["worker.calls"]
+
+    def test_resumed_completion_merges_checkpointed_spans(self, store):
+        # Shard 0 runs (and checkpoints its observations) in run A;
+        # run B resumes, runs shard 1, and merges BOTH shards' worker
+        # spans in job order.
+        self._metrics_of(
+            lambda: run_sharded_sweep(_traced_square, range(4),
+                                      store=store, sweep_key="o2",
+                                      n_shards=2, max_shards_per_run=1,
+                                      max_workers=1))
+        res, tracer, metrics = self._metrics_of(
+            lambda: run_sharded_sweep(_traced_square, range(4),
+                                      store=store, sweep_key="o2",
+                                      n_shards=2, resume=True,
+                                      max_workers=1))
+        assert res.complete
+        assert metrics["worker.calls"]["values"][""] == 4
+        adopted = tracer.find("worker.compute")
+        assert sorted(s.attributes["job"] for s in adopted) == [0, 1, 2, 3]
+        assert [s.attributes["worker"] for s in adopted
+                if s.attributes.get("worker") is not None] == [0, 1, 2, 3]
+
+
+class TestShardedCoOptimization:
+    def test_interrupted_resumed_equals_flat(self, store):
+        kwargs = dict(n_vectors=8, max_set_size=2, seed=3)
+        circuits = ("c17", "c17", "c17")
+        flat = run_co_optimization_sweep(circuits, PROFILE, TEN_YEARS,
+                                         max_workers=1, **kwargs)
+        first = run_sharded_co_optimization_sweep(
+            circuits, PROFILE, TEN_YEARS, store=store, n_shards=2,
+            max_shards_per_run=1, max_workers=1, **kwargs)
+        assert not first.complete
+        done = run_sharded_co_optimization_sweep(
+            circuits, PROFILE, TEN_YEARS, store=store, n_shards=2,
+            resume=True, max_workers=1, **kwargs)
+        assert done.complete
+        assert done.resumed_shards == (0,)
+        assert done.rows == flat
+
+    def test_row_codec_round_trips_exactly(self):
+        [row] = run_co_optimization_sweep(("c17",), PROFILE, TEN_YEARS,
+                                          n_vectors=8, max_set_size=2,
+                                          seed=1, max_workers=1)
+        wire = json.loads(json.dumps(_encode_row(row)))
+        assert _decode_row(wire) == row

@@ -11,7 +11,9 @@ from repro.netlist import (
     iscas85,
     priority_controller,
     random_logic,
+    scale_circuit,
 )
+from repro.netlist.generators import _CELL_ARITY
 from repro.sim import constant_vector, evaluate
 
 
@@ -148,6 +150,79 @@ class TestRandomLogic:
             random_logic("r", 1, 1, 100, seed=0)
         with pytest.raises(ValueError):
             random_logic("r", 10, 8, 10, seed=0)
+
+
+class TestRandomLogicArray:
+    """The O(n) array engine: same invariants, bulk-RNG construction."""
+
+    def test_deterministic(self):
+        a = random_logic("r", 16, 4, 200, seed=11, engine="array")
+        b = random_logic("r", 16, 4, 200, seed=11, engine="array")
+        assert [(g.name, g.cell, tuple(g.inputs)) for g in a.gates.values()] \
+            == [(g.name, g.cell, tuple(g.inputs)) for g in b.gates.values()]
+
+    def test_seeds_differ(self):
+        a = random_logic("r", 16, 4, 200, seed=11, engine="array")
+        b = random_logic("r", 16, 4, 200, seed=12, engine="array")
+        assert [g.inputs for g in a.gates.values()] \
+            != [g.inputs for g in b.gates.values()]
+
+    def test_output_count_exact_and_validates(self, lib):
+        for n_out in (1, 5, 17):
+            c = random_logic("r", 20, n_out, 300, seed=n_out, engine="array")
+            c.validate(lib)
+            assert len(c.primary_outputs) == n_out
+
+    def test_rejects_bad_profiles(self):
+        with pytest.raises(ValueError):
+            random_logic("r", 3, 1, 100, seed=0, engine="array")
+        with pytest.raises(ValueError):
+            random_logic("r", 10, 8, 10, seed=0, engine="array")
+        with pytest.raises(ValueError):
+            random_logic("r", 16, 4, 100, seed=0, engine="nope")
+        with pytest.raises(ValueError):
+            random_logic("r", 200, 4, 150, seed=0, engine="array")
+
+    def test_mix_respected(self):
+        c = random_logic("r", 32, 8, 2000, seed=1,
+                         mix={"NAND2": 1.0, "INV": 1.0}, engine="array")
+        # Main-region gates only use mix cells; OR*/BUF absorb dangling.
+        allowed = {"NAND2", "INV", "OR2", "OR3", "OR4", "BUF"}
+        assert set(c.cell_histogram()) <= allowed
+
+    def test_structural_invariants_at_50k(self, lib):
+        n_target = 50_000
+        c = scale_circuit(n_target, seed=7)
+        # Gate count lands on the target within the dangling-absorption
+        # slack; output profile is exact.
+        assert n_target <= c.n_gates() <= 1.10 * n_target
+        # Levelizable (acyclic with all fanins defined): a full
+        # topological order exists and covers every gate.
+        order = c.topological_order()
+        assert len(order) == c.n_gates()
+        # Fanin bounds: every gate's fanin count matches its cell arity.
+        for g in c.gates.values():
+            assert len(g.inputs) == _CELL_ARITY[g.cell], g.name
+        # Unique gate/net names: PIs and gate outputs never collide.
+        names = [g.name for g in c.gates.values()]
+        assert len(set(names)) == len(names)
+        assert not set(names) & set(c.primary_inputs)
+        # Every PI consumed, every gate reaches a PO.
+        used = set()
+        for g in c.gates.values():
+            used.update(g.inputs)
+        assert set(c.primary_inputs) <= used
+        assert set(c.gates) <= c.transitive_fanin(c.primary_outputs)
+        c.validate(lib)
+
+    def test_seed_reproducible_fingerprint_at_50k(self):
+        from repro.artifacts.fingerprint import circuit_fingerprint
+
+        a = scale_circuit(50_000, seed=7)
+        b = scale_circuit(50_000, seed=7)
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        assert circuit_fingerprint(a) != circuit_fingerprint(
+            scale_circuit(50_000, seed=8))
 
 
 class TestIscasCatalog:

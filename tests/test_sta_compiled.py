@@ -323,6 +323,57 @@ class TestFastAgedTimerShim:
         assert timer.compiled is ctx.compiled_timing()
 
 
+class TestMemoryHygiene:
+    """Batch/scale flows never materialize O(gates) Python containers.
+
+    The list mirrors exist only for the incremental cone walk; the
+    lowering, batched evaluation, surfaces, and the aged-delay summary
+    must leave them unbuilt (``_mirrors is None``), and the incremental
+    timer's own state must be ndarray-backed.
+    """
+
+    def test_batch_and_surface_leave_mirrors_unbuilt(self):
+        from repro import obs
+
+        circuit = bench("c880")
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            ct = CompiledTiming(circuit)
+            vec = ct.gate_vector(random_dvth(circuit, seed=3), 0.0)
+            ct.delays_batch(vec[:, None] * np.linspace(0.5, 1.5, 8))
+            ct.surface(delta_vth=random_dvth(circuit, seed=4)).circuit_delay
+        assert ct._mirrors is None
+        assert tracer.find("sta.compiled.mirrors") == []
+
+    def test_aged_delay_summary_leaves_mirrors_unbuilt(self):
+        circuit = bench("c432")
+        context = AnalysisContext(circuit)
+        context.aged_delays(PROFILE, TEN_YEARS)
+        assert context.compiled_timing()._mirrors is None
+
+    def test_incremental_walk_builds_mirrors_once(self):
+        from repro import obs
+
+        circuit = bench("c432")
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            ct = CompiledTiming(circuit)
+            timer = ct.incremental()
+            gate = ct.gate_names[0]
+            timer.update({gate: (1e-11, 1e-11)})
+            timer.update({gate: (2e-11, 2e-11)})
+        assert ct._mirrors is not None
+        assert len(tracer.find("sta.compiled.mirrors")) == 1
+
+    def test_incremental_timer_state_is_ndarray(self):
+        ct = CompiledTiming(bench("c432"))
+        timer = ct.incremental()
+        assert isinstance(timer._d, np.ndarray)
+        assert isinstance(timer._arr, np.ndarray)
+        assert timer._d.dtype == np.float64
+        assert timer._arr.dtype == np.float64
+
+
 class TestEngineEquivalenceFlows:
     def test_statistical_aging_engines_identical(self):
         circuit = bench("c432")

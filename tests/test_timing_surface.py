@@ -246,6 +246,55 @@ class TestNoAssemblyInTrialLoops:
                               context=AnalysisContext(circuit))
         assert spans_named(tracer, "sta.compiled.assemble") == []
 
+    def test_aged_delays_records_no_assembly(self):
+        circuit = circuit_named("c432")
+        context = AnalysisContext(circuit)
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            context.aged_delays(PROFILE, TEN_YEARS)
+        assert spans_named(tracer, "sta.compiled.assemble") == []
+        assert len(spans_named(tracer, "sta.compiled.surface")) == 2
+
+
+class TestAgedDelaySummary:
+    """The summary path equals the full aged_timing fields exactly."""
+
+    def test_matches_aged_timing_fields(self):
+        circuit = circuit_named("c880")
+        context = AnalysisContext(circuit)
+        full = context.aged_timing(PROFILE, TEN_YEARS)
+        summary = context.aged_delays(PROFILE, TEN_YEARS)
+        assert summary.fresh_delay == full.fresh_delay
+        assert summary.aged_delay == full.aged_delay
+        assert summary.delay_increase == full.delay_increase
+        assert summary.relative_degradation == full.relative_degradation
+        assert summary.max_shift == full.max_shift
+        assert summary.circuit_name == circuit.name
+
+    def test_standby_and_drop_settings(self):
+        from repro.sta import ALL_ONE
+
+        circuit = circuit_named("c432")
+        context = AnalysisContext(circuit)
+        full = context.aged_timing(PROFILE, TEN_YEARS, standby=ALL_ONE,
+                                   supply_drop=0.05)
+        summary = context.aged_delays(PROFILE, TEN_YEARS, standby=ALL_ONE,
+                                      supply_drop=0.05)
+        assert summary.fresh_delay == full.fresh_delay
+        assert summary.aged_delay == full.aged_delay
+        assert summary.max_shift == full.max_shift
+
+    def test_works_without_context(self):
+        from repro.sta import AgingAnalyzer
+
+        circuit = circuit_named("c432")
+        analyzer = AgingAnalyzer()
+        full = analyzer.aged_timing(circuit, PROFILE, TEN_YEARS)
+        summary = analyzer.aged_delays(circuit, PROFILE, TEN_YEARS)
+        assert summary.fresh_delay == full.fresh_delay
+        assert summary.aged_delay == full.aged_delay
+        assert summary.max_shift == full.max_shift
+
 
 class TestFlowEngineIdentity:
     """End-to-end: converted flows take identical decisions per engine."""

@@ -67,6 +67,73 @@ class TestVariationModel:
             VariationModel().sample_many(random_logic("x", 4, 1, 20, seed=1), 0)
 
 
+class TestChunkedSampling:
+    """iter_sample_matrix: streamed chunks == the one-shot matrix."""
+
+    @pytest.mark.parametrize("chunk", [1, 2, 5, 8, 37, 100])
+    def test_chunks_bit_identical_to_one_shot(self, circuit, chunk):
+        m = VariationModel(sigma_local=0.012, sigma_global=0.004)
+        full = m.sample_matrix(circuit, 23, seed=9)
+        for s0, part in m.iter_sample_matrix(circuit, 23, seed=9,
+                                             chunk_samples=chunk):
+            assert np.array_equal(part, full[:, s0:s0 + part.shape[1]])
+
+    def test_odd_per_die_realigns_chunk(self, circuit):
+        # sigma_global only: one draw per die, so an odd chunk would cut
+        # a Box-Muller pair in half; the iterator rounds the chunk up.
+        m = VariationModel(sigma_local=0.0, sigma_global=0.02)
+        full = m.sample_matrix(circuit, 17, seed=4)
+        for chunk in (1, 3, 11):
+            got = np.hstack([part for _, part in m.iter_sample_matrix(
+                circuit, 17, seed=4, chunk_samples=chunk)])
+            assert np.array_equal(got, full)
+
+    def test_gate_order_permutation(self, circuit):
+        m = VariationModel(sigma_local=0.01)
+        order = sorted(circuit.gates)
+        full = m.sample_matrix(circuit, 6, seed=2, gate_order=order)
+        got = np.hstack([part for _, part in m.iter_sample_matrix(
+            circuit, 6, seed=2, chunk_samples=4, gate_order=order)])
+        assert np.array_equal(got, full)
+
+    def test_zero_sigma_streams_zeros(self, circuit):
+        m = VariationModel(sigma_local=0.0, sigma_global=0.0)
+        chunks = list(m.iter_sample_matrix(circuit, 5, seed=0,
+                                           chunk_samples=2))
+        assert sum(part.shape[1] for _, part in chunks) == 5
+        assert all(not part.any() for _, part in chunks)
+
+    def test_guards(self, circuit):
+        m = VariationModel()
+        with pytest.raises(ValueError):
+            list(m.iter_sample_matrix(circuit, 0, chunk_samples=4))
+        with pytest.raises(ValueError):
+            list(m.iter_sample_matrix(circuit, 4, chunk_samples=0))
+        with pytest.raises(ValueError):
+            list(m.iter_sample_matrix(circuit, 4, chunk_samples=2,
+                                      gate_order=["nope"]))
+
+
+class TestMemoryBudget:
+    """statistical_aging results are independent of the MC budget."""
+
+    def test_budget_does_not_change_results(self, circuit):
+        kwargs = dict(times=(0.0, TEN_YEARS), n_samples=12, seed=3,
+                      engine="compiled")
+        base = statistical_aging(circuit, PROFILE, **kwargs)
+        tiny = statistical_aging(circuit, PROFILE, memory_budget=1, **kwargs)
+        assert np.array_equal(base.delays, tiny.delays)
+
+    def test_chunk_sizer(self):
+        from repro.variation.statistical import _mc_chunk_samples
+
+        # 256 MiB over 80-byte-per-gate rows; never below 1 sample and
+        # never above the requested population.
+        assert _mc_chunk_samples(1000, 10_000, 256 * 2**20) == 3355
+        assert _mc_chunk_samples(10**9, 100, 256 * 2**20) == 1
+        assert _mc_chunk_samples(10, 4, 256 * 2**20) == 4
+
+
 class TestFastTimer:
     def test_matches_full_sta_fresh(self, circuit):
         timer = FastAgedTimer(circuit)
