@@ -8,6 +8,7 @@ Layout (all writes atomic: temp file in the target directory, then
     <root>/bundles/<k[:2]>/<key>.json          # bundle manifest
     <root>/results/<circuit_fp>/<scenario>.json  # cached result payloads
     <root>/sweeps/<sweep_key>/shard-NNNN.json  # sweep shard checkpoints
+    <root>/jobs/<job_id>.json                  # service job records
 
 The manifest is written *after* the ``.npz`` it references, so a
 manifest on disk marks a complete bundle — a crash between the two
@@ -229,6 +230,15 @@ class ArtifactStore:
                            payload)
         obs.count("store.result_saves")
 
+    def has_result(self, circuit_fp: str, scenario_key: str) -> bool:
+        """Whether a cached result exists (no hit/miss accounting).
+
+        The uncounted peek used for consistency checks (e.g. the serve
+        queue's done-implies-result invariant) — cache *traffic* stays
+        measured by :meth:`load_result` alone.
+        """
+        return self._result_path(circuit_fp, scenario_key).exists()
+
     def load_result(self, circuit_fp: str, scenario_key: str
                     ) -> Optional[Dict[str, Any]]:
         """The cached payload, or ``None`` (counted miss)."""
@@ -241,6 +251,36 @@ class ArtifactStore:
         self.stats.record_hit("result")
         obs.count("store.result_hits")
         return payload
+
+    # -- service job records --------------------------------------------------
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.root / "jobs" / f"{job_id}.json"
+
+    def save_job(self, job_id: str, payload: Dict[str, Any]) -> None:
+        """Persist one job record (atomic tmp + replace).
+
+        The service rewrites the whole record on every state
+        transition, so any record on disk is a complete, consistent
+        snapshot — a killed server never leaves a half-written job.
+        """
+        self._ensure_marker()
+        _atomic_write_json(self._job_path(job_id), payload)
+        obs.count("store.job_saves")
+
+    def load_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """One job record's payload, or ``None`` when unknown."""
+        path = self._job_path(job_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text("utf-8"))
+
+    def list_jobs(self) -> List[str]:
+        """Sorted ids of every persisted job record."""
+        jobs_dir = self.root / "jobs"
+        if not jobs_dir.is_dir():
+            return []
+        return sorted(p.stem for p in jobs_dir.glob("*.json"))
 
     # -- sweep shard checkpoints ----------------------------------------------
 
@@ -297,9 +337,10 @@ class ArtifactStore:
         bundles = sorted(p for p in self.root.glob("bundles/*/*.json"))
         results = sorted(self.root.glob("results/*/*.json"))
         shards = sorted(self.root.glob("sweeps/*/shard-*.json"))
+        jobs = sorted(self.root.glob("jobs/*.json"))
         total = 0
         for pattern in ("bundles/*/*", "results/*/*", "sweeps/*/*",
-                        "store.json"):
+                        "jobs/*", "store.json"):
             for path in self.root.glob(pattern):
                 if path.is_file():
                     total += path.stat().st_size
@@ -309,6 +350,7 @@ class ArtifactStore:
             "bundles": len(bundles),
             "results": len(results),
             "shards": len(shards),
+            "jobs": len(jobs),
             "bytes": total,
             "bundle_keys": [p.stem for p in bundles],
         }
@@ -317,14 +359,14 @@ class ArtifactStore:
         """Delete every stored bundle and result; returns files removed.
 
         Only touches the store's own subtrees (``bundles/``,
-        ``results/``, ``sweeps/``, ``store.json``) — a mistyped
-        ``--store`` pointing at a source directory cannot lose
-        anything else.
+        ``results/``, ``sweeps/``, ``jobs/``, ``store.json``) — a
+        mistyped ``--store`` pointing at a source directory cannot
+        lose anything else.
         """
         import shutil
 
         removed = 0
-        for sub in ("bundles", "results", "sweeps"):
+        for sub in ("bundles", "results", "sweeps", "jobs"):
             path = self.root / sub
             if path.is_dir():
                 removed += sum(1 for p in path.rglob("*") if p.is_file())

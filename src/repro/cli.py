@@ -12,7 +12,10 @@ Gives the paper's main analyses a shell-friendly surface:
 * ``paths``     — K longest (optionally aged) paths,
 * ``table4``    — internal-node-control potential sweep,
 * ``sweep``     — co-optimize many circuits, one process per circuit,
-* ``cache``     — inspect / warm / clear a persistent artifact store.
+* ``cache``     — inspect / warm / clear a persistent artifact store,
+* ``serve``     — run the long-running analysis service (HTTP + queue),
+* ``submit``    — send one aging query to a running service,
+* ``result``    — fetch (and render) a submitted job's numbers.
 
 Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
 (``c17``), or a ``.bench`` file path.
@@ -164,6 +167,23 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _print_age_report(circuit_name: str, profile: OperatingProfile,
+                      years_f: float, standby: str, numbers) -> None:
+    """The ``age`` stdout block, shared with ``submit``/``result``.
+
+    One renderer is what makes a served result byte-identical to the
+    local ``repro age`` output (the e2e cache-equivalence gate).
+    """
+    print(f"circuit        : {circuit_name}")
+    print(f"scenario       : RAS {profile.ras_label()}, "
+          f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
+          f"{years_f:g} years, {standby}-case standby")
+    print(f"fresh delay    : {ns(numbers['fresh_delay'])} ns")
+    print(f"aged delay     : {ns(numbers['aged_delay'])} ns")
+    print(f"degradation    : {pct(numbers['degradation'])}")
+    print(f"worst gate dVth: {mv(numbers['max_shift'])} mV")
+
+
 def _store_note(store) -> None:
     """Print the store's hit/miss counters (stderr: diagnostics only)."""
     snap = store.stats.snapshot()
@@ -221,14 +241,8 @@ def cmd_age(args) -> int:
         if not store.has_bundle(context.content_key()):
             context.save_to_store()
         _store_note(store)
-    print(f"circuit        : {circuit.name}")
-    print(f"scenario       : RAS {profile.ras_label()}, "
-          f"{profile.t_active:.0f} K / {profile.t_standby:.0f} K, "
-          f"{args.years:g} years, {args.standby}-case standby")
-    print(f"fresh delay    : {ns(numbers['fresh_delay'])} ns")
-    print(f"aged delay     : {ns(numbers['aged_delay'])} ns")
-    print(f"degradation    : {pct(numbers['degradation'])}")
-    print(f"worst gate dVth: {mv(numbers['max_shift'])} mV")
+    _print_age_report(circuit.name, profile, args.years, args.standby,
+                      numbers)
     return 0
 
 
@@ -422,6 +436,162 @@ def cmd_cache(args) -> int:
     removed = store.clear()
     print(f"cleared {removed} file(s)")
     return 0
+
+
+def _http_json(url: str, payload=None, timeout: float = 10.0):
+    """One JSON request against the service; ``(status, document)``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return exc.code, {"error": str(exc)}
+
+
+def _render_served_result(doc) -> None:
+    """Render a ``/result`` document exactly like ``repro age``."""
+    from repro.serve import AgeScenario
+
+    job = doc["job"]
+    scenario = AgeScenario.from_dict(job["scenario"])
+    _print_age_report(job["circuit_name"], scenario.profile(),
+                      scenario.years, scenario.standby, doc["numbers"])
+
+
+def cmd_serve(args) -> int:
+    """``serve``: run the long-running analysis service.
+
+    Blocks until SIGTERM/SIGINT, then drains gracefully (running jobs
+    get ``--drain-grace`` seconds, then are requeued for the next
+    server) and exits 0.
+    """
+    import json
+    import os
+    import signal
+    import threading
+
+    from repro.artifacts import ArtifactStore
+    from repro.serve import ServeConfig, make_server
+
+    config = ServeConfig(
+        host=args.host, port=args.port, max_workers=args.workers,
+        timeout_s=args.timeout, max_retries=args.retries,
+        backoff_s=args.backoff, drain_grace_s=args.drain_grace,
+        allow_faults=args.allow_faults)
+    store = ArtifactStore(args.store)
+    httpd = make_server(store, config)
+    service = httpd.service
+    recovered = service.start()
+    host, port = httpd.server_address[:2]
+    url = f"http://{host}:{port}"
+    print(f"serving on {url} (store: {store.root}, "
+          f"workers: {config.max_workers}, recovered: "
+          f"{recovered['recovered']} orphaned / {recovered['queued']} "
+          f"queued)", file=sys.stderr)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        print(f"signal {signum}: draining", file=sys.stderr)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server_thread = threading.Thread(target=httpd.serve_forever,
+                                     name="repro-serve-http", daemon=True)
+    server_thread.start()
+    if args.ready_file:
+        Path(args.ready_file).write_text(
+            json.dumps({"url": url, "port": port, "pid": os.getpid()})
+            + "\n", encoding="utf-8")
+    stop.wait()
+    service.stop(drain=True)
+    httpd.shutdown()
+    server_thread.join(timeout=10.0)
+    counts = service.queue.counts()
+    print(f"drained: {counts['done']} done, {counts['failed']} failed, "
+          f"{counts['queued']} requeued", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """``submit``: send one aging query to a running service.
+
+    Prints the job id and state; with ``--wait`` polls to completion
+    and renders the result exactly like ``repro age``.
+    """
+    import time as _time
+
+    scenario = {"ras": args.ras, "t_active": args.t_active,
+                "t_standby": args.t_standby, "years": args.years,
+                "standby": args.standby}
+    status, doc = _http_json(f"{args.url}/submit",
+                             payload={"circuit": args.circuit,
+                                      "scenario": scenario})
+    if status not in (200, 202):
+        print(f"error: submit failed ({status}): "
+              f"{doc.get('error', doc)}", file=sys.stderr)
+        return 1
+    job_id = doc["job_id"]
+    print(f"job   : {job_id}", file=sys.stderr)
+    print(f"state : {doc['state']}"
+          + (" (cached)" if doc.get("cached") else ""), file=sys.stderr)
+    if not args.wait:
+        print(job_id)
+        return 0
+    deadline = _time.monotonic() + args.wait_timeout
+    while _time.monotonic() < deadline:
+        status, doc = _http_json(f"{args.url}/status/{job_id}")
+        if status == 200 and doc["state"] in ("done", "failed"):
+            break
+        _time.sleep(args.poll)
+    else:
+        print(f"error: job {job_id} still {doc.get('state', '?')!r} "
+              f"after {args.wait_timeout:g}s", file=sys.stderr)
+        return 1
+    return _fetch_result(args.url, job_id, as_json=False)
+
+
+def _fetch_result(url: str, job_id: str, *, as_json: bool) -> int:
+    import json
+
+    status, doc = _http_json(f"{url}/result/{job_id}")
+    if status == 404:
+        print(f"error: unknown job {job_id!r}", file=sys.stderr)
+        return 2
+    if status == 202:
+        print(f"job {job_id} is {doc['status']}; try again later",
+              file=sys.stderr)
+        return 3
+    if status != 200:
+        print(f"error: job {job_id} failed: "
+              f"{json.dumps(doc.get('error'))}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(json.dumps(doc["numbers"], indent=2, sort_keys=True))
+    else:
+        _render_served_result(doc)
+    return 0
+
+
+def cmd_result(args) -> int:
+    """``result``: fetch (and render) one job's numbers.
+
+    Exit codes: 0 done, 1 failed, 2 unknown job, 3 still pending.
+    """
+    return _fetch_result(args.url, args.job_id, as_json=args.json)
 
 
 def cmd_table1(args) -> int:
@@ -643,6 +813,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact store directory")
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the long-running analysis service")
+    p.add_argument("--store", metavar="DIR", required=True,
+                   help="artifact store backing the job queue and "
+                        "result cache")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0 = ephemeral)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent worker processes (default 2)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-job wall-time limit in seconds "
+                        "(default 300)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget per job (default 2)")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="base retry backoff in seconds, doubled per "
+                        "attempt (default 0.05)")
+    p.add_argument("--drain-grace", type=float, default=5.0,
+                   help="seconds running jobs get to finish on "
+                        "SIGTERM before requeue (default 5)")
+    p.add_argument("--allow-faults", action="store_true",
+                   help="honor job-record fault hooks (testing only)")
+    p.add_argument("--ready-file", metavar="FILE", default=None,
+                   help="write {url, port, pid} JSON here once "
+                        "accepting requests")
+    _add_obs_args(p, suppress=True)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="send one aging query to a running service")
+    p.add_argument("circuit")
+    _add_profile_args(p)
+    p.add_argument("--standby", choices=("worst", "best"), default="worst",
+                   help="bounding standby state (default worst)")
+    p.add_argument("--url", required=True,
+                   help="service base URL (e.g. http://127.0.0.1:8434)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll to completion and render the result")
+    p.add_argument("--wait-timeout", type=float, default=120.0,
+                   help="give up waiting after this many seconds "
+                        "(default 120)")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="poll interval while waiting (default 0.2s)")
+    _add_obs_args(p, suppress=True)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("result",
+                       help="fetch (and render) a submitted job's numbers")
+    p.add_argument("job_id")
+    p.add_argument("--url", required=True,
+                   help="service base URL (e.g. http://127.0.0.1:8434)")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw numbers JSON instead of the "
+                        "age report")
+    _add_obs_args(p, suppress=True)
+    p.set_defaults(func=cmd_result)
 
     return parser
 

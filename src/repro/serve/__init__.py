@@ -1,0 +1,53 @@
+"""Long-running analysis service over the artifact plane.
+
+``repro.serve`` turns the batch pipeline into a persistent query
+service (ROADMAP item 1): a durable job queue stored through the
+content-addressed :class:`~repro.artifacts.store.ArtifactStore`, a
+process-pool execution tier that ships pre-lowered circuit bundles to
+workers, and a stdlib HTTP front end answering repeat
+``(circuit_fingerprint, scenario_key)`` queries straight from the
+result cache.
+
+Layering (see docs/SERVICE.md):
+
+* :mod:`repro.serve.protocol` — job records, scenarios, and the
+  structured-error envelope (the JSON everything else exchanges);
+* :mod:`repro.serve.queue` — the restart-safe durable FIFO;
+* :mod:`repro.serve.workers` — per-job process isolation with
+  timeouts, crash classification, and bundle shipping;
+* :mod:`repro.serve.server` — the scheduler, the service-owned
+  observability hub, and the five-endpoint HTTP layer.
+"""
+
+from repro.serve.protocol import (
+    DONE,
+    FAILED,
+    JOB_SCHEMA,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    AgeScenario,
+    JobRecord,
+    new_job_id,
+    structured_error,
+)
+from repro.serve.queue import JobQueue
+from repro.serve.server import (
+    AnalysisService,
+    ServeConfig,
+    ServiceHTTPServer,
+    ServiceObs,
+    make_server,
+)
+from repro.serve.workers import BundleCache, JobProcess, run_age_analysis
+
+__all__ = [
+    "JOB_SCHEMA", "QUEUED", "RUNNING", "DONE", "FAILED",
+    "STATES", "TERMINAL_STATES",
+    "AgeScenario", "JobRecord", "new_job_id", "structured_error",
+    "JobQueue",
+    "BundleCache", "JobProcess", "run_age_analysis",
+    "AnalysisService", "ServeConfig", "ServiceHTTPServer", "ServiceObs",
+    "make_server",
+]

@@ -1,0 +1,515 @@
+"""The long-running analysis service: scheduler + HTTP front end.
+
+:class:`AnalysisService` ties the serve package together:
+
+* submissions land in the durable :class:`~repro.serve.queue.JobQueue`
+  — unless the ``(circuit_fingerprint, scenario_key)`` result is
+  already in the store's result cache, in which case the submission is
+  answered as an immediately-``done`` cached job without ever touching
+  the queue or a worker;
+* a scheduler thread claims eligible jobs into per-job worker
+  processes (:class:`~repro.serve.workers.JobProcess`), shipping each
+  circuit's compiled bundle (lowered once, via
+  :class:`~repro.serve.workers.BundleCache`) so workers never re-lower;
+* completed numbers are persisted to the result cache **before** the
+  job flips to ``done``; failed attempts are retried with exponential
+  backoff until the retry budget runs out, then marked ``failed`` with
+  the structured error of the final attempt;
+* SIGTERM/SIGINT drain gracefully: no new claims, a grace period for
+  running workers, then kill + requeue so a successor server resumes
+  exactly where this one stopped.
+
+Observability is service-owned: the process-global tracer is
+explicitly single-threaded, so the service keeps its *own*
+:class:`ServiceObs` (tracer + metrics registry behind a lock) and
+every queue transition, cache answer, and worker payload funnels into
+it.  ``GET /metrics`` renders it as a schema-valid
+:class:`~repro.obs.report.RunReport` — the same document ``--metrics``
+produces for batch runs, validatable with ``python -m repro.obs``.
+
+The HTTP layer is deliberately thin: a ``ThreadingHTTPServer`` whose
+handlers translate five JSON endpoints (``POST /submit``,
+``GET /status/<id>``, ``GET /result/<id>``, ``GET /healthz``,
+``GET /metrics``) onto the service object.  See docs/SERVICE.md for
+the wire protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.serve.protocol import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    AgeScenario,
+    JobRecord,
+    new_job_id,
+    structured_error,
+)
+from repro.serve.queue import JobQueue
+from repro.serve.workers import BundleCache, JobProcess
+
+#: Spans kept in the service tracer (oldest dropped past this), so a
+#: long-lived server's /metrics document stays bounded.
+MAX_SPANS = 512
+
+
+class ServiceObs:
+    """Thread-safe span/counter hub owned by one service instance.
+
+    The module-global tracer is single-threaded by design (HTTP handler
+    threads + the scheduler would corrupt its span stack), so the
+    service never installs it; everything reports here instead, under
+    one lock.  Spans are flat (no nesting across threads) and capped at
+    :data:`MAX_SPANS`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._tracer = obs.Tracer()
+        self._metrics = obs.MetricsRegistry()
+        #: scope -> merged cache-stats entry (summed artifact by
+        #: artifact, so a long-lived server's list stays bounded by
+        #: the number of distinct scopes, not completed jobs).
+        self._cache_entries: Dict[str, Dict[str, Any]] = {}
+
+    def count(self, name: str, amount: int = 1, label: str = "") -> None:
+        """Increment the named counter (optionally labelled)."""
+        with self._lock:
+            self._metrics.counter(name).inc(amount, label)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        with self._lock:
+            self._metrics.histogram(name).observe(value)
+
+    def span(self, name: str, **attributes: Any):
+        """A flat timed span recorded on exit (thread-safe)."""
+        return _LockedSpan(self, name, attributes)
+
+    def adopt(self, spans: Optional[List[Dict[str, Any]]] = None,
+              metrics: Optional[Dict[str, Any]] = None,
+              cache_stats: Optional[List[Dict[str, Any]]] = None) -> None:
+        """Merge a worker payload (spans/metrics/cache stats)."""
+        with self._lock:
+            if spans:
+                self._tracer.adopt(spans)
+            if metrics:
+                self._metrics.merge(metrics)
+            for entry in cache_stats or []:
+                scope = str(entry.get("scope", ""))
+                merged = self._cache_entries.setdefault(
+                    scope, {"scope": scope, "artifacts": {}})
+                for name, counts in entry.get("artifacts", {}).items():
+                    slot = merged["artifacts"].setdefault(
+                        name, {"hits": 0, "misses": 0})
+                    slot["hits"] += int(counts.get("hits", 0))
+                    slot["misses"] += int(counts.get("misses", 0))
+            self._trim()
+
+    def _trim(self) -> None:
+        del self._tracer.roots[:-MAX_SPANS]
+
+    def report(self, label: str, store: Any,
+               meta: Optional[Dict[str, Any]] = None) -> obs.RunReport:
+        """The service's RunReport: spans, counters, store cache stats.
+
+        The store's live hit/miss counters become one cache-stats
+        entry (same shape ``cache_scope`` produces), so ``/metrics``
+        exposes result-cache hits the e2e suite asserts on.
+        """
+        with self._lock:
+            spans = self._tracer.span_dicts()
+            metrics = self._metrics.snapshot()
+            entries = []
+            for merged in self._cache_entries.values():
+                artifacts = {name: dict(counts) for name, counts
+                             in merged["artifacts"].items()}
+                entries.append({
+                    "scope": merged["scope"],
+                    "hits": sum(a["hits"] for a in artifacts.values()),
+                    "misses": sum(a["misses"]
+                                  for a in artifacts.values()),
+                    "artifacts": artifacts,
+                })
+        snap = store.stats.snapshot()
+        entries.append({
+            "scope": f"store:{store.root.name}",
+            "hits": sum(a["hits"] for a in snap.values()),
+            "misses": sum(a["misses"] for a in snap.values()),
+            "artifacts": snap,
+        })
+        return obs.RunReport(label, spans=spans, metrics=metrics,
+                             cache_stats=entries, meta=meta)
+
+
+class _LockedSpan:
+    """A flat span recorded into a :class:`ServiceObs` under its lock."""
+
+    def __init__(self, hub: ServiceObs, name: str,
+                 attributes: Dict[str, Any]) -> None:
+        self.hub = hub
+        self.name = name
+        self.attributes = attributes
+        self.t0 = 0.0
+
+    def __enter__(self) -> "_LockedSpan":
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self.t0
+        span = obs.Span(self.name, start=0.0, attributes={
+            str(k): v for k, v in self.attributes.items()})
+        span.duration = duration
+        if exc_type is not None:
+            span.attributes["error"] = exc_type.__name__
+        with self.hub._lock:
+            self.hub._tracer.roots.append(span)
+            self.hub._trim()
+        return False
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_workers: int = 2
+    timeout_s: float = 300.0
+    max_retries: int = 2
+    backoff_s: float = 0.05
+    drain_grace_s: float = 5.0
+    poll_interval_s: float = 0.02
+    allow_faults: bool = False
+
+
+class AnalysisService:
+    """Scheduler + queue + result cache behind one object.
+
+    Drive it directly (the in-process test path) or through
+    :func:`serve_http` (the CLI path); the HTTP layer holds no state of
+    its own.
+    """
+
+    def __init__(self, store: Any,
+                 config: Optional[ServeConfig] = None) -> None:
+        self.store = store
+        self.config = config or ServeConfig()
+        self.obs = ServiceObs()
+        self.queue = JobQueue(store, observer=self.obs)
+        self.bundles = BundleCache(store, observer=self.obs)
+        self.started_at = time.time()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        #: job_id -> (JobProcess, shipped bundle) of live claims.
+        self._workers: Dict[str, JobProcess] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> Dict[str, int]:
+        """Recover persisted jobs, then start the scheduler thread."""
+        recovered = self.queue.recover()
+        self._scheduler = threading.Thread(target=self._run_scheduler,
+                                           name="repro-serve-scheduler",
+                                           daemon=True)
+        self._scheduler.start()
+        return recovered
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain running claims, stop scheduling.
+
+        No new jobs are claimed; running workers get
+        ``drain_grace_s`` to finish, then are killed and their jobs
+        requeued (a ``drained`` note in ``last_error``) so a restarted
+        server resumes them.  Idempotent.
+        """
+        if self._stopped.is_set():
+            return
+        self._draining.set()
+        if drain:
+            deadline = time.monotonic() + self.config.drain_grace_s
+            while self._workers and time.monotonic() < deadline:
+                time.sleep(self.config.poll_interval_s)
+        self._stopped.set()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=10.0)
+        for job_id, worker in list(self._workers.items()):
+            worker.kill()
+            try:
+                self.queue.requeue(job_id, structured_error(
+                    "drained", "server shut down mid-attempt; requeued"))
+            except (KeyError, ValueError):
+                pass
+            worker.close()
+            self._workers.pop(job_id, None)
+        self.obs.count("serve.drains")
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, circuit: str, scenario: AgeScenario,
+               *, timeout_s: Optional[float] = None,
+               max_retries: Optional[int] = None,
+               fault: Optional[Dict[str, Any]] = None) -> JobRecord:
+        """Admit one aging query; cache and coalescing short-circuits.
+
+        Order of answers:
+
+        1. result cache — a stored ``(circuit_fp, scenario_key)``
+           payload yields an immediately-``done`` record (``cached``
+           flag set) without queue or worker involvement;
+        2. active-job coalescing — an identical queued/running job is
+           returned as-is instead of queuing a duplicate;
+        3. a fresh ``queued`` record enters the durable FIFO.
+        """
+        from repro.flow.parallel import load_circuit
+
+        with self.obs.span("serve.submit", circuit=circuit):
+            loaded = load_circuit(circuit)
+            from repro.artifacts.fingerprint import circuit_fingerprint
+
+            circuit_fp = circuit_fingerprint(loaded)
+            key = scenario.key()
+            if fault is not None and not self.config.allow_faults:
+                raise ValueError(
+                    "fault injection requires --allow-faults")
+            if self.store.has_result(circuit_fp, key):
+                record = JobRecord(
+                    job_id=new_job_id(), circuit=circuit,
+                    circuit_name=loaded.name, circuit_fp=circuit_fp,
+                    scenario=scenario, scenario_key=key, state=DONE,
+                    cached=True)
+                self.obs.count("serve.cache_answers")
+                return self.queue.admit_terminal(record)
+            active = self.queue.active_job_for(circuit_fp, key)
+            if active is not None and fault is None:
+                self.obs.count("serve.coalesced_submits")
+                return active
+            record = JobRecord(
+                job_id=new_job_id(), circuit=circuit,
+                circuit_name=loaded.name, circuit_fp=circuit_fp,
+                scenario=scenario, scenario_key=key,
+                timeout_s=(self.config.timeout_s if timeout_s is None
+                           else timeout_s),
+                max_retries=(self.config.max_retries if max_retries is None
+                             else max_retries),
+                fault=fault)
+            return self.queue.submit(record)
+
+    # -- queries -------------------------------------------------------------
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The public status document of one job, or ``None``."""
+        record = self.queue.get(job_id)
+        if record is None:
+            return None
+        return record.to_dict()
+
+    def result(self, job_id: str) -> Tuple[Optional[JobRecord],
+                                           Optional[Dict[str, Any]]]:
+        """``(record, numbers)``; numbers only for ``done`` jobs."""
+        record = self.queue.get(job_id)
+        if record is None or record.state != DONE:
+            return record, None
+        numbers = self.store.load_result(record.circuit_fp,
+                                         record.scenario_key)
+        return record, numbers
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness document: queue depths and uptime."""
+        counts = self.queue.counts()
+        return {"status": "draining" if self._draining.is_set() else "ok",
+                "uptime_s": time.time() - self.started_at,
+                "jobs": counts,
+                "workers": len(self._workers)}
+
+    def metrics_report(self) -> obs.RunReport:
+        """The service RunReport (see :meth:`ServiceObs.report`)."""
+        counts = self.queue.counts()
+        return self.obs.report(
+            "repro serve", self.store,
+            meta={"jobs_done": counts[DONE], "jobs_failed": counts[FAILED],
+                  "jobs_queued": counts[QUEUED],
+                  "jobs_running": counts[RUNNING]})
+
+    # -- the scheduler loop --------------------------------------------------
+
+    def _run_scheduler(self) -> None:
+        while not self._stopped.is_set():
+            progressed = self._poll_workers()
+            if not self._draining.is_set():
+                progressed |= self._launch_ready()
+            if not progressed:
+                time.sleep(self.config.poll_interval_s)
+        # Final sweep so results that arrived during shutdown land.
+        self._poll_workers()
+
+    def _launch_ready(self) -> bool:
+        launched = False
+        while len(self._workers) < self.config.max_workers:
+            record = self.queue.claim()
+            if record is None:
+                break
+            try:
+                bundle = self.bundles.bundle_for(record.circuit,
+                                                 record.circuit_fp)
+                worker = JobProcess(record.job_id, bundle, record.scenario,
+                                    timeout_s=record.timeout_s,
+                                    fault=record.fault)
+            except Exception as exc:
+                self.queue.finish_attempt(
+                    record.job_id,
+                    structured_error("launch-error", str(exc),
+                                     exception=exc.__class__.__name__),
+                    backoff_s=self.config.backoff_s)
+                continue
+            if worker.pid is not None:
+                self.queue.mark_pid(record.job_id, worker.pid)
+            self._workers[record.job_id] = worker
+            self.obs.count("serve.workers_spawned")
+            launched = True
+        return launched
+
+    def _poll_workers(self) -> bool:
+        progressed = False
+        for job_id, worker in list(self._workers.items()):
+            outcome = worker.outcome()
+            if outcome is None:
+                continue
+            progressed = True
+            kind, payload = outcome
+            record = self.queue.get(job_id)
+            if kind == "ok":
+                self.obs.adopt(spans=payload.get("spans"),
+                               metrics=payload.get("metrics"),
+                               cache_stats=payload.get("cache_stats"))
+                self.store.save_result(record.circuit_fp,
+                                       record.scenario_key,
+                                       payload["numbers"])
+                self.queue.complete(job_id)
+            else:
+                self.obs.count(f"serve.attempts_{kind}")
+                self.queue.finish_attempt(job_id, payload,
+                                          backoff_s=self.config.backoff_s)
+            worker.close()
+            self._workers.pop(job_id, None)
+        return progressed
+
+
+# -- HTTP front end ----------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Five JSON endpoints over one :class:`AnalysisService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServiceHTTPServer"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the service reports through /metrics, not stderr noise
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        data = json.loads(raw.decode("utf-8") or "{}")
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path.rstrip("/") != "/submit":
+            self._send(404, {"error": "unknown endpoint"})
+            return
+        try:
+            body = self._read_json()
+            circuit = body["circuit"]
+            scenario = AgeScenario.from_dict(body.get("scenario") or {})
+            record = service.submit(
+                circuit, scenario,
+                timeout_s=body.get("timeout_s"),
+                max_retries=body.get("max_retries"),
+                fault=body.get("fault"))
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        self._send(202 if not record.terminal else 200, record.to_dict())
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        path = self.path.rstrip("/")
+        if path == "/healthz":
+            self._send(200, service.healthz())
+        elif path == "/metrics":
+            self._send(200, service.metrics_report().to_dict())
+        elif path.startswith("/status/"):
+            doc = service.status(path[len("/status/"):])
+            if doc is None:
+                self._send(404, {"error": "unknown job"})
+            else:
+                self._send(200, doc)
+        elif path.startswith("/result/"):
+            record, numbers = service.result(path[len("/result/"):])
+            if record is None:
+                self._send(404, {"error": "unknown job"})
+            elif record.state == FAILED:
+                self._send(500, {"job": record.to_dict(),
+                                 "error": record.error})
+            elif record.state != DONE:
+                self._send(202, {"job": record.to_dict(),
+                                 "status": record.state})
+            elif numbers is None:
+                # complete() makes this unreachable; still never 200
+                # a done job without its payload.
+                self._send(500, {"error": "result payload missing"})
+            else:
+                self._send(200, {"job": record.to_dict(),
+                                 "numbers": numbers})
+        else:
+            self._send(404, {"error": "unknown endpoint"})
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: AnalysisService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(store: Any, config: Optional[ServeConfig] = None
+                ) -> ServiceHTTPServer:
+    """An unstarted HTTP server + service over ``store``.
+
+    Binds (an ephemeral port when ``config.port == 0``) but does not
+    accept yet; call ``serve_forever()`` (typically on a thread) after
+    :meth:`AnalysisService.start`.
+    """
+    config = config or ServeConfig()
+    service = AnalysisService(store, config)
+    return ServiceHTTPServer((config.host, config.port), service)

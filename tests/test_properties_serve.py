@@ -1,0 +1,247 @@
+"""Property-based tests for the service protocol layer.
+
+Three families of invariants, each over hypothesis-generated inputs:
+
+* fingerprint stability — ``scenario_key`` is insensitive to dict
+  ordering and survives JSON round-trips (the property the shared
+  CLI/service result cache rests on), and ``bundle_key`` is a pure
+  function of its inputs through job-record-style serialization;
+* record round-trips — ``JobRecord``/``AgeScenario`` rebuild exactly
+  from their JSON forms;
+* interleaving consistency — arbitrary sequences of queue operations
+  (submit / claim / complete / fail / requeue / recover) against a
+  real store never observe an inconsistent state: ``done`` always has
+  a readable result payload, states stay within the machine, and no
+  admitted job is ever lost.
+"""
+
+import json
+import random
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.artifacts import ArtifactStore
+from repro.artifacts.fingerprint import bundle_key, scenario_key
+from repro.serve import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    AgeScenario,
+    JobQueue,
+    JobRecord,
+    new_job_id,
+    structured_error,
+)
+
+_SETTINGS = dict(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+#: JSON-safe scalar values for scenario payload fuzzing.
+scalars = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+)
+
+scenario_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=16), scalars, min_size=1, max_size=8)
+
+scenarios = st.builds(
+    AgeScenario,
+    ras=st.sampled_from(["1:9", "1:5", "1:1", "5:1", "9:1"]),
+    t_active=st.floats(min_value=300.0, max_value=450.0,
+                       allow_nan=False),
+    t_standby=st.floats(min_value=300.0, max_value=450.0,
+                        allow_nan=False),
+    years=st.floats(min_value=0.1, max_value=30.0, allow_nan=False),
+    standby=st.sampled_from(["worst", "best"]),
+)
+
+hex_fps = st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
+
+
+class TestFingerprintStability:
+    @given(payload=scenario_dicts, seed=st.integers(0, 2**32 - 1))
+    @settings(**_SETTINGS)
+    def test_scenario_key_order_insensitive(self, payload, seed):
+        items = list(payload.items())
+        random.Random(seed).shuffle(items)
+        assert scenario_key(dict(items)) == scenario_key(payload)
+
+    @given(payload=scenario_dicts)
+    @settings(**_SETTINGS)
+    def test_scenario_key_survives_json_round_trip(self, payload):
+        round_tripped = json.loads(json.dumps(payload))
+        assert scenario_key(round_tripped) == scenario_key(payload)
+
+    @given(scenario=scenarios)
+    @settings(**_SETTINGS)
+    def test_age_scenario_key_stable_through_record_json(self, scenario):
+        record = JobRecord(
+            job_id=new_job_id(), circuit="c17", circuit_name="c17",
+            circuit_fp="fp", scenario=scenario,
+            scenario_key=scenario.key())
+        wire = json.loads(json.dumps(record.to_dict()))
+        rebuilt = JobRecord.from_dict(wire)
+        assert rebuilt.scenario == scenario
+        assert rebuilt.scenario.key() == scenario.key()
+        assert rebuilt.scenario_key == record.scenario_key
+
+    @given(circuit_fp=hex_fps, library_fp=hex_fps, model_fp=hex_fps,
+           temp=st.floats(min_value=250.0, max_value=450.0,
+                          allow_nan=False))
+    @settings(**_SETTINGS)
+    def test_bundle_key_stable_through_json(self, circuit_fp,
+                                            library_fp, model_fp, temp):
+        key = bundle_key(circuit_fp, library_fp, model_fp, temp)
+        doc = json.loads(json.dumps(
+            {"bundle_key": key, "circuit_fp": circuit_fp, "temp": temp}))
+        assert doc["bundle_key"] == key
+        assert bundle_key(doc["circuit_fp"], library_fp, model_fp,
+                          doc["temp"]) == key
+
+    @given(scenario=scenarios)
+    @settings(**_SETTINGS)
+    def test_payload_matches_cli_hash(self, scenario):
+        # The service must hash the exact dict the CLI hashes.
+        cli_payload = {"command": "age", "ras": scenario.ras,
+                       "t_active": scenario.t_active,
+                       "t_standby": scenario.t_standby,
+                       "years": scenario.years,
+                       "standby": scenario.standby}
+        assert scenario.key() == scenario_key(cli_payload)
+
+
+class TestRecordRoundTrip:
+    @given(scenario=scenarios,
+           state=st.sampled_from(STATES),
+           attempts=st.integers(0, 5),
+           cached=st.booleans())
+    @settings(**_SETTINGS)
+    def test_job_record_round_trips_exactly(self, scenario, state,
+                                            attempts, cached):
+        record = JobRecord(
+            job_id=new_job_id(), circuit="c17", circuit_name="c17",
+            circuit_fp="fp", scenario=scenario,
+            scenario_key=scenario.key(), state=state,
+            attempts=attempts, cached=cached,
+            error=structured_error("timeout", "x") if state == FAILED
+            else None)
+        rebuilt = JobRecord.from_dict(
+            json.loads(json.dumps(record.to_dict())))
+        assert rebuilt == record
+
+
+#: One queue operation per element; arguments are drawn indices so the
+#: same sequence is replayable against the model.
+ops = st.lists(
+    st.tuples(st.sampled_from(["submit", "claim", "finish_ok",
+                               "finish_err", "status", "recover"]),
+              st.integers(0, 7)),
+    min_size=1, max_size=30)
+
+
+class TestInterleavings:
+    @given(sequence=ops, seed=st.integers(0, 2**16))
+    @settings(**_SETTINGS)
+    def test_no_inconsistent_state_observable(self, sequence, seed):
+        rng = random.Random(seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            queue = JobQueue(store)
+            submitted = []
+            running = []
+            counter = 0
+            for op, _arg in sequence:
+                if op == "submit":
+                    scenario = AgeScenario(years=float(counter + 1))
+                    counter += 1
+                    record = JobRecord(
+                        job_id=new_job_id(), circuit="c17",
+                        circuit_name="c17",
+                        circuit_fp=f"fp{counter % 3}",
+                        scenario=scenario,
+                        scenario_key=scenario.key(), max_retries=1)
+                    queue.submit(record)
+                    submitted.append(record.job_id)
+                elif op == "claim":
+                    record = queue.claim()
+                    if record is not None:
+                        running.append(record.job_id)
+                elif op == "finish_ok" and running:
+                    job_id = running.pop(rng.randrange(len(running)))
+                    record = queue.get(job_id)
+                    store.save_result(record.circuit_fp,
+                                      record.scenario_key,
+                                      {"x": 1.0})
+                    queue.complete(job_id)
+                elif op == "finish_err" and running:
+                    job_id = running.pop(rng.randrange(len(running)))
+                    queue.finish_attempt(
+                        job_id, structured_error("injected", "err"))
+                elif op == "status":
+                    for job_id in submitted:
+                        assert queue.get(job_id) is not None
+                elif op == "recover":
+                    # A "restart": rebuild the queue from disk only.
+                    queue = JobQueue(store)
+                    queue.recover()
+                    running = []  # all claims were orphaned
+
+                # Global invariants after every step:
+                for record in queue.jobs():
+                    assert record.state in STATES
+                    if record.state == DONE:
+                        assert store.has_result(record.circuit_fp,
+                                                record.scenario_key)
+                        payload = store.load_result(record.circuit_fp,
+                                                    record.scenario_key)
+                        assert payload is not None
+                    if record.state == FAILED:
+                        assert record.error is not None
+                        assert "type" in record.error
+                    on_disk = store.load_job(record.job_id)
+                    assert on_disk is not None
+                    assert on_disk["state"] == record.state
+
+            # No admitted job is ever lost.
+            known = {record.job_id for record in queue.jobs()}
+            assert set(submitted) <= known
+
+    @given(sequence=ops)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_double_terminal_transitions_raise(self, sequence):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            queue = JobQueue(store)
+            scenario = AgeScenario()
+            record = JobRecord(
+                job_id=new_job_id(), circuit="c17", circuit_name="c17",
+                circuit_fp="fp", scenario=scenario,
+                scenario_key=scenario.key())
+            queue.submit(record)
+            claimed = queue.claim()
+            store.save_result(record.circuit_fp, record.scenario_key,
+                              {"x": 1.0})
+            queue.complete(claimed.job_id)
+            for op, _arg in sequence:
+                if op == "finish_ok":
+                    try:
+                        queue.complete(record.job_id)
+                        raise AssertionError("double complete allowed")
+                    except ValueError:
+                        pass
+                elif op == "finish_err":
+                    try:
+                        queue.fail(record.job_id,
+                                   structured_error("x", "y"))
+                        raise AssertionError("fail after done allowed")
+                    except ValueError:
+                        pass
+            assert queue.get(record.job_id).state == DONE
