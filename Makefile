@@ -15,11 +15,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Kernel-vs-scalar perf harnesses (MLV, STA, aging, artifact warm
-# starts) plus the disabled observability overhead bound; write the
-# benchmarks/BENCH_*.json artifacts.  BENCH_SMOKE=1 for the
-# seconds-scale CI variant.
+# starts, hot paths, scale axis) plus the disabled observability
+# overhead bound; write the benchmarks/BENCH_*.json artifacts and
+# append one summary line per suite to benchmarks/BENCH_history.jsonl.
+# BENCH_SMOKE=1 for the seconds-scale CI variant.
 bench-perf:
-	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py benchmarks/test_perf_artifacts.py benchmarks/test_perf_hotpaths.py --benchmark-only -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_mlv.py benchmarks/test_perf_sta.py benchmarks/test_perf_aging.py benchmarks/test_perf_obs.py benchmarks/test_perf_artifacts.py benchmarks/test_perf_hotpaths.py benchmarks/test_perf_scale.py --benchmark-only -q -s
 
 lint:
 	ruff check src tests benchmarks examples

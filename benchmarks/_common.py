@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import json
 import sys
+from pathlib import Path
 
 from repro.flow.report import format_table
+from repro.obs.perf import history_line
+
+#: Append-only trajectory of benchmark results (one JSON line per
+#: suite run), next to the per-suite BENCH_*.json point snapshots.
+HISTORY = Path(__file__).with_name("BENCH_history.jsonl")
 
 
 def emit(title: str, headers, rows) -> None:
@@ -12,3 +19,20 @@ def emit(title: str, headers, rows) -> None:
     print()
     print(format_table(headers, rows, title=title))
     sys.stdout.flush()
+
+
+def record_history(suite: str, *, wall_seconds: float,
+                   speedup=None, smoke: bool = False,
+                   extra=None) -> None:
+    """Append one summary line for this suite run to BENCH_history.jsonl.
+
+    Each line carries the headline wall time/speedup plus the host
+    fingerprint and git revision, so regressions are attributable to a
+    machine or a commit rather than guessed at from overwritten
+    snapshots.
+    """
+    line = history_line(suite, wall_seconds=wall_seconds,
+                        speedup=speedup, smoke=smoke, extra=extra)
+    with HISTORY.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(line, sort_keys=True) + "\n")
+    print(f"history += {suite} (wall {wall_seconds:.3f}s)")

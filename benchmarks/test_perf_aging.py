@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _common import emit
+from _common import emit, record_history
 from repro import AnalysisContext
 from repro.constants import TEN_YEARS, years
 from repro.core import OperatingProfile
@@ -159,6 +159,9 @@ def report(row):
           f"{gs['identical']}")
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    record_history("perf_aging", wall_seconds=st["compiled_seconds"],
+                   speedup=st["speedup"], smoke=row["smoke"],
+                   extra={"gate_shift_speedup": gs["speedup"]})
 
 
 def test_perf_aging(run_once):

@@ -25,7 +25,7 @@ import tempfile
 import time
 from pathlib import Path
 
-from _common import emit
+from _common import emit, record_history
 from repro import AnalysisContext
 from repro.artifacts import ArtifactBundle, ArtifactStore
 from repro.constants import TEN_YEARS
@@ -126,6 +126,8 @@ def report(row):
           f"bit-identical: {row['identical']}")
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    record_history("perf_artifacts", wall_seconds=row["hydrate_seconds"],
+                   speedup=row["hydrate_speedup"], smoke=row["smoke"])
 
 
 def test_perf_artifacts(run_once):

@@ -30,7 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _common import emit
+from _common import emit, record_history
 from repro import AnalysisContext
 from repro.constants import TEN_YEARS
 from repro.core import OperatingProfile
@@ -191,6 +191,9 @@ def report(row):
           "bar", "identical"], rows)
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    dv = row["dual_vth"]
+    record_history("perf_hotpaths", wall_seconds=dv["compiled_seconds"],
+                   speedup=dv["speedup"], smoke=row["smoke"])
 
 
 def test_perf_hotpaths(run_once):

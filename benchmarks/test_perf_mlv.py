@@ -18,7 +18,7 @@ import os
 import time
 from pathlib import Path
 
-from _common import emit
+from _common import emit, record_history
 from repro.cells.leakage import LeakageTable
 from repro.ivc.mlv import probability_based_mlv_search
 from repro.netlist import iscas85
@@ -83,6 +83,8 @@ def report(row):
           f"{row['identical_records']}")
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    record_history("perf_mlv", wall_seconds=row["packed_seconds"],
+                   speedup=row["speedup"], smoke=row["smoke"])
 
 
 def test_perf_mlv(run_once):

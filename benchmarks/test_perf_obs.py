@@ -31,7 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _common import emit
+from _common import emit, record_history
 from repro import AnalysisContext, obs
 from repro.constants import TEN_YEARS, years
 from repro.core import OperatingProfile
@@ -158,6 +158,10 @@ def report(row):
           f"{ov['identical']}")
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    record_history(
+        "perf_obs", wall_seconds=ov["disabled_seconds"],
+        smoke=row["smoke"],
+        extra={"overhead_fraction": ov["projected_overhead_fraction"]})
 
 
 def test_perf_obs(run_once):

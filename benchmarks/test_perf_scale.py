@@ -140,7 +140,7 @@ def check(row):
 
 
 def report(row):
-    from _common import emit
+    from _common import emit, record_history
 
     rows = []
     for p in row["points"]:
@@ -155,6 +155,11 @@ def report(row):
           "peak RSS (MiB)", "identical"], rows)
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    top = row["points"][-1]
+    record_history("perf_scale", wall_seconds=top["analyze_seconds"],
+                   smoke=row["smoke"],
+                   extra={"n_gates": top["n_gates"],
+                          "peak_rss_mib": top["peak_rss_mib"]})
 
 
 def test_perf_scale(run_once):

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _common import emit
+from _common import emit, record_history
 from repro import AnalysisContext
 from repro.constants import TEN_YEARS
 from repro.core import OperatingProfile
@@ -155,6 +155,9 @@ def report(row):
           f"{sz['identical']}")
     ARTIFACT.write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {ARTIFACT}")
+    record_history("perf_sta", wall_seconds=mc["batched_seconds"],
+                   speedup=mc["speedup"], smoke=row["smoke"],
+                   extra={"sizing_speedup": sz["speedup"]})
 
 
 def test_perf_sta(run_once):

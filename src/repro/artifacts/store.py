@@ -9,6 +9,7 @@ Layout (all writes atomic: temp file in the target directory, then
     <root>/results/<circuit_fp>/<scenario>.json  # cached result payloads
     <root>/sweeps/<sweep_key>/shard-NNNN.json  # sweep shard checkpoints
     <root>/jobs/<job_id>.json                  # service job records
+    <root>/runs/<run_id>.json                  # run-history records
 
 The manifest is written *after* the ``.npz`` it references, so a
 manifest on disk marks a complete bundle — a crash between the two
@@ -282,6 +283,41 @@ class ArtifactStore:
             return []
         return sorted(p.stem for p in jobs_dir.glob("*.json"))
 
+    # -- run-history records --------------------------------------------------
+
+    def _run_path(self, run_id: str) -> Path:
+        return self.root / "runs" / f"{run_id}.json"
+
+    def save_run(self, run_id: str, payload: Dict[str, Any]) -> None:
+        """Persist one run-history record (atomic tmp + replace).
+
+        Written by :func:`repro.obs.perf.record_run` whenever a
+        ``--store``-active ``age``/``sweep``/``serve`` run finishes;
+        ``repro report history/diff`` reads them back.
+        """
+        self._ensure_marker()
+        _atomic_write_json(self._run_path(run_id), payload)
+        obs.count("store.run_saves")
+
+    def load_run(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """One run record's payload, or ``None`` (counted miss)."""
+        path = self._run_path(run_id)
+        if not path.exists():
+            self.stats.record_miss("run")
+            obs.count("store.run_misses")
+            return None
+        payload = json.loads(path.read_text("utf-8"))
+        self.stats.record_hit("run")
+        obs.count("store.run_hits")
+        return payload
+
+    def list_runs(self) -> List[str]:
+        """Sorted ids of every run record (ids are time-sortable)."""
+        runs_dir = self.root / "runs"
+        if not runs_dir.is_dir():
+            return []
+        return sorted(p.stem for p in runs_dir.glob("*.json"))
+
     # -- sweep shard checkpoints ----------------------------------------------
 
     def save_shard(self, sweep_key: str, shard: int,
@@ -338,9 +374,10 @@ class ArtifactStore:
         results = sorted(self.root.glob("results/*/*.json"))
         shards = sorted(self.root.glob("sweeps/*/shard-*.json"))
         jobs = sorted(self.root.glob("jobs/*.json"))
+        runs = sorted(self.root.glob("runs/*.json"))
         total = 0
         for pattern in ("bundles/*/*", "results/*/*", "sweeps/*/*",
-                        "jobs/*", "store.json"):
+                        "jobs/*", "runs/*", "store.json"):
             for path in self.root.glob(pattern):
                 if path.is_file():
                     total += path.stat().st_size
@@ -351,6 +388,7 @@ class ArtifactStore:
             "results": len(results),
             "shards": len(shards),
             "jobs": len(jobs),
+            "runs": len(runs),
             "bytes": total,
             "bundle_keys": [p.stem for p in bundles],
         }
@@ -359,14 +397,14 @@ class ArtifactStore:
         """Delete every stored bundle and result; returns files removed.
 
         Only touches the store's own subtrees (``bundles/``,
-        ``results/``, ``sweeps/``, ``jobs/``, ``store.json``) — a
-        mistyped ``--store`` pointing at a source directory cannot
-        lose anything else.
+        ``results/``, ``sweeps/``, ``jobs/``, ``runs/``,
+        ``store.json``) — a mistyped ``--store`` pointing at a source
+        directory cannot lose anything else.
         """
         import shutil
 
         removed = 0
-        for sub in ("bundles", "results", "sweeps", "jobs"):
+        for sub in ("bundles", "results", "sweeps", "jobs", "runs"):
             path = self.root / sub
             if path.is_dir():
                 removed += sum(1 for p in path.rglob("*") if p.is_file())

@@ -15,7 +15,9 @@ Gives the paper's main analyses a shell-friendly surface:
 * ``cache``     — inspect / warm / clear a persistent artifact store,
 * ``serve``     — run the long-running analysis service (HTTP + queue),
 * ``submit``    — send one aging query to a running service,
-* ``result``    — fetch (and render) a submitted job's numbers.
+* ``result``    — fetch (and render) a submitted job's numbers,
+* ``report``    — run history, report diffing (the perf-regression
+  gate), and Chrome/Perfetto trace-timeline export.
 
 Circuits are named by ISCAS85 benchmark (``c432`` ...), bundled netlist
 (``c17``), or a ``.bench`` file path.
@@ -25,6 +27,10 @@ for ``age``, the final numbers) persist in a content-addressed
 :class:`~repro.artifacts.store.ArtifactStore`, so a repeated run
 recomputes nothing.  Store diagnostics go to stderr; stdout carries
 only the results and is byte-identical between cold and warm runs.
+With ``--store`` active, ``age``/``sweep`` (and ``serve`` at drain)
+also file a run record — the traced RunReport plus host/git/command
+identity — into the store's ``runs/`` history, browsable with
+``repro report history`` and comparable with ``repro report diff``.
 """
 
 from __future__ import annotations
@@ -417,6 +423,7 @@ def cmd_cache(args) -> int:
         print(f"schema version : {info['schema_version']}")
         print(f"bundles        : {info['bundles']}")
         print(f"results        : {info['results']}")
+        print(f"runs           : {info['runs']}")
         print(f"size           : {info['bytes']} bytes")
         for key in info["bundle_keys"]:
             print(f"  {key}")
@@ -521,8 +528,11 @@ def cmd_serve(args) -> int:
     httpd.shutdown()
     server_thread.join(timeout=10.0)
     counts = service.queue.counts()
+    run_id = obs.record_run(store, service.metrics_report(),
+                            command="repro serve")
     print(f"drained: {counts['done']} done, {counts['failed']} failed, "
           f"{counts['queued']} requeued", file=sys.stderr)
+    print(f"run recorded: {run_id}", file=sys.stderr)
     return 0
 
 
@@ -594,6 +604,102 @@ def cmd_result(args) -> int:
     return _fetch_result(args.url, args.job_id, as_json=args.json)
 
 
+def _report_store(args):
+    """The optional artifact store backing ``repro report`` actions."""
+    store_dir = getattr(args, "store", None)
+    if not store_dir:
+        return None
+    from repro.artifacts import ArtifactStore
+
+    return ArtifactStore(store_dir)
+
+
+def cmd_report_history(args) -> int:
+    """``report history``: list the run records stored under ``runs/``."""
+    store = _report_store(args)
+    records = obs.load_history(store)
+    if args.limit is not None:
+        records = records[-args.limit:]
+    if args.ids:
+        for record in records:
+            print(record.get("run_id", "?"))
+        return 0
+    if not records:
+        print("no recorded runs", file=sys.stderr)
+        return 0
+    rows = []
+    for record in records:
+        row = obs.summarize_record(record)
+        rows.append([row["run_id"], row["recorded_at"],
+                     row["command"] or row["label"],
+                     row["host"], row["git_rev"] or "-",
+                     f"{row['wall_seconds']:.3f}", row["spans"]])
+    print(format_table(
+        ["run id", "recorded (UTC)", "command", "host", "git rev",
+         "wall (s)", "spans"], rows,
+        title=f"run history: {store.root}"))
+    return 0
+
+
+def cmd_report_diff(args) -> int:
+    """``report diff``: compare two RunReports under tolerance bands.
+
+    Inputs are file paths, ``-`` (stdin), or (with ``--store``) stored
+    run ids / unique id prefixes.  Exit codes: 0 the diff passes, 1 at
+    least one regression (the CI gate), 2 an input failed to resolve.
+    """
+    import json
+
+    store = _report_store(args)
+    try:
+        doc_a, label_a = obs.resolve_report(args.run_a, store=store)
+        doc_b, label_b = obs.resolve_report(args.run_b, store=store)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tolerance = obs.Tolerance(span_rel=args.span_rel,
+                              span_abs_s=args.span_abs,
+                              fail_on_added=args.fail_on_added)
+    diff = obs.diff_reports(doc_a, doc_b, tolerance=tolerance,
+                            label_a=label_a, label_b=label_b)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(obs.format_diff(diff, verbose=args.all))
+    return 0 if diff.passed else 1
+
+
+def cmd_report_timeline(args) -> int:
+    """``report timeline``: span trace -> Chrome ``trace_event`` JSON.
+
+    Accepts a ``--trace`` JSONL file, a ``--metrics`` RunReport, a
+    stored run id (with ``--store``), or ``-`` for stdin; the output
+    loads in Perfetto / ``chrome://tracing`` with pool and serve
+    workers on their own pid lanes.
+    """
+    import json
+
+    store = _report_store(args)
+    try:
+        if (store is not None and args.input != "-"
+                and not Path(args.input).exists()):
+            report_doc, _ = obs.resolve_report(args.input, store=store)
+            trace = obs.convert(json.dumps(report_doc))
+        else:
+            trace = obs.convert_file(args.input)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(trace, indent=1) + "\n"
+    if args.out and args.out != "-":
+        Path(args.out).write_text(text, encoding="utf-8")
+        events = len(trace.get("traceEvents", []))
+        print(f"wrote {args.out} ({events} events)", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_table1(args) -> int:
     """``table1``: the paper's Table 1 dVth grid."""
     rows = []
@@ -648,6 +754,10 @@ def _configure_logging(verbose: int) -> None:
     root.setLevel(level)
 
 
+#: Subcommands whose ``--store`` runs are filed into run history.
+_RECORDED_COMMANDS = ("age", "sweep")
+
+
 def _run_observed(args) -> int:
     """Run the selected subcommand, collecting and writing observability.
 
@@ -655,11 +765,15 @@ def _run_observed(args) -> int:
     the collection-active switch for metrics and cache-stats too), runs
     the command under a root ``repro.<command>`` span, and writes the
     requested artifacts; otherwise calls straight through on the no-op
-    path.
+    path.  ``age``/``sweep`` with ``--store`` always collect: their
+    RunReport is filed into the store's ``runs/`` history (a stderr
+    note only — stdout stays byte-identical to an untraced run).
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if not trace_path and not metrics_path:
+    record_dir = (getattr(args, "store", None)
+                  if args.command in _RECORDED_COMMANDS else None)
+    if not trace_path and not metrics_path and not record_dir:
         return args.func(args)
     tracer = obs.Tracer()
     registry = obs.MetricsRegistry()
@@ -670,12 +784,21 @@ def _run_observed(args) -> int:
             code = args.func(args)
     if trace_path:
         tracer.write_jsonl(trace_path)
-    if metrics_path:
+    if metrics_path or record_dir:
         report = obs.RunReport(f"repro {args.command}",
                                spans=tracer.span_dicts(),
                                metrics=registry.snapshot(),
                                cache_stats=captured)
-        report.write(metrics_path)
+        if metrics_path:
+            report.write(metrics_path)
+        if record_dir and code == 0:
+            # A fresh store handle: constructed outside the scope
+            # above so its CacheStats never leak into the report.
+            from repro.artifacts import ArtifactStore
+
+            run_id = obs.record_run(ArtifactStore(record_dir), report,
+                                    command=f"repro {args.command}")
+            print(f"run recorded: {run_id}", file=sys.stderr)
     return code
 
 
@@ -873,6 +996,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p, suppress=True)
     p.set_defaults(func=cmd_result)
 
+    p = sub.add_parser("report",
+                       help="run history, report diffing, trace timelines")
+    rsub = p.add_subparsers(dest="report_action", required=True)
+
+    rp = rsub.add_parser("history",
+                         help="list run records stored under runs/")
+    rp.add_argument("--store", metavar="DIR", required=True,
+                    help="artifact store holding the run history")
+    rp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show only the newest N runs")
+    rp.add_argument("--ids", action="store_true",
+                    help="print bare run ids (oldest first)")
+    _add_obs_args(rp, suppress=True)
+    rp.set_defaults(func=cmd_report_history)
+
+    rp = rsub.add_parser("diff",
+                         help="compare two RunReports (the perf gate)")
+    rp.add_argument("run_a", help="baseline: file, run id, or '-'")
+    rp.add_argument("run_b", help="candidate: file, run id, or '-'")
+    rp.add_argument("--store", metavar="DIR", default=None,
+                    help="resolve run ids against this store")
+    rp.add_argument("--span-rel", type=float, default=0.5,
+                    help="relative span slowdown tolerated "
+                         "(default 0.5 = +50%%)")
+    rp.add_argument("--span-abs", type=float, default=0.02,
+                    metavar="SECONDS",
+                    help="absolute span slowdown tolerated "
+                         "(default 0.02 s)")
+    rp.add_argument("--fail-on-added", action="store_true",
+                    help="treat spans new in B as regressions too")
+    rp.add_argument("--json", action="store_true",
+                    help="emit the full diff document as JSON")
+    rp.add_argument("--all", action="store_true",
+                    help="list unchanged entries too")
+    _add_obs_args(rp, suppress=True)
+    rp.set_defaults(func=cmd_report_diff)
+
+    rp = rsub.add_parser("timeline",
+                         help="span trace -> Chrome trace_event JSON "
+                              "(Perfetto)")
+    rp.add_argument("input",
+                    help="trace JSONL, RunReport JSON, stored run id, "
+                         "or '-' for stdin")
+    rp.add_argument("-o", "--out", default=None, metavar="FILE",
+                    help="output path (default stdout)")
+    rp.add_argument("--store", metavar="DIR", default=None,
+                    help="resolve run ids against this store")
+    _add_obs_args(rp, suppress=True)
+    rp.set_defaults(func=cmd_report_timeline)
+
     return parser
 
 
@@ -880,7 +1053,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     _configure_logging(getattr(args, "verbose", 0))
-    return _run_observed(args)
+    try:
+        return _run_observed(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro report history | head`):
+        # stop quietly instead of tracebacking.  Stdout is re-pointed
+        # at devnull so interpreter shutdown does not re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -72,6 +72,10 @@ class WorkerObservation:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     cache_stats: List[Dict[str, Any]] = field(default_factory=list)
+    #: OS pid of the process that ran the job; the timeline exporter
+    #: uses it to place genuinely cross-process spans on their own
+    #: Perfetto lanes (serial runs stay attribute-free).
+    pid: Optional[int] = None
 
 
 class _ObservedWorker:
@@ -97,7 +101,7 @@ class _ObservedWorker:
             result = self.worker(job)
         return WorkerObservation(result=result, spans=tracer.span_dicts(),
                                  metrics=registry.snapshot(),
-                                 cache_stats=captured)
+                                 cache_stats=captured, pid=os.getpid())
 
 
 def load_circuit(name: str) -> Circuit:
@@ -202,10 +206,12 @@ def _merge_observations(outcomes: List[Any], observed: bool) -> List[Any]:
     """Unwrap :class:`WorkerObservation` payloads, merging in job order.
 
     Spans are adopted under the current span with a ``worker`` index
-    attribute, metric snapshots are folded into the installed registry,
-    and cache-stats entries are re-registered in the parent scope.
-    Merge order is the job order of ``outcomes`` — deterministic by
-    construction.
+    attribute (plus the worker's OS ``pid`` when it differs from the
+    parent's, i.e. a genuinely pooled run — serial sweeps stay
+    pid-free, preserving pooled==serial span shapes), metric snapshots
+    are folded into the installed registry, and cache-stats entries
+    are re-registered in the parent scope.  Merge order is the job
+    order of ``outcomes`` — deterministic by construction.
     """
     if not observed:
         return outcomes
@@ -213,12 +219,21 @@ def _merge_observations(outcomes: List[Any], observed: bool) -> List[Any]:
     registry = obs.get_metrics()
     results = []
     for i, payload in enumerate(outcomes):
-        tracer.adopt(payload.spans, worker=i)
+        tracer.adopt(payload.spans, **_adoption_attrs(i, payload.pid))
         registry.merge(payload.metrics)
         for entry in payload.cache_stats:
             obs.register_cache_snapshot(entry)
         results.append(payload.result)
     return results
+
+
+def _adoption_attrs(index: int, pid: Optional[int]) -> Dict[str, Any]:
+    """Root attributes for adopted worker spans: worker index, and the
+    worker's OS pid only when it crossed a process boundary."""
+    attrs: Dict[str, Any] = {"worker": index}
+    if pid is not None and pid != os.getpid():
+        attrs["pid"] = pid
+    return attrs
 
 
 # -- bundle shipping ---------------------------------------------------------
@@ -486,7 +501,8 @@ def run_sharded_sweep(worker: Callable[[J], R], jobs: Sequence[J], *,
                 results = [encode(o.result) for o in outcomes]
                 observations: Optional[List[Dict[str, Any]]] = [
                     {"spans": o.spans, "metrics": o.metrics,
-                     "cache_stats": o.cache_stats} for o in outcomes]
+                     "cache_stats": o.cache_stats, "pid": o.pid}
+                    for o in outcomes]
             else:
                 results = [encode(o) for o in outcomes]
                 observations = None
@@ -532,7 +548,8 @@ def _assemble_sharded(payloads: Dict[int, Dict[str, Any]], n_jobs: int,
         encoded, observation = entries[i]
         rows.append(decode(encoded))
         if merge and observation is not None:
-            tracer.adopt(observation["spans"], worker=i)
+            tracer.adopt(observation["spans"],
+                         **_adoption_attrs(i, observation.get("pid")))
             registry.merge(observation["metrics"])
             for entry in observation["cache_stats"]:
                 obs.register_cache_snapshot(entry)

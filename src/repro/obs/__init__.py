@@ -10,7 +10,17 @@ The instrumentation layer of the analysis stack (PR 5 of the roadmap's
   time) with deterministic snapshot/merge semantics.
 * :mod:`repro.obs.report` — the :class:`RunReport` document merging
   span trees, metric snapshots, and per-context
-  :class:`~repro.context.CacheStats` into one schema-validated JSON.
+  :class:`~repro.context.CacheStats` into one schema-validated JSON,
+  plus the Prometheus text exposition of that document.
+* :mod:`repro.obs.perf` — the run-history plane: RunReports wrapped in
+  host/git/command envelopes and persisted to the artifact store's
+  ``runs/`` namespace for comparison over time.
+* :mod:`repro.obs.diff` — report diffing with tolerance bands: aligns
+  spans/metrics/cache stats across two runs and emits a pass/fail
+  regression verdict (the CI perf gate).
+* :mod:`repro.obs.timeline` — span traces as Chrome ``trace_event``
+  JSON, loadable in Perfetto with pool/serve workers on their own
+  pid lanes.
 
 Collection is **off by default** and near-free while off: the
 module-level :func:`span` / :func:`count` / :func:`observe` helpers
@@ -37,15 +47,39 @@ or pass ``--trace FILE`` / ``--metrics FILE`` to any CLI subcommand.
 See docs/OBSERVABILITY.md for the span taxonomy and report schema.
 """
 
+from repro.obs.diff import (
+    DiffEntry,
+    ReportDiff,
+    Tolerance,
+    canonical_json,
+    canonicalize_report,
+    diff_reports,
+    format_diff,
+    span_totals,
+)
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     count,
+    gauge,
     get_metrics,
     observe,
     set_metrics,
     use_metrics,
+)
+from repro.obs.perf import (
+    RUN_SCHEMA,
+    git_rev,
+    history_line,
+    host_fingerprint,
+    load_history,
+    make_run_record,
+    new_run_id,
+    record_run,
+    resolve_report,
+    summarize_record,
 )
 from repro.obs.report import (
     REPORT_SCHEMA,
@@ -57,8 +91,10 @@ from repro.obs.report import (
     reset_cache_registry,
     schema_errors,
     snapshot_cache_stats,
+    to_prometheus,
     validate_report,
 )
+from repro.obs.timeline import chrome_trace, convert, convert_file
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -77,10 +113,18 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "span", "annotate", "traced",
     "get_tracer", "set_tracer", "use_tracer", "tracing_enabled",
-    "Counter", "Histogram", "MetricsRegistry",
-    "count", "observe", "get_metrics", "set_metrics", "use_metrics",
+    "Counter", "Histogram", "Gauge", "MetricsRegistry",
+    "count", "observe", "gauge",
+    "get_metrics", "set_metrics", "use_metrics",
     "RunReport", "REPORT_SCHEMA", "SCHEMA_VERSION",
-    "schema_errors", "validate_report",
+    "schema_errors", "validate_report", "to_prometheus",
     "register_cache_stats", "register_cache_snapshot",
     "snapshot_cache_stats", "cache_scope", "reset_cache_registry",
+    "RUN_SCHEMA", "host_fingerprint", "git_rev", "new_run_id",
+    "make_run_record", "record_run", "resolve_report",
+    "summarize_record", "load_history", "history_line",
+    "Tolerance", "DiffEntry", "ReportDiff", "diff_reports",
+    "format_diff", "span_totals", "canonicalize_report",
+    "canonical_json",
+    "chrome_trace", "convert", "convert_file",
 ]

@@ -1,5 +1,9 @@
 """``python -m repro.obs REPORT.json ...`` — validate RunReport files.
 
+Accepts file paths or ``-`` for stdin; reports **every** schema
+violation per document.  Exit codes: 0 all valid, 1 any invalid or
+unreadable, 2 usage error (no inputs).
+
 Thin alias of :func:`repro.obs.report.main` that avoids the runpy
 double-import warning of ``python -m repro.obs.report`` (the package
 ``__init__`` already imports that module).

@@ -1,0 +1,352 @@
+"""Report diffing: align two RunReports and gate on regressions.
+
+:func:`diff_reports` aligns the spans, counters, gauges, histograms,
+and cache-stats of two RunReport documents and classifies every pair:
+
+* **spans** are aggregated by slash path (``repro.age/flow.run_sweep``)
+  into (count, total seconds) and compared as wall-time deltas.  A
+  span that got *slower* beyond the tolerance band is a
+  ``regression``; faster, added, and removed paths are informational.
+* **counters / gauges / histograms / cache hit rates** are reported as
+  ``drift`` entries by default — a warm run legitimately has different
+  hit counts than a cold one — and only gate when the tolerance is
+  explicitly tightened (``counter_rel`` / ``hit_rate_drop``).
+
+The verdict is binary: a diff **fails** iff it contains at least one
+``regression`` entry.  CI's ``perf-diff-smoke`` job runs two identical
+stored runs through this (expects pass) and an inflated fixture
+(expects fail), making the diff engine the perf-regression gate.
+
+:func:`canonicalize_report` strips the volatile parts of a report
+(wall-clock times, worker pids, job ids, timing-histogram values) so
+tests can assert that repeated pooled/served runs produce
+byte-identical canonical documents.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Entry statuses that fail the gate.
+REGRESSION = "regression"
+
+#: Attribute keys stripped by canonicalize_report (run-unique values).
+VOLATILE_ATTRIBUTES = ("pid", "job", "key", "sweep")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """The regression gate's tolerance bands.
+
+    A span path regresses only when it is slower by **both** more than
+    ``span_rel`` (relative) and ``span_abs_s`` (absolute) — the
+    absolute floor keeps microsecond-scale spans from tripping the
+    relative band on scheduler noise.  ``counter_rel`` and
+    ``hit_rate_drop`` default to ``None`` (informational drift only).
+    """
+
+    span_rel: float = 0.5
+    span_abs_s: float = 0.02
+    counter_rel: Optional[float] = None
+    hit_rate_drop: Optional[float] = None
+    fail_on_added: bool = False
+
+
+@dataclass
+class DiffEntry:
+    """One aligned pair (or singleton) in a report diff."""
+
+    kind: str        # "span" | "counter" | "gauge" | "histogram" | "cache"
+    name: str
+    a: Optional[float]
+    b: Optional[float]
+    status: str      # "ok" | "faster" | "slower" | "drift" |
+                     # "added" | "removed" | "regression"
+    detail: str = ""
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This entry as a JSON-ready dict (``delta`` included)."""
+        return {"kind": self.kind, "name": self.name, "a": self.a,
+                "b": self.b, "delta": self.delta, "status": self.status,
+                "detail": self.detail}
+
+
+@dataclass
+class ReportDiff:
+    """The aligned diff of two reports plus its pass/fail verdict."""
+
+    label_a: str
+    label_b: str
+    entries: List[DiffEntry] = field(default_factory=list)
+    tolerance: Tolerance = field(default_factory=Tolerance)
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == REGRESSION]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    @property
+    def verdict(self) -> str:
+        return "pass" if self.passed else "fail"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole diff as a JSON-ready document (``--json`` output).
+
+        ``regressions`` is the regression *count*; the entries
+        themselves (with per-entry status) are under ``entries``.
+        """
+        return {
+            "a": self.label_a,
+            "b": self.label_b,
+            "verdict": self.verdict,
+            "regressions": len(self.regressions),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+
+def span_totals(report_doc: Dict[str, Any]
+                ) -> Dict[str, Tuple[int, float]]:
+    """``{slash path: (count, total seconds)}`` over a report's spans."""
+    totals: Dict[str, Tuple[int, float]] = {}
+
+    def walk(spans: List[Dict[str, Any]], prefix: str) -> None:
+        for span in spans:
+            if not isinstance(span, dict):
+                continue
+            name = str(span.get("name", ""))
+            path = f"{prefix}/{name}" if prefix else name
+            count, total = totals.get(path, (0, 0.0))
+            totals[path] = (count + 1,
+                            total + float(span.get("duration") or 0.0))
+            walk(span.get("children", []), path)
+
+    walk(report_doc.get("spans", []), "")
+    return totals
+
+
+def _metric_values(report_doc: Dict[str, Any], kinds: Tuple[str, ...]
+                   ) -> Dict[str, float]:
+    """Flatten ``(name, label)`` series of the given metric kinds."""
+    out: Dict[str, float] = {}
+    for name, metric in report_doc.get("metrics", {}).items():
+        if not isinstance(metric, dict) or metric.get("type") not in kinds:
+            continue
+        for label, value in metric.get("values", {}).items():
+            series = f"{name}{{{label}}}" if label else name
+            out[series] = float(value)
+    return out
+
+
+def _histogram_stats(report_doc: Dict[str, Any]) -> Dict[str, float]:
+    """``{name.count / name.mean: value}`` for every histogram."""
+    out: Dict[str, float] = {}
+    for name, metric in report_doc.get("metrics", {}).items():
+        if not isinstance(metric, dict) or metric.get("type") != "histogram":
+            continue
+        count = int(metric.get("count", 0))
+        out[f"{name}.count"] = float(count)
+        if count:
+            out[f"{name}.mean"] = float(metric.get("sum", 0.0)) / count
+    return out
+
+
+def _hit_rates(report_doc: Dict[str, Any]) -> Dict[str, float]:
+    """``{scope: hits / (hits + misses)}`` per cache-stats entry."""
+    out: Dict[str, float] = {}
+    for entry in report_doc.get("cache_stats", []):
+        if not isinstance(entry, dict):
+            continue
+        hits = int(entry.get("hits", 0))
+        misses = int(entry.get("misses", 0))
+        if hits + misses:
+            out[str(entry.get("scope", ""))] = hits / (hits + misses)
+    return out
+
+
+def _diff_spans(a: Dict[str, Tuple[int, float]],
+                b: Dict[str, Tuple[int, float]], tol: Tolerance,
+                entries: List[DiffEntry]) -> None:
+    for path in sorted(set(a) | set(b)):
+        in_a, in_b = path in a, path in b
+        if in_a and in_b:
+            ta, tb = a[path][1], b[path][1]
+            delta = tb - ta
+            slower = delta > tol.span_abs_s
+            beyond_rel = (delta > tol.span_rel * ta if ta > 0 else slower)
+            if slower and beyond_rel:
+                status = REGRESSION
+                detail = (f"+{delta:.3f}s "
+                          f"({delta / ta:+.0%})" if ta > 0
+                          else f"+{delta:.3f}s")
+            elif slower:
+                status, detail = "slower", f"+{delta:.3f}s"
+            elif -delta > tol.span_abs_s:
+                status, detail = "faster", f"{delta:.3f}s"
+            else:
+                status, detail = "ok", ""
+            entries.append(DiffEntry("span", path, ta, tb, status, detail))
+        elif in_a:
+            entries.append(DiffEntry("span", path, a[path][1], None,
+                                     "removed"))
+        else:
+            status = (REGRESSION if tol.fail_on_added
+                      and b[path][1] > tol.span_abs_s else "added")
+            entries.append(DiffEntry("span", path, None, b[path][1],
+                                     status))
+
+
+def _diff_values(kind: str, a: Dict[str, float], b: Dict[str, float],
+                 rel_gate: Optional[float],
+                 entries: List[DiffEntry]) -> None:
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        if va is None or vb is None:
+            entries.append(DiffEntry(kind, name, va, vb,
+                                     "removed" if vb is None else "added"))
+            continue
+        if va == vb:
+            entries.append(DiffEntry(kind, name, va, vb, "ok"))
+            continue
+        status = "drift"
+        detail = f"{va:g} -> {vb:g}"
+        if rel_gate is not None and va:
+            if abs(vb - va) / abs(va) > rel_gate:
+                status = REGRESSION
+        entries.append(DiffEntry(kind, name, va, vb, status, detail))
+
+
+def _diff_hit_rates(a: Dict[str, float], b: Dict[str, float],
+                    tol: Tolerance, entries: List[DiffEntry]) -> None:
+    for scope in sorted(set(a) | set(b)):
+        ra, rb = a.get(scope), b.get(scope)
+        if ra is None or rb is None:
+            entries.append(DiffEntry("cache", scope, ra, rb,
+                                     "removed" if rb is None else "added"))
+            continue
+        if ra == rb:
+            entries.append(DiffEntry("cache", scope, ra, rb, "ok"))
+            continue
+        status = "drift"
+        if tol.hit_rate_drop is not None and rb < ra - tol.hit_rate_drop:
+            status = REGRESSION
+        entries.append(DiffEntry("cache", scope, ra, rb, status,
+                                 f"hit rate {ra:.1%} -> {rb:.1%}"))
+
+
+def diff_reports(a_doc: Dict[str, Any], b_doc: Dict[str, Any], *,
+                 tolerance: Optional[Tolerance] = None,
+                 label_a: str = "A", label_b: str = "B") -> ReportDiff:
+    """Align report ``a_doc`` (baseline) against ``b_doc`` (candidate).
+
+    Only span wall-time regressions (and, when the tolerance asks,
+    counter/hit-rate moves) set the ``fail`` verdict; everything else
+    is informational.
+    """
+    tol = tolerance or Tolerance()
+    diff = ReportDiff(label_a, label_b, tolerance=tol)
+    _diff_spans(span_totals(a_doc), span_totals(b_doc), tol, diff.entries)
+    _diff_values("counter", _metric_values(a_doc, ("counter",)),
+                 _metric_values(b_doc, ("counter",)), tol.counter_rel,
+                 diff.entries)
+    _diff_values("gauge", _metric_values(a_doc, ("gauge",)),
+                 _metric_values(b_doc, ("gauge",)), None, diff.entries)
+    _diff_values("histogram", _histogram_stats(a_doc),
+                 _histogram_stats(b_doc), None, diff.entries)
+    _diff_hit_rates(_hit_rates(a_doc), _hit_rates(b_doc), tol,
+                    diff.entries)
+    return diff
+
+
+def format_diff(diff: ReportDiff, *, verbose: bool = False) -> str:
+    """Human-readable diff: regressions first, then notable drift.
+
+    ``verbose`` includes the ``ok`` entries too.
+    """
+    lines = [f"diff {diff.label_a} -> {diff.label_b}"]
+    order = {REGRESSION: 0, "slower": 1, "added": 2, "removed": 3,
+             "drift": 4, "faster": 5, "ok": 6}
+    shown = [e for e in diff.entries
+             if verbose or e.status != "ok"]
+    for entry in sorted(shown, key=lambda e: (order.get(e.status, 9),
+                                              e.kind, e.name)):
+        a = "-" if entry.a is None else f"{entry.a:.6g}"
+        b = "-" if entry.b is None else f"{entry.b:.6g}"
+        line = (f"  [{entry.status:>10}] {entry.kind:<9} {entry.name}: "
+                f"{a} -> {b}")
+        if entry.detail:
+            line += f"  ({entry.detail})"
+        lines.append(line)
+    n_ok = sum(1 for e in diff.entries if e.status == "ok")
+    lines.append(f"  {len(diff.entries)} aligned entries, {n_ok} ok, "
+                 f"{len(diff.regressions)} regression(s)")
+    lines.append(f"verdict: {diff.verdict.upper()}")
+    return "\n".join(lines)
+
+
+def canonicalize_report(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``doc`` with every run-unique value normalized out.
+
+    * span ``start``/``duration`` zeroed (closed spans stay closed);
+    * attributes named in :data:`VOLATILE_ATTRIBUTES` (worker pids,
+      job ids, content keys) replaced with ``"*"``;
+    * histograms and gauges whose name ends in ``seconds`` keep only
+      their type and count (the values are wall-clock measurements);
+    * ``meta`` keys measuring time (``uptime``...) dropped.
+
+    Two runs of the same deterministic workload canonicalize to
+    byte-identical JSON — the cross-process merge-order tests
+    serialize this with ``json.dumps(..., sort_keys=True)``.
+    """
+    out = copy.deepcopy(doc)
+
+    def scrub_span(span: Dict[str, Any]) -> None:
+        span["start"] = 0.0
+        if span.get("duration") is not None:
+            span["duration"] = 0.0
+        attrs = span.get("attributes")
+        if isinstance(attrs, dict):
+            for key in VOLATILE_ATTRIBUTES:
+                if key in attrs:
+                    attrs[key] = "*"
+        for child in span.get("children", []):
+            if isinstance(child, dict):
+                scrub_span(child)
+
+    for span in out.get("spans", []):
+        if isinstance(span, dict):
+            scrub_span(span)
+    metrics = out.get("metrics", {})
+    for name in list(metrics):
+        metric = metrics[name]
+        if not isinstance(metric, dict):
+            continue
+        timing = name.endswith("seconds")
+        if metric.get("type") == "histogram" and timing:
+            metrics[name] = {"type": "histogram",
+                             "count": metric.get("count", 0)}
+        elif metric.get("type") == "gauge" and timing:
+            metrics[name] = {"type": "gauge",
+                             "series": sorted(metric.get("values", {}))}
+    meta = out.get("meta")
+    if isinstance(meta, dict):
+        for key in list(meta):
+            if "uptime" in key or "seconds" in key:
+                del meta[key]
+    return out
+
+
+def canonical_json(doc: Dict[str, Any]) -> str:
+    """The canonical form serialized deterministically."""
+    return json.dumps(canonicalize_report(doc), sort_keys=True)

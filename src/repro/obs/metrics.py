@@ -1,8 +1,9 @@
-"""Typed metrics: counters and histograms with deterministic merging.
+"""Typed metrics: counters, histograms, and gauges, merged exactly.
 
-A :class:`MetricsRegistry` owns named :class:`Counter` and
-:class:`Histogram` instances.  The instrumented kernels record through
-the module-level :func:`count` / :func:`observe` helpers, which are
+A :class:`MetricsRegistry` owns named :class:`Counter`,
+:class:`Histogram`, and :class:`Gauge` instances.  The instrumented
+kernels record through the module-level :func:`count` /
+:func:`observe` / :func:`gauge` helpers, which are
 no-ops unless collection is active (a tracer installed — see
 :func:`repro.obs.trace.tracing_enabled`), keeping the disabled path as
 cheap as the tracing one.
@@ -144,8 +145,47 @@ class Histogram:
                 f"mean={self.mean():.3e})")
 
 
+class Gauge:
+    """A point-in-time value: the *latest* set wins, per label.
+
+    Gauges carry level measurements (queue depth, active workers,
+    retry backlog) rather than accumulations.  The merge rule is
+    last-write-wins per label — exact like the counter/histogram
+    merges, and deterministic because every merge path in the stack
+    (pooled sweeps, sharded assembly, the serve scheduler's
+    sequence-ordered adoption) folds payloads in job order.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: Dict[str, Number] = {}
+
+    def set(self, value: Number, label: str = "") -> None:
+        """Set the series ``label`` to ``value`` (replacing it)."""
+        self.values[label] = value
+
+    def value(self, label: str = "") -> Number:
+        """Current value of one series (0 if never set)."""
+        return self.values.get(label, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready form: ``{"type": "gauge", "values": {...}}``."""
+        return {"type": "gauge",
+                "values": {k: self.values[k] for k in sorted(self.values)}}
+
+    def merge_snapshot(self, snap: Dict[str, Any]) -> None:
+        """Adopt a :meth:`snapshot`: its series overwrite this gauge's."""
+        for label, value in snap.get("values", {}).items():
+            self.values[label] = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, values={self.values})"
+
+
 class MetricsRegistry:
-    """A named collection of counters and histograms.
+    """A named collection of counters, histograms, and gauges.
 
     One registry is installed process-wide (swap with
     :func:`use_metrics`); worker processes build their own and ship
@@ -153,7 +193,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Union[Counter, Histogram]] = {}
+        self._metrics: Dict[str, Union[Counter, Histogram, Gauge]] = {}
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -173,7 +213,16 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} is a counter, not a histogram")
         return metric
 
-    def get(self, name: str) -> Optional[Union[Counter, Histogram]]:
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        elif not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is not a gauge")
+        return metric
+
+    def get(self, name: str) -> Optional[Union[Counter, Histogram, Gauge]]:
         """The metric named ``name``, or ``None``."""
         return self._metrics.get(name)
 
@@ -200,6 +249,8 @@ class MetricsRegistry:
                 self.counter(name).merge_snapshot(snap)
             elif kind == "histogram":
                 self.histogram(name).merge_snapshot(snap)
+            elif kind == "gauge":
+                self.gauge(name).merge_snapshot(snap)
             else:
                 raise ValueError(f"metric {name!r} has unknown type {kind!r}")
 
@@ -248,3 +299,10 @@ def observe(name: str, value: Number) -> None:
     if not tracing_enabled():
         return
     _registry.histogram(name).observe(value)
+
+
+def gauge(name: str, value: Number, label: str = "") -> None:
+    """Set a gauge in the installed registry (when collecting)."""
+    if not tracing_enabled():
+        return
+    _registry.gauge(name).set(value, label)

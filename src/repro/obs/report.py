@@ -44,7 +44,8 @@ REPORT_SCHEMA: Dict[str, Any] = {
     "spans": [{"name": "str", "start": "float >= 0",
                "duration": "float >= 0 | None", "attributes": "dict",
                "children": "[span...]"}],
-    "metrics": {"<name>": {"type": "'counter' | 'histogram'", "...": "..."}},
+    "metrics": {"<name>": {"type": "'counter' | 'histogram' | 'gauge'",
+                           "...": "..."}},
     "cache_stats": [{"scope": "str", "hits": "int >= 0",
                      "misses": "int >= 0",
                      "artifacts": {"<artifact>": {"hits": "int",
@@ -238,7 +239,7 @@ def _check_metric(name: str, metric: Any, errors: List[str]) -> None:
         errors.append(f"{path}: must be an object")
         return
     kind = metric.get("type")
-    if kind == "counter":
+    if kind in ("counter", "gauge"):
         values = metric.get("values")
         if not isinstance(values, dict):
             errors.append(f"{path}.values: must be an object")
@@ -252,8 +253,8 @@ def _check_metric(name: str, metric: Any, errors: List[str]) -> None:
         if not isinstance(metric.get("buckets", {}), dict):
             errors.append(f"{path}.buckets: must be an object")
     else:
-        errors.append(f"{path}.type: must be 'counter' or 'histogram', "
-                      f"got {kind!r}")
+        errors.append(f"{path}.type: must be 'counter', 'histogram', "
+                      f"or 'gauge', got {kind!r}")
 
 
 def _check_cache_entry(entry: Any, path: str, errors: List[str]) -> None:
@@ -324,18 +325,137 @@ def validate_report(doc: Any) -> None:
                          + "\n  ".join(errors))
 
 
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name to the Prometheus grammar."""
+    import re
+
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_number(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _prom_series(name: str, labels: Dict[str, str], value: Any) -> str:
+    if labels:
+        body = ",".join(f'{k}="{_prom_escape(str(v))}"'
+                        for k, v in labels.items())
+        return f"{name}{{{body}}} {_prom_number(value)}"
+    return f"{name} {_prom_number(value)}"
+
+
+def _prom_histogram(name: str, metric: Dict[str, Any],
+                    lines: List[str]) -> None:
+    """Cumulative ``le`` buckets from the power-of-two exponent keys.
+
+    Exponent bucket ``k`` holds values in ``[2**k, 2**(k+1))``, so its
+    Prometheus upper bound is ``2**(k+1)``; the ``le0`` bucket (values
+    <= 0) maps to ``le="0"``.
+    """
+    lines.append(f"# TYPE {name} histogram")
+    buckets = metric.get("buckets", {})
+    bounds: List[Tuple[float, str, int]] = []
+    for key, n in buckets.items():
+        if key == "le0":
+            bounds.append((0.0, "0", int(n)))
+        else:
+            upper = 2.0 ** (int(key) + 1)
+            bounds.append((upper, _prom_number(upper), int(n)))
+    cumulative = 0
+    for _, label, n in sorted(bounds, key=lambda b: b[0]):
+        cumulative += n
+        lines.append(_prom_series(f"{name}_bucket", {"le": label},
+                                  cumulative))
+    lines.append(_prom_series(f"{name}_bucket", {"le": "+Inf"},
+                              int(metric.get("count", 0))))
+    lines.append(_prom_series(f"{name}_sum", {}, metric.get("sum", 0.0)))
+    lines.append(_prom_series(f"{name}_count", {},
+                              int(metric.get("count", 0))))
+
+
+def to_prometheus(doc: Dict[str, Any]) -> str:
+    """A RunReport document as Prometheus text exposition (v0.0.4).
+
+    Counters and gauges map directly (the label key is ``series``);
+    histograms emit cumulative ``le`` buckets derived from the
+    power-of-two exponent buckets; cache-stats entries become
+    ``repro_cache_hits_total`` / ``repro_cache_misses_total`` labeled
+    by scope and artifact.  ``GET /metrics.prom`` on the serve tier
+    renders its live RunReport through this.
+    """
+    lines: List[str] = []
+    for name in sorted(doc.get("metrics", {})):
+        metric = doc["metrics"][name]
+        prom = _prom_name(name)
+        kind = metric.get("type")
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {prom} {kind}")
+            values = metric.get("values", {})
+            for label in sorted(values):
+                labels = {"series": label} if label else {}
+                lines.append(_prom_series(prom, labels, values[label]))
+        elif kind == "histogram":
+            _prom_histogram(prom, metric, lines)
+    for entry in doc.get("cache_stats", []):
+        scope = str(entry.get("scope", ""))
+        for artifact in sorted(entry.get("artifacts", {})):
+            counts = entry["artifacts"][artifact]
+            labels = {"scope": scope, "artifact": artifact}
+            lines.append(_prom_series("repro_cache_hits_total", labels,
+                                      int(counts.get("hits", 0))))
+            lines.append(_prom_series("repro_cache_misses_total", labels,
+                                      int(counts.get("misses", 0))))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+USAGE = """\
+usage: python -m repro.obs REPORT.json ...
+
+Validate RunReport documents against the schema.  Pass '-' to read
+one document from stdin.  Every violation is reported (the checker
+does not stop at the first).
+
+exit codes:
+  0  every document is schema-valid
+  1  at least one document is invalid or unreadable
+  2  usage error (no inputs given)\
+"""
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Validate report files: ``python -m repro.obs.report FILE...``."""
+    """Validate report files: ``python -m repro.obs REPORT.json ...``.
+
+    Accepts file paths or ``-`` for stdin.  Exit codes: 0 all valid,
+    1 any invalid/unreadable, 2 usage error.
+    """
     paths = list(sys.argv[1:] if argv is None else argv)
-    if not paths:
-        print("usage: python -m repro.obs.report REPORT.json ...",
-              file=sys.stderr)
+    if not paths or "-h" in paths or "--help" in paths:
+        print(USAGE, file=sys.stderr)
         return 2
     failed = False
     for path in paths:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
+            if path == "-":
+                doc = json.load(sys.stdin)
+                path = "<stdin>"
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"{path}: unreadable ({exc})")
             failed = True

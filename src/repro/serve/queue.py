@@ -338,6 +338,12 @@ class JobQueue:
         with self._lock:
             return len(self._pending)
 
+    def retry_backlog(self) -> int:
+        """Queued jobs that already burned at least one attempt."""
+        with self._lock:
+            return sum(1 for job_id in self._pending
+                       if self._jobs[job_id].attempts > 0)
+
     def __repr__(self) -> str:
         counts = self.counts()
         return (f"JobQueue(jobs={len(self._jobs)}, "

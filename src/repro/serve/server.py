@@ -23,15 +23,19 @@ Observability is service-owned: the process-global tracer is
 explicitly single-threaded, so the service keeps its *own*
 :class:`ServiceObs` (tracer + metrics registry behind a lock) and
 every queue transition, cache answer, and worker payload funnels into
-it.  ``GET /metrics`` renders it as a schema-valid
-:class:`~repro.obs.report.RunReport` — the same document ``--metrics``
-produces for batch runs, validatable with ``python -m repro.obs``.
+it.  Worker payloads are adopted in **claim order** (sequence slots
+handed out at launch), so repeated runs of the same job sequence
+produce the same canonical report.  ``GET /metrics`` renders it as a
+schema-valid :class:`~repro.obs.report.RunReport` — the same document
+``--metrics`` produces for batch runs, validatable with
+``python -m repro.obs`` — and ``GET /metrics.prom`` renders the same
+snapshot in the Prometheus text format.
 
 The HTTP layer is deliberately thin: a ``ThreadingHTTPServer`` whose
-handlers translate five JSON endpoints (``POST /submit``,
+handlers translate six endpoints (``POST /submit``,
 ``GET /status/<id>``, ``GET /result/<id>``, ``GET /healthz``,
-``GET /metrics``) onto the service object.  See docs/SERVICE.md for
-the wire protocol.
+``GET /metrics``, ``GET /metrics.prom``) onto the service object.
+See docs/SERVICE.md for the wire protocol.
 """
 
 from __future__ import annotations
@@ -63,13 +67,26 @@ MAX_SPANS = 512
 
 
 class ServiceObs:
-    """Thread-safe span/counter hub owned by one service instance.
+    """Thread-safe span/metric hub owned by one service instance.
 
     The module-global tracer is single-threaded by design (HTTP handler
     threads + the scheduler would corrupt its span stack), so the
     service never installs it; everything reports here instead, under
     one lock.  Spans are flat (no nesting across threads) and capped at
     :data:`MAX_SPANS`.
+
+    Two ordering guarantees:
+
+    * **Snapshot atomicity** — :meth:`report` assembles the whole
+      document (spans, metrics, cache entries, store stats) in one
+      locked pass, so a reader never sees a counter from after a span
+      it does not contain (``tests/test_serve_obs.py`` hammers this).
+    * **Deterministic adoption** — worker payloads are admitted through
+      monotonically allocated sequence numbers (:meth:`alloc_seq`,
+      handed out at claim time) and flushed into the tracer strictly in
+      sequence order, regardless of which worker finished first.  Two
+      servers running the same job sequence produce the same canonical
+      RunReport.
     """
 
     def __init__(self) -> None:
@@ -80,6 +97,10 @@ class ServiceObs:
         #: artifact, so a long-lived server's list stays bounded by
         #: the number of distinct scopes, not completed jobs).
         self._cache_entries: Dict[str, Dict[str, Any]] = {}
+        self._next_seq = 0
+        self._flush_next = 0
+        #: seq -> buffered payload (None = released without one).
+        self._pending_payloads: Dict[int, Optional[Dict[str, Any]]] = {}
 
     def count(self, name: str, amount: int = 1, label: str = "") -> None:
         """Increment the named counter (optionally labelled)."""
@@ -91,42 +112,92 @@ class ServiceObs:
         with self._lock:
             self._metrics.histogram(name).observe(value)
 
+    def gauge(self, name: str, value: float, label: str = "") -> None:
+        """Set the named gauge series to ``value``."""
+        with self._lock:
+            self._metrics.gauge(name).set(value, label)
+
     def span(self, name: str, **attributes: Any):
         """A flat timed span recorded on exit (thread-safe)."""
         return _LockedSpan(self, name, attributes)
 
+    def alloc_seq(self) -> int:
+        """Reserve the next adoption slot (call at claim time)."""
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
     def adopt(self, spans: Optional[List[Dict[str, Any]]] = None,
               metrics: Optional[Dict[str, Any]] = None,
-              cache_stats: Optional[List[Dict[str, Any]]] = None) -> None:
-        """Merge a worker payload (spans/metrics/cache stats)."""
+              cache_stats: Optional[List[Dict[str, Any]]] = None,
+              attributes: Optional[Dict[str, Any]] = None,
+              seq: Optional[int] = None) -> None:
+        """Merge a worker payload (spans/metrics/cache stats).
+
+        Without ``seq`` the payload merges immediately (one atomic
+        step).  With ``seq`` (from :meth:`alloc_seq`) it is buffered
+        and flushed strictly in sequence order — an attempt that ends
+        without a payload must still call ``adopt(seq=...)`` so later
+        sequences are not held back.
+        """
+        payload = {"spans": spans, "metrics": metrics,
+                   "cache_stats": cache_stats, "attributes": attributes}
+        empty = not (spans or metrics or cache_stats)
         with self._lock:
-            if spans:
-                self._tracer.adopt(spans)
-            if metrics:
-                self._metrics.merge(metrics)
-            for entry in cache_stats or []:
-                scope = str(entry.get("scope", ""))
-                merged = self._cache_entries.setdefault(
-                    scope, {"scope": scope, "artifacts": {}})
-                for name, counts in entry.get("artifacts", {}).items():
-                    slot = merged["artifacts"].setdefault(
-                        name, {"hits": 0, "misses": 0})
-                    slot["hits"] += int(counts.get("hits", 0))
-                    slot["misses"] += int(counts.get("misses", 0))
+            if seq is None:
+                self._merge_payload(payload)
+            else:
+                self._pending_payloads[seq] = None if empty else payload
+                while self._flush_next in self._pending_payloads:
+                    queued = self._pending_payloads.pop(self._flush_next)
+                    self._flush_next += 1
+                    if queued is not None:
+                        self._merge_payload(queued)
             self._trim()
+
+    def _merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold one payload into the hub (caller holds the lock)."""
+        if payload.get("spans"):
+            self._tracer.adopt(payload["spans"],
+                               **(payload.get("attributes") or {}))
+        if payload.get("metrics"):
+            self._metrics.merge(payload["metrics"])
+        for entry in payload.get("cache_stats") or []:
+            scope = str(entry.get("scope", ""))
+            merged = self._cache_entries.setdefault(
+                scope, {"scope": scope, "artifacts": {}})
+            for name, counts in entry.get("artifacts", {}).items():
+                slot = merged["artifacts"].setdefault(
+                    name, {"hits": 0, "misses": 0})
+                slot["hits"] += int(counts.get("hits", 0))
+                slot["misses"] += int(counts.get("misses", 0))
 
     def _trim(self) -> None:
         del self._tracer.roots[:-MAX_SPANS]
 
-    def report(self, label: str, store: Any,
-               meta: Optional[Dict[str, Any]] = None) -> obs.RunReport:
-        """The service's RunReport: spans, counters, store cache stats.
+    def report(self, label: str, store: Any = None,
+               meta: Optional[Dict[str, Any]] = None,
+               gauges: Optional[Dict[str, float]] = None
+               ) -> obs.RunReport:
+        """The service's RunReport: spans, metrics, store cache stats.
 
-        The store's live hit/miss counters become one cache-stats
-        entry (same shape ``cache_scope`` produces), so ``/metrics``
-        exposes result-cache hits the e2e suite asserts on.
+        The **entire** snapshot — gauge refresh, span trees, metric
+        registry, merged cache entries, and the store's live counters —
+        is taken in one pass under the hub lock, so concurrent
+        ``/metrics`` readers never observe a torn document (spans from
+        one instant, counters from another).  Gauges passed in are
+        level readings the caller gathered *before* taking this lock
+        (queue depths come from the queue's own lock; taking it here
+        would invert the queue -> obs lock order).
+
+        The store's hit/miss counters become one cache-stats entry
+        (same shape ``cache_scope`` produces), so ``/metrics`` exposes
+        result-cache hits the e2e suite asserts on.
         """
         with self._lock:
+            for name, value in (gauges or {}).items():
+                self._metrics.gauge(name).set(value)
             spans = self._tracer.span_dicts()
             metrics = self._metrics.snapshot()
             entries = []
@@ -140,13 +211,14 @@ class ServiceObs:
                                   for a in artifacts.values()),
                     "artifacts": artifacts,
                 })
-        snap = store.stats.snapshot()
-        entries.append({
-            "scope": f"store:{store.root.name}",
-            "hits": sum(a["hits"] for a in snap.values()),
-            "misses": sum(a["misses"] for a in snap.values()),
-            "artifacts": snap,
-        })
+            if store is not None:
+                snap = store.stats.snapshot()
+                entries.append({
+                    "scope": f"store:{store.root.name}",
+                    "hits": sum(a["hits"] for a in snap.values()),
+                    "misses": sum(a["misses"] for a in snap.values()),
+                    "artifacts": snap,
+                })
         return obs.RunReport(label, spans=spans, metrics=metrics,
                              cache_stats=entries, meta=meta)
 
@@ -246,6 +318,9 @@ class AnalysisService:
             self._scheduler.join(timeout=10.0)
         for job_id, worker in list(self._workers.items()):
             worker.kill()
+            # Release the adoption slot so buffered payloads behind
+            # this killed attempt still flush.
+            self.obs.adopt(seq=worker.seq)
             try:
                 self.queue.requeue(job_id, structured_error(
                     "drained", "server shut down mid-attempt; requeued"))
@@ -334,13 +409,26 @@ class AnalysisService:
                 "workers": len(self._workers)}
 
     def metrics_report(self) -> obs.RunReport:
-        """The service RunReport (see :meth:`ServiceObs.report`)."""
+        """The service RunReport (see :meth:`ServiceObs.report`).
+
+        Queue-level gauge readings are gathered *before* the obs lock
+        (the queue has its own lock; acquiring it inside
+        :meth:`ServiceObs.report` would invert the queue -> obs lock
+        order the transition spans establish).
+        """
         counts = self.queue.counts()
+        retry_backlog = self.queue.retry_backlog()
+        active_workers = len(self._workers)
         return self.obs.report(
             "repro serve", self.store,
             meta={"jobs_done": counts[DONE], "jobs_failed": counts[FAILED],
                   "jobs_queued": counts[QUEUED],
-                  "jobs_running": counts[RUNNING]})
+                  "jobs_running": counts[RUNNING]},
+            gauges={"serve.queue_depth": counts[QUEUED],
+                    "serve.jobs_running": counts[RUNNING],
+                    "serve.active_workers": active_workers,
+                    "serve.retry_backlog": retry_backlog,
+                    "serve.uptime_seconds": time.time() - self.started_at})
 
     # -- the scheduler loop --------------------------------------------------
 
@@ -373,6 +461,12 @@ class AnalysisService:
                                      exception=exc.__class__.__name__),
                     backoff_s=self.config.backoff_s)
                 continue
+            # Adoption slot reserved at launch: worker payloads merge
+            # in claim order, not completion order.
+            worker.seq = self.obs.alloc_seq()
+            if record.attempts == 1:
+                self.obs.observe("serve.job.queue_wait_seconds",
+                                 max(0.0, time.time() - record.created_at))
             if worker.pid is not None:
                 self.queue.mark_pid(record.job_id, worker.pid)
             self._workers[record.job_id] = worker
@@ -389,15 +483,21 @@ class AnalysisService:
             progressed = True
             kind, payload = outcome
             record = self.queue.get(job_id)
+            self.obs.observe("serve.job.attempt_seconds",
+                             time.monotonic() - worker.started)
             if kind == "ok":
                 self.obs.adopt(spans=payload.get("spans"),
                                metrics=payload.get("metrics"),
-                               cache_stats=payload.get("cache_stats"))
+                               cache_stats=payload.get("cache_stats"),
+                               attributes={"job": job_id},
+                               seq=worker.seq)
                 self.store.save_result(record.circuit_fp,
                                        record.scenario_key,
                                        payload["numbers"])
                 self.queue.complete(job_id)
             else:
+                # Release the slot so later payloads are not held back.
+                self.obs.adopt(seq=worker.seq)
                 self.obs.count(f"serve.attempts_{kind}")
                 self.queue.finish_attempt(job_id, payload,
                                           backoff_s=self.config.backoff_s)
@@ -410,7 +510,12 @@ class AnalysisService:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Five JSON endpoints over one :class:`AnalysisService`."""
+    """The JSON endpoints over one :class:`AnalysisService`.
+
+    Every request is timed into a per-endpoint latency histogram
+    (``serve.http.<endpoint>.seconds``), which ``/metrics`` and
+    ``/metrics.prom`` then expose.
+    """
 
     protocol_version = "HTTP/1.1"
     server: "ServiceHTTPServer"
@@ -422,8 +527,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, code: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        self._send_bytes(code, body, "application/json")
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_bytes(code, text.encode("utf-8"), content_type)
+
+    def _send_bytes(self, code: int, body: bytes,
+                    content_type: str) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -436,11 +548,30 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return data
 
+    def _endpoint_name(self, path: str) -> str:
+        if path.startswith("/status/"):
+            return "status"
+        if path.startswith("/result/"):
+            return "result"
+        named = {"/submit": "submit", "/healthz": "healthz",
+                 "/metrics": "metrics", "/metrics.prom": "metrics_prom"}
+        return named.get(path, "unknown")
+
     # -- routes --------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.rstrip("/")
+        t0 = time.perf_counter()
+        try:
+            self._post(path)
+        finally:
+            self.server.service.obs.observe(
+                f"serve.http.{self._endpoint_name(path)}.seconds",
+                time.perf_counter() - t0)
+
+    def _post(self, path: str) -> None:
         service = self.server.service
-        if self.path.rstrip("/") != "/submit":
+        if path != "/submit":
             self._send(404, {"error": "unknown endpoint"})
             return
         try:
@@ -458,12 +589,24 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(202 if not record.terminal else 200, record.to_dict())
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        service = self.server.service
         path = self.path.rstrip("/")
+        t0 = time.perf_counter()
+        try:
+            self._get(path)
+        finally:
+            self.server.service.obs.observe(
+                f"serve.http.{self._endpoint_name(path)}.seconds",
+                time.perf_counter() - t0)
+
+    def _get(self, path: str) -> None:
+        service = self.server.service
         if path == "/healthz":
             self._send(200, service.healthz())
         elif path == "/metrics":
             self._send(200, service.metrics_report().to_dict())
+        elif path == "/metrics.prom":
+            text = obs.to_prometheus(service.metrics_report().to_dict())
+            self._send_text(200, text, "text/plain; version=0.0.4")
         elif path.startswith("/status/"):
             doc = service.status(path[len("/status/"):])
             if doc is None:

@@ -19,7 +19,7 @@ The child runs under fresh per-process observability state (exactly
 like the sweep runner's ``_ObservedWorker``) and ships its spans,
 metric snapshot, and cache stats back through the result pipe, so the
 service's ``/metrics`` RunReport shows worker-side kernel activity
-merged in completion order.
+merged deterministically in claim order.
 
 Result protocol over the pipe (one message, then EOF):
 
@@ -61,6 +61,7 @@ def run_age_analysis(bundle: Any, scenario: AgeScenario) -> Dict[str, Any]:
     from repro.sta import ALL_ONE, ALL_ZERO
 
     context = bundle.hydrate()
+    obs.gauge("serve.worker.gates", context.circuit.n_gates())
     standby = {"worst": ALL_ZERO, "best": ALL_ONE}[scenario.standby]
     res = context.aged_delays(scenario.profile(),
                               scenario.lifetime_seconds(),
@@ -97,7 +98,8 @@ def _job_child(conn, bundle: Any, scenario: AgeScenario,
         with obs.use_tracer(tracer), obs.use_metrics(registry), \
                 obs.cache_scope(captured):
             with obs.span("serve.worker.age",
-                          circuit=bundle.circuit_name):
+                          circuit=bundle.circuit_name,
+                          pid=os.getpid()):
                 numbers = run_age_analysis(bundle, scenario)
         conn.send({"ok": True, "numbers": numbers,
                    "spans": tracer.span_dicts(),
@@ -135,7 +137,11 @@ class JobProcess:
             daemon=True)
         self._process.start()
         child_conn.close()  # the child owns its end now
-        self.deadline = time.monotonic() + timeout_s
+        self.started = time.monotonic()
+        self.deadline = self.started + timeout_s
+        #: Adoption slot assigned by the scheduler at launch (see
+        #: ServiceObs.alloc_seq); None outside a service.
+        self.seq: Optional[int] = None
         self._payload: Optional[Dict[str, Any]] = None
 
     @property

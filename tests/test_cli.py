@@ -302,3 +302,102 @@ class TestObservabilityFlags:
         assert entry["scope"] == "c17"
         assert entry["hits"] > 0 and entry["misses"] > 0
         assert doc["metrics"]["sta.analyze.engine"]["type"] == "counter"
+
+
+class TestReportCli:
+    """``repro report`` history / diff / timeline, and run recording."""
+
+    @staticmethod
+    def _report_file(tmp_path, name, duration):
+        from repro.obs import RunReport
+
+        span = {"name": "repro.age", "start": 0.0, "duration": duration,
+                "attributes": {}, "children": []}
+        path = tmp_path / name
+        path.write_text(json.dumps(RunReport("cli", spans=[span]).to_dict()))
+        return str(path)
+
+    def test_age_with_store_records_runs(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        for _ in range(2):
+            assert main(["age", "c17", "--store", store]) == 0
+        err = capsys.readouterr().err
+        assert err.count("run recorded:") == 2
+
+        # The history lists both, oldest first; --ids is script-friendly.
+        assert main(["report", "history", "--store", store, "--ids"]) == 0
+        ids = capsys.readouterr().out.split()
+        assert len(ids) == 2
+        assert main(["report", "history", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "run history" in out and ids[0] in out
+
+        # Cold run vs warm run: ids resolve against the store and the
+        # gate passes (wide bands — two live sub-second runs are noise;
+        # the strict gate is pinned on fixture reports below).
+        assert main(["report", "diff", ids[0], ids[1], "--store", store,
+                     "--span-abs", "60"]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+        # The store's info view counts the new namespace.
+        assert main(["cache", "info", "--store", store]) == 0
+        assert "runs" in capsys.readouterr().out
+
+    def test_history_empty_store(self, tmp_path, capsys):
+        assert main(["report", "history", "--store",
+                     str(tmp_path / "empty")]) == 0
+        assert "no recorded runs" in capsys.readouterr().err
+
+    def test_diff_gate_fails_on_inflated_span(self, tmp_path, capsys):
+        a = self._report_file(tmp_path, "a.json", 0.1)
+        b = self._report_file(tmp_path, "b.json", 5.1)
+        assert main(["report", "diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out and "repro.age" in out
+        # Same pair inside tolerance: widened bands pass.
+        assert main(["report", "diff", a, b, "--span-abs", "10",
+                     "--span-rel", "100"]) == 0
+        capsys.readouterr()
+
+    def test_diff_json_output(self, tmp_path, capsys):
+        a = self._report_file(tmp_path, "a.json", 0.1)
+        assert main(["report", "diff", a, a, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verdict"] == "pass"
+        assert doc["regressions"] == 0
+        assert all(e["status"] == "ok" for e in doc["entries"])
+
+    def test_diff_unresolvable_input_exits_2(self, tmp_path, capsys):
+        a = self._report_file(tmp_path, "a.json", 0.1)
+        assert main(["report", "diff", a, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_timeline_from_metrics_report(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        out = tmp_path / "trace.json"
+        assert main(["age", "c17", "--metrics", str(report)]) == 0
+        capsys.readouterr()
+        assert main(["report", "timeline", str(report),
+                     "--out", str(out)]) == 0
+        assert "events)" in capsys.readouterr().err
+        trace = json.loads(out.read_text())
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "repro.age" in names
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M"}
+        assert "main" in lanes
+
+    def test_timeline_stored_run_id(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["age", "c17", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", "history", "--store", store, "--ids"]) == 0
+        [run_id] = capsys.readouterr().out.split()
+        assert main(["report", "timeline", run_id, "--store", store]) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["traceEvents"]
+
+    def test_timeline_bad_input_exits_2(self, tmp_path, capsys):
+        assert main(["report", "timeline", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err

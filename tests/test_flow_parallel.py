@@ -6,6 +6,7 @@ degrade to the serial loop, and worker *logic* errors propagate.
 """
 
 import concurrent.futures
+import os
 
 import pytest
 
@@ -152,6 +153,12 @@ def _context_probe(name):
     return ctx.fresh_delay()
 
 
+def _traced_gauge(x):
+    obs.gauge("worker.last_job", x)
+    obs.count("worker.calls")
+    return x
+
+
 class TestObservedSweep:
     """With collection active, a pooled sweep and a serial sweep produce
     the same span structure, metric totals, and merged cache stats —
@@ -168,8 +175,11 @@ class TestObservedSweep:
 
     @staticmethod
     def _shape(span):
-        # Structure + attributes, ignoring wall-clock fields.
-        return (span.name, dict(span.attributes),
+        # Structure + attributes, ignoring wall-clock fields and the
+        # worker pid (pooled adoption tags cross-process spans for the
+        # timeline's pid lanes; serial runs stay in-process).
+        attrs = {k: v for k, v in span.attributes.items() if k != "pid"}
+        return (span.name, attrs,
                 [TestObservedSweep._shape(c) for c in span.children])
 
     def test_results_unwrapped_when_observed(self):
@@ -210,6 +220,39 @@ class TestObservedSweep:
         assert not obs.tracing_enabled()
         assert run_sweep(_traced_negate, [5], max_workers=1) == [-5]
         assert run_sweep(_traced_negate, [5], max_workers=2) == [-5]
+
+    def test_pooled_spans_carry_worker_pids(self):
+        # Cross-process adoption tags each worker's spans with its OS
+        # pid (the timeline's lane key); a serial run stays untagged.
+        _, p_tr, _, _ = self._run(_traced_negate, [1, 2], 2)
+        [root] = p_tr.roots
+        pids = {c.attributes.get("pid") for c in root.children}
+        assert None not in pids
+        assert all(pid != os.getpid() for pid in pids)
+        _, s_tr, _, _ = self._run(_traced_negate, [1, 2], 1)
+        [s_root] = s_tr.roots
+        assert all("pid" not in c.attributes for c in s_root.children)
+
+    def test_gauge_merges_last_write_in_job_order(self):
+        # Gauge merge is last-write-wins folded in job order, so the
+        # surviving value is the last job's — serial and pooled alike.
+        for workers in (1, 2):
+            _, _, metrics, _ = self._run(_traced_gauge, [1, 2, 3, 4],
+                                         workers)
+            assert metrics["worker.last_job"]["values"][""] == 4
+            assert metrics["worker.calls"]["values"][""] == 4
+
+    def test_repeated_pooled_runs_canonically_identical(self):
+        # Byte-identical canonical RunReports across repeated pooled
+        # runs: adoption order is job order, never completion order.
+        docs = []
+        for _ in range(2):
+            _, tr, metrics, cache = self._run(_traced_negate,
+                                              [1, 2, 3, 4], 2)
+            report = obs.RunReport("sweep", spans=tr.span_dicts(),
+                                   metrics=metrics, cache_stats=cache)
+            docs.append(obs.canonical_json(report.to_dict()))
+        assert docs[0] == docs[1]
 
 
 def test_pool_actually_used_when_forced():

@@ -270,7 +270,7 @@ class TestRegistry:
     def test_merge_rejects_unknown_type(self):
         r = obs.MetricsRegistry()
         with pytest.raises(ValueError, match="unknown type"):
-            r.merge({"bad": {"type": "gauge"}})
+            r.merge({"bad": {"type": "timer"}})
 
 
 class TestCacheRegistry:
@@ -371,8 +371,10 @@ class TestRunReport:
         errs = schema_errors(bad_span)
         assert any(".name" in e for e in errs)
         assert any(".start" in e for e in errs)
-        bad_metric = dict(good, metrics={"m": {"type": "gauge"}})
+        bad_metric = dict(good, metrics={"m": {"type": "timer"}})
         assert any("counter" in e for e in schema_errors(bad_metric))
+        no_values = dict(good, metrics={"m": {"type": "gauge"}})
+        assert any("values" in e for e in schema_errors(no_values))
         bad_cache = dict(good, cache_stats=[{"scope": 7}])
         assert schema_errors(bad_cache)
         with pytest.raises(ValueError, match="invalid RunReport"):

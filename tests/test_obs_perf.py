@@ -1,0 +1,426 @@
+"""Performance-intelligence plane: run history, diffing, timelines.
+
+Covers the PR 10 additions to :mod:`repro.obs`:
+
+* the :class:`~repro.obs.metrics.Gauge` type (last-write-wins merge),
+* the Prometheus text exposition of a RunReport,
+* run records persisted through the store's ``runs/`` namespace and
+  resolved back by id / prefix / path,
+* the report diff engine and its tolerance-banded regression verdict,
+* canonicalization (the byte-identical repeated-run contract),
+* Chrome ``trace_event`` timeline export with pid lanes,
+* the ``python -m repro.obs`` validator's stdin and exit codes.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.report import reset_cache_registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.set_tracer(None)
+    reset_cache_registry()
+    yield
+    obs.set_tracer(None)
+    reset_cache_registry()
+
+
+def _report_doc(label="r", spans=None, metrics=None, cache_stats=None):
+    return obs.RunReport(label, spans=spans or [], metrics=metrics or {},
+                         cache_stats=cache_stats or []).to_dict()
+
+
+def _span(name, duration, children=None, **attributes):
+    return {"name": name, "start": 0.0, "duration": duration,
+            "attributes": attributes, "children": children or []}
+
+
+# -- Gauge --------------------------------------------------------------------
+
+
+class TestGauge:
+    def test_set_and_snapshot(self):
+        g = obs.Gauge("queue_depth")
+        g.set(3)
+        g.set(5)
+        g.set(2.0, label="retries")
+        assert g.value() == 5
+        assert g.value("retries") == 2.0
+        assert g.snapshot() == {"type": "gauge",
+                                "values": {"": 5, "retries": 2.0}}
+
+    def test_merge_is_last_write_wins(self):
+        reg = obs.MetricsRegistry()
+        reg.gauge("depth").set(1)
+        reg.merge({"depth": {"type": "gauge", "values": {"": 7}}})
+        reg.merge({"depth": {"type": "gauge", "values": {"": 4}}})
+        assert reg.gauge("depth").value() == 4
+
+    def test_registry_rejects_kind_clash(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_module_helper_gated_on_tracing(self):
+        reg = obs.MetricsRegistry()
+        with obs.use_metrics(reg):
+            obs.gauge("depth", 9)  # collection off: must no-op
+        assert "depth" not in reg.snapshot()
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer), obs.use_metrics(reg):
+            obs.gauge("depth", 9)
+        assert reg.snapshot()["depth"]["values"][""] == 9
+
+    def test_schema_accepts_gauges(self):
+        doc = _report_doc(metrics={
+            "depth": {"type": "gauge", "values": {"": 3}}})
+        assert obs.schema_errors(doc) == []
+
+
+# -- Prometheus exposition ----------------------------------------------------
+
+
+class TestPrometheus:
+    def test_counter_gauge_and_cache_lines(self):
+        doc = _report_doc(
+            metrics={
+                "serve.jobs_done": {"type": "counter",
+                                    "values": {"": 4, "warm": 1}},
+                "serve.queue_depth": {"type": "gauge", "values": {"": 2}},
+            },
+            cache_stats=[{"scope": "c432", "hits": 3, "misses": 1,
+                          "artifacts": {"bundle": {"hits": 3,
+                                                   "misses": 1}}}])
+        text = obs.to_prometheus(doc)
+        assert "# TYPE serve_jobs_done counter" in text
+        assert "serve_jobs_done 4" in text
+        assert 'serve_jobs_done{series="warm"} 1' in text
+        assert "serve_queue_depth 2" in text
+        assert ('repro_cache_hits_total{scope="c432",artifact="bundle"} 3'
+                in text)
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        h = obs.Histogram("lat")
+        for v in (0.5, 0.5, 3.0):
+            h.observe(v)
+        doc = _report_doc(metrics={"lat": h.snapshot()})
+        text = obs.to_prometheus(doc)
+        # 0.5 -> exponent -1 -> upper 2^0 = 1.0; 3.0 -> exponent 1 ->
+        # upper 2^2 = 4.0; buckets are cumulative.
+        assert 'lat_bucket{le="1.0"} 2' in text
+        assert 'lat_bucket{le="4.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_empty_report(self):
+        assert obs.to_prometheus(_report_doc()) == ""
+
+
+# -- run records & history ----------------------------------------------------
+
+
+class TestRunRecords:
+    def test_record_round_trips_through_store(self, tmp_path):
+        from repro.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        report = _report_doc(spans=[_span("repro.age", 1.5)])
+        run_id = obs.record_run(store, report, command="repro age c432")
+        assert store.list_runs() == [run_id]
+        record = store.load_run(run_id)
+        assert record["schema_version"] == obs.RUN_SCHEMA
+        assert record["command"] == "repro age c432"
+        assert record["host"]["id"] == obs.host_fingerprint()["id"]
+        assert record["report"]["spans"][0]["name"] == "repro.age"
+        [loaded] = obs.load_history(store)
+        assert loaded["run_id"] == run_id
+        summary = obs.summarize_record(record)
+        assert summary["wall_seconds"] == 1.5
+        assert summary["spans"] == 1
+
+    def test_resolve_by_id_prefix_and_path(self, tmp_path):
+        from repro.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        report = _report_doc(label="stored")
+        run_id = obs.record_run(store, report)
+        doc, label = obs.resolve_report(run_id, store=store)
+        assert doc["label"] == "stored"
+        # A unique prefix resolves too, and reports its full id.
+        doc, label = obs.resolve_report(run_id[:12], store=store)
+        assert label == run_id
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(_report_doc(label="on disk")))
+        doc, _ = obs.resolve_report(str(path))
+        assert doc["label"] == "on disk"
+
+    def test_resolve_errors(self, tmp_path):
+        from repro.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="no stored run"):
+            obs.resolve_report("nope", store=store)
+        with pytest.raises(ValueError, match="not a file"):
+            obs.resolve_report("nope", store=None)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ValueError, match="not a valid RunReport"):
+            obs.resolve_report(str(bad))
+
+    def test_run_ids_sort_chronologically(self, tmp_path):
+        from repro.artifacts import ArtifactStore
+        from repro.obs.perf import new_run_id
+
+        store = ArtifactStore(tmp_path / "store")
+        early = new_run_id(1000.0)
+        late = new_run_id(2000000.0)
+        for rid in (late, early):
+            obs.record_run(store, _report_doc(), run_id=rid)
+        assert store.list_runs() == [early, late]
+
+    def test_history_line_shape(self):
+        line = obs.history_line("perf_mlv", wall_seconds=0.5, speedup=12.0,
+                                smoke=True, extra={"n": 3})
+        assert line["suite"] == "perf_mlv"
+        assert line["wall_seconds"] == 0.5
+        assert line["speedup"] == 12.0
+        assert line["smoke"] is True
+        assert line["n"] == 3
+        assert line["host"] == obs.host_fingerprint()["id"]
+
+
+# -- diff engine --------------------------------------------------------------
+
+
+class TestDiff:
+    def test_identical_reports_pass_with_zero_regressions(self):
+        doc = _report_doc(
+            spans=[_span("repro.age", 1.0,
+                         children=[_span("sta.lower", 0.4)])],
+            metrics={"calls": {"type": "counter", "values": {"": 2}}})
+        diff = obs.diff_reports(doc, doc)
+        assert diff.passed
+        assert diff.regressions == []
+        assert all(e.status == "ok" for e in diff.entries)
+
+    def test_inflated_span_fails_the_gate(self):
+        a = _report_doc(spans=[_span("repro.age", 1.0)])
+        b = _report_doc(spans=[_span("repro.age", 2.0)])
+        diff = obs.diff_reports(a, b)
+        assert not diff.passed
+        [entry] = diff.regressions
+        assert entry.name == "repro.age"
+        assert entry.delta == 1.0
+        assert "FAIL" in obs.format_diff(diff)
+
+    def test_tolerance_bands_require_both_abs_and_rel(self):
+        a = _report_doc(spans=[_span("tiny", 0.001)])
+        b = _report_doc(spans=[_span("tiny", 0.01)])
+        # 10x slower but under the 20 ms absolute floor: not a
+        # regression (scheduler noise on microsecond spans).
+        assert obs.diff_reports(a, b).passed
+        tight = obs.Tolerance(span_rel=0.5, span_abs_s=0.001)
+        assert not obs.diff_reports(a, b, tolerance=tight).passed
+
+    def test_counter_changes_are_drift_not_failure(self):
+        a = _report_doc(metrics={
+            "store.bundle_misses": {"type": "counter", "values": {"": 1}}})
+        b = _report_doc(metrics={
+            "store.bundle_hits": {"type": "counter", "values": {"": 1}}})
+        diff = obs.diff_reports(a, b)
+        assert diff.passed
+        statuses = {e.name: e.status for e in diff.entries}
+        assert statuses["store.bundle_misses"] == "removed"
+        assert statuses["store.bundle_hits"] == "added"
+
+    def test_counter_rel_gate_when_asked(self):
+        a = _report_doc(metrics={
+            "calls": {"type": "counter", "values": {"": 10}}})
+        b = _report_doc(metrics={
+            "calls": {"type": "counter", "values": {"": 100}}})
+        assert obs.diff_reports(a, b).passed
+        tol = obs.Tolerance(counter_rel=0.5)
+        assert not obs.diff_reports(a, b, tolerance=tol).passed
+
+    def test_hit_rate_drop_gate_when_asked(self):
+        a = _report_doc(cache_stats=[{"scope": "c432", "hits": 9,
+                                      "misses": 1, "artifacts": {}}])
+        b = _report_doc(cache_stats=[{"scope": "c432", "hits": 1,
+                                      "misses": 9, "artifacts": {}}])
+        assert obs.diff_reports(a, b).passed
+        tol = obs.Tolerance(hit_rate_drop=0.2)
+        assert not obs.diff_reports(a, b, tolerance=tol).passed
+
+    def test_added_span_gates_only_with_fail_on_added(self):
+        a = _report_doc(spans=[_span("repro.age", 1.0)])
+        b = _report_doc(spans=[_span("repro.age", 1.0),
+                               _span("surprise", 0.5)])
+        assert obs.diff_reports(a, b).passed
+        tol = obs.Tolerance(fail_on_added=True)
+        assert not obs.diff_reports(a, b, tolerance=tol).passed
+
+    def test_span_totals_aggregates_repeated_paths(self):
+        doc = _report_doc(spans=[_span("sweep", 2.0, children=[
+            _span("job", 0.5), _span("job", 0.7)])])
+        totals = obs.span_totals(doc)
+        assert totals["sweep/job"] == (2, pytest.approx(1.2))
+
+    def test_to_dict_round_trips_as_json(self):
+        a = _report_doc(spans=[_span("s", 1.0)])
+        diff = obs.diff_reports(a, a, label_a="x", label_b="y")
+        doc = json.loads(json.dumps(diff.to_dict()))
+        assert doc["verdict"] == "pass"
+        assert doc["a"] == "x" and doc["b"] == "y"
+
+
+class TestCanonicalize:
+    def test_scrubs_volatile_values(self):
+        doc = _report_doc(
+            spans=[_span("serve.worker.age", 1.25, pid=4242, job="j-1")],
+            metrics={
+                "serve.job.attempt_seconds": obs_histogram_snapshot(),
+                "serve.uptime_seconds": {"type": "gauge",
+                                         "values": {"": 55.2}},
+                "serve.worker.gates": {"type": "gauge",
+                                       "values": {"": 160}},
+            })
+        doc["meta"]["uptime_s"] = 12.5
+        canon = obs.canonicalize_report(doc)
+        span = canon["spans"][0]
+        assert span["duration"] == 0.0
+        assert span["attributes"]["pid"] == "*"
+        assert span["attributes"]["job"] == "*"
+        assert canon["metrics"]["serve.job.attempt_seconds"] == {
+            "type": "histogram", "count": 2}
+        assert canon["metrics"]["serve.uptime_seconds"] == {
+            "type": "gauge", "series": [""]}
+        # Non-timing gauges keep their (deterministic) values.
+        assert canon["metrics"]["serve.worker.gates"]["values"][""] == 160
+        assert "uptime_s" not in canon["meta"]
+        # The original document is untouched.
+        assert doc["spans"][0]["duration"] == 1.25
+
+    def test_canonical_json_is_deterministic(self):
+        doc = _report_doc(spans=[_span("a", 1.0, pid=1)])
+        other = _report_doc(spans=[_span("a", 2.0, pid=999)])
+        assert obs.canonical_json(doc) == obs.canonical_json(other)
+
+
+def obs_histogram_snapshot():
+    h = obs.Histogram("t")
+    h.observe(0.1)
+    h.observe(0.2)
+    return h.snapshot()
+
+
+# -- timeline export ----------------------------------------------------------
+
+
+class TestTimeline:
+    def test_nested_spans_get_pid_lanes(self):
+        spans = [_span("flow.run_sweep", 2.0, children=[
+            _span("worker.compute", 0.5, worker=0, pid=111,
+                  children=[_span("inner", 0.2)]),
+            _span("worker.compute", 0.6, worker=1, pid=222),
+        ])]
+        trace = obs.chrome_trace(
+            *__import__("repro.obs.timeline",
+                        fromlist=["events_from_span_dicts"]
+                        ).events_from_span_dicts(spans))
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["flow.run_sweep"]["pid"] == 1
+        assert by_name["inner"]["pid"] == 111  # inherits its parent lane
+        assert {e["pid"] for e in events} == {1, 111, 222}
+        meta = {e["pid"]: e["args"]["name"]
+                for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert meta[1] == "main"
+        assert meta[111] == "worker 0 (pid 111)"
+
+    def test_convert_sniffs_runreport_and_jsonl(self):
+        doc = _report_doc(spans=[_span("root", 1.0)])
+        from_report = obs.convert(json.dumps(doc))
+        assert any(e["name"] == "root"
+                   for e in from_report["traceEvents"])
+        jsonl = "\n".join([
+            json.dumps({"name": "root", "path": "root", "depth": 0,
+                        "start": 0.0, "duration": 1.0, "attributes": {}}),
+            json.dumps({"name": "child", "path": "root/child", "depth": 1,
+                        "start": 0.1, "duration": 0.5,
+                        "attributes": {"worker": 2, "pid": 777}}),
+        ])
+        from_jsonl = obs.convert(jsonl)
+        child = [e for e in from_jsonl["traceEvents"]
+                 if e["name"] == "child"][0]
+        assert child["pid"] == 777
+        assert child["ts"] == pytest.approx(0.1e6)
+        assert child["dur"] == pytest.approx(0.5e6)
+
+    def test_convert_run_record_unwraps(self):
+        from repro.obs.perf import make_run_record
+
+        record = make_run_record(_report_doc(spans=[_span("r", 1.0)]))
+        trace = obs.convert(json.dumps(record))
+        assert any(e["name"] == "r" for e in trace["traceEvents"])
+
+    def test_convert_rejects_spanless_json(self):
+        with pytest.raises(ValueError, match="no 'spans'"):
+            obs.convert(json.dumps({"hello": 1}))
+
+    def test_worker_only_spans_get_synthetic_lanes(self):
+        from repro.obs.timeline import WORKER_PID_BASE, events_from_span_dicts
+
+        spans = [_span("w", 0.1, worker=3)]
+        events, lanes = events_from_span_dicts(spans)
+        assert events[0]["pid"] == WORKER_PID_BASE + 3
+        assert lanes[WORKER_PID_BASE + 3] == "worker 3"
+
+
+# -- the validator CLI --------------------------------------------------------
+
+
+def _run_validator(args, stdin=""):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", *args], input=stdin,
+        capture_output=True, text=True)
+    return proc
+
+
+class TestValidatorCli:
+    def test_valid_file_exits_zero(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(_report_doc()))
+        proc = _run_validator([str(path)])
+        assert proc.returncode == 0
+        assert "ok" in proc.stdout
+
+    def test_stdin_dash(self):
+        proc = _run_validator(["-"], stdin=json.dumps(_report_doc()))
+        assert proc.returncode == 0
+        assert "<stdin>" in proc.stdout
+
+    def test_invalid_reports_all_violations(self, tmp_path):
+        doc = _report_doc()
+        doc["schema_version"] = 999
+        doc["spans"] = [{"name": 3}]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        proc = _run_validator([str(path)])
+        assert proc.returncode == 1
+        assert "INVALID" in proc.stdout
+        # Both violations listed, not just the first.
+        assert "schema_version" in proc.stdout
+        assert proc.stdout.count("\n  ") >= 2
+
+    def test_no_args_is_usage_error(self):
+        proc = _run_validator([])
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr
